@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation of file-to-tree alignment (paper Section 3.1: aligning
+ * files to prefix-tree nodes, left as future work there and
+ * implemented here as ExtentAllocator).
+ *
+ * Stores a synthetic file set three ways and reports how many
+ * elongated primers a whole-file sequential read needs, plus the
+ * space overhead:
+ *   naive    — files packed back to back at arbitrary offsets;
+ *   aligned  — buddy-allocated, minimal set of aligned extents;
+ *   subtree  — one covering subtree per file (1 primer, padding).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/extent_allocator.h"
+#include "index/prefix_tree.h"
+
+int
+main()
+{
+    using namespace dnastore;
+    using core::Extent;
+    using core::ExtentAllocator;
+
+    std::printf("=== Ablation: file alignment to tree nodes "
+                "(Section 3.1) ===\n\n");
+
+    const size_t kDepth = 7;  // 16384 blocks
+    Rng rng(4242);
+    std::vector<uint64_t> file_sizes;
+    uint64_t total_blocks = 0;
+    for (int f = 0; f < 40; ++f) {
+        // File sizes from 1 block to ~400 blocks, skewed small.
+        uint64_t blocks = 1 + rng.nextBelow(20) * rng.nextBelow(20);
+        file_sizes.push_back(blocks);
+        total_blocks += blocks;
+    }
+
+    // --- Naive packing: consecutive placement. ------------------------
+    size_t naive_primers = 0;
+    uint64_t cursor = 0;
+    for (uint64_t blocks : file_sizes) {
+        naive_primers +=
+            index::coverRange(cursor, cursor + blocks - 1, kDepth)
+                .size();
+        cursor += blocks;
+    }
+
+    // --- Aligned multi-extent. ----------------------------------------
+    ExtentAllocator aligned(kDepth);
+    size_t aligned_primers = 0;
+    for (uint64_t blocks : file_sizes) {
+        auto extents = aligned.allocate(
+            blocks, ExtentAllocator::Policy::kMultiExtent);
+        if (!extents) {
+            std::printf("aligned allocator ran out of space\n");
+            return 1;
+        }
+        aligned_primers += extents->size();
+    }
+
+    // --- Single covering subtree. --------------------------------------
+    ExtentAllocator subtree(kDepth);
+    size_t subtree_primers = 0;
+    uint64_t subtree_reserved = 0;
+    for (uint64_t blocks : file_sizes) {
+        auto extents = subtree.allocate(
+            blocks, ExtentAllocator::Policy::kSingleSubtree);
+        if (!extents) {
+            std::printf("subtree allocator ran out of space\n");
+            return 1;
+        }
+        subtree_primers += extents->size();
+        subtree_reserved += (*extents)[0].size;
+    }
+
+    auto avg = [&](size_t primers) {
+        return static_cast<double>(primers) /
+               static_cast<double>(file_sizes.size());
+    };
+    std::printf("40 files, %lu blocks total, %lu-block space:\n\n",
+                static_cast<unsigned long>(total_blocks),
+                static_cast<unsigned long>(uint64_t{1} << (2 * kDepth)));
+    std::printf("%-22s %16s %18s\n", "placement",
+                "primers per file", "space overhead");
+    std::printf("%-22s %16.2f %17.1f%%\n", "naive packing",
+                avg(naive_primers), 0.0);
+    std::printf("%-22s %16.2f %17.1f%%\n", "aligned multi-extent",
+                avg(aligned_primers), 0.0);
+    std::printf("%-22s %16.2f %17.1f%%\n", "single subtree",
+                avg(subtree_primers),
+                100.0 * (static_cast<double>(subtree_reserved) /
+                             static_cast<double>(total_blocks) -
+                         1.0));
+
+    std::printf("\nExpected shape: naive packing needs several "
+                "primers per sequential file read; aligned extents "
+                "cut that substantially at zero space cost; single "
+                "subtrees reach the 1-primer ideal by paying "
+                "internal fragmentation (up to 4x per file).\n");
+    return 0;
+}

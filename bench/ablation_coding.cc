@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation of the coding choice (paper Section 2.1.1): constrained
+ * rotation coding vs unconstrained 2-bit coding + scrambler.
+ *
+ * The paper adopts unconstrained coding for its higher density,
+ * relying on the scrambler for statistical composition and on the
+ * outer RS code for errors. This bench quantifies both sides on the
+ * same payloads: information density, worst-case homopolymer runs,
+ * and GC spread across strands.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "codec/base_codec.h"
+#include "codec/constrained.h"
+#include "codec/scrambler.h"
+#include "corpus/text.h"
+#include "dna/analysis.h"
+
+int
+main()
+{
+    using namespace dnastore;
+
+    std::printf("=== Ablation: constrained vs unconstrained payload "
+                "coding (Section 2.1.1) ===\n\n");
+
+    const size_t kStrandPayloadBytes = 24;
+    const size_t kStrands = 2000;
+    codec::Scrambler scrambler(0x5eed);
+
+    double unc_gc_min = 1.0, unc_gc_max = 0.0;
+    size_t unc_homo_worst = 0;
+    double con_gc_min = 1.0, con_gc_max = 0.0;
+    size_t con_homo_worst = 0;
+
+    std::vector<uint8_t> text =
+        corpus::generateBytes(kStrands * kStrandPayloadBytes, 99);
+    for (size_t s = 0; s < kStrands; ++s) {
+        std::vector<uint8_t> payload(
+            text.begin() + s * kStrandPayloadBytes,
+            text.begin() + (s + 1) * kStrandPayloadBytes);
+
+        // Unconstrained: scramble, then 2 bits/base.
+        std::vector<uint8_t> scrambled =
+            scrambler.applied(payload, s);
+        dna::Sequence unconstrained = codec::bytesToBases(scrambled);
+        unc_gc_min = std::min(unc_gc_min, dna::gcContent(unconstrained));
+        unc_gc_max = std::max(unc_gc_max, dna::gcContent(unconstrained));
+        unc_homo_worst = std::max(
+            unc_homo_worst, dna::maxHomopolymerRun(unconstrained));
+
+        // Constrained rotation coding on the raw payload.
+        dna::Sequence constrained = codec::RotationCodec::encode(payload);
+        con_gc_min = std::min(con_gc_min, dna::gcContent(constrained));
+        con_gc_max = std::max(con_gc_max, dna::gcContent(constrained));
+        con_homo_worst = std::max(
+            con_homo_worst, dna::maxHomopolymerRun(constrained));
+    }
+
+    size_t unc_bases = kStrandPayloadBytes * 4;
+    size_t con_bases =
+        codec::RotationCodec::encodedLength(kStrandPayloadBytes);
+    std::printf("%-26s %14s %14s\n", "", "unconstrained",
+                "constrained");
+    std::printf("%-26s %14zu %14zu\n", "bases per 24B payload",
+                unc_bases, con_bases);
+    std::printf("%-26s %14.3f %14.3f\n", "bits per base",
+                8.0 * 24.0 / static_cast<double>(unc_bases),
+                8.0 * 24.0 / static_cast<double>(con_bases));
+    std::printf("%-26s %14zu %14zu\n", "worst homopolymer run",
+                unc_homo_worst, con_homo_worst);
+    std::printf("%-26s %7.2f-%6.2f %7.2f-%6.2f\n", "GC range",
+                unc_gc_min, unc_gc_max, con_gc_min, con_gc_max);
+
+    double density_gain =
+        static_cast<double>(con_bases) / static_cast<double>(unc_bases);
+    std::printf("\nUnconstrained coding stores the same payload in "
+                "%.0f%% of the bases (a %.2fx density advantage); "
+                "its worst homopolymer run over %zu text strands "
+                "stays short thanks to scrambling, which is why the "
+                "paper pairs it with outer RS instead of paying the "
+                "constrained-coding tax (Section 2.1.1, [39]).\n",
+                100.0 / density_gain, density_gain, kStrands);
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Ablation of the Section 4.3 index construction: what does each
+ * ingredient of the PCR-navigable tree buy?
+ *
+ * Compares three indexing schemes for a 1024-block partition:
+ *   dense      — base-4 digits mapped straight to bases (prior work)
+ *   sparse     — randomized edges + GC-complementary spacers (ours)
+ *
+ * Reported per scheme:
+ *   - PCR-viability of the elongated primers (GC balance of every
+ *     elongation, homopolymer runs) — the paper's hard requirement;
+ *   - minimum/average pairwise Hamming distance between indexes;
+ *   - measured mispriming: mass fraction of wrong-block amplicons
+ *     after elongated-primer PCR for sample targets.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "codec/base4.h"
+#include "dna/analysis.h"
+#include "dna/distance.h"
+#include "index/sparse_index.h"
+#include "primer/elongation.h"
+#include "primer/library.h"
+#include "sim/pcr.h"
+#include "sim/synthesis.h"
+
+namespace {
+
+using namespace dnastore;
+
+constexpr size_t kDepth = 5;
+constexpr uint64_t kBlocks = 587;
+
+/** Dense physical index: digits straight to bases (5 bases). */
+dna::Sequence
+denseIndex(uint64_t block)
+{
+    codec::Digits digits = codec::toBase4(block, kDepth);
+    std::vector<dna::Base> bases;
+    for (uint8_t digit : digits)
+        bases.push_back(static_cast<dna::Base>(digit));
+    return dna::Sequence(bases);
+}
+
+struct SchemeReport
+{
+    double viable_fraction = 0.0;
+    double min_distance = 0.0;
+    double avg_distance = 0.0;
+    double misprime_fraction = 0.0;
+};
+
+SchemeReport
+evaluate(const std::vector<dna::Sequence> &indexes,
+         const dna::Sequence &fwd, const dna::Sequence &rev)
+{
+    SchemeReport report;
+    primer::ElongationBuilder builder(fwd, dna::Base::A);
+
+    // Primer viability of every elongation.
+    size_t viable = 0;
+    for (const dna::Sequence &index : indexes) {
+        primer::ElongationReport elongation =
+            primer::validateElongations(builder, index);
+        if (elongation.worst_gc_deviation <= 1.0 &&
+            elongation.worst_homopolymer <= 3) {
+            ++viable;
+        }
+    }
+    report.viable_fraction =
+        static_cast<double>(viable) / static_cast<double>(indexes.size());
+
+    // Pairwise distances (sampled).
+    size_t min_dist = SIZE_MAX;
+    double total = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < indexes.size(); i += 7) {
+        for (size_t j = i + 1; j < indexes.size(); j += 11) {
+            size_t d = dna::hammingDistance(indexes[i], indexes[j]);
+            min_dist = std::min(min_dist, d);
+            total += static_cast<double>(d);
+            ++pairs;
+        }
+    }
+    report.min_distance = static_cast<double>(min_dist);
+    report.avg_distance = total / static_cast<double>(pairs);
+
+    // Mispriming: synthesize one strand per block (index + filler
+    // payload), run elongated PCR for sample targets, and measure
+    // how much amplified mass belongs to other blocks.
+    std::vector<sim::DesignedMolecule> order;
+    dna::Sequence rev_site = rev.reverseComplement();
+    for (uint64_t block = 0; block < indexes.size(); ++block) {
+        sim::DesignedMolecule molecule;
+        dna::Sequence payload;
+        uint64_t value = block * 2654435761u;
+        for (int k = 0; k < 40; ++k) {
+            payload.push_back(
+                static_cast<dna::Base>((value >> (k % 32)) & 3));
+        }
+        molecule.seq =
+            fwd + dna::Sequence(1, dna::Base::A) + indexes[block] +
+            payload + rev_site;
+        molecule.info.block = block;
+        order.push_back(std::move(molecule));
+    }
+    sim::SynthesisParams synthesis;
+    sim::Pool pool = sim::synthesize(order, synthesis);
+
+    double misprime_total = 0.0;
+    const std::vector<uint64_t> targets = {3, 144, 307, 531, 580};
+    for (uint64_t target : targets) {
+        dna::Sequence primer =
+            fwd + dna::Sequence(1, dna::Base::A) + indexes[target];
+        sim::PcrParams params;
+        params.cycles = 28;
+        params.stringency = sim::touchdownSchedule(10, 28, 3.0);
+        sim::Pool out =
+            sim::runPcr(pool, {{primer, 1.0}}, rev, params);
+        double wrong = out.massFraction([&](const sim::Species &s) {
+            return s.info.block != target;
+        });
+        misprime_total += wrong;
+    }
+    report.misprime_fraction =
+        misprime_total / static_cast<double>(targets.size());
+    return report;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: dense vs PCR-navigable sparse indexes "
+                "(Section 4.3) ===\n\n");
+
+    primer::Constraints constraints;
+    primer::LibraryGenerator library(20, constraints, 77);
+    auto primers = library.generate(100000, 2).primers;
+    dna::Sequence fwd = primers[0];
+    dna::Sequence rev = primers[1];
+
+    std::vector<dna::Sequence> dense, sparse;
+    index::SparseIndexTree tree(0x1dc0ffee, kDepth);
+    for (uint64_t block = 0; block < kBlocks; ++block) {
+        dense.push_back(denseIndex(block));
+        sparse.push_back(tree.leafIndex(block));
+    }
+
+    std::printf("%-8s %10s %10s %10s %12s\n", "scheme", "viable%",
+                "min dist", "avg dist", "misprime%");
+    for (auto &[name, indexes] :
+         std::vector<std::pair<const char *,
+                               std::vector<dna::Sequence> *>>{
+             {"dense", &dense}, {"sparse", &sparse}}) {
+        SchemeReport report = evaluate(*indexes, fwd, rev);
+        std::printf("%-8s %9.1f%% %10.0f %10.2f %11.1f%%\n", name,
+                    100.0 * report.viable_fraction, report.min_distance,
+                    report.avg_distance,
+                    100.0 * report.misprime_fraction);
+    }
+
+    std::printf("\nExpected shape: dense indexes are mostly not even "
+                "viable as primers (GC/homopolymer violations), sit "
+                "at minimum distance 1, and misprime heavily; the "
+                "sparse tree is ~100%% viable, doubles the average "
+                "distance, and cuts mispriming to a small fraction "
+                "(paper Section 4.3).\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation of Section 7.7.1: one-sided vs two-sided primer
+ * elongation.
+ *
+ * Two-sided extension splits the sparse index between the forward
+ * and reverse primers. The paper argues it (a) squares the number of
+ * addressable blocks (1024^2 with 10+10 bases) and (b) improves
+ * specificity because each primer is shorter and both ends must
+ * match. This bench builds both layouts over the same 1024 blocks
+ * and measures target purity after precise PCR.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "index/sparse_index.h"
+#include "primer/library.h"
+#include "sim/pcr.h"
+#include "sim/synthesis.h"
+
+namespace {
+
+using namespace dnastore;
+
+struct Layout
+{
+    const char *name;
+    size_t front_depth;  // tree levels encoded after the fwd primer
+    size_t back_depth;   // tree levels encoded before the rev site
+};
+
+double
+evaluate(const Layout &layout, const dna::Sequence &fwd,
+         const dna::Sequence &rev)
+{
+    index::SparseIndexTree front_tree(0xf407, layout.front_depth);
+    index::SparseIndexTree back_tree(0xbac8, std::max<size_t>(
+                                                 layout.back_depth, 1));
+    const uint64_t blocks =
+        uint64_t{1} << (2 * (layout.front_depth + layout.back_depth));
+
+    dna::Sequence rev_site = rev.reverseComplement();
+    std::vector<sim::DesignedMolecule> order;
+    for (uint64_t block = 0; block < blocks; ++block) {
+        uint64_t front_part = block >> (2 * layout.back_depth);
+        uint64_t back_part =
+            block & ((uint64_t{1} << (2 * layout.back_depth)) - 1);
+        dna::Sequence payload;
+        uint64_t value = block * 2654435761u + 17;
+        for (int k = 0; k < 36; ++k) {
+            payload.push_back(
+                static_cast<dna::Base>((value >> (k % 32)) & 3));
+        }
+        sim::DesignedMolecule molecule;
+        molecule.seq = fwd + dna::Sequence(1, dna::Base::A) +
+                       front_tree.leafIndex(front_part) + payload;
+        if (layout.back_depth > 0) {
+            // Back index sits just before the reverse-primer site,
+            // reverse-complemented so the elongated reverse primer
+            // reads it 5'->3' on the antisense strand.
+            molecule.seq +=
+                back_tree.leafIndex(back_part).reverseComplement();
+        }
+        molecule.seq += rev_site;
+        molecule.info.block = block;
+        order.push_back(std::move(molecule));
+    }
+
+    sim::SynthesisParams synthesis;
+    sim::Pool pool = sim::synthesize(order, synthesis);
+
+    double purity_total = 0.0;
+    const std::vector<uint64_t> targets = {1, 144, 531, blocks - 2};
+    for (uint64_t target : targets) {
+        uint64_t front_part = target >> (2 * layout.back_depth);
+        uint64_t back_part =
+            target & ((uint64_t{1} << (2 * layout.back_depth)) - 1);
+        dna::Sequence fwd_primer = fwd + dna::Sequence(1, dna::Base::A) +
+                                   front_tree.leafIndex(front_part);
+        dna::Sequence rev_primer = rev;
+        if (layout.back_depth > 0)
+            rev_primer = rev + back_tree.leafIndex(back_part);
+
+        sim::PcrParams params;
+        params.cycles = 28;
+        params.stringency = sim::touchdownSchedule(10, 28, 3.0);
+        sim::Pool out =
+            sim::runPcr(pool, {{fwd_primer, 1.0}}, rev_primer, params);
+        purity_total += out.massFraction([&](const sim::Species &s) {
+            return s.info.block == target;
+        });
+    }
+    return purity_total / static_cast<double>(targets.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: one-sided vs two-sided elongation "
+                "(Section 7.7.1) ===\n\n");
+
+    primer::Constraints constraints;
+    primer::LibraryGenerator library(20, constraints, 99);
+    auto primers = library.generate(100000, 2).primers;
+
+    // Same 1024-block address space, three splits of the 5 levels.
+    const Layout layouts[] = {
+        {"one-sided (10+0)", 5, 0},
+        {"two-sided (6+4) ", 3, 2},
+        {"two-sided (4+6) ", 2, 3},
+    };
+
+    std::printf("%-18s %14s %16s\n", "layout", "target purity",
+                "primer lengths");
+    for (const Layout &layout : layouts) {
+        double purity = evaluate(layout, primers[0], primers[1]);
+        std::printf("%-18s %13.1f%%  fwd %zu / rev %zu\n", layout.name,
+                    100.0 * purity,
+                    21 + 2 * layout.front_depth,
+                    20 + 2 * layout.back_depth);
+    }
+
+    std::printf("\nExpected shape: splitting the index across both "
+                "primers keeps or improves purity with shorter, "
+                "better-melting primers, and the same total index "
+                "bases address the same 1024 blocks — extending both "
+                "sides by 10 would address 1024^2 blocks "
+                "(Section 7.7.1).\n");
+    return 0;
+}

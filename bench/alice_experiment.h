@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Shared setup for the wetlab-reproduction benches: the paper's
+ * Section 6 experiment.
+ *
+ * 13 files are stored in one DNA pool. Files 1-12 are unrelated
+ * background partitions with their own primer pairs. File 13 is
+ * "Alice's Adventures in Wonderland" (150 KB stand-in), split into
+ * 587 blocks of 256 bytes, encoded into a 1024-leaf PCR-navigable
+ * partition: 8805 data strands.
+ *
+ * Six blocks receive one update patch each:
+ *  - blocks 144, 307, 531 were synthesized by Twist together with
+ *    the data (45 extra strands in the same pool);
+ *  - blocks 243, 374, 556 were synthesized by IDT as a separate,
+ *    50000x more concentrated pool of 45 strands, to be mixed in by
+ *    one of the Section 6.4.2 protocols.
+ */
+
+#ifndef DNASTORE_BENCH_ALICE_EXPERIMENT_H
+#define DNASTORE_BENCH_ALICE_EXPERIMENT_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/update.h"
+#include "corpus/text.h"
+#include "primer/library.h"
+#include "sim/mixing.h"
+#include "sim/pcr.h"
+#include "sim/synthesis.h"
+
+namespace dnastore::bench {
+
+/** Blocks updated in the Twist order (synthesized with the data). */
+inline constexpr std::array<uint64_t, 3> kTwistUpdatedBlocks = {
+    144, 307, 531};
+
+/** Blocks updated in the separate IDT order. */
+inline constexpr std::array<uint64_t, 3> kIdtUpdatedBlocks = {
+    243, 374, 556};
+
+/** The assembled experiment. */
+struct AliceExperiment
+{
+    core::PartitionConfig config;
+    std::unique_ptr<core::Partition> alice;
+
+    /** Twist pool: 12 background files + Alice data + 3 updates. */
+    sim::Pool twist_pool;
+
+    /** IDT pool: 3 updates, 45 strands, 50000x concentrated. */
+    sim::Pool idt_pool;
+
+    /** Twist pool plus concentration-matched IDT updates. */
+    sim::Pool mixed_pool;
+
+    /** The Alice file bytes. */
+    core::Bytes alice_bytes;
+
+    /** Number of Alice blocks (587). */
+    uint64_t alice_blocks = 0;
+
+    /** Strand counts for cost accounting. */
+    size_t alice_data_strands = 0;   // 8805
+    size_t twist_update_strands = 0; // 45
+    size_t idt_update_strands = 0;   // 45
+
+    /** Update records indexed by block. */
+    std::vector<std::pair<uint64_t, core::UpdateRecord>> updates;
+
+    /** Default PCR parameter set used by the experiments. */
+    sim::PcrParams pcr;
+};
+
+/** The update patch applied to every updated block. */
+inline core::UpdateRecord
+makeUpdateRecord(uint64_t block)
+{
+    core::UpdateRecord record;
+    record.kind = core::UpdateRecord::Kind::kInline;
+    record.op.delete_pos = static_cast<uint8_t>(block % 64);
+    record.op.delete_len = 11;
+    record.op.insert_pos = static_cast<uint8_t>(block % 64);
+    std::string patch = "[updated p" + std::to_string(block) + "]";
+    record.op.insert_bytes.assign(patch.begin(), patch.end());
+    return record;
+}
+
+/**
+ * Build the full experiment.
+ *
+ * @param background_blocks blocks per background file (the paper
+ *        doesn't size files 1-12; they only provide primer
+ *        diversity, so benches can keep them small for speed)
+ */
+inline AliceExperiment
+makeAliceExperiment(size_t background_blocks = 24, uint64_t seed = 2023)
+{
+    AliceExperiment experiment;
+
+    // --- Primers: 13 compatible pairs from the library generator.
+    primer::Constraints constraints;
+    primer::LibraryGenerator library_gen(20, constraints, seed);
+    primer::LibraryResult library = library_gen.generate(300000, 26);
+    if (library.primers.size() < 26)
+        fatal("primer library too small for 13 files");
+
+    // --- Alice partition (file 13).
+    experiment.config = core::PartitionConfig();
+    experiment.config.index_seed = seed ^ 0xa11ce;
+    experiment.config.scramble_seed = seed ^ 0x5c4a;
+    experiment.alice = std::make_unique<core::Partition>(
+        experiment.config, library.primers[24], library.primers[25],
+        13);
+
+    experiment.alice_bytes = corpus::generateBytes(587 * 256, seed);
+    experiment.alice_blocks = 587;
+
+    std::vector<sim::DesignedMolecule> twist_order =
+        experiment.alice->encodeFile(experiment.alice_bytes);
+    experiment.alice_data_strands = twist_order.size();
+
+    // --- Background files 1-12 share the Twist pool.
+    for (uint32_t file = 1; file <= 12; ++file) {
+        core::PartitionConfig config = experiment.config;
+        config.index_seed = seed + file * 7919;
+        config.scramble_seed = seed + file * 104729;
+        core::Partition background(
+            config, library.primers[2 * (file - 1)],
+            library.primers[2 * (file - 1) + 1], file);
+        core::Bytes data = corpus::generateBytes(
+            background_blocks * 256, seed + file);
+        auto order = background.encodeFile(data);
+        twist_order.insert(twist_order.end(), order.begin(),
+                           order.end());
+    }
+
+    // --- Twist updates for blocks 144, 307, 531 (same pool).
+    for (uint64_t block : kTwistUpdatedBlocks) {
+        core::UpdateRecord record = makeUpdateRecord(block);
+        auto patch = experiment.alice->encodePatch(block, record, 1);
+        experiment.twist_update_strands += patch.size();
+        twist_order.insert(twist_order.end(), patch.begin(),
+                           patch.end());
+        experiment.updates.emplace_back(block, std::move(record));
+    }
+
+    sim::SynthesisParams twist_params;
+    twist_params.scale = 1e6;
+    twist_params.sigma = 0.15;
+    twist_params.seed = seed ^ 0x7157;
+    experiment.twist_pool = sim::synthesize(twist_order, twist_params);
+
+    // --- IDT updates for blocks 243, 374, 556: separate pool,
+    //     50000x more concentrated (Section 6.4.1).
+    std::vector<sim::DesignedMolecule> idt_order;
+    for (uint64_t block : kIdtUpdatedBlocks) {
+        core::UpdateRecord record = makeUpdateRecord(block);
+        auto patch = experiment.alice->encodePatch(block, record, 1);
+        experiment.idt_update_strands += patch.size();
+        idt_order.insert(idt_order.end(), patch.begin(), patch.end());
+        experiment.updates.emplace_back(block, std::move(record));
+    }
+    sim::SynthesisParams idt_params;
+    idt_params.scale = 5e10;
+    idt_params.sigma = 0.20;
+    idt_params.seed = seed ^ 0x1d7;
+    experiment.idt_pool = sim::synthesize(idt_order, idt_params);
+
+    // --- Mix the IDT updates into the Twist pool at matched
+    //     concentration (Amplify-then-Measure would also work; the
+    //     dedicated mixing bench evaluates both protocols).
+    experiment.mixed_pool = experiment.twist_pool;
+    double per_twist = experiment.twist_pool.totalMass() /
+                       static_cast<double>(
+                           experiment.twist_pool.speciesCount());
+    double per_idt =
+        experiment.idt_pool.totalMass() /
+        static_cast<double>(experiment.idt_pool.speciesCount());
+    experiment.mixed_pool.mixIn(experiment.idt_pool,
+                                per_twist / per_idt);
+
+    // --- PCR defaults shared by the experiments.
+    experiment.pcr = sim::PcrParams();
+    return experiment;
+}
+
+/** Amplify the Alice partition with its main primers (15 cycles). */
+inline sim::Pool
+amplifyAlicePartition(const AliceExperiment &experiment,
+                      const sim::Pool &pool)
+{
+    sim::PcrParams params = experiment.pcr;
+    params.cycles = 15;
+    return sim::runPcr(
+        pool,
+        {sim::PcrPrimer{experiment.alice->forwardPrimer(), 1.0}},
+        experiment.alice->reversePrimer(), params);
+}
+
+/**
+ * Elongated-primer block access (Section 6.5): touchdown PCR with
+ * the 31-base primer, with leftover main primers from the previous
+ * amplification present at low concentration.
+ */
+inline sim::Pool
+blockAccessPcr(const AliceExperiment &experiment, const sim::Pool &pool,
+               const std::vector<uint64_t> &blocks,
+               double leftover_concentration = 0.55)
+{
+    sim::PcrParams params = experiment.pcr;
+    params.cycles = 28;
+    params.stringency = sim::touchdownSchedule(10, params.cycles, 3.0);
+
+    std::vector<sim::PcrPrimer> primers;
+    double share = 1.0 / static_cast<double>(blocks.size());
+    for (uint64_t block : blocks) {
+        primers.push_back(sim::PcrPrimer{
+            experiment.alice->blockPrimer(block), share});
+    }
+    if (leftover_concentration > 0.0) {
+        primers.push_back(sim::PcrPrimer{
+            experiment.alice->forwardPrimer(), leftover_concentration});
+    }
+    return sim::runPcr(pool, primers,
+                       experiment.alice->reversePrimer(), params);
+}
+
+} // namespace dnastore::bench
+
+#endif // DNASTORE_BENCH_ALICE_EXPERIMENT_H

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Reproduces Figure 9: the distribution of sequencing reads across
+ * blocks after three kinds of PCR random access on the Alice pool.
+ *
+ *  (a) main-partition primers: all 587 blocks uniformly represented
+ *      (within ~2x); updated blocks 144/307/531 stand out at ~2x
+ *      because data + update were synthesized together; the target
+ *      block 531 holds only ~0.34% of reads.
+ *  (b) elongated primer for block 531: ~18% of reads from leftover
+ *      main primers, and of the rest, the majority are true copies
+ *      of block 531 (~48% of all reads in the paper).
+ *  (c) same for block 144.
+ *
+ * Also runs the multiplexed reaction with all three primers at once
+ * (Section 6.5): all three targets must dominate together.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "alice_experiment.h"
+#include "dna/distance.h"
+#include "sim/sequencer.h"
+
+namespace {
+
+using namespace dnastore;
+using bench::AliceExperiment;
+
+struct AccessBreakdown
+{
+    size_t reads = 0;
+    size_t leftover = 0;        // no elongated prefix
+    size_t with_prefix = 0;     // carries the target prefix
+    size_t target_true = 0;     // provenance == target block
+    size_t target_updates = 0;  // provenance == target's update
+    std::map<uint64_t, size_t> per_block;
+};
+
+/** Classify reads the way Section 7.2 does. */
+AccessBreakdown
+classify(const AliceExperiment &experiment,
+         const std::vector<sim::Read> &reads, const sim::Pool &pool,
+         uint64_t target)
+{
+    AccessBreakdown result;
+    result.reads = reads.size();
+    dna::Sequence elongated = experiment.alice->blockPrimer(target);
+    for (const sim::Read &read : reads) {
+        const sim::Species &species = pool.species()[read.species_index];
+        if (species.info.file_id == 13)
+            ++result.per_block[species.info.block];
+
+        // A read "has the target prefix" when its leading window is
+        // within sequencing noise of the elongated primer (the
+        // paper's 82%/18% split of Section 7.2).
+        dna::Sequence window = read.seq.substr(0, elongated.size());
+        if (dna::bandedLevenshtein(window, elongated, 2) ==
+            dna::kDistanceInfinity) {
+            ++result.leftover;
+            continue;
+        }
+        ++result.with_prefix;
+        if (species.info.block == target &&
+            species.info.file_id == 13 && !species.info.misprimed) {
+            if (species.info.version == 0)
+                ++result.target_true;
+            else
+                ++result.target_updates;
+        }
+    }
+    return result;
+}
+
+void
+printDistribution(const char *title, const AccessBreakdown &breakdown,
+                  uint64_t target)
+{
+    std::printf("%s\n", title);
+    if (breakdown.per_block.empty()) {
+        std::printf("  (no partition reads)\n");
+        return;
+    }
+    std::vector<std::pair<uint64_t, size_t>> blocks(
+        breakdown.per_block.begin(), breakdown.per_block.end());
+    std::sort(blocks.begin(), blocks.end(),
+              [](auto &a, auto &b) { return a.second > b.second; });
+
+    size_t partition_reads = 0;
+    for (auto &[block, count] : blocks)
+        partition_reads += count;
+    std::printf("  reads mapping to the Alice partition: %zu\n",
+                partition_reads);
+    std::printf("  top blocks by read count:\n");
+    for (size_t i = 0; i < std::min<size_t>(8, blocks.size()); ++i) {
+        std::printf("    block %4lu : %6zu reads (%.2f%%)%s\n",
+                    static_cast<unsigned long>(blocks[i].first),
+                    blocks[i].second,
+                    100.0 * static_cast<double>(blocks[i].second) /
+                        static_cast<double>(breakdown.reads),
+                    blocks[i].first == target ? "   <-- target" : "");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 9: read distribution after PCR random "
+                "access ===\n\n");
+    std::printf("Building the Section 6 experiment (13 files, Alice = "
+                "587 blocks, 6 updates)...\n");
+    AliceExperiment experiment = bench::makeAliceExperiment();
+    std::printf("  Twist pool: %zu species;  IDT pool: %zu species\n\n",
+                experiment.twist_pool.speciesCount(),
+                experiment.idt_pool.speciesCount());
+
+    sim::SequencerParams sequencer;
+    const size_t kReads = 50000;
+
+    // ---------- (a) whole-partition random access -------------------
+    sim::Pool partition_pool =
+        bench::amplifyAlicePartition(experiment, experiment.mixed_pool);
+    std::vector<sim::Read> reads_a =
+        sim::sequencePool(partition_pool, kReads, sequencer);
+
+    std::map<uint64_t, size_t> hist;
+    size_t alice_reads = 0;
+    for (const sim::Read &read : reads_a) {
+        const sim::Species &species =
+            partition_pool.species()[read.species_index];
+        if (species.info.file_id == 13) {
+            ++hist[species.info.block];
+            ++alice_reads;
+        }
+    }
+    size_t updated_reads = 0, min_count = SIZE_MAX, max_count = 0;
+    double plain_mean = 0.0;
+    size_t plain_blocks = 0;
+    for (auto &[block, count] : hist) {
+        bool updated =
+            std::count(bench::kTwistUpdatedBlocks.begin(),
+                       bench::kTwistUpdatedBlocks.end(), block) ||
+            std::count(bench::kIdtUpdatedBlocks.begin(),
+                       bench::kIdtUpdatedBlocks.end(), block);
+        if (updated) {
+            updated_reads += count;
+        } else {
+            plain_mean += static_cast<double>(count);
+            ++plain_blocks;
+            min_count = std::min(min_count, count);
+            max_count = std::max(max_count, count);
+        }
+    }
+    plain_mean /= static_cast<double>(plain_blocks);
+    double updated_mean =
+        static_cast<double>(updated_reads) / 6.0;
+
+    std::printf("--- Fig 9a: access with main partition primers ---\n");
+    std::printf("  Alice reads: %zu / %zu (background files excluded "
+                "by the primers)\n",
+                alice_reads, kReads);
+    std::printf("  blocks observed: %zu / 587\n", hist.size());
+    std::printf("  plain blocks: mean %.1f reads, min %zu, max %zu "
+                "(max/min = %.2fx; paper: within ~2x)\n",
+                plain_mean, min_count, max_count,
+                static_cast<double>(max_count) /
+                    static_cast<double>(min_count));
+    std::printf("  updated blocks (144/307/531/243/374/556): mean "
+                "%.1f reads = %.2fx plain (paper: ~2x, data+update)\n",
+                updated_mean, updated_mean / plain_mean);
+    double target_fraction =
+        static_cast<double>(hist[531]) / static_cast<double>(kReads);
+    std::printf("  block 531 share: %.3f%% of all reads (paper: "
+                "0.34%%) -> baseline wastes %.0fx\n\n",
+                100.0 * target_fraction,
+                (1.0 - target_fraction) / target_fraction);
+
+    // ---------- (b)/(c) elongated-primer access ----------------------
+    for (uint64_t target : {uint64_t{531}, uint64_t{144}}) {
+        sim::Pool accessed = bench::blockAccessPcr(
+            experiment, partition_pool, {target});
+        std::vector<sim::Read> reads =
+            sim::sequencePool(accessed, kReads, sequencer);
+        AccessBreakdown breakdown =
+            classify(experiment, reads, accessed, target);
+
+        char title[96];
+        std::snprintf(title, sizeof(title),
+                      "--- Fig 9%c: elongated primer for block %lu ---",
+                      target == 531 ? 'b' : 'c',
+                      static_cast<unsigned long>(target));
+        printDistribution(title, breakdown, target);
+
+        double leftover_pct = 100.0 *
+                              static_cast<double>(breakdown.leftover) /
+                              static_cast<double>(breakdown.reads);
+        double prefix_pct = 100.0 *
+                            static_cast<double>(breakdown.with_prefix) /
+                            static_cast<double>(breakdown.reads);
+        size_t target_total =
+            breakdown.target_true + breakdown.target_updates;
+        double target_of_prefix =
+            breakdown.with_prefix
+                ? 100.0 * static_cast<double>(target_total) /
+                      static_cast<double>(breakdown.with_prefix)
+                : 0.0;
+        double target_of_all = 100.0 *
+                               static_cast<double>(target_total) /
+                               static_cast<double>(breakdown.reads);
+        std::printf("  leftover-main-primer reads: %.1f%% (paper: "
+                    "~18%%)\n",
+                    leftover_pct);
+        std::printf("  reads with target prefix:   %.1f%% (paper: "
+                    "~82%%)\n",
+                    prefix_pct);
+        std::printf("  of those, true block %lu:   %.1f%% (paper: "
+                    "~59%%; rest is mispriming)\n",
+                    static_cast<unsigned long>(target),
+                    target_of_prefix);
+        std::printf("  total useful reads:         %.1f%% (paper: "
+                    "~48%%)\n\n",
+                    target_of_all);
+    }
+
+    // ---------- multiplexed access (Section 6.5) ---------------------
+    sim::Pool multiplexed = bench::blockAccessPcr(
+        experiment, partition_pool, {144, 307, 531});
+    std::vector<sim::Read> reads_m =
+        sim::sequencePool(multiplexed, kReads, sequencer);
+    std::map<uint64_t, size_t> m_hist;
+    for (const sim::Read &read : reads_m) {
+        const sim::Species &species =
+            multiplexed.species()[read.species_index];
+        if (species.info.file_id == 13 && !species.info.misprimed)
+            ++m_hist[species.info.block];
+    }
+    std::printf("--- Multiplexed access for blocks 144+307+531 ---\n");
+    size_t triple = m_hist[144] + m_hist[307] + m_hist[531];
+    std::printf("  reads from the three targets: %.1f%% of output\n",
+                100.0 * static_cast<double>(triple) /
+                    static_cast<double>(kReads));
+    for (uint64_t block : {144u, 307u, 531u}) {
+        std::printf("    block %lu: %zu reads\n",
+                    static_cast<unsigned long>(block), m_hist[block]);
+    }
+    return 0;
+}

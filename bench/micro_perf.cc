@@ -1,0 +1,173 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot paths of the
+ * pipeline: outer-code encode/decode, sparse-index generation and
+ * decoding, clustering, trace reconstruction, and a PCR cycle.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/clusterer.h"
+#include "common/rng.h"
+#include "consensus/bma.h"
+#include "ecc/encoding_unit.h"
+#include "ecc/reed_solomon.h"
+#include "index/sparse_index.h"
+#include "sim/pcr.h"
+#include "sim/synthesis.h"
+
+namespace {
+
+using namespace dnastore;
+
+dna::Sequence
+randomSeq(Rng &rng, size_t len)
+{
+    std::vector<dna::Base> bases(len);
+    for (dna::Base &base : bases)
+        base = static_cast<dna::Base>(rng.nextBelow(4));
+    return dna::Sequence(bases);
+}
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    ecc::ReedSolomon rs(15, 11);
+    Rng rng(1);
+    std::vector<uint8_t> data(11);
+    for (uint8_t &symbol : data)
+        symbol = static_cast<uint8_t>(rng.nextBelow(16));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rs.encode(data));
+}
+BENCHMARK(BM_RsEncode);
+
+void
+BM_RsDecodeTwoErrors(benchmark::State &state)
+{
+    ecc::ReedSolomon rs(15, 11);
+    Rng rng(2);
+    std::vector<uint8_t> data(11);
+    for (uint8_t &symbol : data)
+        symbol = static_cast<uint8_t>(rng.nextBelow(16));
+    std::vector<uint8_t> codeword = rs.encode(data);
+    codeword[2] ^= 0x5;
+    codeword[9] ^= 0xa;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rs.decode(codeword));
+}
+BENCHMARK(BM_RsDecodeTwoErrors);
+
+void
+BM_UnitEncode(benchmark::State &state)
+{
+    ecc::EncodingUnitCodec codec(15, 11, 24);
+    Rng rng(3);
+    ecc::Bytes unit(264);
+    for (uint8_t &byte : unit)
+        byte = static_cast<uint8_t>(rng.nextBelow(256));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.encode(unit));
+}
+BENCHMARK(BM_UnitEncode);
+
+void
+BM_UnitDecodeWithErasures(benchmark::State &state)
+{
+    ecc::EncodingUnitCodec codec(15, 11, 24);
+    Rng rng(4);
+    ecc::Bytes unit(264);
+    for (uint8_t &byte : unit)
+        byte = static_cast<uint8_t>(rng.nextBelow(256));
+    std::vector<ecc::Bytes> columns = codec.encode(unit);
+    std::vector<std::optional<ecc::Bytes>> received(columns.begin(),
+                                                    columns.end());
+    received[3].reset();
+    received[8].reset();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.decode(received));
+}
+BENCHMARK(BM_UnitDecodeWithErasures);
+
+void
+BM_SparseLeafIndex(benchmark::State &state)
+{
+    index::SparseIndexTree tree(42, 5);
+    uint64_t block = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.leafIndex(block));
+        block = (block + 1) & 1023;
+    }
+}
+BENCHMARK(BM_SparseLeafIndex);
+
+void
+BM_SparseDecodeNearest(benchmark::State &state)
+{
+    index::SparseIndexTree tree(42, 5);
+    dna::Sequence index = tree.leafIndex(531);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.decodeNearest(index));
+}
+BENCHMARK(BM_SparseDecodeNearest);
+
+void
+BM_ClusterReads(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<dna::Sequence> reads;
+    for (int origin = 0; origin < 50; ++origin) {
+        dna::Sequence center = randomSeq(rng, 150);
+        for (int copy = 0; copy < 20; ++copy)
+            reads.push_back(center);
+    }
+    cluster::ClustererParams params;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cluster::clusterReads(reads, params));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(reads.size()));
+}
+BENCHMARK(BM_ClusterReads);
+
+void
+BM_BmaDoubleSided(benchmark::State &state)
+{
+    Rng rng(6);
+    dna::Sequence original = randomSeq(rng, 150);
+    std::vector<dna::Sequence> reads(10, original);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            consensus::bmaDoubleSided(reads, 150));
+}
+BENCHMARK(BM_BmaDoubleSided);
+
+void
+BM_PcrReaction(benchmark::State &state)
+{
+    Rng rng(7);
+    dna::Sequence fwd = randomSeq(rng, 20);
+    dna::Sequence rev = randomSeq(rng, 20);
+    dna::Sequence rev_site = rev.reverseComplement();
+    std::vector<sim::DesignedMolecule> order;
+    for (int i = 0; i < 512; ++i) {
+        sim::DesignedMolecule molecule;
+        molecule.seq = fwd + randomSeq(rng, 110) + rev_site;
+        molecule.info.block = static_cast<uint64_t>(i);
+        order.push_back(std::move(molecule));
+    }
+    sim::SynthesisParams synthesis;
+    sim::Pool pool = sim::synthesize(order, synthesis);
+    sim::PcrParams params;
+    params.cycles = 15;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::runPcr(pool, {{fwd, 1.0}}, rev, params));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            512);
+}
+BENCHMARK(BM_PcrReaction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces the Section 9 quantitative comparison with nested
+ * primers [37] and related addressing schemes.
+ *
+ * Claims checked (all per 150-base strands, 20-base main primers):
+ *  - one nesting level costs 20 extra bases vs 5 (dense-equivalent)
+ *    for our sparse index: 4x synthesis overhead;
+ *  - our 10 added bases create a six-level hierarchy (1024
+ *    addresses); matching that depth with nested primers costs 6
+ *    front primers = 120 bases, >= 10x density loss at strand
+ *    length 150;
+ *  - elongation yields more addresses per added base (2^10 = 1024
+ *    from 10 bases vs one 20-base nesting level), but each address
+ *    maps fixed-size blocks whereas nesting hosts arbitrary sizes.
+ */
+
+#include <cstdio>
+
+#include "core/capacity.h"
+
+namespace {
+
+/** Payload bases left on a 150-base strand after addressing. */
+double
+densityBitsPerBase(size_t address_bases)
+{
+    const double strand = 150.0;
+    const double primers = 40.0;
+    const double sync = 1.0;
+    double payload =
+        strand - primers - sync - static_cast<double>(address_bases);
+    if (payload < 0.0)
+        payload = 0.0;
+    return 2.0 * payload / strand;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section 9: elongation vs nested primers ===\n\n");
+
+    struct Row
+    {
+        const char *scheme;
+        size_t extra_bases;
+        double addresses;
+        const char *unit;
+        bool multiplex;
+    };
+    const Row rows[] = {
+        {"baseline [23] (no blocks)", 0, 1.0, "object", true},
+        {"ours: sparse elongation x10", 10, 1024.0, "block", true},
+        {"nested PCR [37], 1 level", 20, 1.0, "partition", false},
+        {"nested PCR [37], 6 levels", 120, 1.0, "partition", false},
+    };
+
+    std::printf("%-28s %12s %12s %12s %10s %10s\n", "scheme",
+                "extra bases", "addresses", "bits/base",
+                "unit", "multiplex");
+    double ours_density = 0.0;
+    double nested6_density = 0.0;
+    for (const Row &row : rows) {
+        double density = densityBitsPerBase(row.extra_bases);
+        if (row.extra_bases == 10)
+            ours_density = density;
+        if (row.extra_bases == 120)
+            nested6_density = density;
+        std::printf("%-28s %12zu %12.0f %12.3f %10s %10s\n",
+                    row.scheme, row.extra_bases, row.addresses,
+                    density, row.unit, row.multiplex ? "yes" : "no");
+    }
+
+    std::printf("\nClaims:\n");
+    std::printf("  per hierarchy level: nested needs 20 bases, ours "
+                "needs 2 sparse bases over the dense 1 -> the "
+                "paper's '5 extra bases vs 20' for the full index: "
+                "%.0fx overhead ratio\n",
+                20.0 / 5.0);
+    if (nested6_density > 0.0) {
+        std::printf("  six-level hierarchy: our density %.3f vs "
+                    "nested %.3f bits/base -> %.1fx density "
+                    "advantage (paper: 'at least 10x')\n",
+                    ours_density, nested6_density,
+                    ours_density / nested6_density);
+    } else {
+        std::printf("  six-level hierarchy: our density %.3f "
+                    "bits/base; six nested front primers exhaust the "
+                    "150-base strand entirely (paper: 'at least 10x' "
+                    "density loss)\n",
+                    ours_density);
+    }
+    std::printf("  addresses per added base: 10 elongation bases -> "
+                "1024 blocks; one 20-base nesting level -> 1 extra "
+                "scope (library-limited)\n");
+    std::printf("  nested/combinatorial primers keep arbitrary unit "
+                "sizes and pre-synthesizable primer libraries; use "
+                "nesting for partitions, elongation for blocks "
+                "(Section 9's conclusion).\n");
+    return 0;
+}

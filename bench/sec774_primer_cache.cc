@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces the Section 7.7.4 argument: lazy, on-demand elongated
+ * primer synthesis amortizes under Zipfian block popularity, and a
+ * bounded per-partition cache keeps the primer inventory small.
+ *
+ * Sweeps the cache capacity and reports hit rate, total elongation
+ * bases synthesized, and inventory size for a Zipf(1.0) trace over
+ * the wetlab's 1024-block partition, against the two strawmen the
+ * paper rejects: synthesize-upfront (all blocks) and no-cache
+ * (resynthesize per request).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/primer_cache.h"
+#include "index/sparse_index.h"
+
+namespace {
+
+/** Zipf(s=1) sampler over [0, n) via rejection-free inversion. */
+uint64_t
+zipfDraw(dnastore::Rng &rng, const std::vector<double> &cdf)
+{
+    double u = rng.nextDouble();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<uint64_t>(it - cdf.begin());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dnastore;
+
+    std::printf("=== Section 7.7.4: management of elongated primers "
+                "===\n\n");
+
+    const uint64_t kBlocks = 1024;
+    const size_t kRequests = 100000;
+    index::SparseIndexTree tree(0x1dc0ffee, 5);
+
+    std::vector<double> cdf(kBlocks);
+    double mass = 0.0;
+    for (uint64_t b = 0; b < kBlocks; ++b) {
+        mass += 1.0 / static_cast<double>(b + 1);
+        cdf[b] = mass;
+    }
+    for (double &value : cdf)
+        value /= mass;
+
+    const size_t index_bases = tree.physicalLength();
+    std::printf("Zipf(1.0) trace, %zu requests over %lu blocks, "
+                "%zu-base elongations:\n\n",
+                kRequests, static_cast<unsigned long>(kBlocks),
+                index_bases);
+    std::printf("%-26s %10s %14s %12s\n", "policy", "hit rate",
+                "bases synth.", "inventory");
+    std::printf("%-26s %10s %14zu %12lu\n", "upfront (all blocks)",
+                "-", kBlocks * index_bases,
+                static_cast<unsigned long>(kBlocks));
+    std::printf("%-26s %10s %14zu %12s\n", "no cache", "0%",
+                kRequests * index_bases, "0");
+
+    for (size_t capacity : {8u, 32u, 128u, 512u}) {
+        core::PrimerCache cache(capacity);
+        Rng rng(7 + capacity);
+        for (size_t r = 0; r < kRequests; ++r) {
+            uint64_t block = zipfDraw(rng, cdf);
+            cache.request(block, tree.leafIndex(block));
+        }
+        char label[32];
+        std::snprintf(label, sizeof(label), "LRU cache, N=%zu",
+                      capacity);
+        char rate[16];
+        std::snprintf(rate, sizeof(rate), "%.1f%%",
+                      100.0 * cache.stats().hitRate());
+        std::printf("%-26s %10s %14zu %12zu\n", label, rate,
+                    cache.stats().bases_synthesized, cache.size());
+    }
+
+    std::printf("\nExpected shape: a small cache (N << 1024) already "
+                "absorbs most requests under Zipf popularity — "
+                "frequently accessed blocks pay the elongation once "
+                "and amortize it (Section 7.7.4) — while synthesizing "
+                "upfront wastes inventory on blocks that are never "
+                "read.\n");
+    return 0;
+}

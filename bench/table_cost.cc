@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces the cost arithmetic of Sections 7.1, 7.3 and 7.5:
+ *
+ *  - baseline random access wastes ~293x (0.34% useful reads);
+ *  - elongated-primer access cuts sequencing cost ~141x;
+ *  - versioned updates cut update-synthesis cost ~580x and
+ *    updated-block sequencing cost ~146x vs the naive baseline.
+ *
+ * The percentages are measured from the simulator (same reactions as
+ * the Figure 9 bench); the ratios follow the paper's own formulas.
+ */
+
+#include <cstdio>
+
+#include "alice_experiment.h"
+#include "dna/distance.h"
+#include "sim/sequencer.h"
+
+namespace {
+
+using namespace dnastore;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Cost table (Sections 7.1, 7.3, 7.5) ===\n\n");
+    bench::AliceExperiment experiment = bench::makeAliceExperiment();
+    const uint64_t target = 531;
+    const size_t kReads = 50000;
+    sim::SequencerParams sequencer;
+
+    // --- Baseline: whole-partition access (Section 7.1). ------------
+    sim::Pool partition_pool =
+        bench::amplifyAlicePartition(experiment, experiment.mixed_pool);
+    std::vector<sim::Read> baseline_reads =
+        sim::sequencePool(partition_pool, kReads, sequencer);
+    size_t baseline_useful = 0;
+    for (const sim::Read &read : baseline_reads) {
+        const sim::Species &species =
+            partition_pool.species()[read.species_index];
+        if (species.info.file_id == 13 && species.info.block == target &&
+            !species.info.misprimed) {
+            ++baseline_useful;
+        }
+    }
+    double baseline_fraction =
+        static_cast<double>(baseline_useful) /
+        static_cast<double>(kReads);
+    double baseline_waste = (1.0 - baseline_fraction) / baseline_fraction;
+    std::printf("Baseline random access for block %lu:\n",
+                static_cast<unsigned long>(target));
+    std::printf("  useful reads: %.3f%% (paper: 0.34%%)\n",
+                100.0 * baseline_fraction);
+    std::printf("  unwanted data sequenced per useful byte: %.0fx "
+                "(paper: 293x)\n\n",
+                baseline_waste);
+
+    // --- Ours: elongated-primer access (Section 7.3). ----------------
+    sim::Pool accessed =
+        bench::blockAccessPcr(experiment, partition_pool, {target});
+    std::vector<sim::Read> precise_reads =
+        sim::sequencePool(accessed, kReads, sequencer);
+    size_t precise_useful = 0;
+    for (const sim::Read &read : precise_reads) {
+        const sim::Species &species =
+            accessed.species()[read.species_index];
+        if (species.info.file_id == 13 && species.info.block == target &&
+            !species.info.misprimed) {
+            ++precise_useful;
+        }
+    }
+    double precise_fraction = static_cast<double>(precise_useful) /
+                              static_cast<double>(kReads);
+    double precise_waste = (1.0 - precise_fraction) / precise_fraction;
+    double cost_reduction =
+        (baseline_waste + 1.0) / (precise_waste + 1.0);
+    std::printf("Elongated-primer access for block %lu:\n",
+                static_cast<unsigned long>(target));
+    std::printf("  useful reads: %.1f%% (paper: 48%%)\n",
+                100.0 * precise_fraction);
+    std::printf("  unwanted data per useful byte: %.2fx (paper: "
+                "1.08x)\n",
+                precise_waste);
+    std::printf("  sequencing cost reduction: (%.0f+1)/(%.2f+1) = "
+                "%.0fx (paper: 141x)\n",
+                baseline_waste, precise_waste, cost_reduction);
+    std::printf("  sequencing latency reduction (Nanopore, or NGS "
+                "runs for large partitions): same %.0fx\n\n",
+                cost_reduction);
+
+    // --- Update costs (Section 7.5). ---------------------------------
+    size_t partition_strands = experiment.alice_data_strands +
+                               experiment.twist_update_strands;
+    std::printf("Update costs for block %lu:\n",
+                static_cast<unsigned long>(target));
+    std::printf("  naive baseline: re-synthesize the whole partition "
+                "= %zu molecules + a fresh primer pair\n",
+                partition_strands);
+    std::printf("  versioned update: synthesize one patch unit = 15 "
+                "molecules\n");
+    std::printf("  synthesis cost reduction: %zu / 15 = %.0fx "
+                "(paper: ~580x)\n",
+                partition_strands,
+                static_cast<double>(partition_strands) / 15.0);
+
+    // Reading the updated block: the naive system reads the whole new
+    // partition; ours reads the precise scope (data + update = 30
+    // molecules) at the measured purity.
+    double updated_read_reduction =
+        precise_fraction *
+        (static_cast<double>(partition_strands) / 30.0);
+    std::printf("  updated-block sequencing reduction: %.2f * "
+                "(%zu/30) = %.0fx (paper: ~146x)\n",
+                precise_fraction, partition_strands,
+                updated_read_reduction);
+    std::printf("\nHidden baseline costs eliminated (Section 7.5.1): "
+                "storage density halved by dead copies, one primer "
+                "pair burned per update, and user-visible renaming "
+                "of the object.\n");
+    return 0;
+}

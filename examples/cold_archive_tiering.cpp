@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cold-archive tiering: compare the baseline object store [23] with
+ * the block device on the paper's motivating workload — retrieving a
+ * small, hot subset of a large cold archive.
+ *
+ * A 64-block archive is stored both ways; a Zipfian-ish access
+ * pattern repeatedly reads a handful of hot blocks. The example
+ * prints the accumulated sequencing cost of each system and the
+ * break-even, demonstrating why block semantics matter for DNA as a
+ * usable storage tier (Section 1's 1TB/1GB argument in miniature).
+ */
+
+#include <cstdio>
+
+#include "baseline/object_store.h"
+#include "core/block_device.h"
+#include "corpus/text.h"
+
+int
+main()
+{
+    using namespace dnastore;
+
+    std::printf("=== Cold archive: object store vs block device "
+                "===\n\n");
+
+    core::Bytes archive = corpus::generateBytes(64 * 256, 7);
+
+    // --- Our block device. -------------------------------------------
+    core::BlockDeviceParams device_params;
+    device_params.reads_per_block_access = 800;
+    core::BlockDevice device(
+        device_params, dna::Sequence("ACGTACGTACGTACGTACGT"),
+        dna::Sequence("TGCATGCATGCATGCATGCA"));
+    device.writeFile(archive);
+
+    // --- Baseline object store (prior work). -------------------------
+    baseline::ObjectStoreParams store_params;
+    baseline::ObjectStore store(
+        store_params, dna::Sequence("GGATCCGGATCCGGATCCGG"),
+        dna::Sequence("CAGTCAGTCAGTCAGTCAGT"));
+    store.writeObject(archive);
+
+    // Hot set: blocks 3, 17, 42 read five times each.
+    const uint64_t hot[] = {3, 17, 42};
+    size_t device_failures = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (uint64_t block : hot) {
+            if (!device.readBlock(block))
+                ++device_failures;
+            // The baseline must fetch the WHOLE object per access.
+            store.readObject();
+        }
+    }
+
+    std::printf("15 hot-block accesses (3 blocks x 5 rounds):\n\n");
+    std::printf("%-22s %16s %16s\n", "", "block device",
+                "object store");
+    std::printf("%-22s %16zu %16zu\n", "reads sequenced",
+                device.costs().readsSequenced(),
+                store.costs().readsSequenced());
+    std::printf("%-22s %16.4f %16.4f\n", "sequencing cost ($)",
+                device.costs().sequencingCost(),
+                store.costs().sequencingCost());
+    std::printf("%-22s %16zu %16zu\n", "round trips",
+                device.costs().roundTrips(),
+                store.costs().roundTrips());
+    double reduction =
+        static_cast<double>(store.costs().readsSequenced()) /
+        static_cast<double>(device.costs().readsSequenced());
+    std::printf("\nsequencing reduction from block semantics: "
+                "%.1fx on this 16KB archive\n",
+                reduction);
+    std::printf("(the factor scales with archive size: the paper's "
+                "587-block partition gives ~141x, a 1TB partition "
+                "~10^6x)\n");
+    if (device_failures)
+        std::printf("WARNING: %zu block reads failed to decode\n",
+                    device_failures);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A write-heavy versioned archive: many successive updates to the
+ * same blocks, exercising the inline version slots AND the overflow
+ * log with pointer chains (Figure 8's "common update log").
+ *
+ * Models the use case of Section 5: a mutable dataset (here a
+ * key-value-ish configuration store) living in DNA, where every save
+ * is a cheap incremental patch instead of a re-synthesis, and a
+ * block's full history is replayed at decode time.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/block_device.h"
+
+int
+main()
+{
+    using namespace dnastore;
+
+    std::printf("=== Versioned archive with overflow log ===\n\n");
+
+    core::BlockDeviceParams params;
+    core::BlockDevice device(
+        params, dna::Sequence("ACGTACGTACGTACGTACGT"),
+        dna::Sequence("TGCATGCATGCATGCATGCA"));
+
+    // Eight records, one block each.
+    core::Bytes archive(8 * 256, ' ');
+    for (int record = 0; record < 8; ++record) {
+        std::string value =
+            "record-" + std::to_string(record) + " rev0";
+        std::copy(value.begin(), value.end(),
+                  archive.begin() + record * 256);
+    }
+    device.writeFile(archive);
+    std::printf("archive: %llu records\n\n",
+                static_cast<unsigned long long>(device.blockCount()));
+
+    // Seven revisions of record 2: revisions 1-2 fit in the inline
+    // version slots; 3-7 spill into the overflow log.
+    for (int revision = 1; revision <= 7; ++revision) {
+        std::string value =
+            "record-2 rev" + std::to_string(revision);
+        core::Bytes fresh(256, ' ');
+        std::copy(value.begin(), value.end(), fresh.begin());
+        device.replaceBlock(2, fresh);
+        std::printf("saved revision %d (%s)\n", revision,
+                    revision <= 2 ? "inline slot" : "overflow log");
+    }
+    std::printf("\nupdates logged for record 2: %u\n",
+                device.updateCount(2));
+    std::printf("molecules synthesized in total: %zu (vs %zu for one "
+                "naive re-synthesis per revision)\n\n",
+                device.costs().moleculesSynthesized(),
+                static_cast<size_t>(8 * 15 + 7 * 8 * 15));
+
+    // Reading replays the chain: extra round trips only for the
+    // overflow hops.
+    size_t trips_before = device.costs().roundTrips();
+    auto record2 = device.readBlock(2);
+    if (!record2) {
+        std::printf("record 2 failed to decode\n");
+        return 1;
+    }
+    std::string text(record2->begin(), record2->begin() + 14);
+    std::printf("record 2 decodes to: \"%s\" (expected rev7)\n",
+                text.c_str());
+    std::printf("round trips for the read: %zu (1 + overflow hops)\n",
+                device.costs().roundTrips() - trips_before);
+
+    // An un-updated record still costs a single round trip.
+    trips_before = device.costs().roundTrips();
+    auto record5 = device.readBlock(5);
+    if (!record5) {
+        std::printf("record 5 failed to decode\n");
+        return 1;
+    }
+    std::printf("record 5 decodes in %zu round trip(s)\n",
+                device.costs().roundTrips() - trips_before);
+    return 0;
+}

@@ -1,0 +1,217 @@
+#include "baseline/object_store.h"
+
+#include <algorithm>
+
+#include "cluster/clusterer.h"
+#include "codec/base4.h"
+#include "codec/base_codec.h"
+#include "codec/scrambler.h"
+#include "common/rng.h"
+#include "consensus/bma.h"
+#include "dna/distance.h"
+
+namespace dnastore::baseline {
+
+ObjectStore::ObjectStore(ObjectStoreParams params, dna::Sequence forward,
+                         dna::Sequence reverse, uint32_t file_id)
+    : params_(params), forward_(std::move(forward)),
+      reverse_(std::move(reverse)), file_id_(file_id),
+      codec_(params.rs_n, params.rs_k, params.columnBytes()),
+      costs_(params.costs)
+{
+    fatalIf(params_.unit_data_bytes > params_.unitCapacityBytes(),
+            "unit data exceeds baseline unit capacity");
+}
+
+dna::Sequence
+ObjectStore::denseIndex(uint64_t unit) const
+{
+    codec::Digits digits = codec::toBase4(unit, params_.index_length);
+    std::vector<dna::Base> bases;
+    bases.reserve(digits.size());
+    for (uint8_t digit : digits)
+        bases.push_back(static_cast<dna::Base>(digit));
+    return dna::Sequence(bases);
+}
+
+std::vector<sim::DesignedMolecule>
+ObjectStore::encodeObject(const Bytes &data) const
+{
+    codec::Scrambler scrambler(params_.scramble_seed);
+    uint64_t units = (data.size() + params_.unit_data_bytes - 1) /
+                     params_.unit_data_bytes;
+    fatalIf(units > (uint64_t{1} << (2 * params_.index_length)),
+            "object too large for the dense index space");
+
+    std::vector<sim::DesignedMolecule> molecules;
+    molecules.reserve(units * params_.rs_n);
+    dna::Sequence reverse_site = reverse_.reverseComplement();
+    for (uint64_t unit = 0; unit < units; ++unit) {
+        size_t offset = unit * params_.unit_data_bytes;
+        size_t len =
+            std::min(params_.unit_data_bytes, data.size() - offset);
+        Bytes unit_data(
+            data.begin() + static_cast<ptrdiff_t>(offset),
+            data.begin() + static_cast<ptrdiff_t>(offset + len));
+        unit_data.resize(params_.unitCapacityBytes(), 0);
+        scrambler.apply(unit_data, unit + generation_ * (uint64_t{1} << 40));
+
+        std::vector<Bytes> columns = codec_.encode(unit_data);
+        for (unsigned c = 0; c < columns.size(); ++c) {
+            dna::Sequence strand = forward_;
+            strand.push_back(params_.sync_base);
+            strand += denseIndex(unit);
+            codec::Digits col_digits = codec::toBase4(c, 2);
+            for (uint8_t digit : col_digits)
+                strand.push_back(static_cast<dna::Base>(digit));
+            strand += codec::bytesToBases(columns[c]);
+            // Pad the strand to full length with scrambled filler so
+            // every baseline strand is strand_length bases.
+            while (strand.size() + reverse_site.size() <
+                   params_.strand_length) {
+                strand.push_back(dna::Base::A);
+            }
+            strand += reverse_site;
+
+            sim::DesignedMolecule molecule;
+            molecule.seq = std::move(strand);
+            molecule.info.file_id = file_id_;
+            molecule.info.block = unit;
+            molecule.info.version = static_cast<uint8_t>(generation_);
+            molecule.info.column = static_cast<uint8_t>(c);
+            molecules.push_back(std::move(molecule));
+        }
+    }
+    return molecules;
+}
+
+void
+ObjectStore::writeObject(const Bytes &data)
+{
+    contents_ = data;
+    unit_count_ = (data.size() + params_.unit_data_bytes - 1) /
+                  params_.unit_data_bytes;
+    std::vector<sim::DesignedMolecule> order = encodeObject(data);
+    live_molecules_ = order.size();
+    sim::Pool fresh = sim::synthesize(order, params_.synthesis);
+    pool_.mixIn(fresh);
+    costs_.recordSynthesis(order.size(), params_.strand_length);
+}
+
+std::optional<Bytes>
+ObjectStore::readObject()
+{
+    fatalIf(pool_.speciesCount() == 0, "object store is empty");
+
+    sim::Pool product = sim::runPcr(
+        pool_, {sim::PcrPrimer{forward_, 1.0}}, reverse_, params_.pcr);
+    size_t budget = static_cast<size_t>(
+        params_.coverage * static_cast<double>(pool_.speciesCount()));
+    sim::SequencerParams sequencer = params_.sequencer;
+    sequencer.seed =
+        Rng::deriveSeed(params_.sequencer.seed, costs_.readsSequenced());
+    costs_.recordSequencing(budget);
+    costs_.recordRoundTrip();
+    std::vector<sim::Read> reads =
+        sim::sequencePool(product, budget, sequencer);
+
+    // Filter by primer, cluster, reconstruct.
+    dna::Sequence stem = forward_;
+    stem.push_back(params_.sync_base);
+    std::vector<dna::Sequence> filtered;
+    for (const sim::Read &read : reads) {
+        if (dna::alignPrimerToPrefix(stem, read.seq, 3).distance !=
+            dna::kDistanceInfinity) {
+            filtered.push_back(read.seq);
+        }
+    }
+    if (filtered.empty())
+        return std::nullopt;
+
+    cluster::ClustererParams cluster_params;
+    std::vector<cluster::Cluster> clusters =
+        cluster::clusterReads(filtered, cluster_params);
+
+    std::map<std::pair<uint64_t, unsigned>, Bytes> recovered;
+    size_t header = params_.primer_length + 1;
+    for (const cluster::Cluster &c : clusters) {
+        if (c.size() < 2)
+            break;
+        std::vector<dna::Sequence> members;
+        for (size_t idx : c.members)
+            members.push_back(filtered[idx]);
+        dna::Sequence strand = consensus::bmaDoubleSided(
+            members, params_.strand_length);
+
+        codec::Digits digits;
+        for (size_t i = 0; i < params_.index_length; ++i) {
+            digits.push_back(static_cast<uint8_t>(
+                dna::charToBase(strand[header + i])));
+        }
+        uint64_t unit = codec::fromBase4(digits);
+        codec::Digits col_digits = {
+            static_cast<uint8_t>(dna::charToBase(
+                strand[header + params_.index_length])),
+            static_cast<uint8_t>(dna::charToBase(
+                strand[header + params_.index_length + 1]))};
+        unsigned column =
+            static_cast<unsigned>(codec::fromBase4(col_digits));
+        if (unit >= unit_count_ || column >= params_.rs_n)
+            continue;
+        dna::Sequence payload =
+            strand.substr(header + params_.index_length + 2,
+                          params_.payloadBases());
+        recovered.try_emplace({unit, column},
+                              codec::basesToBytes(payload));
+    }
+
+    // Unit decode + descramble.
+    codec::Scrambler scrambler(params_.scramble_seed);
+    Bytes result;
+    result.reserve(unit_count_ * params_.unit_data_bytes);
+    for (uint64_t unit = 0; unit < unit_count_; ++unit) {
+        std::vector<std::optional<Bytes>> columns(params_.rs_n);
+        for (unsigned c = 0; c < params_.rs_n; ++c) {
+            auto it = recovered.find({unit, c});
+            if (it != recovered.end())
+                columns[c] = it->second;
+        }
+        ecc::UnitDecodeResult decoded = codec_.decode(columns);
+        if (!decoded.ok())
+            return std::nullopt;
+        Bytes unit_data = scrambler.applied(
+            *decoded.data, unit + generation_ * (uint64_t{1} << 40));
+        unit_data.resize(params_.unit_data_bytes);
+        result.insert(result.end(), unit_data.begin(), unit_data.end());
+    }
+    result.resize(contents_.size());
+    return result;
+}
+
+void
+ObjectStore::naiveUpdate(uint64_t unit, const core::UpdateOp &op,
+                         dna::Sequence new_forward,
+                         dna::Sequence new_reverse)
+{
+    fatalIf(unit >= unit_count_, "unit out of range");
+
+    // Apply the edit in software to the authoritative copy.
+    size_t offset = unit * params_.unit_data_bytes;
+    size_t len =
+        std::min(params_.unit_data_bytes, contents_.size() - offset);
+    Bytes block(contents_.begin() + static_cast<ptrdiff_t>(offset),
+                contents_.begin() + static_cast<ptrdiff_t>(offset + len));
+    Bytes edited = op.apply(block, len);
+    std::copy(edited.begin(), edited.end(),
+              contents_.begin() + static_cast<ptrdiff_t>(offset));
+
+    // Re-synthesize everything under a fresh primer pair; the old
+    // data stays in the tube but is no longer addressed.
+    forward_ = std::move(new_forward);
+    reverse_ = std::move(new_reverse);
+    ++primer_pairs_used_;
+    ++generation_;
+    writeObject(contents_);
+}
+
+} // namespace dnastore::baseline

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Baseline DNA object store, modelling prior work [23] (paper
+ * Sections 1, 5.1, 7.1 and 7.5).
+ *
+ * In the baseline architecture a pair of main primers defines one
+ * *object* of arbitrary size. The internal index is dense (maximum
+ * information density, no PCR compatibility), so the only random
+ * access is retrieving the whole object with the main primers and
+ * discarding unwanted reads in software. Updates are "naive"
+ * (Section 5.1): synthesize a complete updated copy of the object
+ * under a brand-new primer pair, wasting one primer pair and a full
+ * re-synthesis per update.
+ */
+
+#ifndef DNASTORE_BASELINE_OBJECT_STORE_H
+#define DNASTORE_BASELINE_OBJECT_STORE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/block_device.h"
+#include "core/config.h"
+#include "core/cost.h"
+#include "core/update.h"
+#include "ecc/encoding_unit.h"
+#include "sim/pcr.h"
+#include "sim/pool.h"
+#include "sim/sequencer.h"
+#include "sim/synthesis.h"
+
+namespace dnastore::baseline {
+
+using core::Bytes;
+
+/** Geometry of the baseline strand (dense index, no version base). */
+struct ObjectStoreParams
+{
+    size_t strand_length = 150;
+    size_t primer_length = 20;
+    dna::Base sync_base = dna::Base::A;
+
+    /** Dense unit-index bases (5 densely address 1024 units). */
+    size_t index_length = 5;
+
+    unsigned rs_n = 15;
+    unsigned rs_k = 11;
+    size_t unit_data_bytes = 256;
+
+    uint64_t scramble_seed = 0xba5e11fe;
+    sim::SynthesisParams synthesis;
+    sim::PcrParams pcr;
+    sim::SequencerParams sequencer;
+    core::CostParams costs;
+    double coverage = 20.0;
+
+    /** Payload bases per strand. */
+    size_t
+    payloadBases() const
+    {
+        size_t overhead =
+            2 * primer_length + 1 + index_length + 2;
+        size_t payload = strand_length - overhead;
+        return payload - payload % 4;
+    }
+
+    size_t columnBytes() const { return payloadBases() / 4; }
+    size_t unitCapacityBytes() const { return columnBytes() * rs_k; }
+};
+
+/**
+ * One object (one primer pair) in the baseline store.
+ */
+class ObjectStore
+{
+  public:
+    ObjectStore(ObjectStoreParams params, dna::Sequence forward,
+                dna::Sequence reverse, uint32_t file_id = 1);
+
+    /** Encode + synthesize; the whole object is one primer scope. */
+    void writeObject(const Bytes &data);
+
+    /**
+     * Retrieve the whole object: PCR with the main primers, sequence
+     * every molecule at the configured coverage, decode all units.
+     */
+    std::optional<Bytes> readObject();
+
+    /**
+     * Naive update (Section 5.1): apply the edit to unit @p unit in
+     * software, re-synthesize the *entire* object under the new
+     * primer pair, and abandon (but keep in the tube) the old copy.
+     */
+    void naiveUpdate(uint64_t unit, const core::UpdateOp &op,
+                     dna::Sequence new_forward,
+                     dna::Sequence new_reverse);
+
+    const sim::Pool &pool() const { return pool_; }
+    core::CostModel &costs() { return costs_; }
+    const core::CostModel &costs() const { return costs_; }
+
+    /** Unique molecules in the current (live) object copy. */
+    size_t liveMolecules() const { return live_molecules_; }
+
+    /** Number of primer pairs consumed so far. */
+    unsigned primerPairsUsed() const { return primer_pairs_used_; }
+
+    uint64_t unitCount() const { return unit_count_; }
+
+  private:
+    ObjectStoreParams params_;
+    dna::Sequence forward_;
+    dna::Sequence reverse_;
+    uint32_t file_id_;
+    ecc::EncodingUnitCodec codec_;
+    sim::Pool pool_;
+    core::CostModel costs_;
+    Bytes contents_;
+    uint64_t unit_count_ = 0;
+    size_t live_molecules_ = 0;
+    unsigned primer_pairs_used_ = 1;
+    unsigned generation_ = 0;
+
+    std::vector<sim::DesignedMolecule> encodeObject(
+        const Bytes &data) const;
+    dna::Sequence denseIndex(uint64_t unit) const;
+};
+
+} // namespace dnastore::baseline
+
+#endif // DNASTORE_BASELINE_OBJECT_STORE_H

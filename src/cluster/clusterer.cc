@@ -1,0 +1,113 @@
+#include "cluster/clusterer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "dna/distance.h"
+
+namespace dnastore::cluster {
+
+namespace {
+
+/** MinHash signature of a read's q-gram set under one hash salt. */
+uint64_t
+minHashSignature(const dna::Sequence &read, size_t q, uint64_t salt)
+{
+    const std::string &s = read.str();
+    if (s.size() < q)
+        return fnv1a(s) ^ salt;
+    uint64_t best = UINT64_MAX;
+    // Rolling 2-bit packing of the q-gram, mixed with the salt.
+    uint64_t packed = 0;
+    const uint64_t mask = (q * 2 >= 64) ? ~uint64_t{0}
+                                        : ((uint64_t{1} << (q * 2)) - 1);
+    for (size_t i = 0; i < s.size(); ++i) {
+        packed = ((packed << 2) |
+                  static_cast<uint64_t>(dna::charToBase(s[i]))) &
+                 mask;
+        if (i + 1 < q)
+            continue;
+        uint64_t state = packed ^ salt;
+        uint64_t hashed = splitMix64(state);
+        best = std::min(best, hashed);
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<Cluster>
+clusterReads(const std::vector<dna::Sequence> &reads,
+             const ClustererParams &params)
+{
+    Rng rng = Rng::deriveStream(params.seed, "clusterer");
+    std::vector<uint64_t> salts(params.signatures);
+    for (uint64_t &salt : salts)
+        salt = rng.next();
+
+    std::vector<Cluster> clusters;
+    // For each signature band: bucket value -> cluster indexes.
+    std::vector<std::unordered_map<uint64_t, std::vector<size_t>>>
+        buckets(params.signatures);
+    std::vector<size_t> candidates;
+
+    for (size_t r = 0; r < reads.size(); ++r) {
+        std::vector<uint64_t> signature(params.signatures);
+        candidates.clear();
+        for (size_t b = 0; b < params.signatures; ++b) {
+            signature[b] =
+                minHashSignature(reads[r], params.qgram, salts[b]);
+            auto it = buckets[b].find(signature[b]);
+            if (it == buckets[b].end())
+                continue;
+            for (size_t cluster_idx : it->second) {
+                if (std::find(candidates.begin(), candidates.end(),
+                              cluster_idx) == candidates.end()) {
+                    candidates.push_back(cluster_idx);
+                }
+                if (candidates.size() >= params.max_candidates)
+                    break;
+            }
+        }
+
+        size_t assigned = SIZE_MAX;
+        for (size_t cluster_idx : candidates) {
+            const dna::Sequence &rep =
+                reads[clusters[cluster_idx].representative];
+            if (dna::bandedLevenshtein(reads[r], rep,
+                                       params.distance_threshold) !=
+                dna::kDistanceInfinity) {
+                assigned = cluster_idx;
+                break;
+            }
+        }
+
+        if (assigned == SIZE_MAX) {
+            assigned = clusters.size();
+            Cluster cluster;
+            cluster.representative = r;
+            clusters.push_back(cluster);
+        }
+        clusters[assigned].members.push_back(r);
+        // Index every member's signatures, not only the
+        // representative's: a later read whose MinHash differs from
+        // the representative can still reach the cluster through any
+        // earlier member (improves recall under IDS noise).
+        for (size_t b = 0; b < params.signatures; ++b) {
+            std::vector<size_t> &bucket = buckets[b][signature[b]];
+            if (std::find(bucket.begin(), bucket.end(), assigned) ==
+                bucket.end()) {
+                bucket.push_back(assigned);
+            }
+        }
+    }
+
+    std::sort(clusters.begin(), clusters.end(),
+              [](const Cluster &a, const Cluster &b) {
+                  return a.size() > b.size();
+              });
+    return clusters;
+}
+
+} // namespace dnastore::cluster

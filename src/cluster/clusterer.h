@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Read clustering by edit-distance similarity (Rashtchian et al. [28]
+ * style, as used in paper Section 6.6 step 2).
+ *
+ * Reads originating from the same synthesized molecule differ only by
+ * IDS sequencing noise, so they sit within a small edit-distance ball.
+ * The clusterer buckets reads by randomized q-gram (MinHash)
+ * signatures and then greedily assigns each read to the first cluster
+ * representative within the distance threshold, creating a new
+ * cluster otherwise — a single-pass approximation of the
+ * distributed algorithm in [28] that is exact for well-separated
+ * clusters (which scrambled payloads guarantee with high
+ * probability).
+ */
+
+#ifndef DNASTORE_CLUSTER_CLUSTERER_H
+#define DNASTORE_CLUSTER_CLUSTERER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dna/sequence.h"
+
+namespace dnastore::cluster {
+
+/** One cluster: indexes into the input read vector. */
+struct Cluster
+{
+    std::vector<size_t> members;
+
+    /** Index of the representative read. */
+    size_t representative = 0;
+
+    size_t size() const { return members.size(); }
+};
+
+/** Clustering parameters. */
+struct ClustererParams
+{
+    /** q-gram length for the MinHash signature. */
+    size_t qgram = 8;
+
+    /** Number of independent hash signatures (bands). */
+    size_t signatures = 4;
+
+    /** Maximum edit distance between a read and its cluster
+     *  representative. */
+    size_t distance_threshold = 8;
+
+    /** Cap on representatives compared per read (guards worst-case
+     *  quadratic behaviour on adversarial inputs). */
+    size_t max_candidates = 64;
+
+    uint64_t seed = 17;
+};
+
+/**
+ * Cluster reads by similarity; returns clusters sorted by decreasing
+ * size (the order in which the decoder consumes them, Section 8).
+ */
+std::vector<Cluster> clusterReads(
+    const std::vector<dna::Sequence> &reads,
+    const ClustererParams &params);
+
+} // namespace dnastore::cluster
+
+#endif // DNASTORE_CLUSTER_CLUSTERER_H

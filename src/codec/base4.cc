@@ -1,0 +1,45 @@
+#include "codec/base4.h"
+
+#include "common/error.h"
+
+namespace dnastore::codec {
+
+Digits
+toBase4(uint64_t value, size_t length)
+{
+    Digits digits(length, 0);
+    for (size_t i = 0; i < length; ++i) {
+        digits[length - 1 - i] = static_cast<uint8_t>(value & 0x3);
+        value >>= 2;
+    }
+    fatalIf(value != 0, "toBase4: value does not fit in ", length,
+            " digits");
+    return digits;
+}
+
+uint64_t
+fromBase4(const Digits &digits)
+{
+    uint64_t value = 0;
+    for (uint8_t digit : digits) {
+        panicIf(digit > 3, "fromBase4: digit out of range");
+        value = (value << 2) | digit;
+    }
+    return value;
+}
+
+size_t
+digitsFor(uint64_t count)
+{
+    if (count <= 1)
+        return 0;
+    size_t digits = 0;
+    uint64_t capacity = 1;
+    while (capacity < count) {
+        capacity <<= 2;
+        ++digits;
+    }
+    return digits;
+}
+
+} // namespace dnastore::codec

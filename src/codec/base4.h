@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Base-4 digit representation of logical block addresses.
+ *
+ * The internal address space of a partition is a base-4 number space
+ * (paper Section 3.1): an index of length L enumerates 4^L leaves.
+ * These helpers convert between integer block ids and fixed-length
+ * digit vectors (most significant digit first), which are then fed to
+ * the index tree for the logical->physical mapping.
+ */
+
+#ifndef DNASTORE_CODEC_BASE4_H
+#define DNASTORE_CODEC_BASE4_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnastore::codec {
+
+/** Digits 0..3, most significant first. */
+using Digits = std::vector<uint8_t>;
+
+/** Convert @p value to exactly @p length base-4 digits (MSD first).
+ *  Throws FatalError if the value does not fit. */
+Digits toBase4(uint64_t value, size_t length);
+
+/** Convert base-4 digits (MSD first) back to an integer. */
+uint64_t fromBase4(const Digits &digits);
+
+/** Number of base-4 digits needed to represent values < @p count. */
+size_t digitsFor(uint64_t count);
+
+} // namespace dnastore::codec
+
+#endif // DNASTORE_CODEC_BASE4_H

@@ -1,0 +1,91 @@
+#include "codec/base_codec.h"
+
+#include "common/error.h"
+
+namespace dnastore::codec {
+
+dna::Sequence
+bytesToBases(const Bytes &data)
+{
+    std::vector<dna::Base> bases;
+    bases.reserve(data.size() * 4);
+    for (uint8_t byte : data) {
+        for (int shift = 6; shift >= 0; shift -= 2)
+            bases.push_back(static_cast<dna::Base>((byte >> shift) & 0x3));
+    }
+    return dna::Sequence(bases);
+}
+
+Bytes
+basesToBytes(const dna::Sequence &seq)
+{
+    fatalIf(seq.size() % 4 != 0,
+            "basesToBytes: length ", seq.size(), " not a multiple of 4");
+    Bytes data;
+    data.reserve(seq.size() / 4);
+    for (size_t i = 0; i < seq.size(); i += 4) {
+        uint8_t byte = 0;
+        for (size_t k = 0; k < 4; ++k) {
+            byte = static_cast<uint8_t>(
+                (byte << 2) | static_cast<uint8_t>(seq.baseAt(i + k)));
+        }
+        data.push_back(byte);
+    }
+    return data;
+}
+
+dna::Sequence
+nibblesToBases(const std::vector<uint8_t> &nibbles)
+{
+    std::vector<dna::Base> bases;
+    bases.reserve(nibbles.size() * 2);
+    for (uint8_t nibble : nibbles) {
+        panicIf(nibble > 0xf, "nibble value out of range");
+        bases.push_back(static_cast<dna::Base>((nibble >> 2) & 0x3));
+        bases.push_back(static_cast<dna::Base>(nibble & 0x3));
+    }
+    return dna::Sequence(bases);
+}
+
+std::vector<uint8_t>
+basesToNibbles(const dna::Sequence &seq)
+{
+    fatalIf(seq.size() % 2 != 0,
+            "basesToNibbles: length ", seq.size(), " not even");
+    std::vector<uint8_t> nibbles;
+    nibbles.reserve(seq.size() / 2);
+    for (size_t i = 0; i < seq.size(); i += 2) {
+        nibbles.push_back(static_cast<uint8_t>(
+            (static_cast<uint8_t>(seq.baseAt(i)) << 2) |
+            static_cast<uint8_t>(seq.baseAt(i + 1))));
+    }
+    return nibbles;
+}
+
+std::vector<uint8_t>
+bytesToNibbles(const Bytes &data)
+{
+    std::vector<uint8_t> nibbles;
+    nibbles.reserve(data.size() * 2);
+    for (uint8_t byte : data) {
+        nibbles.push_back(byte >> 4);
+        nibbles.push_back(byte & 0xf);
+    }
+    return nibbles;
+}
+
+Bytes
+nibblesToBytes(const std::vector<uint8_t> &nibbles)
+{
+    fatalIf(nibbles.size() % 2 != 0,
+            "nibblesToBytes: count ", nibbles.size(), " not even");
+    Bytes data;
+    data.reserve(nibbles.size() / 2);
+    for (size_t i = 0; i < nibbles.size(); i += 2) {
+        data.push_back(static_cast<uint8_t>((nibbles[i] << 4) |
+                                            (nibbles[i + 1] & 0xf)));
+    }
+    return data;
+}
+
+} // namespace dnastore::codec

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Unconstrained 2-bits-per-base payload codec.
+ *
+ * The paper stores payloads with the maximum-density mapping of two
+ * bits per base (Section 2.1.1, "unconstrained coding"), relying on a
+ * data scrambler for statistical GC balance and on outer Reed-Solomon
+ * codes for error handling. Bytes map big-endian: the two most
+ * significant bits of a byte become the first base.
+ */
+
+#ifndef DNASTORE_CODEC_BASE_CODEC_H
+#define DNASTORE_CODEC_BASE_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dna/sequence.h"
+
+namespace dnastore::codec {
+
+using Bytes = std::vector<uint8_t>;
+
+/** Encode bytes to bases, 4 bases per byte, MSB-first. */
+dna::Sequence bytesToBases(const Bytes &data);
+
+/**
+ * Decode bases back to bytes. The sequence length must be a multiple
+ * of 4; throws FatalError otherwise.
+ */
+Bytes basesToBytes(const dna::Sequence &seq);
+
+/** Encode a nibble stream (values 0-15) to bases, 2 bases each. */
+dna::Sequence nibblesToBases(const std::vector<uint8_t> &nibbles);
+
+/** Decode bases to nibbles; length must be even. */
+std::vector<uint8_t> basesToNibbles(const dna::Sequence &seq);
+
+/** Split bytes into nibbles, high nibble first. */
+std::vector<uint8_t> bytesToNibbles(const Bytes &data);
+
+/** Join nibbles (high first) into bytes; count must be even. */
+Bytes nibblesToBytes(const std::vector<uint8_t> &nibbles);
+
+} // namespace dnastore::codec
+
+#endif // DNASTORE_CODEC_BASE_CODEC_H

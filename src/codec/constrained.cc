@@ -1,0 +1,98 @@
+#include "codec/constrained.h"
+
+#include "common/error.h"
+
+namespace dnastore::codec {
+
+namespace {
+
+/** The three bases different from @p prev, in canonical order. */
+inline void
+choicesAfter(dna::Base prev, dna::Base out[3])
+{
+    size_t n = 0;
+    for (dna::Base base : dna::kAllBases) {
+        if (base != prev)
+            out[n++] = base;
+    }
+}
+
+} // namespace
+
+size_t
+RotationCodec::encodedLength(size_t byte_count)
+{
+    size_t chunks = (byte_count + kChunkBytes - 1) / kChunkBytes;
+    return chunks * kChunkTrits;
+}
+
+dna::Sequence
+RotationCodec::encode(const std::vector<uint8_t> &data)
+{
+    std::vector<dna::Base> out;
+    out.reserve(encodedLength(data.size()));
+
+    // The previous base persists across chunk boundaries so the
+    // homopolymer-free property holds end to end.
+    dna::Base prev = dna::Base::T;  // anything not emitted yet
+
+    for (size_t offset = 0; offset < data.size();
+         offset += kChunkBytes) {
+        uint64_t value = 0;
+        for (size_t k = 0; k < kChunkBytes; ++k) {
+            uint64_t byte =
+                offset + k < data.size() ? data[offset + k] : 0;
+            value |= byte << (8 * k);
+        }
+        // 21 trits, least significant first.
+        for (size_t trit_idx = 0; trit_idx < kChunkTrits; ++trit_idx) {
+            uint64_t trit = value % 3;
+            value /= 3;
+            dna::Base choices[3];
+            choicesAfter(prev, choices);
+            dna::Base base = choices[trit];
+            out.push_back(base);
+            prev = base;
+        }
+    }
+    return dna::Sequence(out);
+}
+
+std::vector<uint8_t>
+RotationCodec::decode(const dna::Sequence &seq, size_t byte_count)
+{
+    fatalIf(seq.size() != encodedLength(byte_count),
+            "RotationCodec::decode: expected ",
+            encodedLength(byte_count), " bases, got ", seq.size());
+
+    std::vector<uint8_t> data;
+    data.reserve(byte_count);
+    dna::Base prev = dna::Base::T;
+    size_t pos = 0;
+    while (data.size() < byte_count) {
+        uint64_t value = 0;
+        uint64_t scale = 1;
+        for (size_t trit_idx = 0; trit_idx < kChunkTrits; ++trit_idx) {
+            dna::Base base = seq.baseAt(pos++);
+            fatalIf(base == prev,
+                    "homopolymer in rotation-coded sequence");
+            dna::Base choices[3];
+            choicesAfter(prev, choices);
+            uint64_t trit = 0;
+            for (uint64_t c = 0; c < 3; ++c) {
+                if (choices[c] == base)
+                    trit = c;
+            }
+            value += trit * scale;
+            scale *= 3;
+            prev = base;
+        }
+        for (size_t k = 0; k < kChunkBytes && data.size() < byte_count;
+             ++k) {
+            data.push_back(static_cast<uint8_t>(value >> (8 * k)));
+        }
+    }
+    return data;
+}
+
+} // namespace dnastore::codec

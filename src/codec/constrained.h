@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Constrained "rotation" codec (paper Section 2.1.1).
+ *
+ * Early DNA-storage systems used constrained coding to forbid
+ * homopolymer runs outright: at every position the previous base is
+ * excluded, leaving 3 choices, i.e. log2(3) ~ 1.585 bits per base.
+ * The paper instead uses unconstrained 2-bit coding plus a scrambler
+ * and outer ECC, citing the higher density. This codec implements
+ * the classic rotation scheme so the trade-off can be measured: the
+ * payload is re-expressed in base 3 (big-integer conversion in
+ * fixed-size chunks), and each trit selects one of the three bases
+ * different from its predecessor.
+ */
+
+#ifndef DNASTORE_CODEC_CONSTRAINED_H
+#define DNASTORE_CODEC_CONSTRAINED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dna/sequence.h"
+
+namespace dnastore::codec {
+
+/**
+ * Rotation codec: homopolymer-free ternary coding.
+ */
+class RotationCodec
+{
+  public:
+    /** Bases produced for @p byte_count payload bytes. */
+    static size_t encodedLength(size_t byte_count);
+
+    /** Information density of the scheme in bits per base. */
+    static double bitsPerBase() { return 1.5849625007211562; }
+
+    /**
+     * Encode bytes into a homopolymer-free sequence. The encoding
+     * processes the payload in independent 4-byte chunks (21 trits
+     * each), so decode does not require big-integer arithmetic.
+     */
+    static dna::Sequence encode(const std::vector<uint8_t> &data);
+
+    /** Decode; the byte count must be supplied (chunk padding). */
+    static std::vector<uint8_t> decode(const dna::Sequence &seq,
+                                       size_t byte_count);
+
+  private:
+    static constexpr size_t kChunkBytes = 4;
+    static constexpr size_t kChunkTrits = 21;  // 3^21 > 2^32
+};
+
+} // namespace dnastore::codec
+
+#endif // DNASTORE_CODEC_CONSTRAINED_H

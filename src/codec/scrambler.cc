@@ -1,0 +1,27 @@
+#include "codec/scrambler.h"
+
+#include "common/rng.h"
+
+namespace dnastore::codec {
+
+void
+Scrambler::apply(std::vector<uint8_t> &data, uint64_t stream_id) const
+{
+    Rng rng(Rng::deriveSeed(seed_, stream_id));
+    size_t i = 0;
+    while (i < data.size()) {
+        uint64_t word = rng.next();
+        for (size_t k = 0; k < 8 && i < data.size(); ++k, ++i) {
+            data[i] ^= static_cast<uint8_t>(word >> (8 * k));
+        }
+    }
+}
+
+std::vector<uint8_t>
+Scrambler::applied(std::vector<uint8_t> data, uint64_t stream_id) const
+{
+    apply(data, stream_id);
+    return data;
+}
+
+} // namespace dnastore::codec

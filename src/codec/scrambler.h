@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Seeded data scrambler (randomizer).
+ *
+ * Unconstrained coding (paper Section 2.1.1) relies on XOR-ing the
+ * payload with a pseudo-random keystream so that homopolymers are
+ * statistically rare and GC content is balanced on average. The same
+ * seed descrambles; the per-partition seed is part of the digital
+ * metadata, like the index-tree seed (Section 4.4). Scrambling also
+ * improves clustering separation between unrelated payloads [28].
+ */
+
+#ifndef DNASTORE_CODEC_SCRAMBLER_H
+#define DNASTORE_CODEC_SCRAMBLER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dnastore::codec {
+
+/**
+ * XOR keystream scrambler. Stateless between calls: the keystream for
+ * a buffer is derived from (seed, stream_id), so any unit can be
+ * (de)scrambled independently of the others.
+ */
+class Scrambler
+{
+  public:
+    explicit Scrambler(uint64_t seed) : seed_(seed) {}
+
+    /**
+     * Scramble (or descramble; the operation is an involution) the
+     * buffer in place using the keystream for @p stream_id.
+     */
+    void apply(std::vector<uint8_t> &data, uint64_t stream_id) const;
+
+    /** Functional version of apply(). */
+    std::vector<uint8_t> applied(std::vector<uint8_t> data,
+                                 uint64_t stream_id) const;
+
+    uint64_t seed() const { return seed_; }
+
+  private:
+    uint64_t seed_;
+};
+
+} // namespace dnastore::codec
+
+#endif // DNASTORE_CODEC_SCRAMBLER_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Error-reporting helpers shared by all dnastore libraries.
+ *
+ * Follows the gem5 fatal()/panic() distinction: fatal() is for user
+ * errors (bad configuration, invalid arguments) and panic() for
+ * internal invariant violations. Both throw rather than abort so that
+ * library users and tests can observe failures.
+ */
+
+#ifndef DNASTORE_COMMON_ERROR_H
+#define DNASTORE_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dnastore {
+
+/** Thrown on user-caused errors (bad configuration or arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Thrown on internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Raise a FatalError built from the stream-concatenation of the args. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Raise a PanicError built from the stream-concatenation of the args. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Check a user-facing precondition; raise FatalError if it fails. */
+template <typename... Args>
+void
+fatalIf(bool condition, const Args &...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+/** Check an internal invariant; raise PanicError if it fails. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+} // namespace dnastore
+
+#endif // DNASTORE_COMMON_ERROR_H

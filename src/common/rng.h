@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic random-number generation for reproducible experiments.
+ *
+ * Every stochastic component in dnastore (index-tree randomization,
+ * data scrambling, synthesis bias, PCR noise, sequencing noise) draws
+ * from a seeded Rng. Named sub-streams can be derived from a parent
+ * seed so that independent components never share a stream, which is a
+ * requirement of the paper's design: the PCR-navigable index tree is
+ * regenerated from its seed rather than stored (paper Section 4.4).
+ */
+
+#ifndef DNASTORE_COMMON_RNG_H
+#define DNASTORE_COMMON_RNG_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dnastore {
+
+/**
+ * xoshiro256** PRNG seeded via SplitMix64.
+ *
+ * Small, fast, and with well-understood statistical behaviour;
+ * std::mt19937 is avoided because its seeding is easy to get wrong and
+ * its state is needlessly large for simulation fan-out (we create one
+ * Rng per tree node on the fly).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through SplitMix64). */
+    explicit Rng(uint64_t seed = 0);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire rejection. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextInRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal variate (Box-Muller). */
+    double nextGaussian();
+
+    /** Log-normal variate with the given log-space mu and sigma. */
+    double nextLogNormal(double mu, double sigma);
+
+    /** Bernoulli trial with success probability p. */
+    bool nextBool(double p);
+
+    /** Poisson variate (Knuth for small lambda, normal approx above). */
+    uint64_t nextPoisson(double lambda);
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(nextBelow(i));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /**
+     * Derive a child Rng from this seed and a label, without
+     * disturbing this generator's stream. Used to give each simulator
+     * component (and each index-tree node) an independent stream.
+     */
+    static Rng deriveStream(uint64_t seed, std::string_view label);
+
+    /** Derive a child seed from a parent seed and a 64-bit index. */
+    static uint64_t deriveSeed(uint64_t seed, uint64_t index);
+
+  private:
+    uint64_t s_[4];
+
+    /** Cached second Box-Muller variate. */
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+};
+
+/** SplitMix64 single step; also usable as a 64-bit mixing function. */
+uint64_t splitMix64(uint64_t &state);
+
+/** FNV-1a hash of a string, for deriving stream labels. */
+uint64_t fnv1a(std::string_view text);
+
+} // namespace dnastore
+
+#endif // DNASTORE_COMMON_RNG_H

@@ -1,0 +1,195 @@
+#include "consensus/bma.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.h"
+
+namespace dnastore::consensus {
+
+namespace {
+
+/** Reverse a sequence (without complementing). */
+dna::Sequence
+reversed(const dna::Sequence &seq)
+{
+    std::string s = seq.str();
+    std::reverse(s.begin(), s.end());
+    return dna::Sequence(std::move(s));
+}
+
+} // namespace
+
+dna::Sequence
+bmaForward(const std::vector<dna::Sequence> &reads,
+           size_t expected_length, const BmaParams &params)
+{
+    fatalIf(reads.empty(), "bmaForward: no reads");
+    std::vector<size_t> cursor(reads.size(), 0);
+    // A read that disagreed at the previous position without
+    // insertion evidence is "pending": the error class (substitution
+    // vs deletion in the read) is decided one step later, when the
+    // next majority is known.
+    std::vector<bool> pending(reads.size(), false);
+    std::vector<dna::Base> out;
+    out.reserve(expected_length);
+
+    for (size_t j = 0; j < expected_length; ++j) {
+        // Majority vote among live cursors.
+        std::array<size_t, 4> votes = {0, 0, 0, 0};
+        for (size_t i = 0; i < reads.size(); ++i) {
+            if (cursor[i] < reads[i].size())
+                ++votes[static_cast<size_t>(reads[i].baseAt(cursor[i]))];
+        }
+        size_t best = 0;
+        for (size_t b = 1; b < 4; ++b) {
+            if (votes[b] > votes[best])
+                best = b;
+        }
+        dna::Base majority = static_cast<dna::Base>(best);
+        out.push_back(majority);
+
+        // Re-synchronize cursors.
+        for (size_t i = 0; i < reads.size(); ++i) {
+            if (cursor[i] >= reads[i].size())
+                continue;
+            const dna::Sequence &read = reads[i];
+
+            if (pending[i]) {
+                pending[i] = false;
+                // The read disagreed at the previous position; the
+                // error class is decided now that the next majority
+                // is known:
+                //   read[p]   == c -> deletion in the read (the
+                //                     disputed base never existed);
+                //   read[p+1] == c -> substitution (skip bad base);
+                //   read[p+2] == c -> insertion (skip inserted base
+                //                     and the disputed one).
+                bool resolved = false;
+                for (size_t k = 0; k <= params.lookahead; ++k) {
+                    if (cursor[i] + k < read.size() &&
+                        read.baseAt(cursor[i] + k) == majority) {
+                        cursor[i] += k + 1;
+                        resolved = true;
+                        break;
+                    }
+                }
+                if (!resolved) {
+                    // Two errors in a row: resign to advancing.
+                    ++cursor[i];
+                }
+                continue;
+            }
+
+            if (read.baseAt(cursor[i]) == majority) {
+                ++cursor[i];
+                continue;
+            }
+            pending[i] = true;  // classify at the next position
+        }
+    }
+    return dna::Sequence(out);
+}
+
+dna::Sequence
+refineDraft(const dna::Sequence &draft,
+            const std::vector<dna::Sequence> &reads, size_t band)
+{
+    const size_t n = draft.size();
+    if (n == 0)
+        return draft;
+    // votes[j][b]: aligned votes for base b at draft position j.
+    std::vector<std::array<size_t, 4>> votes(
+        n, std::array<size_t, 4>{0, 0, 0, 0});
+
+    const size_t inf = SIZE_MAX / 2;
+    for (const dna::Sequence &read : reads) {
+        const size_t m = read.size();
+        // Banded global alignment, draft rows x read columns.
+        // cost[i][j] stored densely in a (n+1) x window layout would
+        // save memory, but n is ~150 so the full matrix is fine.
+        std::vector<std::vector<size_t>> cost(
+            n + 1, std::vector<size_t>(m + 1, inf));
+        cost[0][0] = 0;
+        for (size_t j = 1; j <= std::min(m, band); ++j)
+            cost[0][j] = j;
+        for (size_t i = 1; i <= n; ++i) {
+            size_t lo = i > band ? i - band : 1;
+            size_t hi = std::min(m, i + band);
+            if (i <= band)
+                cost[i][0] = i;
+            for (size_t j = lo; j <= hi; ++j) {
+                size_t sub = cost[i - 1][j - 1] +
+                             (draft[i - 1] == read[j - 1] ? 0 : 1);
+                size_t del = cost[i - 1][j] + 1;  // draft base unread
+                size_t ins = cost[i][j - 1] + 1;  // extra read base
+                cost[i][j] = std::min({sub, del, ins});
+            }
+        }
+        // Backtrace, voting draft positions matched to read bases.
+        size_t i = n, j = m;
+        if (cost[n][m] >= inf)
+            continue;  // read did not fit in the band; skip it
+        while (i > 0 && j > 0) {
+            size_t sub = cost[i - 1][j - 1] +
+                         (draft[i - 1] == read[j - 1] ? 0 : 1);
+            if (cost[i][j] == sub) {
+                ++votes[i - 1][static_cast<size_t>(
+                    read.baseAt(j - 1))];
+                --i;
+                --j;
+            } else if (cost[i][j] == cost[i - 1][j] + 1) {
+                --i;  // draft base deleted in the read: no vote
+            } else {
+                --j;  // inserted read base: no draft position
+            }
+        }
+    }
+
+    std::vector<dna::Base> out;
+    out.reserve(n);
+    for (size_t j = 0; j < n; ++j) {
+        size_t best = static_cast<size_t>(draft.baseAt(j));
+        size_t best_votes = votes[j][best];
+        for (size_t b = 0; b < 4; ++b) {
+            if (votes[j][b] > best_votes) {
+                best = b;
+                best_votes = votes[j][b];
+            }
+        }
+        out.push_back(static_cast<dna::Base>(best));
+    }
+    return dna::Sequence(out);
+}
+
+dna::Sequence
+bmaDoubleSided(const std::vector<dna::Sequence> &reads,
+               size_t expected_length, const BmaParams &params)
+{
+    dna::Sequence forward = bmaForward(reads, expected_length, params);
+
+    std::vector<dna::Sequence> reversed_reads;
+    reversed_reads.reserve(reads.size());
+    for (const dna::Sequence &read : reads)
+        reversed_reads.push_back(reversed(read));
+    dna::Sequence backward =
+        reversed(bmaForward(reversed_reads, expected_length, params));
+
+    // Splice: anchored-end halves from each pass.
+    size_t half = expected_length / 2 + expected_length % 2;
+    dna::Sequence result = forward.substr(0, half);
+    result += backward.substr(half);
+
+    // Alignment-refinement passes repair any position where the BMA
+    // cursors desynchronized.
+    for (size_t pass = 0; pass < params.refine_iterations; ++pass) {
+        dna::Sequence refined =
+            refineDraft(result, reads, params.refine_band);
+        if (refined == result)
+            break;
+        result = std::move(refined);
+    }
+    return result;
+}
+
+} // namespace dnastore::consensus

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Trace reconstruction by double-sided Bitwise Majority Alignment
+ * (Lin et al. [20], used in paper Sections 6.6 and 8).
+ *
+ * Given a cluster of noisy reads of the same original strand, BMA
+ * reconstructs the strand position by position with a per-read
+ * cursor: at each output position the majority base among the
+ * cursors wins; disagreeing reads re-synchronize by peeking ahead
+ * (classifying their error as insertion, deletion or substitution).
+ * Running the same procedure from both ends and splicing the halves
+ * ("double-sided") fixes the tail degradation of one-sided BMA,
+ * because IDS errors desynchronize cursors more the farther they are
+ * from the anchored end.
+ */
+
+#ifndef DNASTORE_CONSENSUS_BMA_H
+#define DNASTORE_CONSENSUS_BMA_H
+
+#include <cstddef>
+#include <vector>
+
+#include "dna/sequence.h"
+
+namespace dnastore::consensus {
+
+/** Reconstruction parameters. */
+struct BmaParams
+{
+    /** How far a disagreeing read peeks ahead to re-synchronize. */
+    size_t lookahead = 2;
+
+    /** Alignment-refinement iterations applied after the BMA splice
+     *  (0 disables). Each pass banded-aligns every read against the
+     *  current draft and replaces each draft base by the majority of
+     *  the aligned read bases, which repairs positions where BMA
+     *  cursors desynchronized. */
+    size_t refine_iterations = 2;
+
+    /** Band half-width for the refinement alignment. */
+    size_t refine_band = 8;
+};
+
+/**
+ * One refinement pass: banded-align each read to @p draft and take a
+ * per-position majority over the aligned bases. The output keeps the
+ * draft's length.
+ */
+dna::Sequence refineDraft(const dna::Sequence &draft,
+                          const std::vector<dna::Sequence> &reads,
+                          size_t band);
+
+/**
+ * One-sided BMA from the 5' end; reconstructs exactly
+ * @p expected_length bases.
+ */
+dna::Sequence bmaForward(const std::vector<dna::Sequence> &reads,
+                         size_t expected_length,
+                         const BmaParams &params = {});
+
+/**
+ * Double-sided BMA: forward pass, backward pass (on reversed reads),
+ * spliced at the middle. This is the reconstruction used for every
+ * cluster in the decoding pipeline.
+ */
+dna::Sequence bmaDoubleSided(const std::vector<dna::Sequence> &reads,
+                             size_t expected_length,
+                             const BmaParams &params = {});
+
+} // namespace dnastore::consensus
+
+#endif // DNASTORE_CONSENSUS_BMA_H

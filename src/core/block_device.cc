@@ -1,0 +1,291 @@
+#include "core/block_device.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dnastore::core {
+
+BlockDevice::BlockDevice(BlockDeviceParams params, dna::Sequence forward,
+                         dna::Sequence reverse, uint32_t file_id)
+    : params_(params),
+      partition_(params.config, std::move(forward), std::move(reverse),
+                 file_id),
+      decoder_(partition_, params.decoder), costs_(params.costs),
+      next_overflow_(partition_.tree().leafCount() - 1)
+{}
+
+void
+BlockDevice::writeFile(const Bytes &data)
+{
+    std::vector<sim::DesignedMolecule> order =
+        partition_.encodeFile(data);
+    data_blocks_ = partition_.blocksFor(data.size());
+    update_counts_.clear();
+    overflow_chain_.clear();
+    next_overflow_ = partition_.tree().leafCount() - 1;
+
+    pool_ = sim::Pool();
+    sim::SynthesisParams synthesis = params_.synthesis;
+    pool_ = sim::synthesize(order, synthesis);
+    costs_.recordSynthesis(order.size(), params_.config.strand_length);
+}
+
+void
+BlockDevice::synthesizeAndMix(
+    const std::vector<sim::DesignedMolecule> &order)
+{
+    sim::SynthesisParams synthesis = params_.synthesis;
+    // A patch is a separate synthesis order: use a fresh seed stream.
+    synthesis.seed =
+        Rng::deriveSeed(params_.synthesis.seed,
+                        0x9000 + costs_.moleculesSynthesized());
+    sim::Pool patch = sim::synthesize(order, synthesis);
+    costs_.recordSynthesis(order.size(), params_.config.strand_length);
+
+    if (pool_.speciesCount() == 0) {
+        pool_ = std::move(patch);
+        return;
+    }
+    // Concentration-matched mixing (Section 5.5): equalize the
+    // per-unique-molecule mass of the patch with the existing pool.
+    double pool_per_molecule =
+        pool_.totalMass() / static_cast<double>(pool_.speciesCount());
+    double patch_per_molecule =
+        patch.totalMass() / static_cast<double>(patch.speciesCount());
+    pool_.mixIn(patch, pool_per_molecule / patch_per_molecule);
+}
+
+void
+BlockDevice::writeRecord(uint64_t container, unsigned slot,
+                         const UpdateRecord &record)
+{
+    panicIf(container == 0 && slot == 0 && data_blocks_ > 0,
+            "attempt to overwrite original data slot");
+    Bytes payload =
+        record.serialize(params_.config.unitDataBytes());
+    synthesizeAndMix(partition_.encodeBlock(container, payload, slot));
+}
+
+void
+BlockDevice::appendUpdate(uint64_t block, UpdateRecord record)
+{
+    fatalIf(block >= data_blocks_, "update to unwritten block ", block);
+    unsigned n = 0;
+    auto it = update_counts_.find(block);
+    if (it != update_counts_.end())
+        n = it->second;
+
+    constexpr unsigned kInlineSlots =
+        index::SparseIndexTree::kVersionSlots - 2;  // versions 1, 2
+    constexpr unsigned kContainerSlots =
+        index::SparseIndexTree::kVersionSlots - 1;  // slots 0..2
+
+    if (n < kInlineSlots) {
+        writeRecord(block, n + 1, record);
+    } else {
+        unsigned chain_index = (n - kInlineSlots) / kContainerSlots;
+        unsigned slot = (n - kInlineSlots) % kContainerSlots;
+        std::vector<uint64_t> &chain = overflow_chain_[block];
+        if (slot == 0) {
+            fatalIf(next_overflow_ <= data_blocks_,
+                    "address space exhausted by the overflow log");
+            uint64_t container = next_overflow_--;
+            uint64_t prev =
+                chain.empty() ? block : chain.back();
+            UpdateRecord pointer;
+            pointer.kind = UpdateRecord::Kind::kOverflowPointer;
+            pointer.overflow_block = container;
+            writeRecord(prev,
+                        index::SparseIndexTree::kVersionSlots - 1,
+                        pointer);
+            chain.push_back(container);
+        }
+        writeRecord(chain[chain_index], slot, record);
+    }
+    update_counts_[block] = n + 1;
+}
+
+void
+BlockDevice::updateBlock(uint64_t block, const UpdateOp &op)
+{
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kInline;
+    record.op = op;
+    appendUpdate(block, std::move(record));
+}
+
+void
+BlockDevice::replaceBlock(uint64_t block, const Bytes &content)
+{
+    fatalIf(content.size() > params_.config.block_data_bytes,
+            "replacement larger than a block");
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kReplace;
+    record.replacement = content;
+    appendUpdate(block, std::move(record));
+}
+
+unsigned
+BlockDevice::updateCount(uint64_t block) const
+{
+    auto it = update_counts_.find(block);
+    return it == update_counts_.end() ? 0 : it->second;
+}
+
+std::vector<sim::Read>
+BlockDevice::roundTrip(const std::vector<sim::PcrPrimer> &primers,
+                       size_t reads)
+{
+    fatalIf(pool_.speciesCount() == 0, "device has no data");
+    sim::PcrParams pcr = params_.pcr;
+    pcr.cycles = params_.block_access_cycles;
+    pcr.stringency = sim::touchdownSchedule(
+        params_.touchdown_cycles, params_.block_access_cycles);
+
+    std::vector<sim::PcrPrimer> all = primers;
+    if (params_.leftover_primer_concentration > 0.0) {
+        all.push_back(
+            sim::PcrPrimer{partition_.forwardPrimer(),
+                           params_.leftover_primer_concentration});
+    }
+    sim::Pool product =
+        sim::runPcr(pool_, all, partition_.reversePrimer(), pcr);
+
+    sim::SequencerParams sequencer = params_.sequencer;
+    sequencer.seed =
+        Rng::deriveSeed(params_.sequencer.seed, costs_.readsSequenced());
+    costs_.recordSequencing(reads);
+    costs_.recordRoundTrip();
+    return sim::sequencePool(product, reads, sequencer);
+}
+
+std::optional<Bytes>
+BlockDevice::resolveBlock(
+    uint64_t block, const std::map<uint64_t, BlockVersions> &units)
+{
+    auto it = units.find(block);
+    if (it == units.end())
+        return std::nullopt;
+    auto base_it = it->second.versions.find(0);
+    if (base_it == it->second.versions.end())
+        return std::nullopt;
+    Bytes base = base_it->second;
+    base.resize(params_.config.block_data_bytes);
+
+    std::optional<uint64_t> overflow;
+    Bytes current =
+        decoder_.applyUpdateChain(base, it->second, &overflow);
+
+    std::map<uint64_t, BlockVersions> extra = units;
+    while (overflow) {
+        uint64_t container = *overflow;
+        overflow.reset();
+        auto container_it = extra.find(container);
+        if (container_it == extra.end()) {
+            // Overflow hop: one more targeted round trip.
+            std::vector<sim::Read> reads = roundTrip(
+                {sim::PcrPrimer{partition_.blockPrimer(container),
+                                1.0}},
+                params_.reads_per_block_access);
+            DecodeStats stats;
+            auto fetched = decoder_.decodeAll(reads, &stats);
+            for (auto &entry : fetched)
+                extra.insert(entry);
+            container_it = extra.find(container);
+            if (container_it == extra.end())
+                return std::nullopt;  // overflow data unrecoverable
+        }
+        // Containers hold records in every slot (0..2, 3 = pointer).
+        for (unsigned v = 0; v < index::SparseIndexTree::kVersionSlots;
+             ++v) {
+            auto slot = container_it->second.versions.find(v);
+            if (slot == container_it->second.versions.end())
+                break;
+            std::optional<UpdateRecord> record =
+                UpdateRecord::deserialize(slot->second);
+            if (!record)
+                break;
+            if (record->kind == UpdateRecord::Kind::kInline) {
+                current = record->op.apply(
+                    current, params_.config.block_data_bytes);
+            } else if (record->kind == UpdateRecord::Kind::kReplace) {
+                current = record->replacement;
+                current.resize(params_.config.block_data_bytes, 0);
+            } else {
+                overflow = record->overflow_block;
+                break;
+            }
+        }
+    }
+    return current;
+}
+
+std::optional<Bytes>
+BlockDevice::readBlock(uint64_t block)
+{
+    fatalIf(block >= data_blocks_, "block ", block, " was never written");
+    std::vector<sim::Read> reads = roundTrip(
+        {sim::PcrPrimer{partition_.blockPrimer(block), 1.0}},
+        params_.reads_per_block_access);
+    last_stats_ = DecodeStats();
+    auto units = decoder_.decodeAll(reads, &last_stats_);
+    return resolveBlock(block, units);
+}
+
+std::vector<std::optional<Bytes>>
+BlockDevice::readRange(uint64_t lo, uint64_t hi)
+{
+    fatalIf(lo > hi || hi >= data_blocks_, "invalid block range");
+    std::vector<dna::Sequence> primer_seqs =
+        partition_.rangePrimers(lo, hi);
+    std::vector<sim::PcrPrimer> primers;
+    primers.reserve(primer_seqs.size());
+    double share = 1.0 / static_cast<double>(primer_seqs.size());
+    for (dna::Sequence &seq : primer_seqs)
+        primers.push_back(sim::PcrPrimer{std::move(seq), share});
+
+    size_t budget = static_cast<size_t>(
+        params_.coverage *
+        static_cast<double>((hi - lo + 1) * params_.config.rs_n) * 4.0);
+    std::vector<sim::Read> reads = roundTrip(primers, budget);
+    last_stats_ = DecodeStats();
+    auto units = decoder_.decodeAll(reads, &last_stats_);
+
+    std::vector<std::optional<Bytes>> result;
+    result.reserve(hi - lo + 1);
+    for (uint64_t block = lo; block <= hi; ++block)
+        result.push_back(resolveBlock(block, units));
+    return result;
+}
+
+std::vector<std::optional<Bytes>>
+BlockDevice::readAll()
+{
+    fatalIf(data_blocks_ == 0, "device has no data");
+    size_t budget = static_cast<size_t>(
+        params_.coverage * static_cast<double>(pool_.speciesCount()));
+    sim::PcrParams pcr = params_.pcr;
+    pcr.cycles = 15;  // plain amplification, no touchdown
+
+    sim::Pool product = sim::runPcr(
+        pool_, {sim::PcrPrimer{partition_.forwardPrimer(), 1.0}},
+        partition_.reversePrimer(), pcr);
+    sim::SequencerParams sequencer = params_.sequencer;
+    sequencer.seed =
+        Rng::deriveSeed(params_.sequencer.seed, costs_.readsSequenced());
+    costs_.recordSequencing(budget);
+    costs_.recordRoundTrip();
+    std::vector<sim::Read> reads =
+        sim::sequencePool(product, budget, sequencer);
+
+    last_stats_ = DecodeStats();
+    auto units = decoder_.decodeAll(reads, &last_stats_);
+    std::vector<std::optional<Bytes>> result;
+    result.reserve(data_blocks_);
+    for (uint64_t block = 0; block < data_blocks_; ++block)
+        result.push_back(resolveBlock(block, units));
+    return result;
+}
+
+} // namespace dnastore::core

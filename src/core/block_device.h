@@ -1,0 +1,154 @@
+/**
+ * @file
+ * BlockDevice: the end-to-end block-storage API over simulated DNA.
+ *
+ * This is the facade a storage user programs against. It owns one
+ * partition and its simulated DNA pool, and implements:
+ *
+ *  - writeFile(): encode + synthesize the initial pool;
+ *  - readBlock(): elongated-primer PCR, sequencing, full decode, and
+ *    update-chain application (following overflow pointers across
+ *    additional round trips, Figure 8);
+ *  - readRange(): multiplex PCR with an exact prefix cover of the
+ *    range (sequential access, Section 3.1);
+ *  - readAll(): conventional whole-partition random access (the
+ *    baseline behaviour of [23]);
+ *  - updateBlock()/replaceBlock(): synthesize a patch and mix it
+ *    into the pool at matched concentration (Sections 5 and 6.4).
+ *
+ * Synthesis and sequencing activity is metered by a CostModel.
+ */
+
+#ifndef DNASTORE_CORE_BLOCK_DEVICE_H
+#define DNASTORE_CORE_BLOCK_DEVICE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/decoder.h"
+#include "core/partition.h"
+#include "sim/mixing.h"
+#include "sim/pcr.h"
+#include "sim/sequencer.h"
+#include "sim/synthesis.h"
+
+namespace dnastore::core {
+
+/** Everything configurable about a device. */
+struct BlockDeviceParams
+{
+    PartitionConfig config;
+    sim::SynthesisParams synthesis;
+    sim::PcrParams pcr;
+    sim::SequencerParams sequencer;
+    DecoderParams decoder;
+    CostParams costs;
+
+    /** Reads sequenced for a single-block access. */
+    size_t reads_per_block_access = 1200;
+
+    /** Reads per molecule when sequencing larger scopes. */
+    double coverage = 20.0;
+
+    /** PCR cycles for a block access (touchdown + plateau). */
+    unsigned block_access_cycles = 28;
+
+    /** Touchdown cycles at elevated stringency (Section 6.5). */
+    unsigned touchdown_cycles = 10;
+
+    /** Relative concentration of leftover main primers carried into
+     *  a block-access reaction (0 disables; the paper observed 18%
+     *  of reads from this artifact). */
+    double leftover_primer_concentration = 0.0;
+};
+
+class BlockDevice
+{
+  public:
+    BlockDevice(BlockDeviceParams params, dna::Sequence forward,
+                dna::Sequence reverse, uint32_t file_id = 13);
+
+    /** Encode and synthesize the file; replaces any previous pool. */
+    void writeFile(const Bytes &data);
+
+    /** Number of data blocks stored by the last writeFile(). */
+    uint64_t blockCount() const { return data_blocks_; }
+
+    /**
+     * Log an update patch for a block. The first two updates occupy
+     * the block's inline version slots; later ones spill into the
+     * overflow log with pointer records (Figure 8).
+     */
+    void updateBlock(uint64_t block, const UpdateOp &op);
+
+    /** Log a whole-block replacement update. */
+    void replaceBlock(uint64_t block, const Bytes &content);
+
+    /**
+     * Retrieve one block with all updates applied. Performs one PCR
+     * + sequencing round trip, plus one more per overflow hop.
+     */
+    std::optional<Bytes> readBlock(uint64_t block);
+
+    /** Retrieve blocks [lo, hi] via one multiplex PCR. */
+    std::vector<std::optional<Bytes>> readRange(uint64_t lo,
+                                                uint64_t hi);
+
+    /** Retrieve the whole partition (baseline random access). */
+    std::vector<std::optional<Bytes>> readAll();
+
+    const sim::Pool &pool() const { return pool_; }
+    const Partition &partition() const { return partition_; }
+    CostModel &costs() { return costs_; }
+    const CostModel &costs() const { return costs_; }
+
+    /** Stats of the most recent decode. */
+    const DecodeStats &lastStats() const { return last_stats_; }
+
+    /** Number of updates logged against a block. */
+    unsigned updateCount(uint64_t block) const;
+
+  private:
+    BlockDeviceParams params_;
+    Partition partition_;
+    Decoder decoder_;
+    sim::Pool pool_;
+    CostModel costs_;
+    DecodeStats last_stats_;
+
+    uint64_t data_blocks_ = 0;
+
+    /** Updates logged per block. */
+    std::map<uint64_t, unsigned> update_counts_;
+
+    /** Overflow containers allocated per block, oldest first. */
+    std::map<uint64_t, std::vector<uint64_t>> overflow_chain_;
+
+    /** Next overflow block, allocated from the top of the space. */
+    uint64_t next_overflow_;
+
+    /** Synthesize molecules and mix them in at matched concentration. */
+    void synthesizeAndMix(const std::vector<sim::DesignedMolecule> &order);
+
+    /** Write one update record into a (container, slot) address. */
+    void writeRecord(uint64_t container, unsigned slot,
+                     const UpdateRecord &record);
+
+    /** Log an arbitrary record as the next update of @p block. */
+    void appendUpdate(uint64_t block, UpdateRecord record);
+
+    /** One PCR + sequencing round trip scoped to @p primers. */
+    std::vector<sim::Read> roundTrip(
+        const std::vector<sim::PcrPrimer> &primers, size_t reads);
+
+    /** Apply a block's updates, following overflow hops. */
+    std::optional<Bytes> resolveBlock(
+        uint64_t block, const std::map<uint64_t, BlockVersions> &units);
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_BLOCK_DEVICE_H

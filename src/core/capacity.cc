@@ -1,0 +1,53 @@
+#include "core/capacity.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dnastore::core {
+
+CapacityPoint
+capacityAt(size_t strand_length, size_t primer_length,
+           size_t index_length)
+{
+    fatalIf(strand_length <= 2 * primer_length,
+            "strand shorter than the two primers");
+    const size_t usable = strand_length - 2 * primer_length;
+    fatalIf(index_length > usable, "index longer than usable bases");
+
+    const double L = static_cast<double>(index_length);
+    const double data_bits_per_strand =
+        2.0 * static_cast<double>(usable - index_length);
+
+    // log2 capacities of the two regimes (4^L strands each).
+    double data_log2 =
+        data_bits_per_strand > 0.0
+            ? 2.0 * L + std::log2(data_bits_per_strand)
+            : -1.0;
+    double presence_log2 = 2.0 * L;  // one bit per address
+
+    CapacityPoint point;
+    point.index_length = index_length;
+    double bits_log2 = std::max(data_log2, presence_log2);
+    point.capacity_bytes_log2 = bits_log2 - 3.0;
+
+    // Density: capacity bits / total bases; the 4^L cancels for the
+    // data regime; the presence regime stores 1 bit per strand.
+    double bits_per_strand = std::max(data_bits_per_strand, 1.0);
+    point.bits_per_base =
+        bits_per_strand / static_cast<double>(strand_length);
+    return point;
+}
+
+std::vector<CapacityPoint>
+capacityCurve(size_t strand_length, size_t primer_length)
+{
+    const size_t usable = strand_length - 2 * primer_length;
+    std::vector<CapacityPoint> curve;
+    curve.reserve(usable + 1);
+    for (size_t L = 0; L <= usable; ++L)
+        curve.push_back(capacityAt(strand_length, primer_length, L));
+    return curve;
+}
+
+} // namespace dnastore::core

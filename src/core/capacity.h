@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Analytical capacity/density model of a partition (paper Figure 3).
+ *
+ * For a strand of length S and primers of length P, U = S - 2P bases
+ * are usable per strand. With an index of length L:
+ *   - data regime: 4^L strands carrying 2*(U - L) bits each;
+ *   - presence regime (L == U): each of the 4^L addresses stores one
+ *     bit by the presence/absence of the molecule.
+ * Capacity is the max of both; information density divides by the
+ * total bases (4^L strands of S bases).
+ */
+
+#ifndef DNASTORE_CORE_CAPACITY_H
+#define DNASTORE_CORE_CAPACITY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace dnastore::core {
+
+/** One point of the Figure 3 curves. */
+struct CapacityPoint
+{
+    size_t index_length = 0;
+
+    /** log2 of the partition capacity in bytes. */
+    double capacity_bytes_log2 = 0.0;
+
+    /** Information density in bits per base. */
+    double bits_per_base = 0.0;
+};
+
+/** Capacity/density of one (strand, primer, L) configuration. */
+CapacityPoint capacityAt(size_t strand_length, size_t primer_length,
+                         size_t index_length);
+
+/** The full curve for L = 0 .. U (Figure 3's x-axis). */
+std::vector<CapacityPoint> capacityCurve(size_t strand_length,
+                                         size_t primer_length);
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_CAPACITY_H

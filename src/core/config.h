@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Partition configuration (paper Sections 6.2 and 6.3).
+ *
+ * The default values reproduce the wetlab setup exactly:
+ *
+ *   150-base strands =
+ *     forward primer (20) | sync 'A' (1) | sparse unit index (10) |
+ *     version base (1) | intra-matrix address (2) | payload (96) |
+ *     reverse-primer site (20)
+ *
+ * 96 payload bases = 24 bytes per molecule; RS(15,11) gives an
+ * encoding unit of 11 * 24 = 264 bytes, of which 256 are user data
+ * and 8 are (scrambled) padding. The index tree has depth 5, i.e.
+ * 1024 addressable blocks, of which the Alice experiment uses 587.
+ */
+
+#ifndef DNASTORE_CORE_CONFIG_H
+#define DNASTORE_CORE_CONFIG_H
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "dna/sequence.h"
+
+namespace dnastore::core {
+
+/** Static geometry and seeds of one partition. */
+struct PartitionConfig
+{
+    size_t strand_length = 150;
+    size_t primer_length = 20;
+    dna::Base sync_base = dna::Base::A;
+
+    /** Logical index-tree depth L; blocks = 4^L. */
+    size_t tree_depth = 5;
+
+    /** Outer-code geometry. */
+    unsigned rs_n = 15;
+    unsigned rs_k = 11;
+
+    /** User bytes per block; the rest of the unit is padding. */
+    size_t block_data_bytes = 256;
+
+    /** Seed for the PCR-navigable index tree (Section 4.4). */
+    uint64_t index_seed = 0x1dc0ffee;
+
+    /** Seed for the payload scrambler. */
+    uint64_t scramble_seed = 0x5eedf00d;
+
+    // ---- Derived geometry -------------------------------------------
+
+    /** Physical bases of the sparse unit index (2 per level). */
+    size_t sparseIndexLength() const { return 2 * tree_depth; }
+
+    /** Version base supporting updates (Figure 8). */
+    size_t versionBases() const { return 1; }
+
+    /** Intra-unit (matrix column) address bases; 2 bases cover the
+     *  15 molecules of a unit, addresses AA..GG (Section 6.3). */
+    size_t intraIndexLength() const { return 2; }
+
+    /** Payload bases per strand. */
+    size_t
+    payloadBases() const
+    {
+        size_t overhead = 2 * primer_length + 1 + sparseIndexLength() +
+                          versionBases() + intraIndexLength();
+        fatalIf(overhead >= strand_length,
+                "strand too short for the configured layout");
+        return strand_length - overhead;
+    }
+
+    /** Payload bytes per molecule (column of the unit matrix). */
+    size_t columnBytes() const { return payloadBases() / 4; }
+
+    /** Total bytes of one encoding unit (data columns only). */
+    size_t unitDataBytes() const { return columnBytes() * rs_k; }
+
+    /** Number of addressable blocks (leaves). */
+    uint64_t blockCount() const { return uint64_t{1} << (2 * tree_depth); }
+
+    /** Validate internal consistency; throws FatalError on problems. */
+    void
+    validate() const
+    {
+        fatalIf(payloadBases() % 4 != 0,
+                "payload bases must be a multiple of 4");
+        fatalIf(block_data_bytes > unitDataBytes(),
+                "block data (", block_data_bytes,
+                "B) exceeds unit capacity (", unitDataBytes(), "B)");
+        fatalIf(rs_k >= rs_n, "rs_k must be < rs_n");
+        fatalIf(rs_n > 15, "GF(16) limits rs_n to 15");
+    }
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_CONFIG_H

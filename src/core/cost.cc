@@ -1,0 +1,2 @@
+// CostModel is header-only; this translation unit anchors the library.
+#include "core/cost.h"

@@ -1,0 +1,266 @@
+#include "core/decoder.h"
+
+#include <algorithm>
+
+#include "codec/base_codec.h"
+#include "core/layout.h"
+#include "dna/distance.h"
+
+namespace dnastore::core {
+
+Decoder::Decoder(const Partition &partition, DecoderParams params)
+    : partition_(partition), params_(params)
+{}
+
+std::map<std::tuple<uint64_t, unsigned, unsigned>, Decoder::Recovered>
+Decoder::recoverStrands(const std::vector<sim::Read> &reads,
+                        DecodeStats *stats) const
+{
+    const PartitionConfig &config = partition_.config();
+    const dna::Sequence &stem = partition_.elongation().stem();
+
+    // Step 1: primer filter.
+    std::vector<dna::Sequence> filtered;
+    filtered.reserve(reads.size());
+    for (const sim::Read &read : reads) {
+        dna::PrefixAlignment align = dna::alignPrimerToPrefix(
+            stem, read.seq, params_.primer_match_dist);
+        if (align.distance == dna::kDistanceInfinity)
+            continue;
+        filtered.push_back(read.seq);
+    }
+    if (stats) {
+        stats->reads_in = reads.size();
+        stats->reads_primer_matched = filtered.size();
+    }
+
+    std::map<std::tuple<uint64_t, unsigned, unsigned>, Recovered>
+        recovered;
+    if (filtered.empty())
+        return recovered;
+
+    // Step 2: cluster (clusters arrive sorted by decreasing size).
+    std::vector<cluster::Cluster> clusters =
+        cluster::clusterReads(filtered, params_.cluster);
+    if (stats)
+        stats->clusters_total = clusters.size();
+
+    // Step 3: reconstruct in descending cluster-size order.
+    for (const cluster::Cluster &c : clusters) {
+        if (c.size() < params_.min_cluster_size)
+            break;  // sorted: everything after is smaller
+        std::vector<dna::Sequence> members;
+        members.reserve(c.size());
+        for (size_t idx : c.members)
+            members.push_back(filtered[idx]);
+        dna::Sequence strand = consensus::bmaDoubleSided(
+            members, config.strand_length, params_.bma);
+        if (stats)
+            ++stats->clusters_used;
+
+        std::optional<StrandFields> fields =
+            parseStrand(config, strand);
+        if (!fields)
+            continue;
+
+        index::IndexMatch match =
+            partition_.tree().decodeNearest(fields->address);
+        if (match.mismatches > params_.max_index_mismatches) {
+            if (stats)
+                ++stats->index_rejects;
+            continue;
+        }
+        unsigned column = decodeIntra(config, fields->intra);
+        if (column >= config.rs_n) {
+            if (stats)
+                ++stats->index_rejects;
+            continue;
+        }
+
+        auto key = std::make_tuple(match.block, match.version, column);
+        Recovered &slot = recovered[key];
+        if (!slot.candidates.empty() && stats)
+            ++stats->duplicate_addresses;
+        if (slot.candidates.size() <
+            params_.max_candidates_per_address) {
+            Candidate candidate;
+            candidate.payload = codec::basesToBytes(fields->payload);
+            candidate.cluster_size = c.size();
+            candidate.index_mismatches = match.mismatches;
+            slot.candidates.push_back(std::move(candidate));
+            if (stats)
+                ++stats->strands_recovered;
+        }
+    }
+
+    // Rank candidates: exact-index reconstructions from big clusters
+    // first; misprimed amplicons sink to the back (Section 8.1).
+    for (auto &[key, slot] : recovered) {
+        std::sort(slot.candidates.begin(), slot.candidates.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      if (a.index_mismatches != b.index_mismatches)
+                          return a.index_mismatches <
+                                 b.index_mismatches;
+                      return a.cluster_size > b.cluster_size;
+                  });
+    }
+    return recovered;
+}
+
+std::map<uint64_t, BlockVersions>
+Decoder::decodeAll(const std::vector<sim::Read> &reads,
+                   DecodeStats *stats) const
+{
+    const PartitionConfig &config = partition_.config();
+    auto recovered = recoverStrands(reads, stats);
+
+    // Group addresses by (block, version).
+    std::map<std::pair<uint64_t, unsigned>,
+             std::map<unsigned, const Recovered *>>
+        units;
+    for (const auto &[key, slot] : recovered) {
+        auto [block, version, column] = key;
+        units[{block, version}][column] = &slot;
+    }
+
+    std::map<uint64_t, BlockVersions> result;
+    for (const auto &[unit_key, columns] : units) {
+        auto [block, version] = unit_key;
+        if (stats)
+            ++stats->units_attempted;
+
+        // Try the primary candidates first; on failure, swap in
+        // alternates one address at a time, then progressively erase
+        // the least-trustworthy columns so the outer code can fill
+        // them (Section 8.1 fallback).
+        std::vector<std::optional<Bytes>> primary(config.rs_n);
+        for (const auto &[column, slot] : columns)
+            primary[column] = slot->candidates.front().payload;
+
+        ecc::UnitDecodeResult decoded =
+            partition_.unitCodec().decode(primary);
+        if (!decoded.ok()) {
+            for (const auto &[column, slot] : columns) {
+                if (decoded.ok())
+                    break;
+                for (size_t alt = 1; alt < slot->candidates.size();
+                     ++alt) {
+                    auto trial = primary;
+                    trial[column] = slot->candidates[alt].payload;
+                    if (stats)
+                        ++stats->candidate_retries;
+                    ecc::UnitDecodeResult attempt =
+                        partition_.unitCodec().decode(trial);
+                    if (attempt.ok()) {
+                        decoded = std::move(attempt);
+                        break;
+                    }
+                }
+            }
+        }
+        if (!decoded.ok()) {
+            // Erase suspect columns, worst first (most index
+            // mismatches, fewest supporting reads).
+            std::vector<unsigned> order;
+            for (const auto &[column, slot] : columns)
+                order.push_back(column);
+            std::sort(order.begin(), order.end(),
+                      [&](unsigned a, unsigned b) {
+                          const Candidate &ca =
+                              columns.at(a)->candidates.front();
+                          const Candidate &cb =
+                              columns.at(b)->candidates.front();
+                          if (ca.index_mismatches !=
+                              cb.index_mismatches) {
+                              return ca.index_mismatches >
+                                     cb.index_mismatches;
+                          }
+                          return ca.cluster_size < cb.cluster_size;
+                      });
+            size_t max_erase = std::min<size_t>(
+                order.size(), config.rs_n - config.rs_k);
+            auto trial = primary;
+            for (size_t e = 0; e < max_erase && !decoded.ok(); ++e) {
+                trial[order[e]].reset();
+                if (stats)
+                    ++stats->candidate_retries;
+                ecc::UnitDecodeResult attempt =
+                    partition_.unitCodec().decode(trial);
+                if (attempt.ok())
+                    decoded = std::move(attempt);
+            }
+        }
+
+        if (!decoded.ok()) {
+            if (stats)
+                ++stats->units_failed;
+            continue;
+        }
+        if (stats) {
+            ++stats->units_decoded;
+            stats->symbol_errors_corrected +=
+                decoded.symbol_errors_corrected;
+            stats->erasures_filled += decoded.erasures_filled;
+        }
+        result[block].versions[version] =
+            partition_.unscrambleUnitRaw(*decoded.data, block, version);
+    }
+    return result;
+}
+
+Bytes
+Decoder::applyUpdateChain(const Bytes &base, const BlockVersions &chain,
+                          std::optional<uint64_t> *overflow_block) const
+{
+    const PartitionConfig &config = partition_.config();
+    Bytes current = base;
+    current.resize(config.block_data_bytes);
+    if (overflow_block)
+        overflow_block->reset();
+
+    for (unsigned version = 1;
+         version < index::SparseIndexTree::kVersionSlots; ++version) {
+        auto it = chain.versions.find(version);
+        if (it == chain.versions.end())
+            break;  // chain ends at the first missing slot
+        std::optional<UpdateRecord> record =
+            UpdateRecord::deserialize(it->second);
+        if (!record)
+            break;
+        switch (record->kind) {
+          case UpdateRecord::Kind::kInline:
+            current = record->op.apply(current,
+                                       config.block_data_bytes);
+            break;
+          case UpdateRecord::Kind::kReplace:
+            current = record->replacement;
+            current.resize(config.block_data_bytes, 0);
+            break;
+          case UpdateRecord::Kind::kOverflowPointer:
+            if (overflow_block)
+                *overflow_block = record->overflow_block;
+            return current;
+        }
+    }
+    return current;
+}
+
+std::optional<Bytes>
+Decoder::decodeBlock(const std::vector<sim::Read> &reads, uint64_t block,
+                     DecodeStats *stats,
+                     std::optional<uint64_t> *overflow_block) const
+{
+    std::map<uint64_t, BlockVersions> all = decodeAll(reads, stats);
+    auto it = all.find(block);
+    if (it == all.end())
+        return std::nullopt;
+    auto base_it = it->second.versions.find(0);
+    if (base_it == it->second.versions.end())
+        return std::nullopt;
+
+    Bytes base = base_it->second;
+    base.resize(partition_.config().block_data_bytes);
+    return applyUpdateChain(base, it->second, overflow_block);
+}
+
+} // namespace dnastore::core

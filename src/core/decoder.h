@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Decoding pipeline (paper Sections 6.6 and 8).
+ *
+ * From raw sequencing reads to decoded (and updated) block contents:
+ *
+ *  1. keep reads carrying the partition's primer stem (and, for a
+ *     targeted read, the elongated prefix);
+ *  2. cluster the reads by edit distance [28];
+ *  3. in descending cluster-size order, reconstruct a strand per
+ *     cluster with double-sided BMA [20], parse its address, and
+ *     keep the first reconstruction per address (later duplicates
+ *     are discarded, or kept as alternate candidates for the
+ *     recursive fallback of Section 8.1);
+ *  4. place molecules into encoding units by (block, version,
+ *     column), decode each unit with RS errors-and-erasures,
+ *     descramble;
+ *  5. apply each block's update chain in version order.
+ */
+
+#ifndef DNASTORE_CORE_DECODER_H
+#define DNASTORE_CORE_DECODER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/clusterer.h"
+#include "consensus/bma.h"
+#include "core/partition.h"
+#include "core/update.h"
+#include "sim/sequencer.h"
+
+namespace dnastore::core {
+
+/** Pipeline knobs. */
+struct DecoderParams
+{
+    cluster::ClustererParams cluster;
+    consensus::BmaParams bma;
+
+    /** Maximum edit distance between a read prefix and the primer
+     *  stem for the read to enter the pipeline. */
+    size_t primer_match_dist = 3;
+
+    /** Maximum tree-walk mismatches accepted by the nearest-leaf
+     *  index decode. */
+    size_t max_index_mismatches = 2;
+
+    /** Clusters smaller than this are ignored. */
+    size_t min_cluster_size = 2;
+
+    /** Keep up to this many alternate candidates per address for the
+     *  recursive decode fallback (Section 8.1). */
+    size_t max_candidates_per_address = 3;
+};
+
+/** Counters reported by a decode run. */
+struct DecodeStats
+{
+    size_t reads_in = 0;
+    size_t reads_primer_matched = 0;
+    size_t clusters_total = 0;
+    size_t clusters_used = 0;
+    size_t strands_recovered = 0;
+    size_t duplicate_addresses = 0;
+    size_t index_rejects = 0;
+    size_t units_attempted = 0;
+    size_t units_decoded = 0;
+    size_t units_failed = 0;
+    size_t symbol_errors_corrected = 0;
+    size_t erasures_filled = 0;
+    size_t candidate_retries = 0;
+};
+
+/** All decoded versions of one block. */
+struct BlockVersions
+{
+    /** version -> descrambled full unit payload. */
+    std::map<unsigned, Bytes> versions;
+};
+
+class Decoder
+{
+  public:
+    Decoder(const Partition &partition, DecoderParams params);
+
+    /**
+     * Decode every unit present in the reads. Keys are block ids;
+     * each entry maps version slots to descrambled unit payloads.
+     */
+    std::map<uint64_t, BlockVersions> decodeAll(
+        const std::vector<sim::Read> &reads,
+        DecodeStats *stats = nullptr) const;
+
+    /**
+     * Decode one block's final contents: version 0 plus the update
+     * chain applied in slot order. Returns nullopt if version 0 is
+     * not decodable. If the chain ends in an overflow pointer, the
+     * pointer is reported through @p overflow_block (the caller must
+     * fetch that block in another round trip).
+     */
+    std::optional<Bytes> decodeBlock(
+        const std::vector<sim::Read> &reads, uint64_t block,
+        DecodeStats *stats = nullptr,
+        std::optional<uint64_t> *overflow_block = nullptr) const;
+
+    /**
+     * Apply a decoded update chain to base contents. Versions must
+     * be the descrambled unit payloads of one block. Returns the
+     * updated block contents and optionally the overflow pointer.
+     */
+    Bytes applyUpdateChain(
+        const Bytes &base, const BlockVersions &chain,
+        std::optional<uint64_t> *overflow_block = nullptr) const;
+
+  private:
+    const Partition &partition_;
+    DecoderParams params_;
+
+    struct Candidate
+    {
+        Bytes payload;
+
+        /** Reads supporting the reconstruction. */
+        size_t cluster_size = 0;
+
+        /** Tree-walk mismatches of the decoded index; misprimed
+         *  amplicons typically decode with 1-2 mismatches while true
+         *  strands decode exactly, so this ranks candidates. */
+        size_t index_mismatches = 0;
+    };
+
+    struct Recovered
+    {
+        /** Sorted best-first: fewest index mismatches, then most
+         *  supporting reads. */
+        std::vector<Candidate> candidates;
+    };
+
+    /** Steps 1-3: reads -> per-address payload candidates. */
+    std::map<std::tuple<uint64_t, unsigned, unsigned>, Recovered>
+    recoverStrands(const std::vector<sim::Read> &reads,
+                   DecodeStats *stats) const;
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_DECODER_H

@@ -1,0 +1,154 @@
+#include "core/extent_allocator.h"
+
+#include "common/error.h"
+
+namespace dnastore::core {
+
+namespace {
+
+/** Smallest order k with 4^k >= blocks. */
+size_t
+orderFor(uint64_t blocks)
+{
+    size_t order = 0;
+    uint64_t size = 1;
+    while (size < blocks) {
+        size <<= 2;
+        ++order;
+    }
+    return order;
+}
+
+} // namespace
+
+ExtentAllocator::ExtentAllocator(size_t depth)
+    : depth_(depth), free_(depth + 1)
+{
+    fatalIf(depth == 0 || depth > 28,
+            "ExtentAllocator depth must be in [1, 28]");
+    free_[depth_].insert(0);  // the whole space is one free subtree
+}
+
+std::optional<uint64_t>
+ExtentAllocator::allocateOrder(size_t order)
+{
+    // Find the smallest free extent of order >= requested.
+    size_t have = order;
+    while (have <= depth_ && free_[have].empty())
+        ++have;
+    if (have > depth_)
+        return std::nullopt;
+
+    uint64_t start = *free_[have].begin();
+    free_[have].erase(free_[have].begin());
+    // Split down to the requested order, keeping the three upper
+    // buddies free at each level.
+    while (have > order) {
+        --have;
+        uint64_t quarter = uint64_t{1} << (2 * have);
+        free_[have].insert(start + quarter);
+        free_[have].insert(start + 2 * quarter);
+        free_[have].insert(start + 3 * quarter);
+    }
+    return start;
+}
+
+void
+ExtentAllocator::freeOrder(uint64_t start, size_t order)
+{
+    // Coalesce complete buddy quartets.
+    while (order < depth_) {
+        uint64_t size = uint64_t{1} << (2 * order);
+        uint64_t parent = start - start % (4 * size);
+        bool all_free = true;
+        for (uint64_t buddy = parent; buddy < parent + 4 * size;
+             buddy += size) {
+            if (buddy != start && !free_[order].count(buddy)) {
+                all_free = false;
+                break;
+            }
+        }
+        if (!all_free)
+            break;
+        for (uint64_t buddy = parent; buddy < parent + 4 * size;
+             buddy += size) {
+            if (buddy != start)
+                free_[order].erase(buddy);
+        }
+        start = parent;
+        ++order;
+    }
+    free_[order].insert(start);
+}
+
+std::optional<std::vector<Extent>>
+ExtentAllocator::allocate(uint64_t blocks, Policy policy)
+{
+    fatalIf(blocks == 0, "cannot allocate zero blocks");
+    if (blocks > capacity())
+        return std::nullopt;
+
+    std::vector<Extent> extents;
+    if (policy == Policy::kSingleSubtree) {
+        size_t order = orderFor(blocks);
+        std::optional<uint64_t> start = allocateOrder(order);
+        if (!start)
+            return std::nullopt;
+        extents.push_back(Extent{*start, uint64_t{1} << (2 * order)});
+    } else {
+        // Base-4 decomposition, largest order first so big extents
+        // are carved before the space fragments.
+        uint64_t remaining = blocks;
+        for (size_t order = depth_; remaining > 0;) {
+            uint64_t size = uint64_t{1} << (2 * order);
+            uint64_t count = remaining / size;
+            for (uint64_t i = 0; i < count; ++i) {
+                std::optional<uint64_t> start = allocateOrder(order);
+                if (!start) {
+                    // Roll back everything taken so far.
+                    for (const Extent &extent : extents)
+                        freeOrder(extent.start, orderFor(extent.size));
+                    return std::nullopt;
+                }
+                extents.push_back(Extent{*start, size});
+            }
+            remaining -= count * size;
+            if (order == 0)
+                break;
+            --order;
+        }
+    }
+
+    uint64_t reserved = 0;
+    for (const Extent &extent : extents)
+        reserved += extent.size;
+    blocks_allocated_ += blocks;
+    blocks_reserved_ += reserved;
+    return extents;
+}
+
+void
+ExtentAllocator::free(const Extent &extent)
+{
+    fatalIf(extent.size == 0 || extent.start % extent.size != 0,
+            "extent is not subtree-aligned");
+    size_t order = orderFor(extent.size);
+    fatalIf((uint64_t{1} << (2 * order)) != extent.size,
+            "extent size is not a power of four");
+    freeOrder(extent.start, order);
+    blocks_reserved_ -= extent.size;
+    blocks_allocated_ -=
+        std::min(blocks_allocated_, extent.size);  // best effort
+}
+
+uint64_t
+ExtentAllocator::largestFreeExtent() const
+{
+    for (size_t order = depth_ + 1; order-- > 0;) {
+        if (!free_[order].empty())
+            return uint64_t{1} << (2 * order);
+    }
+    return 0;
+}
+
+} // namespace dnastore::core

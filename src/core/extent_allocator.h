@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Subtree-aligned extent allocation (paper Section 3.1, left as
+ * future work: "a set of files could be mapped onto the partition in
+ * a manner that tries to optimally align the files to nodes in the
+ * prefix tree").
+ *
+ * A file stored on subtree-aligned extents can be retrieved
+ * sequentially with one elongated primer per extent; an unaligned
+ * placement of the same size needs a longer prefix cover. The
+ * allocator is a buddy allocator over the 4-ary address tree: free
+ * extents are maintained per order k (size 4^k, aligned to 4^k), a
+ * larger extent splits into four buddies, and four free buddies
+ * coalesce.
+ */
+
+#ifndef DNASTORE_CORE_EXTENT_ALLOCATOR_H
+#define DNASTORE_CORE_EXTENT_ALLOCATOR_H
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace dnastore::core {
+
+/** A subtree-aligned run of blocks: start % size == 0, size = 4^k. */
+struct Extent
+{
+    uint64_t start = 0;
+    uint64_t size = 0;
+
+    uint64_t end() const { return start + size; }
+    bool operator==(const Extent &) const = default;
+};
+
+/**
+ * Buddy allocator over a depth-L 4-ary block address space.
+ */
+class ExtentAllocator
+{
+  public:
+    /** Allocation policies for multi-extent requests. */
+    enum class Policy
+    {
+        /** Minimal set of aligned extents (base-4 decomposition of
+         *  the size): no wasted blocks, one primer per extent. */
+        kMultiExtent,
+
+        /** One single subtree >= the request: exactly one primer for
+         *  the whole file, at the cost of internal fragmentation. */
+        kSingleSubtree,
+    };
+
+    /** @param depth tree depth L; the space holds 4^L blocks. */
+    explicit ExtentAllocator(size_t depth);
+
+    /**
+     * Allocate extents covering @p blocks blocks. Returns nullopt if
+     * the space cannot satisfy the request (then no state changed).
+     */
+    std::optional<std::vector<Extent>> allocate(uint64_t blocks,
+                                                Policy policy);
+
+    /** Return an extent previously handed out. */
+    void free(const Extent &extent);
+
+    /** Blocks currently allocated (as requested, without padding). */
+    uint64_t blocksAllocated() const { return blocks_allocated_; }
+
+    /** Blocks handed out including single-subtree padding. */
+    uint64_t blocksReserved() const { return blocks_reserved_; }
+
+    /** Total blocks in the space. */
+    uint64_t capacity() const { return uint64_t{1} << (2 * depth_); }
+
+    /** Largest currently allocatable single extent (4^k). */
+    uint64_t largestFreeExtent() const;
+
+  private:
+    size_t depth_;
+    uint64_t blocks_allocated_ = 0;
+    uint64_t blocks_reserved_ = 0;
+
+    /** free_[k]: start addresses of free extents of size 4^k. */
+    std::vector<std::set<uint64_t>> free_;
+
+    /** Allocate exactly one extent of order k (splitting larger). */
+    std::optional<uint64_t> allocateOrder(size_t order);
+
+    /** Release one extent of order k (coalescing buddies). */
+    void freeOrder(uint64_t start, size_t order);
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_EXTENT_ALLOCATOR_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sequencing-latency models (paper Section 7.4).
+ *
+ * NGS (Illumina-class) machines run for a fixed duration and emit a
+ * fixed number of reads per run; retrieval latency is therefore
+ * quantized in runs, and precise block access only shortens latency
+ * when the scope would otherwise span multiple runs. Nanopore
+ * devices stream reads continuously and can stop as soon as the
+ * target decodes, so block access shortens latency linearly at any
+ * scale. These models turn a read requirement into wall-clock
+ * latency for both technologies.
+ */
+
+#ifndef DNASTORE_CORE_LATENCY_H
+#define DNASTORE_CORE_LATENCY_H
+
+#include <cstddef>
+
+namespace dnastore::core {
+
+/** Fixed-run sequencer (e.g. Illumina MiSeq/NovaSeq). */
+struct NgsModel
+{
+    /** Reads produced by one run. */
+    double reads_per_run = 25e6;
+
+    /** Duration of one run in hours. */
+    double hours_per_run = 24.0;
+
+    /** Latency to obtain @p reads_needed reads (whole runs). */
+    double
+    latencyHours(double reads_needed) const
+    {
+        double runs = reads_needed / reads_per_run;
+        double whole = static_cast<double>(
+            static_cast<unsigned long long>(runs));
+        if (runs > whole)
+            whole += 1.0;
+        if (whole < 1.0)
+            whole = 1.0;
+        return whole * hours_per_run;
+    }
+};
+
+/** Streaming sequencer (e.g. Oxford Nanopore). */
+struct NanoporeModel
+{
+    /** Sustained read output per hour. */
+    double reads_per_hour = 2e6;
+
+    /** Latency: stop as soon as enough reads are collected. */
+    double
+    latencyHours(double reads_needed) const
+    {
+        return reads_needed / reads_per_hour;
+    }
+};
+
+/**
+ * Reads required to decode a scope of @p molecules unique molecules
+ * at @p coverage reads each, when only @p useful_fraction of the
+ * sequencing output belongs to the scope.
+ */
+inline double
+readsNeeded(double molecules, double coverage, double useful_fraction)
+{
+    return molecules * coverage / useful_fraction;
+}
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_LATENCY_H

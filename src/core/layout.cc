@@ -1,0 +1,78 @@
+#include "core/layout.h"
+
+#include "codec/base4.h"
+
+namespace dnastore::core {
+
+dna::Sequence
+buildStrand(const PartitionConfig &config,
+            const dna::Sequence &forward_primer,
+            const dna::Sequence &reverse_primer,
+            const dna::Sequence &sparse_index, dna::Base version_base,
+            unsigned column, const dna::Sequence &payload)
+{
+    fatalIf(forward_primer.size() != config.primer_length,
+            "forward primer length mismatch");
+    fatalIf(reverse_primer.size() != config.primer_length,
+            "reverse primer length mismatch");
+    fatalIf(sparse_index.size() != config.sparseIndexLength(),
+            "sparse index length mismatch");
+    fatalIf(payload.size() != config.payloadBases(),
+            "payload length mismatch: got ", payload.size(),
+            ", expected ", config.payloadBases());
+
+    dna::Sequence strand = forward_primer;
+    strand.push_back(config.sync_base);
+    strand += sparse_index;
+    strand.push_back(version_base);
+    strand += encodeIntra(config, column);
+    strand += payload;
+    strand += reverse_primer.reverseComplement();
+    panicIf(strand.size() != config.strand_length,
+            "assembled strand has wrong length");
+    return strand;
+}
+
+std::optional<StrandFields>
+parseStrand(const PartitionConfig &config, const dna::Sequence &strand)
+{
+    if (strand.size() != config.strand_length)
+        return std::nullopt;
+    StrandFields fields;
+    size_t pos = config.primer_length + 1;  // skip primer + sync base
+    size_t address_len =
+        config.sparseIndexLength() + config.versionBases();
+    fields.address = strand.substr(pos, address_len);
+    pos += address_len;
+    fields.intra = strand.substr(pos, config.intraIndexLength());
+    pos += config.intraIndexLength();
+    fields.payload = strand.substr(pos, config.payloadBases());
+    return fields;
+}
+
+dna::Sequence
+encodeIntra(const PartitionConfig &config, unsigned column)
+{
+    fatalIf(column >= config.rs_n, "column out of range");
+    codec::Digits digits =
+        codec::toBase4(column, config.intraIndexLength());
+    std::vector<dna::Base> bases;
+    bases.reserve(digits.size());
+    for (uint8_t digit : digits)
+        bases.push_back(static_cast<dna::Base>(digit));
+    return dna::Sequence(bases);
+}
+
+unsigned
+decodeIntra(const PartitionConfig &config, const dna::Sequence &intra)
+{
+    fatalIf(intra.size() != config.intraIndexLength(),
+            "intra address length mismatch");
+    codec::Digits digits;
+    digits.reserve(intra.size());
+    for (size_t i = 0; i < intra.size(); ++i)
+        digits.push_back(static_cast<uint8_t>(intra.baseAt(i)));
+    return static_cast<unsigned>(codec::fromBase4(digits));
+}
+
+} // namespace dnastore::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Strand assembly and parsing for the paper's molecule layout
+ * (Figure 4 bottom: main primer | PCR-compatible index | matrix
+ * index | payload | reverse-primer site).
+ */
+
+#ifndef DNASTORE_CORE_LAYOUT_H
+#define DNASTORE_CORE_LAYOUT_H
+
+#include <optional>
+
+#include "core/config.h"
+#include "dna/sequence.h"
+
+namespace dnastore::core {
+
+/** Parsed positional fields of a (reconstructed) strand. */
+struct StrandFields
+{
+    /** Sparse unit index (2L bases) plus the version base. */
+    dna::Sequence address;
+
+    /** Intra-unit address bases (matrix column, dense coding). */
+    dna::Sequence intra;
+
+    /** Payload bases. */
+    dna::Sequence payload;
+};
+
+/** Assemble a full strand from its fields. */
+dna::Sequence buildStrand(const PartitionConfig &config,
+                          const dna::Sequence &forward_primer,
+                          const dna::Sequence &reverse_primer,
+                          const dna::Sequence &sparse_index,
+                          dna::Base version_base,
+                          unsigned column,
+                          const dna::Sequence &payload);
+
+/**
+ * Slice a strand of exactly config.strand_length bases into fields.
+ * Returns nullopt if the length is wrong (the consensus stage is
+ * responsible for producing exact-length reconstructions).
+ */
+std::optional<StrandFields> parseStrand(const PartitionConfig &config,
+                                        const dna::Sequence &strand);
+
+/** Encode a matrix column number as dense intra-address bases. */
+dna::Sequence encodeIntra(const PartitionConfig &config, unsigned column);
+
+/** Decode intra-address bases back to a column number. */
+unsigned decodeIntra(const PartitionConfig &config,
+                     const dna::Sequence &intra);
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_LAYOUT_H

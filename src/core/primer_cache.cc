@@ -1,0 +1,41 @@
+#include "core/primer_cache.h"
+
+#include "common/error.h"
+
+namespace dnastore::core {
+
+PrimerCache::PrimerCache(size_t capacity) : capacity_(capacity)
+{
+    fatalIf(capacity == 0, "PrimerCache needs capacity >= 1");
+}
+
+bool
+PrimerCache::request(uint64_t block, const dna::Sequence &physical_index)
+{
+    auto it = entries_.find(block);
+    if (it != entries_.end()) {
+        ++stats_.hits;
+        order_.splice(order_.begin(), order_, it->second);
+        return true;
+    }
+
+    ++stats_.misses;
+    stats_.bases_synthesized += physical_index.size();
+    if (entries_.size() >= capacity_) {
+        uint64_t victim = order_.back();
+        order_.pop_back();
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
+    order_.push_front(block);
+    entries_.emplace(block, order_.begin());
+    return false;
+}
+
+bool
+PrimerCache::contains(uint64_t block) const
+{
+    return entries_.find(block) != entries_.end();
+}
+
+} // namespace dnastore::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Management of elongated primers (paper Section 7.7.4).
+ *
+ * A production system does not pre-synthesize all 4^L elongated
+ * primers; it synthesizes them lazily on first use (by continuing
+ * synthesis on top of the main primer) and keeps only the N most
+ * useful ones per partition. Block popularity is Zipfian, so a small
+ * cache amortizes the elongation cost across repeated requests.
+ *
+ * This module implements that policy: an LRU-with-frequency cache of
+ * elongations with synthesis-cost accounting, so the Section 7.7.4
+ * bench can show the amortization on a Zipfian trace.
+ */
+
+#ifndef DNASTORE_CORE_PRIMER_CACHE_H
+#define DNASTORE_CORE_PRIMER_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "dna/sequence.h"
+
+namespace dnastore::core {
+
+/** Cache statistics. */
+struct PrimerCacheStats
+{
+    size_t hits = 0;
+    size_t misses = 0;           ///< elongations synthesized
+    size_t evictions = 0;
+    size_t bases_synthesized = 0; ///< index bases appended on misses
+
+    double
+    hitRate() const
+    {
+        size_t total = hits + misses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * LRU cache of elongated primers for one partition.
+ */
+class PrimerCache
+{
+  public:
+    /**
+     * @param capacity maximum elongations kept (paper: "keep up to N
+     *        most frequently requested elongations per partition")
+     */
+    explicit PrimerCache(size_t capacity);
+
+    /**
+     * Request the elongated primer for @p block. On a miss the
+     * elongation is "synthesized" (cost: the index bases appended on
+     * top of the main primer stem) and cached.
+     *
+     * @param block          block id (cache key)
+     * @param physical_index the sparse index of the block; only its
+     *                       length is charged on a miss
+     * @return true on a cache hit
+     */
+    bool request(uint64_t block, const dna::Sequence &physical_index);
+
+    /** True if the block's elongation is currently cached. */
+    bool contains(uint64_t block) const;
+
+    size_t size() const { return entries_.size(); }
+    size_t capacity() const { return capacity_; }
+    const PrimerCacheStats &stats() const { return stats_; }
+
+  private:
+    size_t capacity_;
+    PrimerCacheStats stats_;
+
+    /** LRU list, most recent at the front. */
+    std::list<uint64_t> order_;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator>
+        entries_;
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_PRIMER_CACHE_H

@@ -1,0 +1,125 @@
+#include "core/update.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dnastore::core {
+
+Bytes
+UpdateOp::apply(const Bytes &block, size_t block_size) const
+{
+    Bytes edited = block;
+    size_t del_start = std::min<size_t>(delete_pos, edited.size());
+    size_t del_end =
+        std::min<size_t>(del_start + delete_len, edited.size());
+    edited.erase(edited.begin() + static_cast<ptrdiff_t>(del_start),
+                 edited.begin() + static_cast<ptrdiff_t>(del_end));
+
+    size_t ins = std::min<size_t>(insert_pos, edited.size());
+    edited.insert(edited.begin() + static_cast<ptrdiff_t>(ins),
+                  insert_bytes.begin(), insert_bytes.end());
+
+    edited.resize(block_size, 0);
+    return edited;
+}
+
+Bytes
+UpdateRecord::serialize(size_t unit_bytes) const
+{
+    Bytes out;
+    out.reserve(unit_bytes);
+    out.push_back(static_cast<uint8_t>(kind));
+    switch (kind) {
+      case Kind::kInline: {
+        fatalIf(6 + op.insert_bytes.size() > unit_bytes,
+                "update op does not fit in a unit (",
+                op.insert_bytes.size(), " insert bytes)");
+        out.push_back(op.delete_pos);
+        out.push_back(op.delete_len);
+        out.push_back(op.insert_pos);
+        out.push_back(
+            static_cast<uint8_t>(op.insert_bytes.size() & 0xff));
+        out.push_back(
+            static_cast<uint8_t>((op.insert_bytes.size() >> 8) & 0xff));
+        out.insert(out.end(), op.insert_bytes.begin(),
+                   op.insert_bytes.end());
+        break;
+      }
+      case Kind::kOverflowPointer: {
+        for (unsigned i = 0; i < 8; ++i) {
+            out.push_back(
+                static_cast<uint8_t>((overflow_block >> (8 * i)) &
+                                     0xff));
+        }
+        break;
+      }
+      case Kind::kReplace: {
+        fatalIf(3 + replacement.size() > unit_bytes,
+                "replacement does not fit in a unit");
+        out.push_back(
+            static_cast<uint8_t>(replacement.size() & 0xff));
+        out.push_back(
+            static_cast<uint8_t>((replacement.size() >> 8) & 0xff));
+        out.insert(out.end(), replacement.begin(), replacement.end());
+        break;
+      }
+    }
+    fatalIf(out.size() > unit_bytes, "update record too large");
+    out.resize(unit_bytes, 0);
+    return out;
+}
+
+std::optional<UpdateRecord>
+UpdateRecord::deserialize(const Bytes &payload)
+{
+    if (payload.empty())
+        return std::nullopt;
+    UpdateRecord record;
+    switch (payload[0]) {
+      case static_cast<uint8_t>(Kind::kInline): {
+        if (payload.size() < 6)
+            return std::nullopt;
+        record.kind = Kind::kInline;
+        record.op.delete_pos = payload[1];
+        record.op.delete_len = payload[2];
+        record.op.insert_pos = payload[3];
+        size_t insert_len = payload[4] |
+                            (static_cast<size_t>(payload[5]) << 8);
+        if (6 + insert_len > payload.size())
+            return std::nullopt;
+        record.op.insert_bytes.assign(
+            payload.begin() + 6,
+            payload.begin() + 6 + static_cast<ptrdiff_t>(insert_len));
+        return record;
+      }
+      case static_cast<uint8_t>(Kind::kOverflowPointer): {
+        if (payload.size() < 9)
+            return std::nullopt;
+        record.kind = Kind::kOverflowPointer;
+        record.overflow_block = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            record.overflow_block |=
+                static_cast<uint64_t>(payload[1 + i]) << (8 * i);
+        }
+        return record;
+      }
+      case static_cast<uint8_t>(Kind::kReplace): {
+        if (payload.size() < 3)
+            return std::nullopt;
+        record.kind = Kind::kReplace;
+        size_t len = payload[1] |
+                     (static_cast<size_t>(payload[2]) << 8);
+        if (3 + len > payload.size())
+            return std::nullopt;
+        record.replacement.assign(
+            payload.begin() + 3,
+            payload.begin() + 3 + static_cast<ptrdiff_t>(len));
+        return record;
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace dnastore::core

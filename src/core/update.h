@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Update-patch format and application (paper Sections 5.4 and 6.4).
+ *
+ * An update patch is an ordinary encoding unit whose payload encodes
+ * a delete-then-insert edit of one block:
+ *
+ *   byte 0: record kind (inline patch / overflow pointer / whole-
+ *           block replacement)
+ *   byte 1: first byte to delete
+ *   byte 2: number of bytes to delete
+ *   byte 3: insertion position (after the deletion is applied)
+ *   bytes 4-5: length of the insertion (little endian)
+ *   bytes 6+: the bytes to insert
+ *
+ * The paper's proof-of-concept format is bytes 1-3 plus a trailing
+ * byte array; the explicit kind and length fields make the format
+ * self-delimiting inside a padded 256-byte block and add the
+ * overflow-pointer record that links a block's last version slot to
+ * the shared overflow log (Figure 8: "the last update block will
+ * contain a pointer to an entry in the common update log").
+ */
+
+#ifndef DNASTORE_CORE_UPDATE_H
+#define DNASTORE_CORE_UPDATE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace dnastore::core {
+
+using Bytes = std::vector<uint8_t>;
+
+/** A delete-then-insert edit of one block's contents. */
+struct UpdateOp
+{
+    /** First byte to delete. */
+    uint8_t delete_pos = 0;
+
+    /** Bytes to delete starting at delete_pos (0 = pure insert). */
+    uint8_t delete_len = 0;
+
+    /** Insertion position, evaluated after the deletion. */
+    uint8_t insert_pos = 0;
+
+    /** Bytes to insert (may be empty for a pure delete). */
+    Bytes insert_bytes;
+
+    /**
+     * Apply to a block's contents. The edited data is truncated or
+     * zero-padded back to @p block_size, preserving the fixed-size
+     * block semantics.
+     */
+    Bytes apply(const Bytes &block, size_t block_size) const;
+};
+
+/** On-DNA update record: an edit or a pointer into the overflow log. */
+struct UpdateRecord
+{
+    enum class Kind : uint8_t
+    {
+        kInline = 1,          ///< the op applies to this block
+        kOverflowPointer = 2, ///< further updates live at `overflow_block`
+        kReplace = 3,         ///< payload replaces the whole block
+    };
+
+    Kind kind = Kind::kInline;
+    UpdateOp op;                   ///< valid for kInline
+    uint64_t overflow_block = 0;   ///< valid for kOverflowPointer
+    Bytes replacement;             ///< valid for kReplace
+
+    /** Serialize into exactly @p unit_bytes bytes (zero padded). */
+    Bytes serialize(size_t unit_bytes) const;
+
+    /** Parse a record; nullopt if the payload is not a valid record. */
+    static std::optional<UpdateRecord> deserialize(const Bytes &payload);
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_UPDATE_H

@@ -1,0 +1,74 @@
+#include "corpus/text.h"
+
+#include <array>
+
+#include "common/rng.h"
+
+namespace dnastore::corpus {
+
+namespace {
+
+constexpr const char *kWords[] = {
+    "alice",   "rabbit",  "down",    "the",      "hole",    "was",
+    "beginning", "to",    "get",     "very",     "tired",   "of",
+    "sitting", "by",      "her",     "sister",   "on",      "bank",
+    "and",     "having",  "nothing", "do",       "once",    "or",
+    "twice",   "she",     "had",     "peeped",   "into",    "book",
+    "but",     "it",      "no",      "pictures", "in",      "what",
+    "is",      "use",     "thought", "without",  "conversations",
+    "so",      "considering", "own", "mind",     "as",      "well",
+    "could",   "for",     "hot",     "day",      "made",    "feel",
+    "sleepy",  "stupid",  "whether", "pleasure", "making",  "daisy",
+    "chain",   "would",   "be",      "worth",    "trouble",
+};
+
+} // namespace
+
+std::string
+generateText(size_t size, uint64_t seed)
+{
+    Rng rng = Rng::deriveStream(seed, "corpus");
+    std::string text;
+    text.reserve(size + 16);
+
+    bool sentence_start = true;
+    size_t words_in_sentence = 0;
+    size_t sentence_target = 5 + rng.nextBelow(8);
+    size_t sentences_in_paragraph = 0;
+    size_t paragraph_target = 3 + rng.nextBelow(5);
+
+    while (text.size() < size) {
+        std::string word = kWords[rng.nextBelow(std::size(kWords))];
+        if (sentence_start) {
+            word[0] =
+                static_cast<char>(word[0] - 'a' + 'A');
+            sentence_start = false;
+        } else {
+            text += ' ';
+        }
+        text += word;
+        if (++words_in_sentence >= sentence_target) {
+            words_in_sentence = 0;
+            sentence_target = 5 + rng.nextBelow(8);
+            sentence_start = true;
+            if (++sentences_in_paragraph >= paragraph_target) {
+                sentences_in_paragraph = 0;
+                paragraph_target = 3 + rng.nextBelow(5);
+                text += ".\n\n";
+            } else {
+                text += ". ";
+            }
+        }
+    }
+    text.resize(size);
+    return text;
+}
+
+std::vector<uint8_t>
+generateBytes(size_t size, uint64_t seed)
+{
+    std::string text = generateText(size, seed);
+    return {text.begin(), text.end()};
+}
+
+} // namespace dnastore::corpus

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Deterministic English-like text generator.
+ *
+ * Stand-in for the paper's 150 KB copy of "Alice's Adventures in
+ * Wonderland" (Section 6.1). The storage pipeline only cares about
+ * the byte size and blocked structure of the input — one 256-byte
+ * block per "paragraph" — so a seeded generator that produces
+ * realistic paragraph-structured ASCII is an exact substitute and
+ * keeps every experiment reproducible.
+ */
+
+#ifndef DNASTORE_CORPUS_TEXT_H
+#define DNASTORE_CORPUS_TEXT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnastore::corpus {
+
+/** Generate exactly @p size bytes of paragraph-structured text. */
+std::string generateText(size_t size, uint64_t seed);
+
+/** Generate @p size bytes as a byte vector. */
+std::vector<uint8_t> generateBytes(size_t size, uint64_t seed);
+
+} // namespace dnastore::corpus
+
+#endif // DNASTORE_CORPUS_TEXT_H

@@ -1,0 +1,76 @@
+#include "dna/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnastore::dna {
+
+size_t
+gcCount(const Sequence &seq)
+{
+    size_t count = 0;
+    for (char c : seq.str()) {
+        if (isStrongChar(c))
+            ++count;
+    }
+    return count;
+}
+
+double
+gcContent(const Sequence &seq)
+{
+    if (seq.empty())
+        return 0.0;
+    return static_cast<double>(gcCount(seq)) /
+           static_cast<double>(seq.size());
+}
+
+size_t
+maxHomopolymerRun(const Sequence &seq)
+{
+    if (seq.empty())
+        return 0;
+    size_t best = 1;
+    size_t run = 1;
+    const std::string &s = seq.str();
+    for (size_t i = 1; i < s.size(); ++i) {
+        run = (s[i] == s[i - 1]) ? run + 1 : 1;
+        best = std::max(best, run);
+    }
+    return best;
+}
+
+double
+maxPrefixGcDeviation(const Sequence &seq, size_t min_prefix)
+{
+    double worst = 0.0;
+    size_t strong = 0;
+    const std::string &s = seq.str();
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (isStrongChar(s[i]))
+            ++strong;
+        size_t len = i + 1;
+        if (len < min_prefix)
+            continue;
+        double deviation =
+            std::abs(static_cast<double>(strong) -
+                     static_cast<double>(len) / 2.0);
+        worst = std::max(worst, deviation);
+    }
+    return worst;
+}
+
+double
+meltingTemperature(const Sequence &seq)
+{
+    if (seq.empty())
+        return 0.0;
+    size_t gc = gcCount(seq);
+    size_t at = seq.size() - gc;
+    if (seq.size() < 14)
+        return 2.0 * static_cast<double>(at) + 4.0 * static_cast<double>(gc);
+    return 64.9 + 41.0 * (static_cast<double>(gc) - 16.4) /
+                      static_cast<double>(seq.size());
+}
+
+} // namespace dnastore::dna

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sequence composition analysis: GC content and homopolymer runs.
+ *
+ * These are the two composition constraints that govern PCR primer
+ * viability in the paper: primers must be near 50% GC in every prefix
+ * (Section 4.2) and must not contain long homopolymer runs
+ * (Section 4.1).
+ */
+
+#ifndef DNASTORE_DNA_ANALYSIS_H
+#define DNASTORE_DNA_ANALYSIS_H
+
+#include <cstddef>
+
+#include "dna/sequence.h"
+
+namespace dnastore::dna {
+
+/** Fraction of G/C bases in the sequence; 0 for an empty sequence. */
+double gcContent(const Sequence &seq);
+
+/** Number of G/C bases in the sequence. */
+size_t gcCount(const Sequence &seq);
+
+/** Length of the longest homopolymer run (0 for empty input). */
+size_t maxHomopolymerRun(const Sequence &seq);
+
+/**
+ * Worst-case absolute deviation of GC count from len/2 over every
+ * prefix of the sequence of length >= @p min_prefix.
+ *
+ * The paper's elongated primers can stop at any index boundary, so GC
+ * balance must hold for every possible elongation, not only the full
+ * index (Section 4.2). A perfectly alternating strong/weak sequence
+ * has deviation 0.5.
+ */
+double maxPrefixGcDeviation(const Sequence &seq, size_t min_prefix = 1);
+
+/**
+ * Wallace / Marmur-Doty style melting temperature estimate (degrees
+ * Celsius). Uses 2(A+T)+4(G+C) below 14 bases and the standard
+ * 64.9 + 41*(GC - 16.4)/N formula otherwise; adequate for the primer
+ * screening the paper performs (GC window plus Tm window).
+ */
+double meltingTemperature(const Sequence &seq);
+
+} // namespace dnastore::dna
+
+#endif // DNASTORE_DNA_ANALYSIS_H

@@ -1,0 +1,221 @@
+#include "dna/distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dnastore::dna {
+
+size_t
+hammingDistance(const Sequence &a, const Sequence &b)
+{
+    const std::string &sa = a.str();
+    const std::string &sb = b.str();
+    size_t common = std::min(sa.size(), sb.size());
+    size_t distance = std::max(sa.size(), sb.size()) - common;
+    for (size_t i = 0; i < common; ++i) {
+        if (sa[i] != sb[i])
+            ++distance;
+    }
+    return distance;
+}
+
+size_t
+levenshteinDistance(const Sequence &a, const Sequence &b)
+{
+    const std::string &sa = a.str();
+    const std::string &sb = b.str();
+    const size_t n = sb.size();
+    std::vector<size_t> row(n + 1);
+    for (size_t j = 0; j <= n; ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= sa.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= n; ++j) {
+            size_t cost = (sa[i - 1] == sb[j - 1]) ? 0 : 1;
+            size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                                    diag + cost});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[n];
+}
+
+size_t
+bandedLevenshtein(const Sequence &a, const Sequence &b, size_t max_dist)
+{
+    const std::string &sa = a.str();
+    const std::string &sb = b.str();
+    const size_t m = sa.size();
+    const size_t n = sb.size();
+    size_t len_diff = m > n ? m - n : n - m;
+    if (len_diff > max_dist)
+        return kDistanceInfinity;
+
+    // Rows over sa, band of half-width max_dist around the diagonal.
+    const size_t inf = kDistanceInfinity / 2;
+    std::vector<size_t> prev(n + 1, inf), curr(n + 1, inf);
+    for (size_t j = 0; j <= std::min(n, max_dist); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= m; ++i) {
+        size_t lo = i > max_dist ? i - max_dist : 1;
+        size_t hi = std::min(n, i + max_dist);
+        if (lo > hi)
+            return kDistanceInfinity;
+        std::fill(curr.begin(), curr.end(), inf);
+        if (lo == 1)
+            curr[0] = i <= max_dist ? i : inf;
+        size_t row_min = curr[0];
+        for (size_t j = lo; j <= hi; ++j) {
+            size_t cost = (sa[i - 1] == sb[j - 1]) ? 0 : 1;
+            size_t best = prev[j - 1] + cost;
+            best = std::min(best, prev[j] + 1);
+            best = std::min(best, curr[j - 1] + 1);
+            curr[j] = best;
+            row_min = std::min(row_min, best);
+        }
+        if (row_min > max_dist)
+            return kDistanceInfinity;
+        std::swap(prev, curr);
+    }
+    return prev[n] <= max_dist ? prev[n] : kDistanceInfinity;
+}
+
+size_t
+longestCommonPrefix(const Sequence &a, const Sequence &b)
+{
+    size_t limit = std::min(a.size(), b.size());
+    size_t i = 0;
+    while (i < limit && a[i] == b[i])
+        ++i;
+    return i;
+}
+
+PrefixAlignment
+alignPrimerToPrefix(const Sequence &primer, const Sequence &template_seq,
+                    size_t max_dist, size_t three_prime_window)
+{
+    PrefixAlignment result;
+    const std::string &p = primer.str();
+    const std::string &t = template_seq.str();
+    const size_t m = p.size();
+    // The primer must land within max_dist indels of its own length.
+    const size_t n = std::min(t.size(), m + max_dist);
+    if (m > n + max_dist)
+        return result;
+
+    const size_t inf = kDistanceInfinity / 2;
+    std::vector<size_t> prev(n + 1, inf), curr(n + 1, inf);
+    // Both strings anchored at position 0: row 0 is the cost of
+    // skipping leading template bases (deletions from the template).
+    for (size_t j = 0; j <= std::min(n, max_dist); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= m; ++i) {
+        size_t lo = i > max_dist ? i - max_dist : 1;
+        size_t hi = std::min(n, i + max_dist);
+        if (lo > hi)
+            return result;
+        std::fill(curr.begin(), curr.end(), inf);
+        if (lo == 1)
+            curr[0] = i <= max_dist ? i : inf;
+        for (size_t j = lo; j <= hi; ++j) {
+            size_t cost = (p[i - 1] == t[j - 1]) ? 0 : 1;
+            size_t best = prev[j - 1] + cost;
+            best = std::min(best, prev[j] + 1);
+            best = std::min(best, curr[j - 1] + 1);
+            curr[j] = best;
+        }
+        std::swap(prev, curr);
+    }
+
+    // Best end position in the template (template suffix is free).
+    size_t best_j = 0;
+    size_t best_dist = inf;
+    size_t lo = m > max_dist ? m - max_dist : 0;
+    for (size_t j = lo; j <= n; ++j) {
+        if (prev[j] < best_dist) {
+            best_dist = prev[j];
+            best_j = j;
+        }
+    }
+    if (best_dist > max_dist)
+        return result;
+
+    result.distance = best_dist;
+    result.template_consumed = best_j;
+
+    // Approximate 3'-end mismatch count: compare the primer tail with
+    // the template bases that end at the alignment endpoint.
+    size_t window = std::min(three_prime_window, std::min(m, best_j));
+    size_t mismatches = 0;
+    for (size_t k = 1; k <= window; ++k) {
+        if (p[m - k] != t[best_j - k])
+            ++mismatches;
+    }
+    result.three_prime_mismatches = mismatches;
+    return result;
+}
+
+WeightedAlignment
+alignPrimerWeighted(const Sequence &primer, const Sequence &template_seq,
+                    size_t band, size_t three_prime_window,
+                    double three_prime_factor, double gap_factor)
+{
+    WeightedAlignment result;
+    const std::string &p = primer.str();
+    const std::string &t = template_seq.str();
+    const size_t m = p.size();
+    const size_t n = std::min(t.size(), m + band);
+    if (m > n + band)
+        return result;
+
+    auto weight = [&](size_t primer_pos) {
+        return primer_pos + three_prime_window >= m
+                   ? three_prime_factor
+                   : 1.0;
+    };
+
+    std::vector<double> prev(n + 1, kWeightInfinity);
+    std::vector<double> curr(n + 1, kWeightInfinity);
+    // Row 0: leading template bases skipped before the primer's 5'
+    // end; charge the 5'-most gap weight.
+    for (size_t j = 0; j <= std::min(n, band); ++j)
+        prev[j] = static_cast<double>(j) * gap_factor * weight(0);
+    for (size_t i = 1; i <= m; ++i) {
+        size_t lo = i > band ? i - band : 1;
+        size_t hi = std::min(n, i + band);
+        if (lo > hi)
+            return result;
+        std::fill(curr.begin(), curr.end(), kWeightInfinity);
+        if (lo == 1 && i <= band) {
+            curr[0] = prev[0] == kWeightInfinity
+                          ? kWeightInfinity
+                          : prev[0] + gap_factor * weight(i - 1);
+        }
+        for (size_t j = lo; j <= hi; ++j) {
+            double sub_cost =
+                p[i - 1] == t[j - 1] ? 0.0 : weight(i - 1);
+            double best = prev[j - 1] + sub_cost;
+            // Primer base i-1 bulged out (no template partner).
+            best = std::min(best, prev[j] + gap_factor * weight(i - 1));
+            // Extra template base under primer position i-1.
+            best = std::min(
+                best,
+                curr[j - 1] + gap_factor * weight(i == 0 ? 0 : i - 1));
+            curr[j] = best;
+        }
+        std::swap(prev, curr);
+    }
+
+    size_t lo = m > band ? m - band : 0;
+    for (size_t j = lo; j <= n; ++j) {
+        if (prev[j] < result.cost) {
+            result.cost = prev[j];
+            result.template_consumed = j;
+        }
+    }
+    return result;
+}
+
+} // namespace dnastore::dna

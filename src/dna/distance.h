@@ -1,0 +1,122 @@
+/**
+ * @file
+ * String distance metrics used throughout the pipeline.
+ *
+ * Hamming distance governs primer-library compatibility; Levenshtein
+ * (edit) distance governs read clustering and mispriming (reads that
+ * promiscuously amplify are 2-3 edit distance from the target index,
+ * paper Section 8.1). The banded variant keeps clustering cheap, and
+ * the prefix-alignment variant models how well a PCR primer anneals to
+ * the 5' end of a template.
+ */
+
+#ifndef DNASTORE_DNA_DISTANCE_H
+#define DNASTORE_DNA_DISTANCE_H
+
+#include <cstddef>
+#include <limits>
+
+#include "dna/sequence.h"
+
+namespace dnastore::dna {
+
+/** Sentinel returned by banded searches when the bound is exceeded. */
+inline constexpr size_t kDistanceInfinity =
+    std::numeric_limits<size_t>::max();
+
+/**
+ * Hamming distance between equal-length sequences; if lengths differ,
+ * the length difference is added to the mismatch count of the common
+ * prefix (the convention used when comparing index elongations).
+ */
+size_t hammingDistance(const Sequence &a, const Sequence &b);
+
+/** Full Levenshtein (insert/delete/substitute) distance. */
+size_t levenshteinDistance(const Sequence &a, const Sequence &b);
+
+/**
+ * Banded Levenshtein distance: exact value if it is <= @p max_dist,
+ * kDistanceInfinity otherwise. O(max_dist * max(len)) time.
+ */
+size_t bandedLevenshtein(const Sequence &a, const Sequence &b,
+                         size_t max_dist);
+
+/** Length of the longest common prefix. */
+size_t longestCommonPrefix(const Sequence &a, const Sequence &b);
+
+/**
+ * Result of aligning a primer against the 5' prefix of a template.
+ */
+struct PrefixAlignment
+{
+    /** Edit distance of the best prefix alignment. */
+    size_t distance = kDistanceInfinity;
+
+    /** Template length consumed by the best alignment. */
+    size_t template_consumed = 0;
+
+    /** Number of mismatching positions among the primer's 3'-most
+     * @c three_prime_window bases (substitutions or indels landing
+     * there). PCR extension is far more sensitive to 3' mismatches. */
+    size_t three_prime_mismatches = 0;
+};
+
+/**
+ * Semi-global alignment of @p primer against a prefix of
+ * @p template_seq (template suffix is free).
+ *
+ * @param primer            the (possibly elongated) forward primer
+ * @param template_seq      the molecule, 5'->3'
+ * @param max_dist          band limit; distances above it are reported
+ *                          as kDistanceInfinity
+ * @param three_prime_window how many primer-3'-end positions count as
+ *                          the critical window
+ */
+PrefixAlignment alignPrimerToPrefix(const Sequence &primer,
+                                    const Sequence &template_seq,
+                                    size_t max_dist,
+                                    size_t three_prime_window = 3);
+
+/** Result of a position-weighted primer-template alignment. */
+struct WeightedAlignment
+{
+    /** Minimal weighted edit cost (kWeightInfinity if outside the
+     *  band). */
+    double cost = 1e300;
+
+    /** Template length consumed by the minimal-cost alignment. */
+    size_t template_consumed = 0;
+};
+
+inline constexpr double kWeightInfinity = 1e300;
+
+/**
+ * Position-weighted semi-global alignment for PCR annealing.
+ *
+ * Polymerase extension tolerates mismatches and bulges near the
+ * primer's 5' end far better than near the 3' terminus, which is
+ * exactly the asymmetry the paper's sparse index exploits (sibling
+ * indexes differ in their final, i.e. 3'-most, chunk). Every edit —
+ * substitution, primer-base bulge, or extra template base — is
+ * charged the weight of the primer position it touches:
+ * @p three_prime_factor for the last @p three_prime_window primer
+ * positions and 1.0 elsewhere. The DP minimizes total weighted cost
+ * directly, so "sneaky" bulge alignments cannot dodge the 3' penalty
+ * the way an unweighted-distance-then-inspect-the-tail scheme can.
+ *
+ * Bulged bases (indels) destabilize a primer-template duplex more
+ * than internal mismatches, so gaps are charged
+ * @p gap_factor x the positional weight.
+ *
+ * @param band maximum |primer position - template position| skew
+ */
+WeightedAlignment alignPrimerWeighted(const Sequence &primer,
+                                      const Sequence &template_seq,
+                                      size_t band,
+                                      size_t three_prime_window = 3,
+                                      double three_prime_factor = 3.0,
+                                      double gap_factor = 2.5);
+
+} // namespace dnastore::dna
+
+#endif // DNASTORE_DNA_DISTANCE_H

@@ -1,0 +1,126 @@
+#include "ecc/encoding_unit.h"
+
+#include "common/error.h"
+
+namespace dnastore::ecc {
+
+namespace {
+
+/** Split bytes into nibbles, high nibble first. */
+std::vector<uint8_t>
+toNibbles(const Bytes &data)
+{
+    std::vector<uint8_t> nibbles;
+    nibbles.reserve(data.size() * 2);
+    for (uint8_t byte : data) {
+        nibbles.push_back(byte >> 4);
+        nibbles.push_back(byte & 0xf);
+    }
+    return nibbles;
+}
+
+/** Join nibbles (high first) back into bytes. */
+Bytes
+toBytes(const std::vector<uint8_t> &nibbles)
+{
+    Bytes data;
+    data.reserve(nibbles.size() / 2);
+    for (size_t i = 0; i + 1 < nibbles.size(); i += 2) {
+        data.push_back(static_cast<uint8_t>((nibbles[i] << 4) |
+                                            (nibbles[i + 1] & 0xf)));
+    }
+    return data;
+}
+
+} // namespace
+
+EncodingUnitCodec::EncodingUnitCodec(unsigned n, unsigned k,
+                                     size_t column_bytes)
+    : n_(n), k_(k), column_bytes_(column_bytes), rs_(n, k)
+{
+    fatalIf(column_bytes == 0, "EncodingUnitCodec: zero column size");
+}
+
+std::vector<Bytes>
+EncodingUnitCodec::encode(const Bytes &unit_data) const
+{
+    fatalIf(unit_data.size() != dataBytes(),
+            "EncodingUnitCodec::encode expects ", dataBytes(),
+            " bytes, got ", unit_data.size());
+
+    const size_t row_count = rows();
+    std::vector<uint8_t> nibbles = toNibbles(unit_data);
+
+    // nibbles are laid out column-major: column c of the data part
+    // holds nibbles [c*rows, (c+1)*rows).
+    std::vector<std::vector<uint8_t>> columns(
+        n_, std::vector<uint8_t>(row_count, 0));
+    for (unsigned c = 0; c < k_; ++c) {
+        for (size_t r = 0; r < row_count; ++r)
+            columns[c][r] = nibbles[c * row_count + r];
+    }
+
+    // Each row is an RS codeword across the n columns.
+    std::vector<uint8_t> row_data(k_);
+    for (size_t r = 0; r < row_count; ++r) {
+        for (unsigned c = 0; c < k_; ++c)
+            row_data[c] = columns[c][r];
+        std::vector<uint8_t> codeword = rs_.encode(row_data);
+        for (unsigned c = k_; c < n_; ++c)
+            columns[c][r] = codeword[c];
+    }
+
+    std::vector<Bytes> payloads;
+    payloads.reserve(n_);
+    for (unsigned c = 0; c < n_; ++c)
+        payloads.push_back(toBytes(columns[c]));
+    return payloads;
+}
+
+UnitDecodeResult
+EncodingUnitCodec::decode(
+    const std::vector<std::optional<Bytes>> &columns) const
+{
+    UnitDecodeResult result;
+    fatalIf(columns.size() != n_,
+            "EncodingUnitCodec::decode expects ", n_, " columns, got ",
+            columns.size());
+
+    const size_t row_count = rows();
+    std::vector<size_t> erasures;
+    std::vector<std::vector<uint8_t>> column_nibbles(n_);
+    for (unsigned c = 0; c < n_; ++c) {
+        if (!columns[c].has_value()) {
+            erasures.push_back(c);
+            column_nibbles[c].assign(row_count, 0);
+            continue;
+        }
+        fatalIf(columns[c]->size() != column_bytes_,
+                "column ", c, " has ", columns[c]->size(),
+                " bytes, expected ", column_bytes_);
+        column_nibbles[c] = toNibbles(*columns[c]);
+    }
+
+    std::vector<uint8_t> data_nibbles(k_ * row_count, 0);
+    std::vector<uint8_t> received(n_);
+    for (size_t r = 0; r < row_count; ++r) {
+        for (unsigned c = 0; c < n_; ++c)
+            received[c] = column_nibbles[c][r];
+        RsDecodeResult row = rs_.decode(received, erasures);
+        if (!row.ok()) {
+            result.failed_rows.push_back(r);
+            continue;
+        }
+        result.symbol_errors_corrected += row.errors_corrected;
+        result.erasures_filled += row.erasures_filled;
+        for (unsigned c = 0; c < k_; ++c)
+            data_nibbles[c * row_count + r] = (*row.codeword)[c];
+    }
+
+    if (!result.failed_rows.empty())
+        return result;
+    result.data = toBytes(data_nibbles);
+    return result;
+}
+
+} // namespace dnastore::ecc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Encoding-unit (matrix) codec, the outer-code layout of Figure 1c.
+ *
+ * An encoding unit groups n molecules into a matrix whose columns are
+ * molecule payloads and whose rows are RS(n, k) codewords over GF(16).
+ * With the paper's wetlab parameters (Section 6.2): n = 15 columns
+ * (11 data + 4 ECC molecules), each column carrying 24 payload bytes
+ * (48 nibble rows), for a 264-byte unit (256 data + 8 padding).
+ *
+ * A lost molecule is 48 erasures in a known column; a molecule that
+ * was reconstructed incorrectly contributes symbol errors. Each row
+ * corrects any pattern with 2*errors + erasures <= n - k.
+ */
+
+#ifndef DNASTORE_ECC_ENCODING_UNIT_H
+#define DNASTORE_ECC_ENCODING_UNIT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ecc/reed_solomon.h"
+
+namespace dnastore::ecc {
+
+using Bytes = std::vector<uint8_t>;
+
+/** Result of decoding an encoding unit. */
+struct UnitDecodeResult
+{
+    /** Unit payload (k * column_bytes bytes), if decodable. */
+    std::optional<Bytes> data;
+
+    /** Rows that failed to decode (empty on success). */
+    std::vector<size_t> failed_rows;
+
+    /** Total symbol errors corrected across all rows. */
+    size_t symbol_errors_corrected = 0;
+
+    /** Total erasures filled across all rows. */
+    size_t erasures_filled = 0;
+
+    bool ok() const { return data.has_value(); }
+};
+
+/**
+ * Encoder/decoder for one encoding unit.
+ */
+class EncodingUnitCodec
+{
+  public:
+    /**
+     * @param n            molecules (columns) per unit, <= 15
+     * @param k            data molecules per unit
+     * @param column_bytes payload bytes per molecule
+     */
+    EncodingUnitCodec(unsigned n, unsigned k, size_t column_bytes);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+    size_t columnBytes() const { return column_bytes_; }
+
+    /** Payload bytes carried by one unit (k * column_bytes). */
+    size_t dataBytes() const { return k_ * column_bytes_; }
+
+    /** Nibble rows per unit (2 * column_bytes). */
+    size_t rows() const { return column_bytes_ * 2; }
+
+    /**
+     * Encode a unit payload of exactly dataBytes() bytes into n
+     * molecule payloads of column_bytes each. Data fills columns
+     * 0..k-1 column-major (Figure 1c); columns k..n-1 are parity.
+     */
+    std::vector<Bytes> encode(const Bytes &unit_data) const;
+
+    /**
+     * Decode from per-column payloads; a column is std::nullopt when
+     * the molecule was not recovered (erasure). Present columns must
+     * have exactly column_bytes bytes.
+     */
+    UnitDecodeResult decode(
+        const std::vector<std::optional<Bytes>> &columns) const;
+
+  private:
+    unsigned n_;
+    unsigned k_;
+    size_t column_bytes_;
+    ReedSolomon rs_;
+};
+
+} // namespace dnastore::ecc
+
+#endif // DNASTORE_ECC_ENCODING_UNIT_H

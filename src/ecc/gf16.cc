@@ -1,0 +1,91 @@
+#include "ecc/gf16.h"
+
+#include "common/error.h"
+
+namespace dnastore::ecc {
+
+GF16::Tables::Tables()
+{
+    // Primitive polynomial x^4 + x + 1 -> 0b10011.
+    constexpr unsigned kPoly = 0x13;
+    uint8_t value = 1;
+    for (unsigned i = 0; i < kMultGroupOrder; ++i) {
+        exp[i] = value;
+        exp[i + kMultGroupOrder] = value;  // duplicated to skip mod.
+        log[value] = static_cast<uint8_t>(i);
+        unsigned doubled = static_cast<unsigned>(value) << 1;
+        if (doubled & 0x10)
+            doubled ^= kPoly;
+        value = static_cast<uint8_t>(doubled);
+    }
+    exp[30] = exp[15];
+    exp[31] = exp[16];
+    log[0] = 0;  // unused sentinel
+}
+
+const GF16::Tables &
+GF16::tables()
+{
+    static const Tables instance;
+    return instance;
+}
+
+uint8_t
+GF16::mul(uint8_t a, uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t
+GF16::div(uint8_t a, uint8_t b)
+{
+    panicIf(b == 0, "GF16 division by zero");
+    if (a == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.exp[t.log[a] + kMultGroupOrder - t.log[b]];
+}
+
+uint8_t
+GF16::inv(uint8_t a)
+{
+    panicIf(a == 0, "GF16 inverse of zero");
+    const Tables &t = tables();
+    return t.exp[(kMultGroupOrder - t.log[a]) % kMultGroupOrder];
+}
+
+uint8_t
+GF16::pow(uint8_t a, int n)
+{
+    if (a == 0) {
+        panicIf(n <= 0, "GF16 pow: 0 to non-positive power");
+        return 0;
+    }
+    const Tables &t = tables();
+    int exponent = (static_cast<int>(t.log[a]) * n) %
+                   static_cast<int>(kMultGroupOrder);
+    if (exponent < 0)
+        exponent += kMultGroupOrder;
+    return t.exp[exponent];
+}
+
+uint8_t
+GF16::alphaPow(int n)
+{
+    int exponent = n % static_cast<int>(kMultGroupOrder);
+    if (exponent < 0)
+        exponent += kMultGroupOrder;
+    return tables().exp[exponent];
+}
+
+unsigned
+GF16::log(uint8_t a)
+{
+    panicIf(a == 0, "GF16 log of zero");
+    return tables().log[a];
+}
+
+} // namespace dnastore::ecc

@@ -1,0 +1,75 @@
+#include "index/prefix_tree.h"
+
+#include "common/error.h"
+
+namespace dnastore::index {
+
+namespace {
+
+/** Leaves under one node at the given prefix length. */
+uint64_t
+subtreeSize(size_t prefix_len, size_t depth)
+{
+    return uint64_t{1} << (2 * (depth - prefix_len));
+}
+
+} // namespace
+
+std::vector<Prefix>
+coverRange(uint64_t lo, uint64_t hi, size_t depth)
+{
+    const uint64_t leaf_count = uint64_t{1} << (2 * depth);
+    fatalIf(lo > hi, "coverRange: lo > hi");
+    fatalIf(hi >= leaf_count, "coverRange: hi beyond 4^depth leaves");
+
+    std::vector<Prefix> cover;
+    uint64_t cursor = lo;
+    while (cursor <= hi) {
+        // Largest aligned subtree that starts at cursor and fits.
+        size_t prefix_len = depth;
+        while (prefix_len > 0) {
+            size_t candidate = prefix_len - 1;
+            uint64_t span = subtreeSize(candidate, depth);
+            if (cursor % span != 0 || cursor + span - 1 > hi)
+                break;
+            prefix_len = candidate;
+        }
+        cover.push_back(
+            codec::toBase4(cursor >> (2 * (depth - prefix_len)),
+                           prefix_len));
+        cursor += subtreeSize(prefix_len, depth);
+        if (cursor == 0)
+            break;  // wrapped: covered the whole space
+    }
+    return cover;
+}
+
+Prefix
+commonPrefix(uint64_t lo, uint64_t hi, size_t depth)
+{
+    Prefix lo_digits = codec::toBase4(lo, depth);
+    Prefix hi_digits = codec::toBase4(hi, depth);
+    Prefix common;
+    for (size_t i = 0; i < depth; ++i) {
+        if (lo_digits[i] != hi_digits[i])
+            break;
+        common.push_back(lo_digits[i]);
+    }
+    return common;
+}
+
+uint64_t
+leavesUnder(const Prefix &prefix, size_t depth)
+{
+    fatalIf(prefix.size() > depth, "prefix longer than tree depth");
+    return subtreeSize(prefix.size(), depth);
+}
+
+uint64_t
+firstLeafUnder(const Prefix &prefix, size_t depth)
+{
+    fatalIf(prefix.size() > depth, "prefix longer than tree depth");
+    return codec::fromBase4(prefix) << (2 * (depth - prefix.size()));
+}
+
+} // namespace dnastore::index

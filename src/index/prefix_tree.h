@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Dense prefix-tree address utilities (paper Section 3.1).
+ *
+ * The internal address space of a partition with index length L is
+ * the full base-4 prefix tree with 4^L leaves. Any contiguous range
+ * of leaves maps to a small set of aligned prefixes — the property
+ * that lets a range of blocks be retrieved with a few (or one
+ * less-precise) elongated primers. These helpers work on *logical*
+ * addresses (base-4 digit strings); the sparse tree maps them to
+ * physical DNA indexes.
+ */
+
+#ifndef DNASTORE_INDEX_PREFIX_TREE_H
+#define DNASTORE_INDEX_PREFIX_TREE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/base4.h"
+
+namespace dnastore::index {
+
+/** A logical tree prefix: leading base-4 digits of an address. */
+using Prefix = codec::Digits;
+
+/**
+ * Minimal set of aligned prefixes exactly covering the inclusive
+ * leaf range [lo, hi] in a depth-@p depth tree.
+ *
+ * Example (depth 3, digits as letters): range AAA..AGT is covered by
+ * {AA, AC, AG} — the example from paper Section 3.1.
+ */
+std::vector<Prefix> coverRange(uint64_t lo, uint64_t hi, size_t depth);
+
+/** Longest common prefix of the range (the paper's imprecise cover). */
+Prefix commonPrefix(uint64_t lo, uint64_t hi, size_t depth);
+
+/** Number of leaves under a prefix in a depth-@p depth tree. */
+uint64_t leavesUnder(const Prefix &prefix, size_t depth);
+
+/** First leaf id under a prefix. */
+uint64_t firstLeafUnder(const Prefix &prefix, size_t depth);
+
+} // namespace dnastore::index
+
+#endif // DNASTORE_INDEX_PREFIX_TREE_H

@@ -1,0 +1,32 @@
+#include "index/range_cover.h"
+
+namespace dnastore::index {
+
+std::vector<PhysicalPrefix>
+physicalCover(const SparseIndexTree &tree, uint64_t lo, uint64_t hi)
+{
+    std::vector<Prefix> logical = coverRange(lo, hi, tree.depth());
+    std::vector<PhysicalPrefix> cover;
+    cover.reserve(logical.size());
+    for (Prefix &prefix : logical) {
+        PhysicalPrefix entry;
+        entry.physical = tree.physicalPrefix(prefix);
+        entry.blocks_covered = leavesUnder(prefix, tree.depth());
+        entry.logical = std::move(prefix);
+        cover.push_back(std::move(entry));
+    }
+    return cover;
+}
+
+PhysicalPrefix
+physicalCommonPrefix(const SparseIndexTree &tree, uint64_t lo,
+                     uint64_t hi)
+{
+    PhysicalPrefix entry;
+    entry.logical = commonPrefix(lo, hi, tree.depth());
+    entry.physical = tree.physicalPrefix(entry.logical);
+    entry.blocks_covered = leavesUnder(entry.logical, tree.depth());
+    return entry;
+}
+
+} // namespace dnastore::index

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Physical range covers: contiguous block ranges -> elongated-primer
+ * index prefixes (paper Sections 3.1 and 4).
+ *
+ * Sequential access to blocks [lo, hi] is implemented by covering the
+ * logical range with aligned prefixes (prefix_tree.h) and mapping
+ * each through the sparse tree. A single multiplex PCR with the
+ * resulting elongated primers retrieves exactly the range; the
+ * cheaper one-primer alternative uses the longest common prefix and
+ * over-retrieves (the paper's AAA..AGT example).
+ */
+
+#ifndef DNASTORE_INDEX_RANGE_COVER_H
+#define DNASTORE_INDEX_RANGE_COVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dna/sequence.h"
+#include "index/sparse_index.h"
+
+namespace dnastore::index {
+
+/** One element of a physical cover. */
+struct PhysicalPrefix
+{
+    /** Logical prefix (base-4 digits). */
+    Prefix logical;
+
+    /** Sparse physical index prefix (2 bases per digit). */
+    dna::Sequence physical;
+
+    /** Leaves (blocks) this prefix retrieves. */
+    uint64_t blocks_covered = 0;
+};
+
+/** Exact minimal cover of [lo, hi], one entry per needed primer. */
+std::vector<PhysicalPrefix> physicalCover(const SparseIndexTree &tree,
+                                          uint64_t lo, uint64_t hi);
+
+/**
+ * Single-primer (imprecise) cover: longest common prefix of the
+ * range. blocks_covered counts everything the primer retrieves,
+ * which may exceed hi - lo + 1.
+ */
+PhysicalPrefix physicalCommonPrefix(const SparseIndexTree &tree,
+                                    uint64_t lo, uint64_t hi);
+
+} // namespace dnastore::index
+
+#endif // DNASTORE_INDEX_RANGE_COVER_H

@@ -1,0 +1,228 @@
+#include "index/sparse_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dnastore::index {
+
+SparseIndexTree::SparseIndexTree(uint64_t seed, size_t depth)
+    : seed_(seed), depth_(depth)
+{
+    fatalIf(depth == 0 || depth > 28,
+            "SparseIndexTree depth must be in [1, 28], got ", depth);
+}
+
+uint64_t
+SparseIndexTree::nodeSeed(const Prefix &node_path) const
+{
+    // Mix the path into the seed one digit at a time; include the
+    // depth so that a node and its first child never collide.
+    uint64_t state = seed_ ^ 0xa5a5a5a5a5a5a5a5ULL;
+    state = Rng::deriveSeed(state, node_path.size());
+    for (uint8_t digit : node_path)
+        state = Rng::deriveSeed(state, digit + 1);
+    return state;
+}
+
+SparseIndexTree::NodePlan
+SparseIndexTree::planFor(const Prefix &node_path) const
+{
+    Rng rng(nodeSeed(node_path));
+    NodePlan plan;
+
+    // Randomize the enumeration order of the four outgoing edges.
+    std::vector<dna::Base> edges(dna::kAllBases,
+                                 dna::kAllBases + 4);
+    rng.shuffle(edges);
+    std::copy(edges.begin(), edges.end(), plan.edges.begin());
+
+    // Spacers: opposite GC class of the edge letter; the two
+    // same-class edges get the two distinct candidates in random
+    // order so that every sibling pair differs in edge AND spacer.
+    std::vector<dna::Base> strong = {dna::Base::C, dna::Base::G};
+    std::vector<dna::Base> weak = {dna::Base::A, dna::Base::T};
+    rng.shuffle(strong);
+    rng.shuffle(weak);
+    size_t strong_cursor = 0;
+    size_t weak_cursor = 0;
+    for (size_t child = 0; child < 4; ++child) {
+        if (dna::isStrong(plan.edges[child]))
+            plan.spacers[child] = weak[weak_cursor++];
+        else
+            plan.spacers[child] = strong[strong_cursor++];
+    }
+    return plan;
+}
+
+dna::Sequence
+SparseIndexTree::physicalPrefix(const Prefix &logical) const
+{
+    fatalIf(logical.size() > depth_,
+            "logical prefix longer than tree depth");
+    dna::Sequence physical;
+    Prefix path;
+    path.reserve(logical.size());
+    for (uint8_t digit : logical) {
+        panicIf(digit > 3, "logical digit out of range");
+        NodePlan plan = planFor(path);
+        physical.push_back(plan.edges[digit]);
+        physical.push_back(plan.spacers[digit]);
+        path.push_back(digit);
+    }
+    return physical;
+}
+
+dna::Sequence
+SparseIndexTree::leafIndex(uint64_t block) const
+{
+    return physicalPrefix(codec::toBase4(block, depth_));
+}
+
+dna::Base
+SparseIndexTree::versionBase(uint64_t block, unsigned version) const
+{
+    fatalIf(version >= kVersionSlots,
+            "version ", version, " exceeds ", kVersionSlots, " slots");
+    // Per-leaf random enumeration of the four bases, independent of
+    // the node randomization stream.
+    Rng rng(Rng::deriveSeed(nodeSeed(codec::toBase4(block, depth_)),
+                            0x5eedULL));
+    std::vector<dna::Base> order(dna::kAllBases, dna::kAllBases + 4);
+    rng.shuffle(order);
+    return order[version];
+}
+
+dna::Sequence
+SparseIndexTree::physicalAddress(uint64_t block, unsigned version) const
+{
+    dna::Sequence address = leafIndex(block);
+    address.push_back(versionBase(block, version));
+    return address;
+}
+
+std::optional<IndexMatch>
+SparseIndexTree::decode(const dna::Sequence &physical) const
+{
+    if (physical.size() != physicalLength() &&
+        physical.size() != physicalLength() + 1) {
+        return std::nullopt;
+    }
+    Prefix path;
+    for (size_t level = 0; level < depth_; ++level) {
+        NodePlan plan = planFor(path);
+        char edge = physical[2 * level];
+        char spacer = physical[2 * level + 1];
+        bool matched = false;
+        for (size_t child = 0; child < 4; ++child) {
+            if (dna::baseToChar(plan.edges[child]) == edge &&
+                dna::baseToChar(plan.spacers[child]) == spacer) {
+                path.push_back(static_cast<uint8_t>(child));
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            return std::nullopt;
+    }
+    IndexMatch match;
+    match.block = codec::fromBase4(path);
+    if (physical.size() == physicalLength() + 1) {
+        char version_char = physical[physicalLength()];
+        bool found = false;
+        for (unsigned v = 0; v < kVersionSlots; ++v) {
+            if (dna::baseToChar(versionBase(match.block, v)) ==
+                version_char) {
+                match.version = v;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return std::nullopt;
+    }
+    return match;
+}
+
+IndexMatch
+SparseIndexTree::decodeNearest(const dna::Sequence &physical) const
+{
+    // Beam search over the tree: a single corrupted base can tie two
+    // children at one level (the true child's spacer mismatches, a
+    // sibling's edge mismatches), so a greedy walk is not enough.
+    constexpr size_t kBeamWidth = 6;
+    struct Candidate
+    {
+        Prefix path;
+        size_t cost = 0;
+    };
+    std::vector<Candidate> beam = {Candidate{}};
+    std::vector<Candidate> next;
+    for (size_t level = 0; level < depth_; ++level) {
+        char edge = 2 * level < physical.size() ? physical[2 * level]
+                                                : 'A';
+        char spacer = 2 * level + 1 < physical.size()
+                          ? physical[2 * level + 1]
+                          : 'A';
+        next.clear();
+        for (const Candidate &candidate : beam) {
+            NodePlan plan = planFor(candidate.path);
+            for (size_t child = 0; child < 4; ++child) {
+                size_t cost = candidate.cost;
+                if (dna::baseToChar(plan.edges[child]) != edge)
+                    ++cost;
+                if (dna::baseToChar(plan.spacers[child]) != spacer)
+                    ++cost;
+                Candidate extended;
+                extended.path = candidate.path;
+                extended.path.push_back(static_cast<uint8_t>(child));
+                extended.cost = cost;
+                next.push_back(std::move(extended));
+            }
+        }
+        std::sort(next.begin(), next.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      return a.cost < b.cost;
+                  });
+        if (next.size() > kBeamWidth)
+            next.resize(kBeamWidth);
+        beam = next;
+    }
+
+    IndexMatch match;
+    match.mismatches = beam.front().cost;
+    match.block = codec::fromBase4(beam.front().path);
+    if (physical.size() > physicalLength()) {
+        char version_char = physical[physicalLength()];
+        unsigned best_version = 0;
+        bool exact = false;
+        for (unsigned v = 0; v < kVersionSlots; ++v) {
+            if (dna::baseToChar(versionBase(match.block, v)) ==
+                version_char) {
+                best_version = v;
+                exact = true;
+                break;
+            }
+        }
+        if (!exact)
+            ++match.mismatches;
+        match.version = best_version;
+    }
+    return match;
+}
+
+std::array<dna::Base, 4>
+SparseIndexTree::edgeOrder(const Prefix &node_path) const
+{
+    return planFor(node_path).edges;
+}
+
+std::array<dna::Base, 4>
+SparseIndexTree::spacerOrder(const Prefix &node_path) const
+{
+    return planFor(node_path).spacers;
+}
+
+} // namespace dnastore::index

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * PCR-navigable sparse index tree (paper Sections 4.3 and 4.4).
+ *
+ * The tree transforms logical base-4 addresses into physical DNA
+ * indexes that are viable PCR-primer elongations:
+ *
+ *  1. The four edges of every node are re-enumerated in a random
+ *     order (seeded per node), so degenerate/unbalanced trees do not
+ *     produce all-A paths.
+ *  2. A spacer base of the opposite GC class is inserted after every
+ *     edge letter. Among the four children, the two weak-lettered
+ *     edges (A/T) receive the two strong spacers (C/G) in random
+ *     order and vice versa, maximizing sibling Hamming distance.
+ *
+ * The resulting physical index of a depth-L leaf is 2L bases with
+ * exactly one strong base per (edge, spacer) pair — near-perfect GC
+ * balance in every prefix — no homopolymer longer than 2, and every
+ * pair of sibling chunks at Hamming distance 2.
+ *
+ * The tree is never materialized: every node's randomization is
+ * recomputed from hash(seed, node path), so only the 64-bit seed has
+ * to be stored with the partition metadata (Section 4.4).
+ *
+ * A final *version base* after the leaf index distinguishes the
+ * original block (version 0) from its update patches (versions 1..3),
+ * implementing the interleaved update layout of Figure 8: data and
+ * updates share the 2L-base prefix and are retrieved by one PCR.
+ */
+
+#ifndef DNASTORE_INDEX_SPARSE_INDEX_H
+#define DNASTORE_INDEX_SPARSE_INDEX_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "codec/base4.h"
+#include "dna/sequence.h"
+#include "index/prefix_tree.h"
+
+namespace dnastore::index {
+
+/** Outcome of decoding a (possibly noisy) physical index. */
+struct IndexMatch
+{
+    uint64_t block = 0;
+
+    /** Version slot encoded by the version base (0 = original). */
+    unsigned version = 0;
+
+    /** Hamming mismatches accumulated while walking the tree. */
+    size_t mismatches = 0;
+};
+
+/**
+ * Seeded, lazily-evaluated sparse index tree.
+ */
+class SparseIndexTree
+{
+  public:
+    /** Number of version slots per block (1 original + 3 updates). */
+    static constexpr unsigned kVersionSlots = 4;
+
+    /**
+     * @param seed  per-partition randomization seed
+     * @param depth logical tree depth L (leaves = 4^L)
+     */
+    SparseIndexTree(uint64_t seed, size_t depth);
+
+    size_t depth() const { return depth_; }
+    uint64_t leafCount() const { return uint64_t{1} << (2 * depth_); }
+
+    /** Physical bases of a full leaf index (2 * depth). */
+    size_t physicalLength() const { return 2 * depth_; }
+
+    /**
+     * Map a logical prefix (possibly shorter than depth) to its
+     * physical sparse representation of 2 * prefix.size() bases.
+     */
+    dna::Sequence physicalPrefix(const Prefix &logical) const;
+
+    /** Physical index of leaf @p block (full depth). */
+    dna::Sequence leafIndex(uint64_t block) const;
+
+    /**
+     * Version base appended after the leaf index: a per-leaf random
+     * enumeration of the four bases; slot 0 tags the original block,
+     * slots 1..3 tag successive update patches (Figure 8 layout).
+     */
+    dna::Base versionBase(uint64_t block, unsigned version) const;
+
+    /** Full physical address: leaf index + version base. */
+    dna::Sequence physicalAddress(uint64_t block, unsigned version) const;
+
+    /**
+     * Exact decode of a physical index (and version base if the
+     * sequence is 2*depth+1 long). Returns nullopt on any mismatch.
+     */
+    std::optional<IndexMatch> decode(const dna::Sequence &physical) const;
+
+    /**
+     * Nearest-leaf decode for noisy indexes: at every level follow
+     * the child whose (edge, spacer) chunk is closest in Hamming
+     * distance, accumulating mismatches. Always returns a leaf; the
+     * caller decides whether the mismatch count is acceptable.
+     */
+    IndexMatch decodeNearest(const dna::Sequence &physical) const;
+
+    /** The randomized edge order (logical digit -> base) at a node. */
+    std::array<dna::Base, 4> edgeOrder(const Prefix &node_path) const;
+
+    /** The spacer assigned after each edge of a node. */
+    std::array<dna::Base, 4> spacerOrder(const Prefix &node_path) const;
+
+    uint64_t seed() const { return seed_; }
+
+  private:
+    uint64_t seed_;
+    size_t depth_;
+
+    /** Per-node deterministic randomization. */
+    struct NodePlan
+    {
+        std::array<dna::Base, 4> edges;
+        std::array<dna::Base, 4> spacers;
+    };
+    NodePlan planFor(const Prefix &node_path) const;
+    uint64_t nodeSeed(const Prefix &node_path) const;
+};
+
+} // namespace dnastore::index
+
+#endif // DNASTORE_INDEX_SPARSE_INDEX_H

@@ -1,0 +1,64 @@
+#include "primer/constraints.h"
+
+#include "dna/analysis.h"
+#include "dna/distance.h"
+
+namespace dnastore::primer {
+
+CheckResult
+checkComposition(const dna::Sequence &candidate,
+                 const Constraints &constraints)
+{
+    CheckResult result;
+    double gc = dna::gcContent(candidate);
+    result.gc_ok = gc >= constraints.gc_min && gc <= constraints.gc_max;
+    result.homopolymer_ok =
+        dna::maxHomopolymerRun(candidate) <= constraints.max_homopolymer;
+    double tm = dna::meltingTemperature(candidate);
+    result.tm_ok = tm >= constraints.tm_min && tm <= constraints.tm_max;
+    return result;
+}
+
+namespace {
+
+/** True if hamming(a, b) >= limit; stops counting at the limit. */
+bool
+hammingAtLeast(const dna::Sequence &a, const dna::Sequence &b,
+               size_t limit)
+{
+    const std::string &sa = a.str();
+    const std::string &sb = b.str();
+    size_t common = std::min(sa.size(), sb.size());
+    size_t distance = std::max(sa.size(), sb.size()) - common;
+    if (distance >= limit)
+        return true;
+    for (size_t i = 0; i < common; ++i) {
+        if (sa[i] != sb[i] && ++distance >= limit)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+checkDistances(const dna::Sequence &candidate,
+               const std::vector<dna::Sequence> &accepted,
+               const Constraints &constraints)
+{
+    dna::Sequence candidate_rc = candidate.reverseComplement();
+    for (const dna::Sequence &other : accepted) {
+        if (!hammingAtLeast(candidate, other,
+                            constraints.min_pairwise_hamming)) {
+            return false;
+        }
+        if (constraints.check_reverse_complement &&
+            !hammingAtLeast(candidate_rc, other,
+                            constraints.min_pairwise_hamming)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace dnastore::primer

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PCR primer viability constraints.
+ *
+ * Main (partition) primers must satisfy the classic constraints from
+ * prior work [23, 33] (paper Sections 1 and 2.1.4): GC content near
+ * 50%, no long homopolymer runs, a melting-temperature window, and a
+ * large minimum pairwise Hamming distance to every other primer in
+ * the pool. Elongated primers (Section 4.2) additionally require GC
+ * balance in *every prefix*, because the primer may stop at any index
+ * boundary.
+ */
+
+#ifndef DNASTORE_PRIMER_CONSTRAINTS_H
+#define DNASTORE_PRIMER_CONSTRAINTS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "dna/sequence.h"
+
+namespace dnastore::primer {
+
+/** Tunable constraint set for a primer family. */
+struct Constraints
+{
+    double gc_min = 0.45;
+    double gc_max = 0.55;
+    size_t max_homopolymer = 3;
+    double tm_min = 50.0;
+    double tm_max = 65.0;
+
+    /** Minimum Hamming distance to every already-accepted primer. */
+    size_t min_pairwise_hamming = 6;
+
+    /** Also enforce the distance against reverse complements, so a
+     *  primer cannot anneal to another primer's binding site. */
+    bool check_reverse_complement = true;
+};
+
+/** Detailed outcome of a single-primer viability check. */
+struct CheckResult
+{
+    bool gc_ok = false;
+    bool homopolymer_ok = false;
+    bool tm_ok = false;
+
+    bool ok() const { return gc_ok && homopolymer_ok && tm_ok; }
+};
+
+/** Check the composition constraints of a single candidate. */
+CheckResult checkComposition(const dna::Sequence &candidate,
+                             const Constraints &constraints);
+
+/**
+ * Check the distance constraint of @p candidate against an accepted
+ * set. Returns true if the candidate keeps the required distance to
+ * every accepted primer (and their reverse complements if enabled).
+ */
+bool checkDistances(const dna::Sequence &candidate,
+                    const std::vector<dna::Sequence> &accepted,
+                    const Constraints &constraints);
+
+} // namespace dnastore::primer
+
+#endif // DNASTORE_PRIMER_CONSTRAINTS_H

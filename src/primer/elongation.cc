@@ -1,0 +1,42 @@
+#include "primer/elongation.h"
+
+#include <algorithm>
+
+#include "dna/analysis.h"
+
+namespace dnastore::primer {
+
+ElongationBuilder::ElongationBuilder(dna::Sequence main_primer,
+                                     dna::Base sync_base)
+    : stem_(std::move(main_primer))
+{
+    stem_.push_back(sync_base);
+}
+
+dna::Sequence
+ElongationBuilder::build(const dna::Sequence &index_prefix) const
+{
+    return stem_ + index_prefix;
+}
+
+ElongationReport
+validateElongations(const ElongationBuilder &builder,
+                    const dna::Sequence &index)
+{
+    ElongationReport report;
+    for (size_t len = 2; len <= index.size(); len += 2) {
+        dna::Sequence prefix = index.substr(0, len);
+        double deviation =
+            std::abs(static_cast<double>(dna::gcCount(prefix)) -
+                     static_cast<double>(len) / 2.0);
+        report.worst_gc_deviation =
+            std::max(report.worst_gc_deviation, deviation);
+        dna::Sequence full = builder.build(prefix);
+        report.worst_homopolymer = std::max(
+            report.worst_homopolymer, dna::maxHomopolymerRun(full));
+    }
+    report.full_tm = dna::meltingTemperature(builder.build(index));
+    return report;
+}
+
+} // namespace dnastore::primer

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Elongated-primer construction and validation (paper Section 4).
+ *
+ * An elongated forward primer is the main partition primer, the
+ * synchronization base, and a prefix of the PCR-compatible sparse
+ * index appended base-by-base: 20 + 1 + (up to 2L) bases. In the
+ * wetlab evaluation L = 5, giving 31-base primers (Section 6.5). The
+ * validator checks what Section 4.2 demands: balanced GC content in
+ * every possible elongation, no homopolymer longer than the limit,
+ * and a melting temperature within the window for the full primer.
+ */
+
+#ifndef DNASTORE_PRIMER_ELONGATION_H
+#define DNASTORE_PRIMER_ELONGATION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "dna/sequence.h"
+
+namespace dnastore::primer {
+
+/**
+ * Builds elongated primers for one partition.
+ */
+class ElongationBuilder
+{
+  public:
+    /**
+     * @param main_primer the 20-base partition forward primer
+     * @param sync_base   the synchronization base appended after the
+     *                    main primer (paper Section 6.2 uses 'A')
+     */
+    ElongationBuilder(dna::Sequence main_primer, dna::Base sync_base);
+
+    /** The fixed stem: main primer + sync base. */
+    const dna::Sequence &stem() const { return stem_; }
+
+    /**
+     * Build main + sync + index_prefix. The prefix may be any leading
+     * portion of a block's sparse index (full for block access,
+     * partial for sequential/range access).
+     */
+    dna::Sequence build(const dna::Sequence &index_prefix) const;
+
+  private:
+    dna::Sequence stem_;
+};
+
+/** Validation summary for a set of elongations of one primer. */
+struct ElongationReport
+{
+    /** Worst GC deviation (in bases from len/2) across the index
+     *  part of every checked elongation length. */
+    double worst_gc_deviation = 0.0;
+
+    /** Longest homopolymer run in any full elongated primer. */
+    size_t worst_homopolymer = 0;
+
+    /** Melting temperature of the longest elongation. */
+    double full_tm = 0.0;
+};
+
+/**
+ * Validate the elongations of @p index at every even prefix length
+ * (the lengths at which a primer may legally stop: after each
+ * edge+spacer pair of the sparse tree).
+ */
+ElongationReport validateElongations(const ElongationBuilder &builder,
+                                     const dna::Sequence &index);
+
+} // namespace dnastore::primer
+
+#endif // DNASTORE_PRIMER_ELONGATION_H

@@ -1,0 +1,40 @@
+#include "primer/library.h"
+
+#include "common/rng.h"
+
+namespace dnastore::primer {
+
+LibraryGenerator::LibraryGenerator(size_t primer_length,
+                                   Constraints constraints, uint64_t seed)
+    : primer_length_(primer_length), constraints_(constraints),
+      seed_(seed)
+{}
+
+LibraryResult
+LibraryGenerator::generate(uint64_t max_candidates,
+                           size_t max_accepted) const
+{
+    LibraryResult result;
+    Rng rng = Rng::deriveStream(seed_, "primer-library");
+    std::vector<dna::Base> bases(primer_length_);
+    for (uint64_t trial = 0; trial < max_candidates; ++trial) {
+        if (result.primers.size() >= max_accepted)
+            break;
+        ++result.candidates_tried;
+        for (size_t i = 0; i < primer_length_; ++i)
+            bases[i] = static_cast<dna::Base>(rng.nextBelow(4));
+        dna::Sequence candidate(bases);
+        if (!checkComposition(candidate, constraints_).ok()) {
+            ++result.rejected_composition;
+            continue;
+        }
+        if (!checkDistances(candidate, result.primers, constraints_)) {
+            ++result.rejected_distance;
+            continue;
+        }
+        result.primers.push_back(std::move(candidate));
+    }
+    return result;
+}
+
+} // namespace dnastore::primer

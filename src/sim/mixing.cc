@@ -1,0 +1,120 @@
+#include "sim/mixing.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dnastore::sim {
+
+namespace {
+
+/** Simulated concentration measurement with relative error. */
+double
+measureMass(const Pool &pool, double relative_error, Rng &rng)
+{
+    double noise = 1.0 + relative_error * rng.nextGaussian();
+    return pool.totalMass() * std::max(noise, 0.01);
+}
+
+/** Count unique molecules by provenance class. */
+size_t
+uniqueCount(const Pool &pool)
+{
+    return pool.speciesCount();
+}
+
+} // namespace
+
+double
+perMoleculeRatio(const Pool &pool)
+{
+    double data_mass = 0.0;
+    double update_mass = 0.0;
+    size_t data_unique = 0;
+    size_t update_unique = 0;
+    for (const Species &s : pool.species()) {
+        if (s.info.version > 0) {
+            update_mass += s.mass;
+            ++update_unique;
+        } else {
+            data_mass += s.mass;
+            ++data_unique;
+        }
+    }
+    if (data_unique == 0 || update_unique == 0 || data_mass <= 0.0)
+        return 0.0;
+    double per_data = data_mass / static_cast<double>(data_unique);
+    double per_update =
+        update_mass / static_cast<double>(update_unique);
+    return per_update / per_data;
+}
+
+MixResult
+measureThenAmplify(const Pool &data_pool, const Pool &update_pool,
+                   const std::vector<PcrPrimer> &main_primers,
+                   const dna::Sequence &reverse, const PcrParams &pcr,
+                   const MixingParams &params)
+{
+    Rng rng = Rng::deriveStream(params.seed, "mixing-mta");
+
+    double data_mass =
+        measureMass(data_pool, params.measurement_error, rng);
+    double update_mass =
+        measureMass(update_pool, params.measurement_error, rng);
+    double per_data =
+        data_mass / static_cast<double>(uniqueCount(data_pool));
+    double per_update =
+        update_mass / static_cast<double>(uniqueCount(update_pool));
+    fatalIf(per_update <= 0.0, "update pool is empty");
+
+    MixResult result;
+    result.dilution = per_data / per_update;
+
+    Pool mix = data_pool;
+    mix.mixIn(update_pool, result.dilution);
+
+    PcrParams amplify = pcr;
+    amplify.cycles = params.pcr_cycles;
+    result.mixed = runPcr(mix, main_primers, reverse, amplify);
+    result.achieved_ratio = perMoleculeRatio(result.mixed);
+    return result;
+}
+
+MixResult
+amplifyThenMeasure(const Pool &data_pool, const Pool &update_pool,
+                   const std::vector<PcrPrimer> &main_primers,
+                   const dna::Sequence &reverse, const PcrParams &pcr,
+                   const MixingParams &params)
+{
+    Rng rng = Rng::deriveStream(params.seed, "mixing-atm");
+
+    PcrParams amplify = pcr;
+    amplify.cycles = params.pcr_cycles;
+    Pool data_amplified =
+        runPcr(data_pool, main_primers, reverse, amplify);
+    Pool update_amplified =
+        runPcr(update_pool, main_primers, reverse, amplify);
+
+    // PCR cleanup: drop trace species left from the input pools.
+    data_amplified.dropBelow(1e-9 * data_amplified.totalMass());
+    update_amplified.dropBelow(1e-9 * update_amplified.totalMass());
+
+    double data_mass =
+        measureMass(data_amplified, params.measurement_error, rng);
+    double update_mass =
+        measureMass(update_amplified, params.measurement_error, rng);
+    double per_data =
+        data_mass / static_cast<double>(uniqueCount(data_amplified));
+    double per_update =
+        update_mass /
+        static_cast<double>(uniqueCount(update_amplified));
+    fatalIf(per_update <= 0.0, "update pool is empty");
+
+    MixResult result;
+    result.dilution = per_data / per_update;
+    result.mixed = data_amplified;
+    result.mixed.mixIn(update_amplified, result.dilution);
+    result.achieved_ratio = perMoleculeRatio(result.mixed);
+    return result;
+}
+
+} // namespace dnastore::sim

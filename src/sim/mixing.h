@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Protocols for mixing a data pool with an update pool at matched
+ * per-molecule concentrations (paper Sections 5.5 and 6.4.2).
+ *
+ * Updated data is cheap to sequence only if update molecules are
+ * represented about as often as data molecules; the paper's IDT
+ * update pool arrived 50000x more concentrated than the Twist data
+ * pool and still mixed to near parity using basic tools. Two
+ * protocols are modelled:
+ *
+ *  - Measure-then-Amplify: measure both raw pools, dilute the update
+ *    pool so that mass-per-unique-molecule matches, mix, then PCR the
+ *    mix with the main partition primers.
+ *  - Amplify-then-Measure: PCR each pool separately with the main
+ *    primers (for when the original synthesis pools are no longer
+ *    available), clean up, measure, then mix proportionally to the
+ *    unique-molecule counts.
+ */
+
+#ifndef DNASTORE_SIM_MIXING_H
+#define DNASTORE_SIM_MIXING_H
+
+#include <cstdint>
+
+#include "sim/pcr.h"
+#include "sim/pool.h"
+
+namespace dnastore::sim {
+
+/** Protocol knobs. */
+struct MixingParams
+{
+    /** Relative error of each concentration measurement (nanodrop). */
+    double measurement_error = 0.03;
+
+    /** PCR cycles used by the protocol (paper uses 15). */
+    unsigned pcr_cycles = 15;
+
+    uint64_t seed = 11;
+};
+
+/** Outcome of a mixing protocol. */
+struct MixResult
+{
+    Pool mixed;
+
+    /** Achieved per-unique-molecule mass ratio update/data; the goal
+     *  is 1.0. */
+    double achieved_ratio = 0.0;
+
+    /** Dilution factor applied to the update pool. */
+    double dilution = 0.0;
+};
+
+/** Per-unique-molecule mass ratio update(version>0) / data. */
+double perMoleculeRatio(const Pool &pool);
+
+/** Measure-then-Amplify protocol (Section 6.4.2, first approach). */
+MixResult measureThenAmplify(const Pool &data_pool,
+                             const Pool &update_pool,
+                             const std::vector<PcrPrimer> &main_primers,
+                             const dna::Sequence &reverse,
+                             const PcrParams &pcr,
+                             const MixingParams &params);
+
+/** Amplify-then-Measure protocol (Section 6.4.2, second approach). */
+MixResult amplifyThenMeasure(const Pool &data_pool,
+                             const Pool &update_pool,
+                             const std::vector<PcrPrimer> &main_primers,
+                             const dna::Sequence &reverse,
+                             const PcrParams &pcr,
+                             const MixingParams &params);
+
+} // namespace dnastore::sim
+
+#endif // DNASTORE_SIM_MIXING_H

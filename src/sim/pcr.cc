@@ -1,0 +1,242 @@
+#include "sim/pcr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "dna/distance.h"
+
+namespace dnastore::sim {
+
+std::vector<double>
+touchdownSchedule(unsigned touchdown_cycles, unsigned total_cycles,
+                  double start_multiplier)
+{
+    fatalIf(touchdown_cycles > total_cycles,
+            "touchdown cycles exceed total cycles");
+    std::vector<double> schedule(total_cycles, 1.0);
+    for (unsigned c = 0; c < touchdown_cycles; ++c) {
+        double t = touchdown_cycles <= 1
+                       ? 1.0
+                       : static_cast<double>(c) /
+                             static_cast<double>(touchdown_cycles - 1);
+        schedule[c] = start_multiplier + t * (1.0 - start_multiplier);
+    }
+    return schedule;
+}
+
+namespace {
+
+/** Working copy of a species during the cycle loop. */
+struct Strand
+{
+    dna::Sequence seq;
+    SpeciesInfo info;
+    double mass = 0.0;
+
+    /** Per-primer annealing: weighted mismatch and amplicon target. */
+    struct Binding
+    {
+        bool anneals = false;
+        double weighted_mismatch = 0.0;
+        size_t amplicon = SIZE_MAX;  // index into the strand table
+    };
+    std::vector<Binding> bindings;
+};
+
+} // namespace
+
+Pool
+runPcr(const Pool &input, const std::vector<PcrPrimer> &primers,
+       const dna::Sequence &reverse, const PcrParams &params,
+       PcrStats *stats)
+{
+    fatalIf(primers.empty(), "runPcr: no forward primers");
+
+    const dna::Sequence reverse_site =
+        reverse.empty() ? dna::Sequence() : reverse.reverseComplement();
+
+    std::vector<Strand> strands;
+    strands.reserve(input.speciesCount() * 2);
+    std::unordered_map<std::string, size_t> by_seq;
+
+    auto internStrand = [&](dna::Sequence seq, const SpeciesInfo &info,
+                            double mass) -> size_t {
+        auto it = by_seq.find(seq.str());
+        if (it != by_seq.end()) {
+            strands[it->second].mass += mass;
+            return it->second;
+        }
+        size_t idx = strands.size();
+        by_seq.emplace(seq.str(), idx);
+        strands.push_back(Strand{std::move(seq), info, mass, {}});
+        return idx;
+    };
+
+    for (const Species &s : input.species())
+        internStrand(s.seq, s.info, s.mass);
+
+    size_t misprimed_created = 0;
+
+    // Compute (lazily, since amplicons create new strands) how each
+    // primer binds a strand and which amplicon species it produces.
+    auto ensureBindings = [&](size_t idx) {
+        if (!strands[idx].bindings.empty())
+            return;
+        // Work on a local copy: creating amplicon strands below may
+        // reallocate the strand table.
+        dna::Sequence seq = strands[idx].seq;
+        SpeciesInfo info = strands[idx].info;
+        std::vector<Strand::Binding> bindings(primers.size());
+
+        // Reverse primer binding (shared by all forward primers):
+        // the reverse primer anneals to the 3' end of the sense
+        // strand, i.e. to the prefix of the reverse complement. A
+        // plain 20-base reverse primer binds its site exactly; an
+        // *elongated* reverse primer (Section 7.7.1, two-sided
+        // extension) accrues the same mismatch penalties as the
+        // forward one.
+        double reverse_weight = 0.0;
+        size_t reverse_consumed = 0;
+        bool reverse_ok = true;
+        if (!reverse.empty()) {
+            dna::Sequence antisense = seq.reverseComplement();
+            dna::WeightedAlignment rev_align = dna::alignPrimerWeighted(
+                reverse, antisense, params.max_align_dist,
+                params.three_prime_window, params.three_prime_factor,
+                params.gap_factor);
+            if (rev_align.cost >= dna::kWeightInfinity) {
+                reverse_ok = false;
+            } else {
+                reverse_weight = rev_align.cost;
+                reverse_consumed = rev_align.template_consumed;
+            }
+        }
+
+        for (size_t p = 0; p < primers.size() && reverse_ok; ++p) {
+            const dna::Sequence &fwd = primers[p].fwd;
+            dna::WeightedAlignment align = dna::alignPrimerWeighted(
+                fwd, seq, params.max_align_dist,
+                params.three_prime_window, params.three_prime_factor,
+                params.gap_factor);
+            if (align.cost >= dna::kWeightInfinity)
+                continue;
+            if (align.template_consumed + reverse_consumed >
+                seq.size()) {
+                continue;  // primers would overlap
+            }
+            double weighted = align.cost + reverse_weight;
+
+            // Do not materialize amplicons that could never convert
+            // measurable mass: without this gate a multiplex
+            // reaction chains amplicons of amplicons into an
+            // exponential species explosion.
+            double best_efficiency =
+                params.efficiency_max *
+                primers[p].relative_concentration *
+                std::exp(-params.mismatch_penalty *
+                         std::pow(weighted,
+                                  params.mismatch_exponent));
+            if (best_efficiency < params.min_efficiency)
+                continue;
+            Strand::Binding binding;
+            binding.anneals = true;
+            binding.weighted_mismatch = weighted;
+
+            // The amplicon is delimited and overwritten by the two
+            // primers: mismatches under either primer are replaced
+            // by the primer's own sequence (paper Section 8.1).
+            dna::Sequence amplicon_seq =
+                fwd +
+                seq.substr(align.template_consumed,
+                           seq.size() - align.template_consumed -
+                               reverse_consumed) +
+                reverse_site;
+            if (amplicon_seq == seq) {
+                binding.amplicon = idx;
+            } else {
+                SpeciesInfo amplicon_info = info;
+                amplicon_info.misprimed = true;
+                size_t a =
+                    internStrand(amplicon_seq, amplicon_info, 0.0);
+                binding.amplicon = a;
+                ++misprimed_created;
+            }
+            bindings[p] = binding;
+        }
+        strands[idx].bindings = std::move(bindings);
+    };
+
+    const double input_mass = input.totalMass();
+
+    for (unsigned cycle = 0; cycle < params.cycles; ++cycle) {
+        double stringency = 1.0;
+        if (cycle < params.stringency.size())
+            stringency = params.stringency[cycle];
+
+        // Bindings for every strand alive at the start of the cycle;
+        // amplicons created here first amplify next cycle.
+        size_t alive = strands.size();
+        for (size_t i = 0; i < alive; ++i)
+            ensureBindings(i);
+
+        std::vector<double> delta(strands.size(), 0.0);
+        std::vector<double> efficiencies(primers.size(), 0.0);
+        for (size_t i = 0; i < alive; ++i) {
+            const Strand &strand = strands[i];
+            if (strand.mass <= 0.0)
+                continue;
+            // Primers compete for the same template: a molecule can
+            // be copied at most once per cycle, so the per-primer
+            // efficiencies are rescaled if they sum beyond the
+            // single-copy maximum.
+            double total = 0.0;
+            for (size_t p = 0; p < strand.bindings.size(); ++p) {
+                const Strand::Binding &binding = strand.bindings[p];
+                efficiencies[p] = 0.0;
+                if (!binding.anneals)
+                    continue;
+                double efficiency =
+                    params.efficiency_max *
+                    primers[p].relative_concentration *
+                    std::exp(-params.mismatch_penalty * stringency *
+                             std::pow(binding.weighted_mismatch,
+                                      params.mismatch_exponent));
+                if (efficiency < params.min_efficiency)
+                    continue;
+                efficiencies[p] = std::min(efficiency, 1.0);
+                total += efficiencies[p];
+            }
+            double scale =
+                total > params.efficiency_max
+                    ? params.efficiency_max / total
+                    : 1.0;
+            for (size_t p = 0; p < strand.bindings.size(); ++p) {
+                if (efficiencies[p] <= 0.0)
+                    continue;
+                const Strand::Binding &binding = strand.bindings[p];
+                if (binding.amplicon < delta.size())
+                    delta[binding.amplicon] +=
+                        strand.mass * efficiencies[p] * scale;
+            }
+        }
+        for (size_t i = 0; i < delta.size(); ++i)
+            strands[i].mass += delta[i];
+    }
+
+    Pool output;
+    for (Strand &strand : strands) {
+        if (strand.mass > 0.0)
+            output.add(std::move(strand.seq), strand.info, strand.mass);
+    }
+    if (stats) {
+        stats->species_out = output.speciesCount();
+        stats->misprimed_species = misprimed_created;
+        stats->gain =
+            input_mass > 0.0 ? output.totalMass() / input_mass : 0.0;
+    }
+    return output;
+}
+
+} // namespace dnastore::sim

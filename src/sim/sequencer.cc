@@ -1,0 +1,80 @@
+#include "sim/sequencer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dnastore::sim {
+
+namespace {
+
+dna::Base
+randomBase(Rng &rng)
+{
+    return static_cast<dna::Base>(rng.nextBelow(4));
+}
+
+dna::Base
+randomOtherBase(Rng &rng, dna::Base original)
+{
+    auto offset = static_cast<uint8_t>(1 + rng.nextBelow(3));
+    return static_cast<dna::Base>(
+        (static_cast<uint8_t>(original) + offset) % 4);
+}
+
+dna::Sequence
+applyIdsNoise(const dna::Sequence &seq, const SequencerParams &params,
+              Rng &rng)
+{
+    std::vector<dna::Base> out;
+    out.reserve(seq.size() + 4);
+    for (size_t i = 0; i < seq.size(); ++i) {
+        while (params.ins_rate > 0.0 && rng.nextBool(params.ins_rate))
+            out.push_back(randomBase(rng));
+        if (params.del_rate > 0.0 && rng.nextBool(params.del_rate))
+            continue;
+        dna::Base base = seq.baseAt(i);
+        if (params.sub_rate > 0.0 && rng.nextBool(params.sub_rate))
+            base = randomOtherBase(rng, base);
+        out.push_back(base);
+    }
+    while (params.ins_rate > 0.0 && rng.nextBool(params.ins_rate))
+        out.push_back(randomBase(rng));
+    return dna::Sequence(out);
+}
+
+} // namespace
+
+std::vector<Read>
+sequencePool(const Pool &pool, size_t num_reads,
+             const SequencerParams &params)
+{
+    fatalIf(pool.speciesCount() == 0, "sequencePool: empty pool");
+    Rng rng = Rng::deriveStream(params.seed, "sequencer");
+
+    // Cumulative mass distribution for multinomial sampling.
+    std::vector<double> cumulative;
+    cumulative.reserve(pool.speciesCount());
+    double total = 0.0;
+    for (const Species &s : pool.species()) {
+        total += s.mass;
+        cumulative.push_back(total);
+    }
+    fatalIf(total <= 0.0, "sequencePool: pool has zero mass");
+
+    std::vector<Read> reads;
+    reads.reserve(num_reads);
+    for (size_t r = 0; r < num_reads; ++r) {
+        double u = rng.nextDouble() * total;
+        size_t idx = static_cast<size_t>(
+            std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+            cumulative.begin());
+        idx = std::min(idx, pool.speciesCount() - 1);
+        const Species &s = pool.species()[idx];
+        reads.push_back(Read{applyIdsNoise(s.seq, params, rng), idx});
+    }
+    return reads;
+}
+
+} // namespace dnastore::sim

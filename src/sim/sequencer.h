@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sequencing model: sample reads from a pool through an IDS noise
+ * channel.
+ *
+ * The number of reads is the unit of sequencing cost in the paper
+ * ("the sequencing cost is always proportional to the size of the
+ * sequencing output", Section 7.3), so experiments choose read
+ * budgets and this model answers what those reads contain. Reads are
+ * drawn proportionally to species mass and corrupted with
+ * substitution/insertion/deletion errors at Illumina-like rates.
+ */
+
+#ifndef DNASTORE_SIM_SEQUENCER_H
+#define DNASTORE_SIM_SEQUENCER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dna/sequence.h"
+#include "sim/pool.h"
+
+namespace dnastore::sim {
+
+/** One sequencing read with its ground-truth origin. */
+struct Read
+{
+    dna::Sequence seq;
+
+    /** Index into the pool's species() vector (ground truth only;
+     *  decoders must not use it). */
+    size_t species_index = 0;
+};
+
+/** Error-channel and sampling parameters. */
+struct SequencerParams
+{
+    double sub_rate = 0.003;
+    double ins_rate = 0.0007;
+    double del_rate = 0.0007;
+    uint64_t seed = 7;
+};
+
+/** Draw @p num_reads noisy reads from the pool. */
+std::vector<Read> sequencePool(const Pool &pool, size_t num_reads,
+                               const SequencerParams &params);
+
+} // namespace dnastore::sim
+
+#endif // DNASTORE_SIM_SEQUENCER_H

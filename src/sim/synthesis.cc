@@ -1,0 +1,72 @@
+#include "sim/synthesis.h"
+
+#include "common/rng.h"
+
+namespace dnastore::sim {
+
+namespace {
+
+/** A single-base synthesis defect: substitution, insertion, or
+ *  truncating deletion at a random position. */
+dna::Sequence
+makeByproduct(const dna::Sequence &seq, Rng &rng)
+{
+    if (seq.empty())
+        return seq;
+    std::string s = seq.str();
+    size_t pos = rng.nextBelow(s.size());
+    switch (rng.nextBelow(3)) {
+      case 0: {  // substitution
+        char original = s[pos];
+        do {
+            s[pos] = dna::baseToChar(
+                static_cast<dna::Base>(rng.nextBelow(4)));
+        } while (s[pos] == original);
+        break;
+      }
+      case 1:  // insertion
+        s.insert(pos, 1,
+                 dna::baseToChar(
+                     static_cast<dna::Base>(rng.nextBelow(4))));
+        break;
+      default:  // deletion
+        s.erase(pos, 1);
+        break;
+    }
+    return dna::Sequence(std::move(s));
+}
+
+} // namespace
+
+Pool
+synthesize(const std::vector<DesignedMolecule> &order,
+           const SynthesisParams &params)
+{
+    Rng rng = Rng::deriveStream(params.seed, "synthesis");
+    Pool pool;
+    for (const DesignedMolecule &molecule : order) {
+        if (params.dropout_rate > 0.0 &&
+            rng.nextBool(params.dropout_rate)) {
+            continue;
+        }
+        double yield =
+            params.scale * rng.nextLogNormal(0.0, params.sigma);
+        double clean = yield;
+        if (params.byproduct_fraction > 0.0 &&
+            params.byproduct_variants > 0) {
+            double defect_mass = yield * params.byproduct_fraction;
+            clean = yield - defect_mass;
+            for (unsigned v = 0; v < params.byproduct_variants; ++v) {
+                pool.add(makeByproduct(molecule.seq, rng),
+                         molecule.info,
+                         defect_mass /
+                             static_cast<double>(
+                                 params.byproduct_variants));
+            }
+        }
+        pool.add(molecule.seq, molecule.info, clean);
+    }
+    return pool;
+}
+
+} // namespace dnastore::sim

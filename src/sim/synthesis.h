@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DNA synthesis model.
+ *
+ * Commercial synthesis produces millions of copies of every designed
+ * molecule, with a vendor- and molecule-dependent yield. Figure 9a of
+ * the paper shows the resulting representation is uniform within
+ * roughly 2x; we model per-molecule copy counts as
+ * scale * LogNormal(0, sigma). Vendor pools can differ hugely in
+ * overall concentration (the paper's IDT update pool was 50000x more
+ * concentrated than the Twist data pool), which is expressed through
+ * the scale parameter.
+ */
+
+#ifndef DNASTORE_SIM_SYNTHESIS_H
+#define DNASTORE_SIM_SYNTHESIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/pool.h"
+
+namespace dnastore::sim {
+
+/** A molecule design submitted for synthesis. */
+struct DesignedMolecule
+{
+    dna::Sequence seq;
+    SpeciesInfo info;
+};
+
+/** Parameters of one synthesis vendor/order. */
+struct SynthesisParams
+{
+    /** Mean copies per designed molecule. */
+    double scale = 1e6;
+
+    /** Log-space sigma of the per-molecule yield (0.15 keeps the
+     *  spread within the ~2x band of Figure 9a). */
+    double sigma = 0.15;
+
+    /** Fraction of molecules that fail synthesis entirely. */
+    double dropout_rate = 0.0;
+
+    /** Mass fraction of each design produced as erroneous variant
+     *  species (single-base synthesis defects). Real oligo pools
+     *  carry a tail of such byproducts; they stress the clustering
+     *  and consensus stages. 0 disables. */
+    double byproduct_fraction = 0.0;
+
+    /** Distinct variant species per design when byproducts are on. */
+    unsigned byproduct_variants = 2;
+
+    uint64_t seed = 1;
+};
+
+/** Synthesize an order into a pool. */
+Pool synthesize(const std::vector<DesignedMolecule> &order,
+                const SynthesisParams &params);
+
+} // namespace dnastore::sim
+
+#endif // DNASTORE_SIM_SYNTHESIS_H

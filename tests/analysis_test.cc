@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for GC-content, homopolymer and Tm analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dna/analysis.h"
+
+namespace dnastore::dna {
+namespace {
+
+TEST(GcContentTest, Basics)
+{
+    EXPECT_DOUBLE_EQ(gcContent(Sequence("GGCC")), 1.0);
+    EXPECT_DOUBLE_EQ(gcContent(Sequence("AATT")), 0.0);
+    EXPECT_DOUBLE_EQ(gcContent(Sequence("ACGT")), 0.5);
+    EXPECT_DOUBLE_EQ(gcContent(Sequence()), 0.0);
+}
+
+TEST(GcContentTest, Count)
+{
+    EXPECT_EQ(gcCount(Sequence("GATTACA")), 2u);
+    EXPECT_EQ(gcCount(Sequence()), 0u);
+}
+
+TEST(HomopolymerTest, Runs)
+{
+    EXPECT_EQ(maxHomopolymerRun(Sequence()), 0u);
+    EXPECT_EQ(maxHomopolymerRun(Sequence("ACGT")), 1u);
+    EXPECT_EQ(maxHomopolymerRun(Sequence("AACGT")), 2u);
+    EXPECT_EQ(maxHomopolymerRun(Sequence("ACGGGGT")), 4u);
+    EXPECT_EQ(maxHomopolymerRun(Sequence("TTTTT")), 5u);
+    EXPECT_EQ(maxHomopolymerRun(Sequence("ATTTA")), 3u);
+}
+
+TEST(PrefixGcDeviationTest, AlternatingIsHalf)
+{
+    // Perfect strong/weak alternation: every prefix within 0.5.
+    EXPECT_LE(maxPrefixGcDeviation(Sequence("ACAGTCTG")), 0.5);
+}
+
+TEST(PrefixGcDeviationTest, SkewedPrefixDetected)
+{
+    // GC-balanced overall, but the first 4 bases are all strong.
+    Sequence seq("GGCCAATT");
+    EXPECT_DOUBLE_EQ(maxPrefixGcDeviation(seq), 2.0);
+}
+
+TEST(PrefixGcDeviationTest, MinPrefixSkipsShortPrefixes)
+{
+    Sequence seq("GAAAAAAA");
+    // From length 8 only: 1 strong vs 4 expected -> deviation 3.
+    EXPECT_DOUBLE_EQ(maxPrefixGcDeviation(seq, 8), 3.0);
+}
+
+TEST(MeltingTemperatureTest, WallaceShortRule)
+{
+    // 2(A+T) + 4(G+C): ACGT -> 2*2 + 4*2 = 12.
+    EXPECT_DOUBLE_EQ(meltingTemperature(Sequence("ACGT")), 12.0);
+}
+
+TEST(MeltingTemperatureTest, LongFormula)
+{
+    // 20-mer with 50% GC: 64.9 + 41 * (10 - 16.4) / 20 = 51.78.
+    Sequence primer("ACGTACGTACGTACGTACGT");
+    EXPECT_NEAR(meltingTemperature(primer), 51.78, 0.01);
+}
+
+TEST(MeltingTemperatureTest, GcRaisesTm)
+{
+    Sequence low("ATATATATATATATATATAT");
+    Sequence high("GCGCGCGCGCGCGCGCGCGC");
+    EXPECT_LT(meltingTemperature(low), meltingTemperature(high));
+}
+
+} // namespace
+} // namespace dnastore::dna

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for base-4 address digit conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/base4.h"
+#include "common/error.h"
+
+namespace dnastore::codec {
+namespace {
+
+TEST(Base4Test, KnownValues)
+{
+    EXPECT_EQ(toBase4(0, 3), (Digits{0, 0, 0}));
+    EXPECT_EQ(toBase4(1, 3), (Digits{0, 0, 1}));
+    EXPECT_EQ(toBase4(4, 3), (Digits{0, 1, 0}));
+    EXPECT_EQ(toBase4(63, 3), (Digits{3, 3, 3}));
+}
+
+TEST(Base4Test, RoundTrip)
+{
+    for (uint64_t value = 0; value < 1024; ++value)
+        EXPECT_EQ(fromBase4(toBase4(value, 5)), value);
+}
+
+TEST(Base4Test, OverflowRejected)
+{
+    EXPECT_THROW(toBase4(64, 3), dnastore::FatalError);
+    EXPECT_NO_THROW(toBase4(63, 3));
+}
+
+TEST(Base4Test, DigitsFor)
+{
+    EXPECT_EQ(digitsFor(0), 0u);
+    EXPECT_EQ(digitsFor(1), 0u);
+    EXPECT_EQ(digitsFor(2), 1u);
+    EXPECT_EQ(digitsFor(4), 1u);
+    EXPECT_EQ(digitsFor(5), 2u);
+    EXPECT_EQ(digitsFor(1024), 5u);
+    EXPECT_EQ(digitsFor(1025), 6u);
+}
+
+TEST(Base4Test, EmptyDigitsIsZero)
+{
+    EXPECT_EQ(fromBase4({}), 0u);
+}
+
+} // namespace
+} // namespace dnastore::codec

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit and property tests for the 2-bit payload codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/base_codec.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dnastore::codec {
+namespace {
+
+TEST(BaseCodecTest, KnownEncoding)
+{
+    // 0x1B = 00 01 10 11 -> A C G T.
+    EXPECT_EQ(bytesToBases({0x1b}).str(), "ACGT");
+    EXPECT_EQ(bytesToBases({0x00}).str(), "AAAA");
+    EXPECT_EQ(bytesToBases({0xff}).str(), "TTTT");
+}
+
+TEST(BaseCodecTest, RoundTrip)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        Bytes data(1 + rng.nextBelow(64));
+        for (uint8_t &byte : data)
+            byte = static_cast<uint8_t>(rng.nextBelow(256));
+        EXPECT_EQ(basesToBytes(bytesToBases(data)), data);
+    }
+}
+
+TEST(BaseCodecTest, FourBasesPerByte)
+{
+    Bytes data(24);
+    EXPECT_EQ(bytesToBases(data).size(), 96u);
+}
+
+TEST(BaseCodecTest, DecodeRejectsBadLength)
+{
+    EXPECT_THROW(basesToBytes(dna::Sequence("ACG")),
+                 dnastore::FatalError);
+}
+
+TEST(NibbleCodecTest, RoundTrip)
+{
+    std::vector<uint8_t> nibbles = {0, 1, 5, 15, 8, 3};
+    EXPECT_EQ(basesToNibbles(nibblesToBases(nibbles)), nibbles);
+}
+
+TEST(NibbleCodecTest, BytesToNibblesHighFirst)
+{
+    std::vector<uint8_t> nibbles = bytesToNibbles({0xab, 0x4f});
+    ASSERT_EQ(nibbles.size(), 4u);
+    EXPECT_EQ(nibbles[0], 0xau);
+    EXPECT_EQ(nibbles[1], 0xbu);
+    EXPECT_EQ(nibbles[2], 0x4u);
+    EXPECT_EQ(nibbles[3], 0xfu);
+}
+
+TEST(NibbleCodecTest, NibbleByteRoundTrip)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 50; ++trial) {
+        Bytes data(2 + rng.nextBelow(32));
+        for (uint8_t &byte : data)
+            byte = static_cast<uint8_t>(rng.nextBelow(256));
+        EXPECT_EQ(nibblesToBytes(bytesToNibbles(data)), data);
+    }
+}
+
+TEST(NibbleCodecTest, OddNibbleCountRejected)
+{
+    EXPECT_THROW(nibblesToBytes({1, 2, 3}), dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::codec

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for double-sided BMA trace reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "consensus/bma.h"
+#include "dna/distance.h"
+
+namespace dnastore::consensus {
+namespace {
+
+dna::Sequence
+randomSeq(dnastore::Rng &rng, size_t len)
+{
+    std::vector<dna::Base> bases(len);
+    for (dna::Base &base : bases)
+        base = static_cast<dna::Base>(rng.nextBelow(4));
+    return dna::Sequence(bases);
+}
+
+dna::Sequence
+idsNoise(dnastore::Rng &rng, const dna::Sequence &seq, double sub,
+         double ins, double del)
+{
+    std::vector<dna::Base> out;
+    for (size_t i = 0; i < seq.size(); ++i) {
+        while (rng.nextBool(ins))
+            out.push_back(static_cast<dna::Base>(rng.nextBelow(4)));
+        if (rng.nextBool(del))
+            continue;
+        dna::Base base = seq.baseAt(i);
+        if (rng.nextBool(sub)) {
+            base = static_cast<dna::Base>(
+                (static_cast<uint8_t>(base) + 1 + rng.nextBelow(3)) % 4);
+        }
+        out.push_back(base);
+    }
+    return dna::Sequence(out);
+}
+
+TEST(BmaTest, CleanReadsReproduceExactly)
+{
+    dnastore::Rng rng(1);
+    dna::Sequence original = randomSeq(rng, 150);
+    std::vector<dna::Sequence> reads(7, original);
+    EXPECT_EQ(bmaForward(reads, 150), original);
+    EXPECT_EQ(bmaDoubleSided(reads, 150), original);
+}
+
+TEST(BmaTest, SubstitutionsOutvoted)
+{
+    dnastore::Rng rng(2);
+    dna::Sequence original = randomSeq(rng, 150);
+    std::vector<dna::Sequence> reads;
+    for (int i = 0; i < 9; ++i)
+        reads.push_back(idsNoise(rng, original, 0.03, 0.0, 0.0));
+    EXPECT_EQ(bmaDoubleSided(reads, 150), original);
+}
+
+TEST(BmaTest, IndelsRecovered)
+{
+    dnastore::Rng rng(3);
+    int exact = 0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+        dna::Sequence original = randomSeq(rng, 150);
+        std::vector<dna::Sequence> reads;
+        for (int i = 0; i < 10; ++i)
+            reads.push_back(idsNoise(rng, original, 0.005, 0.005,
+                                     0.005));
+        if (bmaDoubleSided(reads, 150) == original)
+            ++exact;
+    }
+    EXPECT_GE(exact, trials * 8 / 10);
+}
+
+TEST(BmaTest, DoubleSidedBeatsOneSidedUnderIndels)
+{
+    dnastore::Rng rng(4);
+    size_t forward_errors = 0, double_errors = 0;
+    for (int t = 0; t < 40; ++t) {
+        dna::Sequence original = randomSeq(rng, 150);
+        std::vector<dna::Sequence> reads;
+        for (int i = 0; i < 6; ++i)
+            reads.push_back(idsNoise(rng, original, 0.01, 0.01, 0.01));
+        forward_errors += dna::levenshteinDistance(
+            bmaForward(reads, 150), original);
+        double_errors += dna::levenshteinDistance(
+            bmaDoubleSided(reads, 150), original);
+    }
+    EXPECT_LE(double_errors, forward_errors);
+}
+
+TEST(BmaTest, OutputLengthIsAlwaysExpected)
+{
+    dnastore::Rng rng(5);
+    dna::Sequence original = randomSeq(rng, 150);
+    std::vector<dna::Sequence> reads;
+    for (int i = 0; i < 5; ++i)
+        reads.push_back(idsNoise(rng, original, 0.05, 0.02, 0.02));
+    EXPECT_EQ(bmaDoubleSided(reads, 150).size(), 150u);
+    EXPECT_EQ(bmaDoubleSided(reads, 140).size(), 140u);
+}
+
+TEST(BmaTest, RefineDraftRepairsCorruptedDraft)
+{
+    dnastore::Rng rng(7);
+    dna::Sequence original = randomSeq(rng, 150);
+    std::vector<dna::Sequence> reads;
+    for (int i = 0; i < 8; ++i)
+        reads.push_back(idsNoise(rng, original, 0.01, 0.0, 0.0));
+    // Corrupt the draft in several positions; refinement must vote
+    // them back.
+    std::string draft = original.str();
+    draft[10] = draft[10] == 'A' ? 'C' : 'A';
+    draft[75] = draft[75] == 'G' ? 'T' : 'G';
+    draft[140] = draft[140] == 'A' ? 'G' : 'A';
+    dna::Sequence refined =
+        refineDraft(dna::Sequence(draft), reads, 8);
+    EXPECT_EQ(refined, original);
+}
+
+TEST(BmaTest, RefineDraftKeepsLength)
+{
+    dnastore::Rng rng(8);
+    dna::Sequence original = randomSeq(rng, 120);
+    std::vector<dna::Sequence> reads;
+    for (int i = 0; i < 5; ++i)
+        reads.push_back(idsNoise(rng, original, 0.02, 0.02, 0.02));
+    dna::Sequence refined = refineDraft(original, reads, 8);
+    EXPECT_EQ(refined.size(), 120u);
+}
+
+TEST(BmaTest, SingleReadPassesThrough)
+{
+    dna::Sequence read("ACGTACGTAC");
+    EXPECT_EQ(bmaDoubleSided({read}, 10), read);
+}
+
+TEST(BmaTest, EmptyClusterThrows)
+{
+    EXPECT_THROW(bmaForward({}, 10), dnastore::FatalError);
+}
+
+/** Parameterized: reconstruction accuracy across cluster sizes. */
+class BmaClusterSizeTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BmaClusterSizeTest, AccuracyImprovesWithClusterSize)
+{
+    int cluster_size = GetParam();
+    dnastore::Rng rng(6000 + cluster_size);
+    size_t total_errors = 0;
+    for (int t = 0; t < 20; ++t) {
+        dna::Sequence original = randomSeq(rng, 150);
+        std::vector<dna::Sequence> reads;
+        for (int i = 0; i < cluster_size; ++i)
+            reads.push_back(idsNoise(rng, original, 0.01, 0.003,
+                                     0.003));
+        total_errors += dna::levenshteinDistance(
+            bmaDoubleSided(reads, 150), original);
+    }
+    // With >= 5 reads, the average error should be well below the
+    // per-read error burden (~2.4 errors/read).
+    if (cluster_size >= 5) {
+        EXPECT_LT(total_errors, 20u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BmaClusterSizeTest,
+                         ::testing::Values(1, 3, 5, 9, 15));
+
+} // namespace
+} // namespace dnastore::consensus

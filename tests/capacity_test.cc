@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the Figure 3 capacity/density model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/capacity.h"
+
+namespace dnastore::core {
+namespace {
+
+TEST(CapacityTest, MaximumCapacityAtFullIndex)
+{
+    // Paper Section 3: with the entire 110 usable bases used for
+    // indexing, capacity is 2^220 addresses * 1 bit = 2^217 bytes.
+    CapacityPoint point = capacityAt(150, 20, 110);
+    EXPECT_DOUBLE_EQ(point.capacity_bytes_log2, 217.0);
+    EXPECT_NEAR(point.bits_per_base, 1.0 / 150.0, 1e-9);
+}
+
+TEST(CapacityTest, MaximumDensityAtZeroIndex)
+{
+    // One molecule, no index: 2 bits/usable base.
+    CapacityPoint point = capacityAt(150, 20, 0);
+    EXPECT_NEAR(point.bits_per_base, 2.0 * 110.0 / 150.0, 1e-9);
+    // Capacity: 220 bits = 27.5 bytes -> log2 ~ 4.78.
+    EXPECT_NEAR(point.capacity_bytes_log2, std::log2(220.0) - 3.0,
+                1e-9);
+}
+
+TEST(CapacityTest, Primer30CurvesAreLower)
+{
+    // Dashed lines of Figure 3: 30-base primers lose capacity and
+    // density at every index length.
+    for (size_t L : {0u, 10u, 40u, 80u}) {
+        CapacityPoint p20 = capacityAt(150, 20, L);
+        CapacityPoint p30 = capacityAt(150, 30, L);
+        EXPECT_GT(p20.capacity_bytes_log2, p30.capacity_bytes_log2);
+        EXPECT_GT(p20.bits_per_base, p30.bits_per_base);
+    }
+}
+
+TEST(CapacityTest, CapacityIsMonotonicInL)
+{
+    auto curve = capacityCurve(150, 20);
+    ASSERT_EQ(curve.size(), 111u);
+    for (size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].capacity_bytes_log2,
+                  curve[i - 1].capacity_bytes_log2 - 1e-9);
+        EXPECT_LE(curve[i].bits_per_base,
+                  curve[i - 1].bits_per_base + 1e-9);
+    }
+}
+
+TEST(CapacityTest, WorldDataThresholdCrossed)
+{
+    // Figure 3 annotates that partition capacity crosses the world's
+    // total data (~1.75e23 bytes ~ 2^77) at a modest index length.
+    auto curve = capacityCurve(150, 20);
+    bool crossed = false;
+    for (const CapacityPoint &point : curve)
+        crossed |= point.capacity_bytes_log2 > 77.0;
+    EXPECT_TRUE(crossed);
+    // And the crossing happens well before half the index space.
+    for (const CapacityPoint &point : curve) {
+        if (point.capacity_bytes_log2 > 77.0) {
+            EXPECT_LT(point.index_length, 40u);
+            break;
+        }
+    }
+}
+
+TEST(CapacityTest, SparseIndexDensityLoss)
+{
+    // Section 4.3: 10-base sparse index instead of 5 dense bases
+    // costs ~3% information density with 150-base strands.
+    CapacityPoint dense = capacityAt(150, 20, 5);
+    CapacityPoint sparse = capacityAt(150, 20, 10);
+    double loss = 1.0 - sparse.bits_per_base / dense.bits_per_base;
+    EXPECT_NEAR(loss, 0.048, 0.02);  // 5 extra bases / 105 usable
+}
+
+TEST(CapacityTest, InvalidConfigsThrow)
+{
+    EXPECT_THROW(capacityAt(30, 20, 0), dnastore::FatalError);
+    EXPECT_THROW(capacityAt(150, 20, 111), dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::core

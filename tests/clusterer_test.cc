@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for q-gram/MinHash read clustering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/clusterer.h"
+#include "common/rng.h"
+
+namespace dnastore::cluster {
+namespace {
+
+dna::Sequence
+randomSeq(dnastore::Rng &rng, size_t len)
+{
+    std::vector<dna::Base> bases(len);
+    for (dna::Base &base : bases)
+        base = static_cast<dna::Base>(rng.nextBelow(4));
+    return dna::Sequence(bases);
+}
+
+/** Apply light IDS noise to a sequence. */
+dna::Sequence
+noisy(dnastore::Rng &rng, const dna::Sequence &seq, double rate)
+{
+    std::vector<dna::Base> out;
+    for (size_t i = 0; i < seq.size(); ++i) {
+        double roll = rng.nextDouble();
+        if (roll < rate / 3) {
+            continue;  // deletion
+        } else if (roll < 2 * rate / 3) {
+            out.push_back(static_cast<dna::Base>(rng.nextBelow(4)));
+            out.push_back(seq.baseAt(i));  // insertion
+        } else if (roll < rate) {
+            out.push_back(static_cast<dna::Base>(rng.nextBelow(4)));
+        } else {
+            out.push_back(seq.baseAt(i));
+        }
+    }
+    return dna::Sequence(out);
+}
+
+TEST(ClustererTest, SeparatesDistinctOrigins)
+{
+    dnastore::Rng rng(1);
+    const size_t origins = 20;
+    const size_t copies = 10;
+    std::vector<dna::Sequence> centers;
+    std::vector<dna::Sequence> reads;
+    std::vector<size_t> truth;
+    for (size_t o = 0; o < origins; ++o)
+        centers.push_back(randomSeq(rng, 120));
+    for (size_t o = 0; o < origins; ++o) {
+        for (size_t c = 0; c < copies; ++c) {
+            reads.push_back(noisy(rng, centers[o], 0.01));
+            truth.push_back(o);
+        }
+    }
+
+    ClustererParams params;
+    std::vector<Cluster> clusters = clusterReads(reads, params);
+    ASSERT_EQ(clusters.size(), origins);
+
+    // Every cluster must be pure (all members share one origin).
+    for (const Cluster &cluster : clusters) {
+        size_t origin = truth[cluster.members.front()];
+        for (size_t member : cluster.members)
+            EXPECT_EQ(truth[member], origin);
+        EXPECT_EQ(cluster.size(), copies);
+    }
+}
+
+TEST(ClustererTest, SortedByDecreasingSize)
+{
+    dnastore::Rng rng(2);
+    std::vector<dna::Sequence> reads;
+    dna::Sequence big = randomSeq(rng, 100);
+    dna::Sequence small = randomSeq(rng, 100);
+    for (int i = 0; i < 30; ++i)
+        reads.push_back(noisy(rng, big, 0.01));
+    for (int i = 0; i < 5; ++i)
+        reads.push_back(noisy(rng, small, 0.01));
+
+    ClustererParams params;
+    std::vector<Cluster> clusters = clusterReads(reads, params);
+    ASSERT_GE(clusters.size(), 2u);
+    EXPECT_GE(clusters[0].size(), clusters[1].size());
+    EXPECT_EQ(clusters[0].size(), 30u);
+}
+
+TEST(ClustererTest, HighNoiseStillGroupsMostReads)
+{
+    dnastore::Rng rng(3);
+    dna::Sequence center = randomSeq(rng, 150);
+    std::vector<dna::Sequence> reads;
+    for (int i = 0; i < 50; ++i)
+        reads.push_back(noisy(rng, center, 0.02));
+
+    ClustererParams params;
+    std::vector<Cluster> clusters = clusterReads(reads, params);
+    EXPECT_GE(clusters[0].size(), 40u);
+}
+
+TEST(ClustererTest, EmptyInput)
+{
+    ClustererParams params;
+    EXPECT_TRUE(clusterReads({}, params).empty());
+}
+
+TEST(ClustererTest, SingleRead)
+{
+    ClustererParams params;
+    std::vector<dna::Sequence> reads = {dna::Sequence("ACGTACGTACGT")};
+    std::vector<Cluster> clusters = clusterReads(reads, params);
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_EQ(clusters[0].size(), 1u);
+}
+
+TEST(ClustererTest, Deterministic)
+{
+    dnastore::Rng rng(4);
+    std::vector<dna::Sequence> reads;
+    for (int i = 0; i < 40; ++i)
+        reads.push_back(randomSeq(rng, 80));
+    ClustererParams params;
+    auto a = clusterReads(reads, params);
+    auto b = clusterReads(reads, params);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].members, b[i].members);
+}
+
+} // namespace
+} // namespace dnastore::cluster

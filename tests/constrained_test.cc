@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the constrained rotation codec (Section 2.1.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/constrained.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "dna/analysis.h"
+
+namespace dnastore::codec {
+namespace {
+
+TEST(RotationCodecTest, RoundTrip)
+{
+    dnastore::Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<uint8_t> data(1 + rng.nextBelow(200));
+        for (uint8_t &byte : data)
+            byte = static_cast<uint8_t>(rng.nextBelow(256));
+        dna::Sequence encoded = RotationCodec::encode(data);
+        EXPECT_EQ(RotationCodec::decode(encoded, data.size()), data);
+    }
+}
+
+TEST(RotationCodecTest, NoHomopolymersEver)
+{
+    dnastore::Rng rng(2);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<uint8_t> data(64);
+        for (uint8_t &byte : data)
+            byte = static_cast<uint8_t>(rng.nextBelow(256));
+        dna::Sequence encoded = RotationCodec::encode(data);
+        EXPECT_EQ(dna::maxHomopolymerRun(encoded), 1u);
+    }
+}
+
+TEST(RotationCodecTest, WorstCaseInputStaysConstrained)
+{
+    // All-zero and all-0xFF inputs defeat scramble-free dense
+    // codecs; the rotation codec must stay homopolymer-free.
+    for (uint8_t fill : {uint8_t{0x00}, uint8_t{0xff}, uint8_t{0xaa}}) {
+        std::vector<uint8_t> data(128, fill);
+        dna::Sequence encoded = RotationCodec::encode(data);
+        EXPECT_EQ(dna::maxHomopolymerRun(encoded), 1u);
+    }
+}
+
+TEST(RotationCodecTest, DensityCostVsUnconstrained)
+{
+    // 2.0 / (21 trits per 32 bits) = the paper's density argument.
+    std::vector<uint8_t> data(240);
+    dna::Sequence encoded = RotationCodec::encode(data);
+    double bases_per_byte =
+        static_cast<double>(encoded.size()) / 240.0;
+    // Unconstrained: 4 bases/byte. Rotation: 21/4 = 5.25 bases/byte.
+    EXPECT_NEAR(bases_per_byte, 5.25, 0.01);
+    double density = 8.0 / bases_per_byte;
+    EXPECT_LT(density, 2.0);
+    EXPECT_NEAR(density, 1.52, 0.05);
+}
+
+TEST(RotationCodecTest, EncodedLengthFormula)
+{
+    EXPECT_EQ(RotationCodec::encodedLength(0), 0u);
+    EXPECT_EQ(RotationCodec::encodedLength(1), 21u);
+    EXPECT_EQ(RotationCodec::encodedLength(4), 21u);
+    EXPECT_EQ(RotationCodec::encodedLength(5), 42u);
+    EXPECT_EQ(RotationCodec::encode(std::vector<uint8_t>(24)).size(),
+              RotationCodec::encodedLength(24));
+}
+
+TEST(RotationCodecTest, DecodeRejectsWrongLength)
+{
+    EXPECT_THROW(
+        RotationCodec::decode(dna::Sequence("ACGT"), 4),
+        dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::codec

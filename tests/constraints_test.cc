@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for primer viability constraints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "primer/constraints.h"
+
+namespace dnastore::primer {
+namespace {
+
+// 50% GC, no homopolymer > 2, Tm in window.
+const dna::Sequence kGoodPrimer("ACGTACGTACGTACGTACGT");
+
+TEST(ConstraintsTest, GoodPrimerPasses)
+{
+    Constraints constraints;
+    CheckResult result = checkComposition(kGoodPrimer, constraints);
+    EXPECT_TRUE(result.gc_ok);
+    EXPECT_TRUE(result.homopolymer_ok);
+    EXPECT_TRUE(result.tm_ok);
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(ConstraintsTest, LowGcFails)
+{
+    Constraints constraints;
+    dna::Sequence at_rich("ATATATATATATATATATAT");
+    CheckResult result = checkComposition(at_rich, constraints);
+    EXPECT_FALSE(result.gc_ok);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(ConstraintsTest, HighGcFails)
+{
+    Constraints constraints;
+    dna::Sequence gc_rich("GCGCGCGCGCGCGCGCGCGC");
+    CheckResult result = checkComposition(gc_rich, constraints);
+    EXPECT_FALSE(result.gc_ok);
+}
+
+TEST(ConstraintsTest, HomopolymerFails)
+{
+    Constraints constraints;
+    dna::Sequence runny("AAAAGCGCGCGCGCATATAT");
+    CheckResult result = checkComposition(runny, constraints);
+    EXPECT_FALSE(result.homopolymer_ok);
+}
+
+TEST(ConstraintsTest, DistanceAgainstAcceptedSet)
+{
+    Constraints constraints;
+    constraints.min_pairwise_hamming = 6;
+    constraints.check_reverse_complement = false;
+    std::vector<dna::Sequence> accepted = {kGoodPrimer};
+
+    // Identical: distance 0 -> reject.
+    EXPECT_FALSE(checkDistances(kGoodPrimer, accepted, constraints));
+
+    // 4 mismatches only -> reject at threshold 6.
+    dna::Sequence close("ACGTACGTACGTACGTTGCA");
+    EXPECT_FALSE(checkDistances(close, accepted, constraints));
+
+    // A very different primer -> accept.
+    dna::Sequence far("GGATCCGGATCCGGATCCGG");
+    EXPECT_TRUE(checkDistances(far, accepted, constraints));
+}
+
+TEST(ConstraintsTest, ReverseComplementChecked)
+{
+    Constraints constraints;
+    constraints.min_pairwise_hamming = 4;
+    constraints.check_reverse_complement = true;
+    std::vector<dna::Sequence> accepted = {kGoodPrimer};
+
+    // The reverse complement of an accepted primer must be rejected
+    // when the option is on (it would anneal to the same site).
+    dna::Sequence rc = kGoodPrimer.reverseComplement();
+    EXPECT_FALSE(checkDistances(rc, accepted, constraints));
+
+    constraints.check_reverse_complement = false;
+    // ACGT... is its own reverse complement family; with the check
+    // off only the direct distance matters.
+    EXPECT_FALSE(checkDistances(kGoodPrimer, accepted, constraints));
+}
+
+TEST(ConstraintsTest, EmptyAcceptedSetAlwaysOk)
+{
+    Constraints constraints;
+    EXPECT_TRUE(checkDistances(kGoodPrimer, {}, constraints));
+}
+
+} // namespace
+} // namespace dnastore::primer

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the deterministic text generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "corpus/text.h"
+
+namespace dnastore::corpus {
+namespace {
+
+TEST(CorpusTest, ExactSize)
+{
+    EXPECT_EQ(generateText(0, 1).size(), 0u);
+    EXPECT_EQ(generateText(100, 1).size(), 100u);
+    EXPECT_EQ(generateText(150 * 1024, 1).size(),
+              static_cast<size_t>(150 * 1024));
+}
+
+TEST(CorpusTest, Deterministic)
+{
+    EXPECT_EQ(generateText(5000, 7), generateText(5000, 7));
+    EXPECT_NE(generateText(5000, 7), generateText(5000, 8));
+}
+
+TEST(CorpusTest, LooksLikeText)
+{
+    std::string text = generateText(10000, 3);
+    size_t letters = 0, spaces = 0, periods = 0, newlines = 0;
+    for (char c : text) {
+        if (std::isalpha(static_cast<unsigned char>(c)))
+            ++letters;
+        else if (c == ' ')
+            ++spaces;
+        else if (c == '.')
+            ++periods;
+        else if (c == '\n')
+            ++newlines;
+    }
+    EXPECT_GT(letters, 7000u);
+    EXPECT_GT(spaces, 800u);
+    EXPECT_GT(periods, 50u);
+    EXPECT_GT(newlines, 10u);  // paragraph structure exists
+}
+
+TEST(CorpusTest, BytesMatchText)
+{
+    std::string text = generateText(512, 9);
+    std::vector<uint8_t> bytes = generateBytes(512, 9);
+    ASSERT_EQ(bytes.size(), text.size());
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), text.begin()));
+}
+
+} // namespace
+} // namespace dnastore::corpus

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the cost ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+
+namespace dnastore::core {
+namespace {
+
+TEST(CostModelTest, SynthesisAccounting)
+{
+    CostModel costs;
+    costs.recordSynthesis(15, 150);
+    costs.recordSynthesis(8805, 150);
+    EXPECT_EQ(costs.moleculesSynthesized(), 8820u);
+    EXPECT_EQ(costs.basesSynthesized(), 8820u * 150u);
+}
+
+TEST(CostModelTest, SequencingAccounting)
+{
+    CostModel costs;
+    costs.recordSequencing(225);
+    costs.recordSequencing(50000);
+    EXPECT_EQ(costs.readsSequenced(), 50225u);
+}
+
+TEST(CostModelTest, DollarConversion)
+{
+    CostParams params;
+    params.synthesis_per_base = 2.0;
+    params.sequencing_per_read = 0.5;
+    CostModel costs(params);
+    costs.recordSynthesis(10, 100);
+    costs.recordSequencing(4);
+    EXPECT_DOUBLE_EQ(costs.synthesisCost(), 2000.0);
+    EXPECT_DOUBLE_EQ(costs.sequencingCost(), 2.0);
+    EXPECT_DOUBLE_EQ(costs.totalCost(), 2002.0);
+}
+
+TEST(CostModelTest, RoundTrips)
+{
+    CostModel costs;
+    EXPECT_EQ(costs.roundTrips(), 0u);
+    costs.recordRoundTrip();
+    costs.recordRoundTrip();
+    EXPECT_EQ(costs.roundTrips(), 2u);
+}
+
+TEST(CostModelTest, PaperSynthesisRatio)
+{
+    // Section 7.5: naive update synthesizes 8805 molecules vs our 15
+    // -> ~580x reduction.
+    CostModel naive, ours;
+    naive.recordSynthesis(8805, 150);
+    ours.recordSynthesis(15, 150);
+    double ratio = naive.synthesisCost() / ours.synthesisCost();
+    EXPECT_NEAR(ratio, 587.0, 1.0);
+}
+
+} // namespace
+} // namespace dnastore::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit and property tests for distance metrics and primer-prefix
+ * alignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dna/distance.h"
+
+namespace dnastore::dna {
+namespace {
+
+Sequence
+randomSeq(Rng &rng, size_t len)
+{
+    std::vector<Base> bases(len);
+    for (Base &base : bases)
+        base = static_cast<Base>(rng.nextBelow(4));
+    return Sequence(bases);
+}
+
+TEST(HammingTest, EqualLength)
+{
+    EXPECT_EQ(hammingDistance(Sequence("ACGT"), Sequence("ACGT")), 0u);
+    EXPECT_EQ(hammingDistance(Sequence("ACGT"), Sequence("ACGA")), 1u);
+    EXPECT_EQ(hammingDistance(Sequence("AAAA"), Sequence("TTTT")), 4u);
+}
+
+TEST(HammingTest, LengthDifferenceCounts)
+{
+    EXPECT_EQ(hammingDistance(Sequence("ACGT"), Sequence("AC")), 2u);
+    EXPECT_EQ(hammingDistance(Sequence("AC"), Sequence("ACGT")), 2u);
+}
+
+TEST(LevenshteinTest, KnownValues)
+{
+    EXPECT_EQ(levenshteinDistance(Sequence("ACGT"), Sequence("ACGT")),
+              0u);
+    EXPECT_EQ(levenshteinDistance(Sequence("ACGT"), Sequence("AGT")),
+              1u);
+    EXPECT_EQ(levenshteinDistance(Sequence("ACGT"), Sequence("TGCA")),
+              4u);
+    EXPECT_EQ(levenshteinDistance(Sequence("GATTACA"),
+                                  Sequence("GCATGCA")),
+              3u);
+    EXPECT_EQ(levenshteinDistance(Sequence(), Sequence("ACG")), 3u);
+}
+
+TEST(BandedLevenshteinTest, MatchesFullWithinBand)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        Sequence a = randomSeq(rng, 20 + rng.nextBelow(20));
+        Sequence b = randomSeq(rng, 20 + rng.nextBelow(20));
+        size_t full = levenshteinDistance(a, b);
+        size_t banded = bandedLevenshtein(a, b, 40);
+        EXPECT_EQ(banded, full);
+    }
+}
+
+TEST(BandedLevenshteinTest, ReportsInfinityBeyondBound)
+{
+    Sequence a("AAAAAAAAAA");
+    Sequence b("TTTTTTTTTT");
+    EXPECT_EQ(bandedLevenshtein(a, b, 3), kDistanceInfinity);
+}
+
+TEST(BandedLevenshteinTest, BoundaryExact)
+{
+    Sequence a("ACGTACGT");
+    Sequence b("ACGAACGA");  // distance 2
+    EXPECT_EQ(bandedLevenshtein(a, b, 2), 2u);
+    EXPECT_EQ(bandedLevenshtein(a, b, 1), kDistanceInfinity);
+}
+
+TEST(BandedLevenshteinTest, LengthGapShortCircuit)
+{
+    Sequence a("ACGT");
+    Sequence b("ACGTACGTACGT");
+    EXPECT_EQ(bandedLevenshtein(a, b, 3), kDistanceInfinity);
+}
+
+TEST(LcpTest, Basics)
+{
+    EXPECT_EQ(longestCommonPrefix(Sequence("ACGT"), Sequence("ACGA")),
+              3u);
+    EXPECT_EQ(longestCommonPrefix(Sequence("ACGT"), Sequence("ACGT")),
+              4u);
+    EXPECT_EQ(longestCommonPrefix(Sequence("T"), Sequence("A")), 0u);
+}
+
+TEST(PrefixAlignTest, ExactPrefix)
+{
+    Sequence primer("ACGTACGT");
+    Sequence templ("ACGTACGTTTTTGGGGCCCC");
+    PrefixAlignment align = alignPrimerToPrefix(primer, templ, 4);
+    EXPECT_EQ(align.distance, 0u);
+    EXPECT_EQ(align.template_consumed, 8u);
+    EXPECT_EQ(align.three_prime_mismatches, 0u);
+}
+
+TEST(PrefixAlignTest, SingleSubstitution)
+{
+    Sequence primer("ACGTACGT");
+    Sequence templ("ACCTACGTTTTTGGGG");
+    PrefixAlignment align = alignPrimerToPrefix(primer, templ, 4);
+    EXPECT_EQ(align.distance, 1u);
+    EXPECT_EQ(align.three_prime_mismatches, 0u);
+}
+
+TEST(PrefixAlignTest, ThreePrimeMismatchFlagged)
+{
+    Sequence primer("ACGTACGA");
+    Sequence templ("ACGTACGTTTTTGGGG");
+    PrefixAlignment align = alignPrimerToPrefix(primer, templ, 4);
+    EXPECT_EQ(align.distance, 1u);
+    EXPECT_GE(align.three_prime_mismatches, 1u);
+}
+
+TEST(PrefixAlignTest, BeyondBandIsInfinity)
+{
+    Sequence primer("AAAAAAAA");
+    Sequence templ("TTTTTTTTTTTTTTTT");
+    PrefixAlignment align = alignPrimerToPrefix(primer, templ, 3);
+    EXPECT_EQ(align.distance, kDistanceInfinity);
+}
+
+TEST(PrefixAlignTest, InsertionInTemplate)
+{
+    // Template has one extra base inside the primer region.
+    Sequence primer("ACGTACGT");
+    Sequence templ("ACGGTACGTTTTT");
+    PrefixAlignment align = alignPrimerToPrefix(primer, templ, 4);
+    EXPECT_EQ(align.distance, 1u);
+    EXPECT_EQ(align.template_consumed, 9u);
+}
+
+TEST(PrefixAlignTest, TemplateShorterThanPrimer)
+{
+    Sequence primer("ACGTACGT");
+    Sequence templ("ACGTA");
+    PrefixAlignment align = alignPrimerToPrefix(primer, templ, 4);
+    EXPECT_EQ(align.distance, 3u);  // three primer bases unmatched
+}
+
+} // namespace
+} // namespace dnastore::dna

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for elongated-primer construction and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "index/sparse_index.h"
+#include "primer/elongation.h"
+
+namespace dnastore::primer {
+namespace {
+
+const dna::Sequence kMain("ACGTACGTACGTACGTACGT");
+
+TEST(ElongationTest, StemIsMainPlusSync)
+{
+    ElongationBuilder builder(kMain, dna::Base::A);
+    EXPECT_EQ(builder.stem().size(), 21u);
+    EXPECT_TRUE(builder.stem().startsWith(kMain));
+    EXPECT_EQ(builder.stem()[20], 'A');
+}
+
+TEST(ElongationTest, BuildAppendsIndexPrefix)
+{
+    ElongationBuilder builder(kMain, dna::Base::A);
+    dna::Sequence elongated = builder.build(dna::Sequence("GCATTG"));
+    EXPECT_EQ(elongated.size(), 27u);
+    EXPECT_TRUE(elongated.startsWith(builder.stem()));
+    EXPECT_TRUE(elongated.endsWith(dna::Sequence("GCATTG")));
+}
+
+TEST(ElongationTest, PaperGeometryIs31Bases)
+{
+    // Section 6.5: 31-base elongated primers = 20 + 1 + 10.
+    ElongationBuilder builder(kMain, dna::Base::A);
+    index::SparseIndexTree tree(0x1dc0ffee, 5);
+    dna::Sequence elongated = builder.build(tree.leafIndex(531));
+    EXPECT_EQ(elongated.size(), 31u);
+}
+
+TEST(ElongationTest, SparseIndexValidatesAtEveryLength)
+{
+    ElongationBuilder builder(kMain, dna::Base::A);
+    index::SparseIndexTree tree(12345, 5);
+    for (uint64_t block : {0u, 7u, 144u, 531u, 1023u}) {
+        ElongationReport report =
+            validateElongations(builder, tree.leafIndex(block));
+        // Sparse indexes have one strong base per 2-base chunk:
+        // deviation of the index part is 0 at every even prefix.
+        EXPECT_LE(report.worst_gc_deviation, 0.5) << "block " << block;
+        EXPECT_LE(report.worst_homopolymer, 3u) << "block " << block;
+    }
+}
+
+TEST(ElongationTest, DenseIndexFailsValidation)
+{
+    // The motivating failure: dense indexes (e.g. AAAAAAAAAA) break
+    // GC balance and homopolymer limits when used as elongations.
+    ElongationBuilder builder(kMain, dna::Base::A);
+    ElongationReport report =
+        validateElongations(builder, dna::Sequence("AAAAAAAAAA"));
+    EXPECT_GT(report.worst_gc_deviation, 2.0);
+    EXPECT_GT(report.worst_homopolymer, 3u);
+}
+
+} // namespace
+} // namespace dnastore::primer

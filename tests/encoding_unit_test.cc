@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the Figure 1c encoding-unit matrix codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ecc/encoding_unit.h"
+
+namespace dnastore::ecc {
+namespace {
+
+Bytes
+randomUnit(dnastore::Rng &rng, size_t size)
+{
+    Bytes data(size);
+    for (uint8_t &byte : data)
+        byte = static_cast<uint8_t>(rng.nextBelow(256));
+    return data;
+}
+
+TEST(EncodingUnitTest, PaperGeometry)
+{
+    EncodingUnitCodec codec(15, 11, 24);
+    EXPECT_EQ(codec.dataBytes(), 264u);
+    EXPECT_EQ(codec.rows(), 48u);
+}
+
+TEST(EncodingUnitTest, EncodeShape)
+{
+    EncodingUnitCodec codec(15, 11, 24);
+    dnastore::Rng rng(1);
+    std::vector<Bytes> columns = codec.encode(randomUnit(rng, 264));
+    ASSERT_EQ(columns.size(), 15u);
+    for (const Bytes &column : columns)
+        EXPECT_EQ(column.size(), 24u);
+}
+
+TEST(EncodingUnitTest, CleanRoundTrip)
+{
+    EncodingUnitCodec codec(15, 11, 24);
+    dnastore::Rng rng(2);
+    Bytes unit = randomUnit(rng, 264);
+    std::vector<Bytes> columns = codec.encode(unit);
+    std::vector<std::optional<Bytes>> received(columns.begin(),
+                                               columns.end());
+    UnitDecodeResult result = codec.decode(received);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.data, unit);
+    EXPECT_EQ(result.symbol_errors_corrected, 0u);
+}
+
+TEST(EncodingUnitTest, DataColumnsAreSystematic)
+{
+    // Column c of the encoding holds bytes [c*24, (c+1)*24) of the
+    // unit payload (Figure 1c column-major layout).
+    EncodingUnitCodec codec(15, 11, 24);
+    Bytes unit(264);
+    for (size_t i = 0; i < unit.size(); ++i)
+        unit[i] = static_cast<uint8_t>(i & 0xff);
+    std::vector<Bytes> columns = codec.encode(unit);
+    for (unsigned c = 0; c < 11; ++c) {
+        Bytes expected(unit.begin() + c * 24,
+                       unit.begin() + (c + 1) * 24);
+        EXPECT_EQ(columns[c], expected) << "column " << c;
+    }
+}
+
+TEST(EncodingUnitTest, RecoversFourLostMolecules)
+{
+    EncodingUnitCodec codec(15, 11, 24);
+    dnastore::Rng rng(3);
+    Bytes unit = randomUnit(rng, 264);
+    std::vector<Bytes> columns = codec.encode(unit);
+    std::vector<std::optional<Bytes>> received(columns.begin(),
+                                               columns.end());
+    received[1].reset();
+    received[5].reset();
+    received[11].reset();
+    received[14].reset();
+    UnitDecodeResult result = codec.decode(received);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.data, unit);
+    EXPECT_EQ(result.erasures_filled, 4u * 48u);
+}
+
+TEST(EncodingUnitTest, FiveLostMoleculesFail)
+{
+    EncodingUnitCodec codec(15, 11, 24);
+    dnastore::Rng rng(4);
+    std::vector<Bytes> columns = codec.encode(randomUnit(rng, 264));
+    std::vector<std::optional<Bytes>> received(columns.begin(),
+                                               columns.end());
+    for (size_t c = 0; c < 5; ++c)
+        received[c].reset();
+    UnitDecodeResult result = codec.decode(received);
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.failed_rows.empty());
+}
+
+TEST(EncodingUnitTest, CorrectsCorruptedMolecule)
+{
+    // One wrong molecule = 1 symbol error per row: correctable.
+    EncodingUnitCodec codec(15, 11, 24);
+    dnastore::Rng rng(5);
+    Bytes unit = randomUnit(rng, 264);
+    std::vector<Bytes> columns = codec.encode(unit);
+    std::vector<std::optional<Bytes>> received(columns.begin(),
+                                               columns.end());
+    for (uint8_t &byte : *received[3])
+        byte ^= 0x5a;
+    UnitDecodeResult result = codec.decode(received);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.data, unit);
+    EXPECT_GT(result.symbol_errors_corrected, 0u);
+}
+
+TEST(EncodingUnitTest, TwoCorruptPlusNoneLost)
+{
+    EncodingUnitCodec codec(15, 11, 24);
+    dnastore::Rng rng(6);
+    Bytes unit = randomUnit(rng, 264);
+    std::vector<Bytes> columns = codec.encode(unit);
+    std::vector<std::optional<Bytes>> received(columns.begin(),
+                                               columns.end());
+    for (uint8_t &byte : *received[2])
+        byte ^= 0x11;
+    for (uint8_t &byte : *received[9])
+        byte ^= 0x33;
+    UnitDecodeResult result = codec.decode(received);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.data, unit);
+}
+
+TEST(EncodingUnitTest, MixedLossAndCorruption)
+{
+    // 2 erasures + 1 error: 2*1 + 2 = 4 <= n - k.
+    EncodingUnitCodec codec(15, 11, 24);
+    dnastore::Rng rng(7);
+    Bytes unit = randomUnit(rng, 264);
+    std::vector<Bytes> columns = codec.encode(unit);
+    std::vector<std::optional<Bytes>> received(columns.begin(),
+                                               columns.end());
+    received[0].reset();
+    received[7].reset();
+    for (uint8_t &byte : *received[12])
+        byte ^= 0x0f;
+    UnitDecodeResult result = codec.decode(received);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.data, unit);
+}
+
+TEST(EncodingUnitTest, WrongColumnSizeRejected)
+{
+    EncodingUnitCodec codec(15, 11, 24);
+    std::vector<std::optional<Bytes>> received(15, Bytes(24, 0));
+    received[0] = Bytes(23, 0);
+    EXPECT_THROW(codec.decode(received), dnastore::FatalError);
+}
+
+TEST(EncodingUnitTest, WrongUnitSizeRejected)
+{
+    EncodingUnitCodec codec(15, 11, 24);
+    EXPECT_THROW(codec.encode(Bytes(263)), dnastore::FatalError);
+}
+
+/** Property sweep over erasure counts. */
+class UnitErasureTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(UnitErasureTest, ErasuresUpToFourRecover)
+{
+    int losses = GetParam();
+    EncodingUnitCodec codec(15, 11, 24);
+    dnastore::Rng rng(50 + losses);
+    for (int trial = 0; trial < 10; ++trial) {
+        Bytes unit = randomUnit(rng, 264);
+        std::vector<Bytes> columns = codec.encode(unit);
+        std::vector<std::optional<Bytes>> received(columns.begin(),
+                                                   columns.end());
+        std::vector<size_t> positions = {0, 1, 2, 3, 4, 5, 6, 7,
+                                         8, 9, 10, 11, 12, 13, 14};
+        rng.shuffle(positions);
+        for (int l = 0; l < losses; ++l)
+            received[positions[l]].reset();
+        UnitDecodeResult result = codec.decode(received);
+        ASSERT_TRUE(result.ok()) << "losses=" << losses;
+        EXPECT_EQ(*result.data, unit);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, UnitErasureTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+} // namespace
+} // namespace dnastore::ecc

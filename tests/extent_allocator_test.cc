@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the subtree-aligned buddy allocator (Section 3.1's file
+ * alignment, implemented as the paper's future-work extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/extent_allocator.h"
+#include "index/prefix_tree.h"
+
+namespace dnastore::core {
+namespace {
+
+TEST(ExtentAllocatorTest, WholeSpaceInitiallyFree)
+{
+    ExtentAllocator alloc(5);
+    EXPECT_EQ(alloc.capacity(), 1024u);
+    EXPECT_EQ(alloc.largestFreeExtent(), 1024u);
+    EXPECT_EQ(alloc.blocksReserved(), 0u);
+}
+
+TEST(ExtentAllocatorTest, ExtentsAreAligned)
+{
+    ExtentAllocator alloc(5);
+    auto extents = alloc.allocate(77,
+                                  ExtentAllocator::Policy::kMultiExtent);
+    ASSERT_TRUE(extents.has_value());
+    uint64_t covered = 0;
+    for (const Extent &extent : *extents) {
+        EXPECT_EQ(extent.start % extent.size, 0u)
+            << "extent at " << extent.start;
+        covered += extent.size;
+    }
+    EXPECT_EQ(covered, 77u);
+}
+
+TEST(ExtentAllocatorTest, MultiExtentUsesBase4Decomposition)
+{
+    // 77 = 1*64 + 3*4 + 1: five extents.
+    ExtentAllocator alloc(5);
+    auto extents = alloc.allocate(77,
+                                  ExtentAllocator::Policy::kMultiExtent);
+    ASSERT_TRUE(extents.has_value());
+    EXPECT_EQ(extents->size(), 5u);
+}
+
+TEST(ExtentAllocatorTest, SingleSubtreeRoundsUp)
+{
+    ExtentAllocator alloc(5);
+    auto extents = alloc.allocate(
+        77, ExtentAllocator::Policy::kSingleSubtree);
+    ASSERT_TRUE(extents.has_value());
+    ASSERT_EQ(extents->size(), 1u);
+    EXPECT_EQ((*extents)[0].size, 256u);  // next power of four
+    EXPECT_EQ(alloc.blocksReserved(), 256u);
+    EXPECT_EQ(alloc.blocksAllocated(), 77u);
+}
+
+TEST(ExtentAllocatorTest, AllocationsDoNotOverlap)
+{
+    ExtentAllocator alloc(5);
+    std::vector<bool> used(1024, false);
+    for (uint64_t size : {40u, 100u, 7u, 300u, 1u, 64u}) {
+        auto extents = alloc.allocate(
+            size, ExtentAllocator::Policy::kMultiExtent);
+        ASSERT_TRUE(extents.has_value()) << "size " << size;
+        for (const Extent &extent : *extents) {
+            for (uint64_t b = extent.start; b < extent.end(); ++b) {
+                EXPECT_FALSE(used[b]) << "block " << b;
+                used[b] = true;
+            }
+        }
+    }
+}
+
+TEST(ExtentAllocatorTest, ExhaustionReturnsNullopt)
+{
+    ExtentAllocator alloc(3);  // 64 blocks
+    auto first =
+        alloc.allocate(60, ExtentAllocator::Policy::kMultiExtent);
+    ASSERT_TRUE(first.has_value());
+    auto second =
+        alloc.allocate(5, ExtentAllocator::Policy::kMultiExtent);
+    EXPECT_FALSE(second.has_value());
+    // Failed allocation must not leak partial reservations.
+    auto third =
+        alloc.allocate(4, ExtentAllocator::Policy::kMultiExtent);
+    EXPECT_TRUE(third.has_value());
+}
+
+TEST(ExtentAllocatorTest, FreeCoalescesBuddies)
+{
+    ExtentAllocator alloc(4);  // 256 blocks
+    auto extents = alloc.allocate(
+        256, ExtentAllocator::Policy::kMultiExtent);
+    ASSERT_TRUE(extents.has_value());
+    EXPECT_EQ(alloc.largestFreeExtent(), 0u);
+    for (const Extent &extent : *extents)
+        alloc.free(extent);
+    EXPECT_EQ(alloc.largestFreeExtent(), 256u);
+}
+
+TEST(ExtentAllocatorTest, FreeRejectsMisaligned)
+{
+    ExtentAllocator alloc(4);
+    EXPECT_THROW(alloc.free(Extent{3, 4}), dnastore::FatalError);
+    EXPECT_THROW(alloc.free(Extent{0, 3}), dnastore::FatalError);
+}
+
+TEST(ExtentAllocatorTest, SubtreeExtentNeedsOnePrimer)
+{
+    // The property the feature exists for: a subtree-aligned extent
+    // is one prefix, i.e. one elongated primer retrieves the file.
+    ExtentAllocator alloc(5);
+    auto extents = alloc.allocate(
+        64, ExtentAllocator::Policy::kSingleSubtree);
+    ASSERT_TRUE(extents.has_value());
+    const Extent &extent = (*extents)[0];
+    auto cover = index::coverRange(extent.start, extent.end() - 1, 5);
+    EXPECT_EQ(cover.size(), 1u);
+}
+
+} // namespace
+} // namespace dnastore::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for GF(16) arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ecc/gf16.h"
+
+namespace dnastore::ecc {
+namespace {
+
+TEST(GF16Test, AdditionIsXor)
+{
+    EXPECT_EQ(GF16::add(0x5, 0x3), 0x6);
+    EXPECT_EQ(GF16::add(0xf, 0xf), 0x0);
+    EXPECT_EQ(GF16::sub(0x5, 0x3), GF16::add(0x5, 0x3));
+}
+
+TEST(GF16Test, MultiplicationByZeroAndOne)
+{
+    for (unsigned a = 0; a < 16; ++a) {
+        EXPECT_EQ(GF16::mul(static_cast<uint8_t>(a), 0), 0);
+        EXPECT_EQ(GF16::mul(static_cast<uint8_t>(a), 1), a);
+    }
+}
+
+TEST(GF16Test, KnownProducts)
+{
+    // alpha = 2 with x^4 + x + 1: 2*8 = 3 (alpha^4 = alpha + 1).
+    EXPECT_EQ(GF16::mul(2, 8), 3);
+    EXPECT_EQ(GF16::mul(3, 3), 5);
+}
+
+TEST(GF16Test, MultiplicationCommutesAndAssociates)
+{
+    for (unsigned a = 0; a < 16; ++a) {
+        for (unsigned b = 0; b < 16; ++b) {
+            EXPECT_EQ(GF16::mul(a, b), GF16::mul(b, a));
+            for (unsigned c = 0; c < 16; ++c) {
+                EXPECT_EQ(GF16::mul(GF16::mul(a, b), c),
+                          GF16::mul(a, GF16::mul(b, c)));
+            }
+        }
+    }
+}
+
+TEST(GF16Test, Distributivity)
+{
+    for (unsigned a = 0; a < 16; ++a) {
+        for (unsigned b = 0; b < 16; ++b) {
+            for (unsigned c = 0; c < 16; ++c) {
+                EXPECT_EQ(GF16::mul(a, GF16::add(b, c)),
+                          GF16::add(GF16::mul(a, b), GF16::mul(a, c)));
+            }
+        }
+    }
+}
+
+TEST(GF16Test, InverseProperty)
+{
+    for (unsigned a = 1; a < 16; ++a) {
+        uint8_t inverse = GF16::inv(static_cast<uint8_t>(a));
+        EXPECT_EQ(GF16::mul(static_cast<uint8_t>(a), inverse), 1);
+    }
+    EXPECT_THROW(GF16::inv(0), dnastore::PanicError);
+}
+
+TEST(GF16Test, DivisionMatchesInverse)
+{
+    for (unsigned a = 0; a < 16; ++a) {
+        for (unsigned b = 1; b < 16; ++b) {
+            EXPECT_EQ(GF16::div(a, b), GF16::mul(a, GF16::inv(b)));
+        }
+    }
+    EXPECT_THROW(GF16::div(5, 0), dnastore::PanicError);
+}
+
+TEST(GF16Test, AlphaPowersCycle)
+{
+    EXPECT_EQ(GF16::alphaPow(0), 1);
+    EXPECT_EQ(GF16::alphaPow(1), 2);
+    EXPECT_EQ(GF16::alphaPow(15), 1);  // order-15 group
+    EXPECT_EQ(GF16::alphaPow(-1), GF16::inv(2));
+}
+
+TEST(GF16Test, LogIsInverseOfAlphaPow)
+{
+    for (unsigned a = 1; a < 16; ++a) {
+        EXPECT_EQ(
+            GF16::alphaPow(static_cast<int>(GF16::log(
+                static_cast<uint8_t>(a)))),
+            a);
+    }
+}
+
+TEST(GF16Test, PowMatchesRepeatedMultiplication)
+{
+    for (unsigned a = 1; a < 16; ++a) {
+        uint8_t acc = 1;
+        for (int n = 0; n < 16; ++n) {
+            EXPECT_EQ(GF16::pow(static_cast<uint8_t>(a), n), acc);
+            acc = GF16::mul(acc, static_cast<uint8_t>(a));
+        }
+    }
+}
+
+} // namespace
+} // namespace dnastore::ecc

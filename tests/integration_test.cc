@@ -1,0 +1,230 @@
+/**
+ * @file
+ * End-to-end integration tests: a miniature version of the paper's
+ * Section 6 experiment through the full pipeline, plus failure
+ * injection (molecule dropout, heavy sequencing noise, misprimed
+ * duplicate candidates).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/block_device.h"
+#include "core/decoder.h"
+#include "corpus/text.h"
+#include "sim/pcr.h"
+#include "sim/synthesis.h"
+
+namespace dnastore {
+namespace {
+
+const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
+const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+
+TEST(IntegrationTest, MiniAliceEndToEnd)
+{
+    // 40 paragraph-blocks, three updated, precise single-block reads.
+    core::BlockDeviceParams params;
+    core::BlockDevice device(params, kFwd, kRev, 13);
+    core::Bytes book = corpus::generateBytes(40 * 256, 99);
+    device.writeFile(book);
+
+    for (uint64_t block : {7u, 21u, 39u}) {
+        core::UpdateOp op;
+        op.delete_pos = 0;
+        op.delete_len = 2;
+        op.insert_pos = 0;
+        op.insert_bytes = {'#', '!'};
+        device.updateBlock(block, op);
+    }
+
+    // Clean blocks decode to the original bytes.
+    auto clean = device.readBlock(12);
+    ASSERT_TRUE(clean.has_value());
+    EXPECT_TRUE(std::equal(clean->begin(), clean->end(),
+                           book.begin() + 12 * 256));
+
+    // Updated blocks decode to edited bytes in one round trip each.
+    for (uint64_t block : {7u, 21u, 39u}) {
+        size_t trips = device.costs().roundTrips();
+        auto content = device.readBlock(block);
+        ASSERT_TRUE(content.has_value()) << "block " << block;
+        EXPECT_EQ((*content)[0], '#');
+        EXPECT_EQ((*content)[1], '!');
+        EXPECT_TRUE(std::equal(content->begin() + 2, content->end(),
+                               book.begin() + block * 256 + 2));
+        EXPECT_EQ(device.costs().roundTrips(), trips + 1);
+    }
+}
+
+TEST(IntegrationTest, SurvivesMoleculeDropout)
+{
+    // RS(15,11) rides out up to 4 lost molecules per unit; 3%
+    // synthesis dropout loses ~0-2 molecules per 15-molecule block.
+    core::BlockDeviceParams params;
+    params.synthesis.dropout_rate = 0.03;
+    core::BlockDevice device(params, kFwd, kRev, 13);
+    core::Bytes data = corpus::generateBytes(16 * 256, 5);
+    device.writeFile(data);
+
+    auto contents = device.readAll();
+    size_t decoded = 0;
+    for (uint64_t block = 0; block < 16; ++block) {
+        if (contents[block].has_value() &&
+            std::equal(contents[block]->begin(),
+                       contents[block]->end(),
+                       data.begin() + block * 256)) {
+            ++decoded;
+        }
+    }
+    EXPECT_GE(decoded, 15u);  // at most one unlucky block
+}
+
+TEST(IntegrationTest, SurvivesHeavySequencingNoise)
+{
+    core::BlockDeviceParams params;
+    params.sequencer.sub_rate = 0.02;
+    params.sequencer.ins_rate = 0.004;
+    params.sequencer.del_rate = 0.004;
+    params.reads_per_block_access = 2000;
+    core::BlockDevice device(params, kFwd, kRev, 13);
+    core::Bytes data = corpus::generateBytes(12 * 256, 6);
+    device.writeFile(data);
+
+    auto content = device.readBlock(5);
+    ASSERT_TRUE(content.has_value());
+    EXPECT_TRUE(std::equal(content->begin(), content->end(),
+                           data.begin() + 5 * 256));
+}
+
+TEST(IntegrationTest, ErrorCorrectionIsExercised)
+{
+    // With noise high enough, some units must need RS correction or
+    // candidate retries, and still decode exactly.
+    core::BlockDeviceParams params;
+    params.sequencer.sub_rate = 0.015;
+    params.coverage = 25.0;
+    core::BlockDevice device(params, kFwd, kRev, 13);
+    core::Bytes data = corpus::generateBytes(20 * 256, 8);
+    device.writeFile(data);
+
+    auto contents = device.readAll();
+    const core::DecodeStats &stats = device.lastStats();
+    size_t exact = 0;
+    for (uint64_t block = 0; block < 20; ++block) {
+        if (contents[block].has_value() &&
+            std::equal(contents[block]->begin(),
+                       contents[block]->end(),
+                       data.begin() + block * 256)) {
+            ++exact;
+        }
+    }
+    EXPECT_EQ(exact, 20u);
+    EXPECT_GT(stats.reads_primer_matched, 0u);
+}
+
+TEST(IntegrationTest, TwoStagePcrProtocol)
+{
+    // Section 7.7.3: with many partitions in the tube, first isolate
+    // the partition with the main primers, then run the elongated
+    // primer. Composability of runPcr makes this a two-call test.
+    core::PartitionConfig config;
+    core::Partition alice(config, kFwd, kRev, 13);
+    core::Bytes data = corpus::generateBytes(30 * 256, 4);
+    sim::SynthesisParams synthesis;
+    sim::Pool pool = sim::synthesize(alice.encodeFile(data), synthesis);
+
+    // A second partition shares the tube.
+    core::PartitionConfig other_config;
+    other_config.index_seed = 777;
+    core::Partition other(other_config,
+                          dna::Sequence("GGATCCGGATCCGGATCCGG"),
+                          dna::Sequence("CAGTCAGTCAGTCAGTCAGT"), 2);
+    sim::Pool other_pool = sim::synthesize(
+        other.encodeFile(corpus::generateBytes(30 * 256, 3)),
+        synthesis);
+    pool.mixIn(other_pool);
+
+    // Stage 1: main primers.
+    sim::PcrParams stage1;
+    stage1.cycles = 12;
+    sim::Pool isolated = sim::runPcr(
+        pool, {sim::PcrPrimer{kFwd, 1.0}}, kRev, stage1);
+    double alice_fraction = isolated.massFraction(
+        [](const sim::Species &s) { return s.info.file_id == 13; });
+    EXPECT_GT(alice_fraction, 0.99);
+
+    // Stage 2: elongated primer for block 17.
+    sim::PcrParams stage2;
+    stage2.cycles = 20;
+    stage2.stringency = sim::touchdownSchedule(8, 20, 3.0);
+    sim::Pool accessed = sim::runPcr(
+        isolated, {sim::PcrPrimer{alice.blockPrimer(17), 1.0}}, kRev,
+        stage2);
+    double target_fraction =
+        accessed.massFraction([](const sim::Species &s) {
+            return s.info.block == 17 && !s.info.misprimed;
+        });
+    EXPECT_GT(target_fraction, 0.4);
+}
+
+TEST(IntegrationTest, SurvivesSynthesisByproducts)
+{
+    // Real oligo pools contain a tail of single-base synthesis
+    // defects; clustering must not merge them destructively and the
+    // consensus/ECC stack must still decode exactly.
+    core::BlockDeviceParams params;
+    params.synthesis.byproduct_fraction = 0.15;
+    params.synthesis.byproduct_variants = 2;
+    core::BlockDevice device(params, kFwd, kRev, 13);
+    core::Bytes data = corpus::generateBytes(10 * 256, 21);
+    device.writeFile(data);
+
+    auto content = device.readBlock(4);
+    ASSERT_TRUE(content.has_value());
+    EXPECT_TRUE(std::equal(content->begin(), content->end(),
+                           data.begin() + 4 * 256));
+}
+
+/** End-to-end property sweep: exact decode across noise levels. */
+class NoiseSweepTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(NoiseSweepTest, BlockDecodesExactly)
+{
+    double sub_rate = GetParam();
+    core::BlockDeviceParams params;
+    params.sequencer.sub_rate = sub_rate;
+    params.sequencer.ins_rate = sub_rate / 4.0;
+    params.sequencer.del_rate = sub_rate / 4.0;
+    params.reads_per_block_access = 1500;
+    core::BlockDevice device(params, kFwd, kRev, 13);
+    core::Bytes data = corpus::generateBytes(8 * 256, 33);
+    device.writeFile(data);
+    auto content = device.readBlock(3);
+    ASSERT_TRUE(content.has_value()) << "sub_rate " << sub_rate;
+    EXPECT_TRUE(std::equal(content->begin(), content->end(),
+                           data.begin() + 3 * 256));
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorRates, NoiseSweepTest,
+                         ::testing::Values(0.0, 0.002, 0.005, 0.01,
+                                           0.02));
+
+TEST(IntegrationTest, RangeReadMatchesBlockReads)
+{
+    core::BlockDeviceParams params;
+    core::BlockDevice device(params, kFwd, kRev, 13);
+    core::Bytes data = corpus::generateBytes(32 * 256, 11);
+    device.writeFile(data);
+
+    auto range = device.readRange(8, 15);
+    ASSERT_EQ(range.size(), 8u);
+    for (size_t i = 0; i < 8; ++i) {
+        ASSERT_TRUE(range[i].has_value()) << "offset " << i;
+        EXPECT_TRUE(std::equal(range[i]->begin(), range[i]->end(),
+                               data.begin() + (8 + i) * 256));
+    }
+}
+
+} // namespace
+} // namespace dnastore

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the Section 7.4 latency models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/latency.h"
+
+namespace dnastore::core {
+namespace {
+
+TEST(NgsModelTest, LatencyQuantizedInRuns)
+{
+    NgsModel ngs;
+    ngs.reads_per_run = 1000;
+    ngs.hours_per_run = 10.0;
+    EXPECT_DOUBLE_EQ(ngs.latencyHours(1), 10.0);
+    EXPECT_DOUBLE_EQ(ngs.latencyHours(1000), 10.0);
+    EXPECT_DOUBLE_EQ(ngs.latencyHours(1001), 20.0);
+    EXPECT_DOUBLE_EQ(ngs.latencyHours(9500), 100.0);
+}
+
+TEST(NgsModelTest, SmallPartitionSeesNoReduction)
+{
+    // Section 7.4: "for small partition sizes that fit into a single
+    // sequencing run, the reduction in latency is conceptually
+    // impossible".
+    NgsModel ngs;
+    double whole_partition = ngs.latencyHours(8850 * 30);
+    double one_block = ngs.latencyHours(30 * 30);
+    EXPECT_DOUBLE_EQ(whole_partition, one_block);
+}
+
+TEST(NgsModelTest, LargePartitionReducesLinearly)
+{
+    // The paper's 1TB example: ~1000 runs baseline vs ~1 run for a
+    // block.
+    NgsModel miseq;
+    miseq.reads_per_run = 25e6;
+    double base = miseq.latencyHours(25e9);   // 1000 runs
+    double block = miseq.latencyHours(2000);  // 1 run
+    EXPECT_NEAR(base / block, 1000.0, 1.0);
+}
+
+TEST(NanoporeModelTest, AlwaysLinear)
+{
+    NanoporeModel ont;
+    ont.reads_per_hour = 1e6;
+    EXPECT_DOUBLE_EQ(ont.latencyHours(1e6), 1.0);
+    // Block access reduces latency by exactly the read ratio,
+    // regardless of partition size (Section 7.4).
+    double base = ont.latencyHours(8850 * 30);
+    double block = ont.latencyHours(30 * 30 / 0.48);
+    EXPECT_NEAR(base / block, 8850.0 * 0.48 / 30.0, 1.0);
+}
+
+TEST(ReadsNeededTest, ScalesWithPurity)
+{
+    EXPECT_DOUBLE_EQ(readsNeeded(30, 30, 1.0), 900.0);
+    EXPECT_DOUBLE_EQ(readsNeeded(30, 30, 0.48), 1875.0);
+    // The baseline at 0.34% useful needs ~293x more.
+    EXPECT_NEAR(readsNeeded(30, 30, 0.0034) /
+                    readsNeeded(30, 30, 1.0),
+                294.0, 1.0);
+}
+
+} // namespace
+} // namespace dnastore::core

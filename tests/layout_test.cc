@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for strand assembly/parsing and the paper's exact geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/base_codec.h"
+#include "core/layout.h"
+#include "index/sparse_index.h"
+
+namespace dnastore::core {
+namespace {
+
+const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
+const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+
+TEST(ConfigTest, PaperGeometry)
+{
+    PartitionConfig config;
+    config.validate();
+    EXPECT_EQ(config.sparseIndexLength(), 10u);
+    EXPECT_EQ(config.payloadBases(), 96u);
+    EXPECT_EQ(config.columnBytes(), 24u);
+    EXPECT_EQ(config.unitDataBytes(), 264u);
+    EXPECT_EQ(config.blockCount(), 1024u);
+}
+
+TEST(ConfigTest, ValidationCatchesBadGeometry)
+{
+    PartitionConfig config;
+    config.block_data_bytes = 512;  // exceeds the 264B unit
+    EXPECT_THROW(config.validate(), dnastore::FatalError);
+
+    PartitionConfig short_strand;
+    short_strand.strand_length = 50;
+    EXPECT_THROW(short_strand.payloadBases(), dnastore::FatalError);
+}
+
+TEST(LayoutTest, BuildParseRoundTrip)
+{
+    PartitionConfig config;
+    index::SparseIndexTree tree(1, 5);
+    codec::Bytes payload(24, 0xa5);
+    dna::Sequence payload_bases = codec::bytesToBases(payload);
+
+    dna::Sequence strand =
+        buildStrand(config, kFwd, kRev, tree.leafIndex(531),
+                    tree.versionBase(531, 0), 7, payload_bases);
+    EXPECT_EQ(strand.size(), 150u);
+    EXPECT_TRUE(strand.startsWith(kFwd));
+    EXPECT_TRUE(strand.endsWith(kRev.reverseComplement()));
+    EXPECT_EQ(strand[20], 'A');  // sync base
+
+    auto fields = parseStrand(config, strand);
+    ASSERT_TRUE(fields.has_value());
+    EXPECT_EQ(fields->payload, payload_bases);
+    EXPECT_EQ(decodeIntra(config, fields->intra), 7u);
+    auto match = tree.decode(fields->address);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->block, 531u);
+    EXPECT_EQ(match->version, 0u);
+}
+
+TEST(LayoutTest, WrongLengthRejected)
+{
+    PartitionConfig config;
+    EXPECT_FALSE(
+        parseStrand(config, dna::Sequence("ACGT")).has_value());
+}
+
+TEST(LayoutTest, IntraCodec)
+{
+    PartitionConfig config;
+    for (unsigned column = 0; column < 15; ++column) {
+        dna::Sequence intra = encodeIntra(config, column);
+        EXPECT_EQ(intra.size(), 2u);
+        EXPECT_EQ(decodeIntra(config, intra), column);
+    }
+    EXPECT_THROW(encodeIntra(config, 15), dnastore::FatalError);
+}
+
+TEST(LayoutTest, PayloadLengthEnforced)
+{
+    PartitionConfig config;
+    index::SparseIndexTree tree(1, 5);
+    EXPECT_THROW(buildStrand(config, kFwd, kRev, tree.leafIndex(0),
+                             dna::Base::A, 0,
+                             dna::Sequence("ACGT")),
+                 dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for primer-library generation (the Section 1 counting
+ * methodology).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dna/analysis.h"
+#include "dna/distance.h"
+#include "primer/library.h"
+
+namespace dnastore::primer {
+namespace {
+
+TEST(LibraryTest, GeneratedPrimersSatisfyConstraints)
+{
+    Constraints constraints;
+    LibraryGenerator generator(20, constraints, 42);
+    LibraryResult result = generator.generate(20000);
+    ASSERT_GT(result.primers.size(), 10u);
+    for (const dna::Sequence &primer : result.primers) {
+        EXPECT_EQ(primer.size(), 20u);
+        double gc = dna::gcContent(primer);
+        EXPECT_GE(gc, constraints.gc_min);
+        EXPECT_LE(gc, constraints.gc_max);
+        EXPECT_LE(dna::maxHomopolymerRun(primer),
+                  constraints.max_homopolymer);
+    }
+}
+
+TEST(LibraryTest, PairwiseDistanceHolds)
+{
+    Constraints constraints;
+    constraints.min_pairwise_hamming = 8;
+    LibraryGenerator generator(20, constraints, 7);
+    LibraryResult result = generator.generate(5000);
+    for (size_t i = 0; i < result.primers.size(); ++i) {
+        for (size_t j = i + 1; j < result.primers.size(); ++j) {
+            EXPECT_GE(dna::hammingDistance(result.primers[i],
+                                           result.primers[j]),
+                      8u);
+        }
+    }
+}
+
+TEST(LibraryTest, Deterministic)
+{
+    Constraints constraints;
+    LibraryGenerator a(20, constraints, 99);
+    LibraryGenerator b(20, constraints, 99);
+    EXPECT_EQ(a.generate(2000).primers, b.generate(2000).primers);
+}
+
+TEST(LibraryTest, MaxAcceptedStopsEarly)
+{
+    Constraints constraints;
+    LibraryGenerator generator(20, constraints, 5);
+    LibraryResult result = generator.generate(100000, 10);
+    EXPECT_EQ(result.primers.size(), 10u);
+    EXPECT_LT(result.candidates_tried, 100000u);
+}
+
+TEST(LibraryTest, AccountingAddsUp)
+{
+    Constraints constraints;
+    LibraryGenerator generator(20, constraints, 11);
+    LibraryResult result = generator.generate(3000);
+    EXPECT_EQ(result.candidates_tried,
+              result.primers.size() + result.rejected_composition +
+                  result.rejected_distance);
+}
+
+TEST(LibraryTest, StricterDistanceYieldsFewerPrimers)
+{
+    // The core scaling problem from Section 1: raising the distance
+    // threshold shrinks the usable primer library.
+    Constraints loose;
+    loose.min_pairwise_hamming = 6;
+    Constraints strict = loose;
+    strict.min_pairwise_hamming = 10;
+    LibraryResult a =
+        LibraryGenerator(20, loose, 3).generate(30000);
+    LibraryResult b =
+        LibraryGenerator(20, strict, 3).generate(30000);
+    EXPECT_GT(a.primers.size(), b.primers.size());
+}
+
+} // namespace
+} // namespace dnastore::primer

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the baseline object store (prior work [23]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/object_store.h"
+#include "corpus/text.h"
+
+namespace dnastore::baseline {
+namespace {
+
+const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
+const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+const dna::Sequence kFwd2("GGATCCGGATCCGGATCCGG");
+const dna::Sequence kRev2("CAGTCAGTCAGTCAGTCAGT");
+
+TEST(ObjectStoreTest, WriteReadRoundTrip)
+{
+    ObjectStoreParams params;
+    ObjectStore store(params, kFwd, kRev);
+    Bytes data = corpus::generateBytes(12 * 256, 9);
+    store.writeObject(data);
+    EXPECT_EQ(store.unitCount(), 12u);
+    EXPECT_EQ(store.liveMolecules(), 12u * 15u);
+
+    auto recovered = store.readObject();
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, data);
+}
+
+TEST(ObjectStoreTest, ReadCostIsProportionalToObject)
+{
+    // The baseline's core weakness: reading anything reads everything.
+    ObjectStoreParams params;
+    ObjectStore store(params, kFwd, kRev);
+    store.writeObject(corpus::generateBytes(12 * 256, 10));
+    store.readObject();
+    EXPECT_GE(store.costs().readsSequenced(),
+              static_cast<size_t>(12 * 15 * params.coverage));
+}
+
+TEST(ObjectStoreTest, NaiveUpdateResynthesizesEverything)
+{
+    ObjectStoreParams params;
+    ObjectStore store(params, kFwd, kRev);
+    Bytes data = corpus::generateBytes(12 * 256, 11);
+    store.writeObject(data);
+    size_t before = store.costs().moleculesSynthesized();
+
+    core::UpdateOp op;
+    op.delete_pos = 0;
+    op.delete_len = 1;
+    op.insert_pos = 0;
+    op.insert_bytes = {'Z'};
+    store.naiveUpdate(3, op, kFwd2, kRev2);
+
+    // Full re-synthesis: 12 units x 15 molecules again.
+    EXPECT_EQ(store.costs().moleculesSynthesized(), before + 12 * 15);
+    EXPECT_EQ(store.primerPairsUsed(), 2u);
+
+    auto recovered = store.readObject();
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ((*recovered)[3 * 256], 'Z');
+    EXPECT_EQ((*recovered)[0], data[0]);
+}
+
+TEST(ObjectStoreTest, OldDataRemainsInTube)
+{
+    ObjectStoreParams params;
+    ObjectStore store(params, kFwd, kRev);
+    store.writeObject(corpus::generateBytes(4 * 256, 12));
+    size_t species_before = store.pool().speciesCount();
+
+    core::UpdateOp op;
+    op.insert_bytes = {'!'};
+    store.naiveUpdate(0, op, kFwd2, kRev2);
+    // Old + new copies coexist, halving effective density.
+    EXPECT_GT(store.pool().speciesCount(), species_before);
+}
+
+TEST(ObjectStoreTest, RejectsOversizedObject)
+{
+    ObjectStoreParams params;
+    params.index_length = 2;  // only 16 units
+    ObjectStore store(params, kFwd, kRev);
+    EXPECT_THROW(store.writeObject(Bytes(17 * 256)),
+                 dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::baseline

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for Partition encoding (file -> molecules, patches, primers).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codec/base_codec.h"
+#include "core/partition.h"
+#include "corpus/text.h"
+#include "dna/analysis.h"
+
+namespace dnastore::core {
+namespace {
+
+const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
+const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+
+Partition
+makePartition()
+{
+    PartitionConfig config;
+    return Partition(config, kFwd, kRev, 13);
+}
+
+TEST(PartitionTest, BlocksForSizes)
+{
+    Partition partition = makePartition();
+    EXPECT_EQ(partition.blocksFor(0), 0u);
+    EXPECT_EQ(partition.blocksFor(1), 1u);
+    EXPECT_EQ(partition.blocksFor(256), 1u);
+    EXPECT_EQ(partition.blocksFor(257), 2u);
+    // The paper's Alice file: 150KB -> 600 blocks.
+    EXPECT_EQ(partition.blocksFor(150 * 1024), 600u);
+}
+
+TEST(PartitionTest, EncodeFileShape)
+{
+    Partition partition = makePartition();
+    Bytes data = corpus::generateBytes(10 * 256, 1);
+    auto molecules = partition.encodeFile(data);
+    EXPECT_EQ(molecules.size(), 10u * 15u);
+    std::set<std::string> unique;
+    for (const auto &molecule : molecules) {
+        EXPECT_EQ(molecule.seq.size(), 150u);
+        EXPECT_TRUE(molecule.seq.startsWith(kFwd));
+        unique.insert(molecule.seq.str());
+    }
+    EXPECT_EQ(unique.size(), molecules.size());
+}
+
+TEST(PartitionTest, ProvenanceTagging)
+{
+    Partition partition = makePartition();
+    Bytes data = corpus::generateBytes(3 * 256, 2);
+    auto molecules = partition.encodeFile(data);
+    for (size_t i = 0; i < molecules.size(); ++i) {
+        EXPECT_EQ(molecules[i].info.file_id, 13u);
+        EXPECT_EQ(molecules[i].info.block, i / 15);
+        EXPECT_EQ(molecules[i].info.column, i % 15);
+        EXPECT_EQ(molecules[i].info.version, 0u);
+    }
+}
+
+TEST(PartitionTest, BlockPrimerIs31Bases)
+{
+    Partition partition = makePartition();
+    dna::Sequence primer = partition.blockPrimer(531);
+    EXPECT_EQ(primer.size(), 31u);
+    EXPECT_TRUE(primer.startsWith(kFwd));
+    // Molecules of block 531 must start with this primer; others not.
+    Bytes data = corpus::generateBytes(600 * 256, 3);
+    auto molecules = partition.encodeFile(data);
+    for (const auto &molecule : molecules) {
+        EXPECT_EQ(molecule.seq.startsWith(primer),
+                  molecule.info.block == 531)
+            << "block " << molecule.info.block;
+    }
+}
+
+TEST(PartitionTest, PatchSharesBlockPrefix)
+{
+    // Figure 8: data and updates share the elongated prefix and
+    // differ only in the version base.
+    Partition partition = makePartition();
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kInline;
+    record.op.insert_bytes = {1, 2, 3};
+    auto patch = partition.encodePatch(531, record, 1);
+    EXPECT_EQ(patch.size(), 15u);
+    dna::Sequence primer = partition.blockPrimer(531);
+    for (const auto &molecule : patch) {
+        EXPECT_TRUE(molecule.seq.startsWith(primer));
+        EXPECT_EQ(molecule.info.version, 1u);
+    }
+    // The version base (position 31) differs from the original's.
+    Bytes data = corpus::generateBytes(600 * 256, 3);
+    auto originals = partition.encodeBlock(531, Bytes(256, 0), 0);
+    EXPECT_NE(patch[0].seq[31], originals[0].seq[31]);
+}
+
+TEST(PartitionTest, PatchVersionZeroRejected)
+{
+    Partition partition = makePartition();
+    UpdateRecord record;
+    EXPECT_THROW(partition.encodePatch(5, record, 0),
+                 dnastore::FatalError);
+}
+
+TEST(PartitionTest, UnitScrambleRoundTrip)
+{
+    Partition partition = makePartition();
+    Bytes payload = corpus::generateBytes(256, 4);
+    auto molecules = partition.encodeBlock(77, payload, 0);
+
+    // Decode the columns directly (no noise) and unscramble.
+    std::vector<std::optional<Bytes>> columns;
+    for (const auto &molecule : molecules) {
+        dna::Sequence payload_bases = molecule.seq.substr(34, 96);
+        columns.emplace_back(codec::basesToBytes(payload_bases));
+    }
+    auto decoded = partition.unitCodec().decode(columns);
+    ASSERT_TRUE(decoded.ok());
+    Bytes recovered = partition.unscrambleUnit(*decoded.data, 77, 0);
+    EXPECT_EQ(recovered, payload);
+}
+
+TEST(PartitionTest, ScrambledPayloadGcBalanced)
+{
+    // Unconstrained coding: scrambled payloads should have ~50% GC
+    // on average (Section 2.1.1).
+    Partition partition = makePartition();
+    Bytes zeros(256, 0);  // worst case without scrambling: all-A
+    auto molecules = partition.encodeBlock(3, zeros, 0);
+    double gc_sum = 0.0;
+    for (const auto &molecule : molecules) {
+        gc_sum += dna::gcContent(molecule.seq.substr(34, 96));
+    }
+    EXPECT_NEAR(gc_sum / 15.0, 0.5, 0.08);
+}
+
+TEST(PartitionTest, RangePrimersCoverRange)
+{
+    Partition partition = makePartition();
+    auto primers = partition.rangePrimers(100, 163);
+    ASSERT_FALSE(primers.empty());
+    Bytes data = corpus::generateBytes(300 * 256, 5);
+    auto molecules = partition.encodeFile(data);
+    for (const auto &molecule : molecules) {
+        bool matched = false;
+        for (const auto &primer : primers)
+            matched |= molecule.seq.startsWith(primer);
+        bool in_range = molecule.info.block >= 100 &&
+                        molecule.info.block <= 163;
+        EXPECT_EQ(matched, in_range) << "block " << molecule.info.block;
+    }
+}
+
+TEST(PartitionTest, RejectsOversizedFile)
+{
+    Partition partition = makePartition();
+    Bytes data(1025 * 256);
+    EXPECT_THROW(partition.encodeFile(data), dnastore::FatalError);
+}
+
+TEST(PartitionTest, RejectsMismatchedPrimerLength)
+{
+    PartitionConfig config;
+    EXPECT_THROW(Partition(config, dna::Sequence("ACGT"), kRev, 1),
+                 dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the multi-partition PoolManager and the two-stage PCR
+ * protocol (Sections 6.1 and 7.7.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pool_manager.h"
+#include "corpus/text.h"
+
+namespace dnastore::core {
+namespace {
+
+PoolManagerParams
+smallParams()
+{
+    PoolManagerParams params;
+    params.reads_per_block_access = 1000;
+    return params;
+}
+
+TEST(PoolManagerTest, StoresMultipleFiles)
+{
+    PoolManager manager(smallParams());
+    size_t pairs_before = manager.primerPairsAvailable();
+    uint32_t a = manager.storeFile(corpus::generateBytes(6 * 256, 1));
+    uint32_t b = manager.storeFile(corpus::generateBytes(9 * 256, 2));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(manager.fileCount(), 2u);
+    EXPECT_EQ(manager.blockCount(a), 6u);
+    EXPECT_EQ(manager.blockCount(b), 9u);
+    EXPECT_EQ(manager.primerPairsAvailable(), pairs_before - 2);
+    EXPECT_EQ(manager.pool().speciesCount(), (6u + 9u) * 15u);
+}
+
+TEST(PoolManagerTest, PartitionsGetDistinctPrimersAndSeeds)
+{
+    PoolManager manager(smallParams());
+    uint32_t a = manager.storeFile(corpus::generateBytes(4 * 256, 3));
+    uint32_t b = manager.storeFile(corpus::generateBytes(4 * 256, 4));
+    EXPECT_NE(manager.partition(a).forwardPrimer(),
+              manager.partition(b).forwardPrimer());
+    EXPECT_NE(manager.partition(a).tree().seed(),
+              manager.partition(b).tree().seed());
+}
+
+TEST(PoolManagerTest, TwoStageBlockReadAcrossFiles)
+{
+    PoolManager manager(smallParams());
+    Bytes file_a = corpus::generateBytes(8 * 256, 5);
+    Bytes file_b = corpus::generateBytes(8 * 256, 6);
+    uint32_t a = manager.storeFile(file_a);
+    uint32_t b = manager.storeFile(file_b);
+
+    auto block_a = manager.readBlock(a, 3);
+    ASSERT_TRUE(block_a.has_value());
+    EXPECT_TRUE(std::equal(block_a->begin(), block_a->end(),
+                           file_a.begin() + 3 * 256));
+
+    auto block_b = manager.readBlock(b, 7);
+    ASSERT_TRUE(block_b.has_value());
+    EXPECT_TRUE(std::equal(block_b->begin(), block_b->end(),
+                           file_b.begin() + 7 * 256));
+}
+
+TEST(PoolManagerTest, ReadFileRoundTrip)
+{
+    PoolManager manager(smallParams());
+    Bytes data = corpus::generateBytes(5 * 256 + 100, 7);
+    uint32_t id = manager.storeFile(data);
+    auto recovered = manager.readFile(id);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, data);
+}
+
+TEST(PoolManagerTest, UpdateAppliedOnRead)
+{
+    PoolManager manager(smallParams());
+    Bytes data = corpus::generateBytes(6 * 256, 8);
+    uint32_t id = manager.storeFile(data);
+
+    UpdateOp op;
+    op.delete_pos = 0;
+    op.delete_len = 1;
+    op.insert_pos = 0;
+    op.insert_bytes = {'@'};
+    manager.updateBlock(id, 2, op);
+
+    auto content = manager.readBlock(id, 2);
+    ASSERT_TRUE(content.has_value());
+    EXPECT_EQ((*content)[0], '@');
+    EXPECT_TRUE(std::equal(content->begin() + 1, content->end(),
+                           data.begin() + 2 * 256 + 1));
+}
+
+TEST(PoolManagerTest, ErrorsOnUnknownIds)
+{
+    PoolManager manager(smallParams());
+    uint32_t id = manager.storeFile(corpus::generateBytes(256, 9));
+    EXPECT_THROW(manager.readBlock(id + 1, 0), dnastore::FatalError);
+    EXPECT_THROW(manager.readBlock(id, 99), dnastore::FatalError);
+    EXPECT_THROW(manager.blockCount(42), dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::core

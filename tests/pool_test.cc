@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the Pool model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/pool.h"
+
+namespace dnastore::sim {
+namespace {
+
+SpeciesInfo
+info(uint64_t block, uint8_t version = 0, uint8_t column = 0)
+{
+    SpeciesInfo result;
+    result.file_id = 13;
+    result.block = block;
+    result.version = version;
+    result.column = column;
+    return result;
+}
+
+TEST(PoolTest, AddAndMergeBySequence)
+{
+    Pool pool;
+    pool.add(dna::Sequence("ACGT"), info(1), 10.0);
+    pool.add(dna::Sequence("ACGT"), info(1), 5.0);
+    pool.add(dna::Sequence("TTTT"), info(2), 1.0);
+    EXPECT_EQ(pool.speciesCount(), 2u);
+    EXPECT_DOUBLE_EQ(pool.totalMass(), 16.0);
+}
+
+TEST(PoolTest, ScaleAndNormalize)
+{
+    Pool pool;
+    pool.add(dna::Sequence("ACGT"), info(1), 10.0);
+    pool.add(dna::Sequence("TTTT"), info(2), 30.0);
+    pool.scale(0.5);
+    EXPECT_DOUBLE_EQ(pool.totalMass(), 20.0);
+    pool.normalizeTo(100.0);
+    EXPECT_DOUBLE_EQ(pool.totalMass(), 100.0);
+    EXPECT_DOUBLE_EQ(pool.species()[0].mass, 25.0);
+}
+
+TEST(PoolTest, MixInWithFactor)
+{
+    Pool a, b;
+    a.add(dna::Sequence("ACGT"), info(1), 10.0);
+    b.add(dna::Sequence("ACGT"), info(1), 100.0);
+    b.add(dna::Sequence("GGGG"), info(2), 100.0);
+    a.mixIn(b, 0.01);
+    EXPECT_EQ(a.speciesCount(), 2u);
+    EXPECT_DOUBLE_EQ(a.totalMass(), 12.0);
+}
+
+TEST(PoolTest, DropBelow)
+{
+    Pool pool;
+    pool.add(dna::Sequence("ACGT"), info(1), 10.0);
+    pool.add(dna::Sequence("GGGG"), info(2), 0.001);
+    pool.dropBelow(0.01);
+    EXPECT_EQ(pool.speciesCount(), 1u);
+    // Index map must be rebuilt so merging still works.
+    pool.add(dna::Sequence("ACGT"), info(1), 1.0);
+    EXPECT_EQ(pool.speciesCount(), 1u);
+    EXPECT_DOUBLE_EQ(pool.totalMass(), 11.0);
+}
+
+TEST(PoolTest, MassFraction)
+{
+    Pool pool;
+    pool.add(dna::Sequence("ACGT"), info(531), 30.0);
+    pool.add(dna::Sequence("GGGG"), info(144), 70.0);
+    double fraction = pool.massFraction(
+        [](const Species &s) { return s.info.block == 531; });
+    EXPECT_DOUBLE_EQ(fraction, 0.3);
+}
+
+TEST(PoolTest, NegativeMassPanics)
+{
+    Pool pool;
+    EXPECT_THROW(pool.add(dna::Sequence("ACGT"), info(1), -1.0),
+                 dnastore::PanicError);
+}
+
+TEST(PoolTest, NormalizeEmptyPoolThrows)
+{
+    Pool pool;
+    EXPECT_THROW(pool.normalizeTo(1.0), dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for dense prefix-tree range covers (Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "index/prefix_tree.h"
+
+namespace dnastore::index {
+namespace {
+
+/** Expand a cover back to the set of leaves it addresses. */
+std::set<uint64_t>
+expand(const std::vector<Prefix> &cover, size_t depth)
+{
+    std::set<uint64_t> leaves;
+    for (const Prefix &prefix : cover) {
+        uint64_t first = firstLeafUnder(prefix, depth);
+        uint64_t count = leavesUnder(prefix, depth);
+        for (uint64_t i = 0; i < count; ++i)
+            leaves.insert(first + i);
+    }
+    return leaves;
+}
+
+TEST(CoverTest, PaperExample)
+{
+    // Section 3.1: AAA..AGT (leaves 0..11 at depth 3) is covered by
+    // {AA, AC, AG} and the common prefix is A.
+    std::vector<Prefix> cover = coverRange(0, 11, 3);
+    ASSERT_EQ(cover.size(), 3u);
+    EXPECT_EQ(cover[0], (Prefix{0, 0}));
+    EXPECT_EQ(cover[1], (Prefix{0, 1}));
+    EXPECT_EQ(cover[2], (Prefix{0, 2}));
+    EXPECT_EQ(commonPrefix(0, 11, 3), (Prefix{0}));
+}
+
+TEST(CoverTest, SingleLeaf)
+{
+    std::vector<Prefix> cover = coverRange(5, 5, 3);
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_EQ(cover[0].size(), 3u);
+    EXPECT_EQ(firstLeafUnder(cover[0], 3), 5u);
+}
+
+TEST(CoverTest, WholeSpaceIsEmptyPrefix)
+{
+    std::vector<Prefix> cover = coverRange(0, 63, 3);
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_TRUE(cover[0].empty());
+}
+
+TEST(CoverTest, CoverIsExactAndMinimalish)
+{
+    const size_t depth = 5;
+    for (auto [lo, hi] : std::vector<std::pair<uint64_t, uint64_t>>{
+             {0, 0},     {0, 1023}, {1, 1022}, {100, 531},
+             {512, 767}, {3, 3},    {1000, 1023}}) {
+        std::vector<Prefix> cover = coverRange(lo, hi, depth);
+        std::set<uint64_t> leaves = expand(cover, depth);
+        EXPECT_EQ(leaves.size(), hi - lo + 1);
+        EXPECT_EQ(*leaves.begin(), lo);
+        EXPECT_EQ(*leaves.rbegin(), hi);
+        // A base-4 cover needs at most 3 prefixes per level boundary.
+        EXPECT_LE(cover.size(), 6 * depth);
+    }
+}
+
+TEST(CoverTest, CommonPrefixCoversRange)
+{
+    const size_t depth = 5;
+    Prefix prefix = commonPrefix(100, 531, depth);
+    uint64_t first = firstLeafUnder(prefix, depth);
+    uint64_t count = leavesUnder(prefix, depth);
+    EXPECT_LE(first, 100u);
+    EXPECT_GE(first + count - 1, 531u);
+}
+
+TEST(CoverTest, InvalidRangesThrow)
+{
+    EXPECT_THROW(coverRange(5, 4, 3), dnastore::FatalError);
+    EXPECT_THROW(coverRange(0, 64, 3), dnastore::FatalError);
+}
+
+TEST(CoverTest, LeavesUnderAndFirstLeaf)
+{
+    EXPECT_EQ(leavesUnder({}, 3), 64u);
+    EXPECT_EQ(leavesUnder({2}, 3), 16u);
+    EXPECT_EQ(firstLeafUnder({2}, 3), 32u);
+    EXPECT_EQ(leavesUnder({2, 1, 3}, 3), 1u);
+    EXPECT_EQ(firstLeafUnder({2, 1, 3}, 3), 39u);
+}
+
+} // namespace
+} // namespace dnastore::index

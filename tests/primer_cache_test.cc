@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the elongated-primer cache (Section 7.7.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/primer_cache.h"
+#include "index/sparse_index.h"
+
+namespace dnastore::core {
+namespace {
+
+const dna::Sequence kIndex("ACGTACGTAC");
+
+TEST(PrimerCacheTest, MissThenHit)
+{
+    PrimerCache cache(4);
+    EXPECT_FALSE(cache.request(531, kIndex));
+    EXPECT_TRUE(cache.request(531, kIndex));
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().bases_synthesized, 10u);
+}
+
+TEST(PrimerCacheTest, EvictsLeastRecentlyUsed)
+{
+    PrimerCache cache(2);
+    cache.request(1, kIndex);
+    cache.request(2, kIndex);
+    cache.request(1, kIndex);  // 1 is now most recent
+    cache.request(3, kIndex);  // evicts 2
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PrimerCacheTest, CapacityRespected)
+{
+    PrimerCache cache(8);
+    for (uint64_t block = 0; block < 100; ++block)
+        cache.request(block, kIndex);
+    EXPECT_EQ(cache.size(), 8u);
+}
+
+TEST(PrimerCacheTest, ZipfianWorkloadAmortizes)
+{
+    // The paper's argument: Zipfian popularity means a small cache
+    // of elongations absorbs most requests.
+    index::SparseIndexTree tree(1, 5);
+    // Zipf(1) mass in the top 64 of 1024 blocks is ~63%, so a
+    // 64-entry cache must absorb the majority of requests.
+    PrimerCache cache(64);
+    dnastore::Rng rng(9);
+    // Zipf(1.0) over 1024 blocks via inverse-CDF sampling.
+    std::vector<double> cdf(1024);
+    double mass = 0.0;
+    for (size_t b = 0; b < cdf.size(); ++b) {
+        mass += 1.0 / static_cast<double>(b + 1);
+        cdf[b] = mass;
+    }
+    for (double &value : cdf)
+        value /= mass;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.nextDouble();
+        auto block = static_cast<uint64_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        cache.request(block, tree.leafIndex(block));
+    }
+    EXPECT_GT(cache.stats().hitRate(), 0.5);
+    // Synthesis happened for far fewer elongations than requests.
+    EXPECT_LT(cache.stats().misses, 10000u);
+}
+
+TEST(PrimerCacheTest, ZeroCapacityRejected)
+{
+    EXPECT_THROW(PrimerCache(0), dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for physical range covers (sequential access primers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "index/range_cover.h"
+
+namespace dnastore::index {
+namespace {
+
+TEST(RangeCoverTest, CoverMapsToPhysicalPrefixes)
+{
+    SparseIndexTree tree(42, 5);
+    std::vector<PhysicalPrefix> cover = physicalCover(tree, 0, 11);
+    ASSERT_FALSE(cover.empty());
+    uint64_t total = 0;
+    for (const PhysicalPrefix &entry : cover) {
+        EXPECT_EQ(entry.physical.size(), 2 * entry.logical.size());
+        EXPECT_EQ(entry.physical,
+                  tree.physicalPrefix(entry.logical));
+        total += entry.blocks_covered;
+    }
+    EXPECT_EQ(total, 12u);
+}
+
+TEST(RangeCoverTest, EveryBlockInRangeMatchesSomePrefix)
+{
+    SparseIndexTree tree(7, 5);
+    uint64_t lo = 100, hi = 235;
+    std::vector<PhysicalPrefix> cover = physicalCover(tree, lo, hi);
+    for (uint64_t block = lo; block <= hi; ++block) {
+        dna::Sequence leaf = tree.leafIndex(block);
+        bool matched = false;
+        for (const PhysicalPrefix &entry : cover)
+            matched |= leaf.startsWith(entry.physical);
+        EXPECT_TRUE(matched) << "block " << block;
+    }
+}
+
+TEST(RangeCoverTest, BlocksOutsideRangeMatchNoPrefix)
+{
+    SparseIndexTree tree(7, 5);
+    uint64_t lo = 100, hi = 235;
+    std::vector<PhysicalPrefix> cover = physicalCover(tree, lo, hi);
+    for (uint64_t block : {0u, 99u, 236u, 531u, 1023u}) {
+        dna::Sequence leaf = tree.leafIndex(block);
+        for (const PhysicalPrefix &entry : cover) {
+            EXPECT_FALSE(leaf.startsWith(entry.physical))
+                << "block " << block;
+        }
+    }
+}
+
+TEST(RangeCoverTest, CommonPrefixOverRetrieves)
+{
+    SparseIndexTree tree(3, 3);
+    // Range 0..11 at depth 3: common prefix is the first digit,
+    // covering 16 leaves (over-retrieval of 4, Section 3.1 example).
+    PhysicalPrefix common = physicalCommonPrefix(tree, 0, 11);
+    EXPECT_EQ(common.logical.size(), 1u);
+    EXPECT_EQ(common.blocks_covered, 16u);
+    EXPECT_EQ(common.physical.size(), 2u);
+}
+
+TEST(RangeCoverTest, SingleBlockCoverIsFullDepth)
+{
+    SparseIndexTree tree(9, 5);
+    std::vector<PhysicalPrefix> cover = physicalCover(tree, 531, 531);
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_EQ(cover[0].blocks_covered, 1u);
+    EXPECT_EQ(cover[0].physical, tree.leafIndex(531));
+}
+
+} // namespace
+} // namespace dnastore::index

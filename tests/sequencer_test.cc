@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the sequencing model (sampling + IDS noise).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dna/distance.h"
+#include "sim/sequencer.h"
+
+namespace dnastore::sim {
+namespace {
+
+Pool
+twoSpeciesPool(double mass_a, double mass_b)
+{
+    Pool pool;
+    SpeciesInfo a, b;
+    a.block = 0;
+    b.block = 1;
+    pool.add(dna::Sequence(std::string(60, 'A') + std::string(60, 'C')),
+             a, mass_a);
+    pool.add(dna::Sequence(std::string(60, 'G') + std::string(60, 'T')),
+             b, mass_b);
+    return pool;
+}
+
+TEST(SequencerTest, SamplingFollowsMass)
+{
+    Pool pool = twoSpeciesPool(90.0, 10.0);
+    SequencerParams params;
+    params.sub_rate = 0.0;
+    params.ins_rate = 0.0;
+    params.del_rate = 0.0;
+    std::vector<Read> reads = sequencePool(pool, 10000, params);
+    size_t first = 0;
+    for (const Read &read : reads)
+        first += read.species_index == 0 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(first) / 10000.0, 0.9, 0.02);
+}
+
+TEST(SequencerTest, NoiselessReadsAreExact)
+{
+    Pool pool = twoSpeciesPool(1.0, 1.0);
+    SequencerParams params;
+    params.sub_rate = 0.0;
+    params.ins_rate = 0.0;
+    params.del_rate = 0.0;
+    for (const Read &read : sequencePool(pool, 100, params)) {
+        EXPECT_EQ(read.seq,
+                  pool.species()[read.species_index].seq);
+    }
+}
+
+TEST(SequencerTest, NoiseRatesRealized)
+{
+    Pool pool = twoSpeciesPool(1.0, 1.0);
+    SequencerParams params;
+    params.sub_rate = 0.05;
+    params.ins_rate = 0.0;
+    params.del_rate = 0.0;
+    size_t total_dist = 0;
+    size_t total_bases = 0;
+    std::vector<Read> reads = sequencePool(pool, 2000, params);
+    for (const Read &read : reads) {
+        total_dist += dna::levenshteinDistance(
+            read.seq, pool.species()[read.species_index].seq);
+        total_bases += 120;
+    }
+    double rate =
+        static_cast<double>(total_dist) / static_cast<double>(total_bases);
+    EXPECT_NEAR(rate, 0.05, 0.01);
+}
+
+TEST(SequencerTest, IndelsChangeLength)
+{
+    Pool pool = twoSpeciesPool(1.0, 1.0);
+    SequencerParams params;
+    params.sub_rate = 0.0;
+    params.ins_rate = 0.05;
+    params.del_rate = 0.05;
+    bool longer = false, shorter = false;
+    for (const Read &read : sequencePool(pool, 500, params)) {
+        longer |= read.seq.size() > 120;
+        shorter |= read.seq.size() < 120;
+    }
+    EXPECT_TRUE(longer);
+    EXPECT_TRUE(shorter);
+}
+
+TEST(SequencerTest, Deterministic)
+{
+    Pool pool = twoSpeciesPool(3.0, 7.0);
+    SequencerParams params;
+    auto a = sequencePool(pool, 50, params);
+    auto b = sequencePool(pool, 50, params);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seq, b[i].seq);
+        EXPECT_EQ(a[i].species_index, b[i].species_index);
+    }
+}
+
+TEST(SequencerTest, EmptyPoolThrows)
+{
+    Pool pool;
+    SequencerParams params;
+    EXPECT_THROW(sequencePool(pool, 10, params), dnastore::FatalError);
+}
+
+} // namespace
+} // namespace dnastore::sim

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Property tests for the PCR-navigable sparse index tree: these
+ * verify every invariant Section 4.3 claims for the construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "dna/analysis.h"
+#include "dna/distance.h"
+#include "index/sparse_index.h"
+
+namespace dnastore::index {
+namespace {
+
+TEST(SparseIndexTest, GeometryAndDeterminism)
+{
+    SparseIndexTree tree(42, 5);
+    EXPECT_EQ(tree.depth(), 5u);
+    EXPECT_EQ(tree.leafCount(), 1024u);
+    EXPECT_EQ(tree.physicalLength(), 10u);
+
+    SparseIndexTree again(42, 5);
+    for (uint64_t block : {0u, 1u, 531u, 1023u})
+        EXPECT_EQ(tree.leafIndex(block), again.leafIndex(block));
+}
+
+TEST(SparseIndexTest, DifferentSeedsDifferentTrees)
+{
+    // Section 4.4: different partitions use different seeds to get
+    // vastly different trees.
+    SparseIndexTree a(1, 5), b(2, 5);
+    size_t differing = 0;
+    for (uint64_t block = 0; block < 64; ++block) {
+        if (a.leafIndex(block) != b.leafIndex(block))
+            ++differing;
+    }
+    EXPECT_GT(differing, 48u);
+}
+
+TEST(SparseIndexTest, LeavesAreUnique)
+{
+    SparseIndexTree tree(7, 5);
+    std::set<std::string> seen;
+    for (uint64_t block = 0; block < tree.leafCount(); ++block)
+        seen.insert(tree.leafIndex(block).str());
+    EXPECT_EQ(seen.size(), tree.leafCount());
+}
+
+TEST(SparseIndexTest, EdgeOrderIsAPermutation)
+{
+    SparseIndexTree tree(11, 4);
+    for (Prefix path : std::vector<Prefix>{{}, {0}, {3, 2}, {1, 1, 1}}) {
+        auto edges = tree.edgeOrder(path);
+        std::set<dna::Base> unique(edges.begin(), edges.end());
+        EXPECT_EQ(unique.size(), 4u);
+    }
+}
+
+TEST(SparseIndexTest, SpacersAreOppositeGcClass)
+{
+    // The spacer after every edge has the opposite GC class, and the
+    // two same-class edges of a node get distinct spacers.
+    SparseIndexTree tree(13, 4);
+    for (Prefix path : std::vector<Prefix>{{}, {2}, {0, 3}, {1, 2, 0}}) {
+        auto edges = tree.edgeOrder(path);
+        auto spacers = tree.spacerOrder(path);
+        std::set<dna::Base> strong_spacers, weak_spacers;
+        for (size_t child = 0; child < 4; ++child) {
+            EXPECT_NE(dna::isStrong(edges[child]),
+                      dna::isStrong(spacers[child]));
+            if (dna::isStrong(spacers[child]))
+                strong_spacers.insert(spacers[child]);
+            else
+                weak_spacers.insert(spacers[child]);
+        }
+        EXPECT_EQ(strong_spacers.size(), 2u);
+        EXPECT_EQ(weak_spacers.size(), 2u);
+    }
+}
+
+TEST(SparseIndexTest, DecodeRoundTrip)
+{
+    SparseIndexTree tree(17, 5);
+    for (uint64_t block = 0; block < tree.leafCount(); block += 13) {
+        auto match = tree.decode(tree.leafIndex(block));
+        ASSERT_TRUE(match.has_value()) << "block " << block;
+        EXPECT_EQ(match->block, block);
+    }
+}
+
+TEST(SparseIndexTest, DecodeWithVersionBase)
+{
+    SparseIndexTree tree(19, 5);
+    for (uint64_t block : {0u, 144u, 307u, 531u}) {
+        for (unsigned version = 0;
+             version < SparseIndexTree::kVersionSlots; ++version) {
+            auto match =
+                tree.decode(tree.physicalAddress(block, version));
+            ASSERT_TRUE(match.has_value());
+            EXPECT_EQ(match->block, block);
+            EXPECT_EQ(match->version, version);
+        }
+    }
+}
+
+TEST(SparseIndexTest, VersionBasesAreDistinct)
+{
+    SparseIndexTree tree(23, 5);
+    for (uint64_t block : {5u, 243u, 374u, 556u}) {
+        std::set<dna::Base> bases;
+        for (unsigned v = 0; v < SparseIndexTree::kVersionSlots; ++v)
+            bases.insert(tree.versionBase(block, v));
+        EXPECT_EQ(bases.size(), 4u);
+    }
+}
+
+TEST(SparseIndexTest, DecodeNearestReturnsANearestLeaf)
+{
+    // A single corrupted base leaves the true leaf at Hamming
+    // distance 1. decodeNearest must return *a* leaf at distance 1
+    // (rarely the corrupted index is equidistant from two leaves —
+    // the same ambiguity mispriming exploits), and its reported
+    // mismatch count must equal the true distance of that leaf.
+    SparseIndexTree tree(29, 5);
+    size_t exact = 0;
+    size_t total = 0;
+    for (uint64_t block = 0; block < 1024; block += 37) {
+        dna::Sequence index = tree.leafIndex(block);
+        std::string s = index.str();
+        s[3] = s[3] == 'A' ? 'C' : 'A';
+        dna::Sequence corrupted(s);
+        IndexMatch match = tree.decodeNearest(corrupted);
+        EXPECT_LE(match.mismatches, 1u) << "block " << block;
+        EXPECT_EQ(dna::hammingDistance(tree.leafIndex(match.block),
+                                       corrupted),
+                  match.mismatches)
+            << "block " << block;
+        exact += match.block == block ? 1 : 0;
+        ++total;
+    }
+    // Ambiguity is rare: the vast majority must decode exactly.
+    EXPECT_GE(exact * 10, total * 9);
+}
+
+TEST(SparseIndexTest, PhysicalPrefixIsLeafPrefix)
+{
+    // The physical index of a leaf extends the physical prefix of
+    // every ancestor — the property elongated primers rely on.
+    SparseIndexTree tree(31, 5);
+    for (uint64_t block : {0u, 100u, 531u, 1023u}) {
+        Prefix digits = codec::toBase4(block, 5);
+        dna::Sequence leaf = tree.leafIndex(block);
+        for (size_t len = 1; len <= 5; ++len) {
+            Prefix ancestor(digits.begin(),
+                            digits.begin() + static_cast<long>(len));
+            dna::Sequence prefix = tree.physicalPrefix(ancestor);
+            EXPECT_TRUE(leaf.startsWith(prefix))
+                << "block " << block << " len " << len;
+        }
+    }
+}
+
+/** Parameterized invariants across seeds and depths (Section 4.3). */
+class SparseInvariantTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>>
+{};
+
+TEST_P(SparseInvariantTest, GcBalancedEveryEvenPrefix)
+{
+    auto [seed, depth] = GetParam();
+    SparseIndexTree tree(seed, depth);
+    uint64_t step = std::max<uint64_t>(1, tree.leafCount() / 128);
+    for (uint64_t block = 0; block < tree.leafCount(); block += step) {
+        dna::Sequence index = tree.leafIndex(block);
+        size_t strong = 0;
+        for (size_t i = 0; i < index.size(); ++i) {
+            if (dna::isStrongChar(index[i]))
+                ++strong;
+            if (i % 2 == 1) {
+                // Every (edge, spacer) chunk: exactly one strong base.
+                EXPECT_EQ(2 * strong, i + 1);
+            }
+        }
+    }
+}
+
+TEST_P(SparseInvariantTest, NoHomopolymerLongerThanTwo)
+{
+    auto [seed, depth] = GetParam();
+    SparseIndexTree tree(seed, depth);
+    uint64_t step = std::max<uint64_t>(1, tree.leafCount() / 128);
+    for (uint64_t block = 0; block < tree.leafCount(); block += step) {
+        EXPECT_LE(dna::maxHomopolymerRun(tree.leafIndex(block)), 2u);
+    }
+}
+
+TEST_P(SparseInvariantTest, SiblingsDifferByTwoPerChunk)
+{
+    auto [seed, depth] = GetParam();
+    SparseIndexTree tree(seed, depth);
+    // Siblings share all chunks except the last; the last chunk
+    // differs in both edge and spacer -> Hamming distance exactly 2.
+    uint64_t step = std::max<uint64_t>(4, tree.leafCount() / 64);
+    for (uint64_t base = 0; base + 3 < tree.leafCount(); base += step) {
+        uint64_t family = base - base % 4;
+        for (unsigned a = 0; a < 4; ++a) {
+            for (unsigned b = a + 1; b < 4; ++b) {
+                size_t dist = dna::hammingDistance(
+                    tree.leafIndex(family + a),
+                    tree.leafIndex(family + b));
+                EXPECT_EQ(dist, 2u);
+            }
+        }
+    }
+}
+
+TEST_P(SparseInvariantTest, SparsityDoublesAverageDistance)
+{
+    // Section 4.3: randomized sparsity increases the average Hamming
+    // distance between indexes by about 2x relative to dense base-4
+    // indexes (each mismatching level contributes ~2 mismatching
+    // bases instead of ~1). Allow sampling slack around the 2x.
+    auto [seed, depth] = GetParam();
+    SparseIndexTree tree(seed, depth);
+    dnastore::Rng rng(seed);
+    double dense_total = 0.0, sparse_total = 0.0;
+    const int samples = 300;
+    for (int i = 0; i < samples; ++i) {
+        uint64_t a = rng.nextBelow(tree.leafCount());
+        uint64_t b = rng.nextBelow(tree.leafCount());
+        if (a == b)
+            b = (b + 1) % tree.leafCount();
+        codec::Digits da = codec::toBase4(a, depth);
+        codec::Digits db = codec::toBase4(b, depth);
+        size_t dense = 0;
+        for (size_t k = 0; k < depth; ++k)
+            dense += da[k] != db[k] ? 1 : 0;
+        dense_total += static_cast<double>(dense);
+        sparse_total += static_cast<double>(dna::hammingDistance(
+            tree.leafIndex(a), tree.leafIndex(b)));
+    }
+    EXPECT_GE(sparse_total, 1.8 * dense_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDepths, SparseInvariantTest,
+    ::testing::Combine(::testing::Values(1u, 42u, 0x1dc0ffeeu),
+                       ::testing::Values(size_t{3}, size_t{5},
+                                         size_t{7})));
+
+} // namespace
+} // namespace dnastore::index

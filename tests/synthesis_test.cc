@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the synthesis model (per-molecule yield distribution).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "dna/distance.h"
+#include "sim/synthesis.h"
+
+namespace dnastore::sim {
+namespace {
+
+std::vector<DesignedMolecule>
+makeOrder(size_t count)
+{
+    // Random 24-base designs: pairwise distances are large, so
+    // single-base synthesis byproducts cannot collide with another
+    // design's sequence.
+    dnastore::Rng rng(0xde516);
+    std::vector<DesignedMolecule> order;
+    for (size_t i = 0; i < count; ++i) {
+        std::vector<dna::Base> bases(24);
+        for (dna::Base &base : bases)
+            base = static_cast<dna::Base>(rng.nextBelow(4));
+        DesignedMolecule molecule;
+        molecule.seq = dna::Sequence(bases);
+        molecule.info.block = i;
+        order.push_back(std::move(molecule));
+    }
+    return order;
+}
+
+TEST(SynthesisTest, AllMoleculesPresent)
+{
+    SynthesisParams params;
+    params.scale = 1e6;
+    Pool pool = synthesize(makeOrder(100), params);
+    EXPECT_EQ(pool.speciesCount(), 100u);
+}
+
+TEST(SynthesisTest, YieldNearScale)
+{
+    SynthesisParams params;
+    params.scale = 1e6;
+    params.sigma = 0.15;
+    Pool pool = synthesize(makeOrder(500), params);
+    double mean = pool.totalMass() / 500.0;
+    EXPECT_NEAR(mean / params.scale, 1.0, 0.1);
+}
+
+TEST(SynthesisTest, SpreadWithinTwoXBand)
+{
+    // Figure 9a: molecules are represented uniformly within ~2x.
+    SynthesisParams params;
+    params.sigma = 0.15;
+    Pool pool = synthesize(makeOrder(500), params);
+    double lo = 1e300, hi = 0.0;
+    for (const Species &s : pool.species()) {
+        lo = std::min(lo, s.mass);
+        hi = std::max(hi, s.mass);
+    }
+    EXPECT_LT(hi / lo, 3.5);  // generous band for 500 samples
+}
+
+TEST(SynthesisTest, DropoutRemovesMolecules)
+{
+    SynthesisParams params;
+    params.dropout_rate = 0.2;
+    Pool pool = synthesize(makeOrder(500), params);
+    EXPECT_LT(pool.speciesCount(), 475u);
+    EXPECT_GT(pool.speciesCount(), 325u);
+}
+
+TEST(SynthesisTest, Deterministic)
+{
+    SynthesisParams params;
+    Pool a = synthesize(makeOrder(50), params);
+    Pool b = synthesize(makeOrder(50), params);
+    ASSERT_EQ(a.speciesCount(), b.speciesCount());
+    for (size_t i = 0; i < a.speciesCount(); ++i)
+        EXPECT_DOUBLE_EQ(a.species()[i].mass, b.species()[i].mass);
+}
+
+TEST(SynthesisTest, ByproductsCarveOutMass)
+{
+    SynthesisParams params;
+    params.byproduct_fraction = 0.10;
+    params.byproduct_variants = 2;
+    std::vector<DesignedMolecule> order = makeOrder(50);
+    Pool pool = synthesize(order, params);
+    // Up to 3 species per design (some variants may collide).
+    EXPECT_GT(pool.speciesCount(), 100u);
+    EXPECT_LE(pool.speciesCount(), 150u);
+    // Defect species hold exactly the configured mass fraction.
+    double defect_fraction =
+        pool.massFraction([&](const Species &s) {
+            return s.seq != order[s.info.block].seq;
+        });
+    EXPECT_NEAR(defect_fraction, 0.10, 1e-9);
+}
+
+TEST(SynthesisTest, ByproductsAreSingleEditVariants)
+{
+    SynthesisParams params;
+    params.byproduct_fraction = 0.05;
+    params.byproduct_variants = 1;
+    std::vector<DesignedMolecule> order = makeOrder(20);
+    Pool pool = synthesize(order, params);
+    for (const Species &s : pool.species()) {
+        const dna::Sequence &design = order[s.info.block].seq;
+        size_t dist = dna::levenshteinDistance(s.seq, design);
+        EXPECT_LE(dist, 1u);
+    }
+}
+
+TEST(SynthesisTest, VendorScaleDifference)
+{
+    // The paper's IDT pool was 50000x more concentrated than Twist.
+    SynthesisParams twist;
+    twist.scale = 1e6;
+    SynthesisParams idt;
+    idt.scale = 5e10;
+    Pool twist_pool = synthesize(makeOrder(100), twist);
+    Pool idt_pool = synthesize(makeOrder(100), idt);
+    double ratio = idt_pool.totalMass() / twist_pool.totalMass();
+    EXPECT_NEAR(ratio, 5e4, 5e3);
+}
+
+} // namespace
+} // namespace dnastore::sim

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the update-patch format and application semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/update.h"
+
+namespace dnastore::core {
+namespace {
+
+Bytes
+bytesOf(const std::string &text)
+{
+    return Bytes(text.begin(), text.end());
+}
+
+std::string
+textOf(const Bytes &bytes)
+{
+    std::string s(bytes.begin(), bytes.end());
+    return s.substr(0, s.find('\0'));
+}
+
+TEST(UpdateOpTest, DeleteThenInsert)
+{
+    // "hello world" -> delete "world" -> insert "there" at 6.
+    UpdateOp op;
+    op.delete_pos = 6;
+    op.delete_len = 5;
+    op.insert_pos = 6;
+    op.insert_bytes = bytesOf("there");
+    Bytes result = op.apply(bytesOf("hello world"), 32);
+    EXPECT_EQ(textOf(result), "hello there");
+    EXPECT_EQ(result.size(), 32u);
+}
+
+TEST(UpdateOpTest, PureInsert)
+{
+    UpdateOp op;
+    op.insert_pos = 5;
+    op.insert_bytes = bytesOf(",");
+    EXPECT_EQ(textOf(op.apply(bytesOf("hello world"), 32)),
+              "hello, world");
+}
+
+TEST(UpdateOpTest, PureDelete)
+{
+    UpdateOp op;
+    op.delete_pos = 5;
+    op.delete_len = 6;
+    EXPECT_EQ(textOf(op.apply(bytesOf("hello world"), 32)), "hello");
+}
+
+TEST(UpdateOpTest, OutOfRangePositionsClamp)
+{
+    UpdateOp op;
+    op.delete_pos = 200;
+    op.delete_len = 50;
+    op.insert_pos = 200;
+    op.insert_bytes = bytesOf("!");
+    Bytes result = op.apply(bytesOf("abc"), 8);
+    EXPECT_EQ(textOf(result), "abc!");
+}
+
+TEST(UpdateOpTest, ResultClampedToBlockSize)
+{
+    UpdateOp op;
+    op.insert_pos = 0;
+    op.insert_bytes = bytesOf("0123456789");
+    Bytes result = op.apply(bytesOf("abc"), 8);
+    EXPECT_EQ(result.size(), 8u);
+    EXPECT_EQ(std::string(result.begin(), result.end()), "01234567");
+}
+
+TEST(UpdateRecordTest, InlineRoundTrip)
+{
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kInline;
+    record.op.delete_pos = 10;
+    record.op.delete_len = 4;
+    record.op.insert_pos = 12;
+    record.op.insert_bytes = bytesOf("patch-data");
+
+    Bytes serialized = record.serialize(256);
+    EXPECT_EQ(serialized.size(), 256u);
+    auto parsed = UpdateRecord::deserialize(serialized);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, UpdateRecord::Kind::kInline);
+    EXPECT_EQ(parsed->op.delete_pos, 10);
+    EXPECT_EQ(parsed->op.delete_len, 4);
+    EXPECT_EQ(parsed->op.insert_pos, 12);
+    EXPECT_EQ(parsed->op.insert_bytes, bytesOf("patch-data"));
+}
+
+TEST(UpdateRecordTest, OverflowPointerRoundTrip)
+{
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kOverflowPointer;
+    record.overflow_block = 0x0123456789abcdefULL;
+    auto parsed = UpdateRecord::deserialize(record.serialize(256));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, UpdateRecord::Kind::kOverflowPointer);
+    EXPECT_EQ(parsed->overflow_block, 0x0123456789abcdefULL);
+}
+
+TEST(UpdateRecordTest, ReplaceRoundTrip)
+{
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kReplace;
+    record.replacement = bytesOf("entirely new block contents");
+    auto parsed = UpdateRecord::deserialize(record.serialize(256));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, UpdateRecord::Kind::kReplace);
+    EXPECT_EQ(parsed->replacement,
+              bytesOf("entirely new block contents"));
+}
+
+TEST(UpdateRecordTest, GarbageRejected)
+{
+    EXPECT_FALSE(UpdateRecord::deserialize({}).has_value());
+    EXPECT_FALSE(UpdateRecord::deserialize({0xff, 1, 2}).has_value());
+    EXPECT_FALSE(UpdateRecord::deserialize({1, 2}).has_value());
+    // Inline whose insert_len runs past the payload.
+    EXPECT_FALSE(
+        UpdateRecord::deserialize({1, 0, 0, 0, 0xff, 0x00})
+            .has_value());
+}
+
+TEST(UpdateRecordTest, TooLargeInsertRejected)
+{
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kInline;
+    record.op.insert_bytes.resize(300);
+    EXPECT_THROW(record.serialize(256), dnastore::FatalError);
+}
+
+TEST(UpdateRecordTest, PaperUpdateSemantics)
+{
+    // Section 6.4: first byte = deletion start, second = deletion
+    // count, third = insertion position, rest = bytes to insert.
+    // Model an edit of one paragraph of a 256-byte block.
+    Bytes block(256, ' ');
+    std::string paragraph = "Alice was beginning to get very tired.";
+    std::copy(paragraph.begin(), paragraph.end(), block.begin());
+
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kInline;
+    record.op.delete_pos = 32;
+    record.op.delete_len = 5;
+    record.op.insert_pos = 32;
+    record.op.insert_bytes = bytesOf("sleepy");
+
+    Bytes serialized = record.serialize(256);
+    auto parsed = UpdateRecord::deserialize(serialized);
+    ASSERT_TRUE(parsed.has_value());
+    Bytes updated = parsed->op.apply(block, 256);
+    std::string text(updated.begin(), updated.end());
+    EXPECT_EQ(text.substr(0, 39),
+              "Alice was beginning to get very sleepy.");
+}
+
+} // namespace
+} // namespace dnastore::core
