@@ -1,0 +1,17 @@
+# Defines the dnastore_warnings INTERFACE target that every library,
+# test, bench, and example links. Warnings are never suppressed
+# globally; DNASTORE_WERROR=ON (used in CI) promotes them to errors.
+
+add_library(dnastore_warnings INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(dnastore_warnings INTERFACE -Wall -Wextra)
+  if(DNASTORE_WERROR)
+    target_compile_options(dnastore_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(dnastore_warnings INTERFACE /W4)
+  if(DNASTORE_WERROR)
+    target_compile_options(dnastore_warnings INTERFACE /WX)
+  endif()
+endif()

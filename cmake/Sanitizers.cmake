@@ -1,0 +1,16 @@
+# Optional sanitizer instrumentation, applied build-wide:
+#   -DDNASTORE_SANITIZE=address;undefined   (any combination of
+#   address, undefined, thread, leak; address+thread are incompatible)
+
+set(DNASTORE_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable (address;undefined;thread;leak)")
+
+if(DNASTORE_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "DNASTORE_SANITIZE requires gcc or clang")
+  endif()
+  list(JOIN DNASTORE_SANITIZE "," _dnastore_san_list)
+  add_compile_options(-fsanitize=${_dnastore_san_list} -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=${_dnastore_san_list})
+  message(STATUS "Sanitizers enabled: ${_dnastore_san_list}")
+endif()

@@ -71,6 +71,12 @@ class BlockDevice
     BlockDevice(BlockDeviceParams params, dna::Sequence forward,
                 dna::Sequence reverse, uint32_t file_id = 13);
 
+    /** Self-referential (decoder_ holds a reference to partition_):
+     *  copying or moving would leave the decoder bound to the old
+     *  object's partition. */
+    BlockDevice(const BlockDevice &) = delete;
+    BlockDevice &operator=(const BlockDevice &) = delete;
+
     /** Encode and synthesize the file; replaces any previous pool. */
     void writeFile(const Bytes &data);
 

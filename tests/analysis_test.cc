@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "dna/analysis.h"
+#include "support/fixtures.h"
 
 namespace dnastore::dna {
 namespace {
@@ -63,7 +64,7 @@ TEST(MeltingTemperatureTest, WallaceShortRule)
 TEST(MeltingTemperatureTest, LongFormula)
 {
     // 20-mer with 50% GC: 64.9 + 41 * (10 - 16.4) / 20 = 51.78.
-    Sequence primer("ACGTACGTACGTACGTACGT");
+    const Sequence &primer = test::fwdPrimer();
     EXPECT_NEAR(meltingTemperature(primer), 51.78, 0.01);
 }
 

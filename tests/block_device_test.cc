@@ -2,18 +2,16 @@
  * @file
  * Integration tests for the BlockDevice facade: write, precise block
  * reads, range reads, updates (inline and overflow), and costs.
+ * Inputs come from the shared tests/support fixtures.
  */
 
 #include <gtest/gtest.h>
 
 #include "core/block_device.h"
-#include "corpus/text.h"
+#include "support/fixtures.h"
 
 namespace dnastore::core {
 namespace {
-
-const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
-const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
 
 BlockDeviceParams
 smallParams()
@@ -27,16 +25,16 @@ smallParams()
 class BlockDeviceTest : public ::testing::Test
 {
   protected:
-    Bytes data_ = corpus::generateBytes(24 * 256, 123);
-    BlockDevice device_{smallParams(), kFwd, kRev, 13};
+    Bytes data_ = test::corpusBlocks(24, 123);
+    BlockDevice device_{smallParams(), test::fwdPrimer(),
+                        test::revPrimer(), 13};
 
     void SetUp() override { device_.writeFile(data_); }
 
     Bytes
     blockBytes(uint64_t block) const
     {
-        return Bytes(data_.begin() + block * 256,
-                     data_.begin() + (block + 1) * 256);
+        return test::blockSlice(data_, block);
     }
 };
 
@@ -50,9 +48,8 @@ TEST_F(BlockDeviceTest, WriteFilePopulatesPool)
 TEST_F(BlockDeviceTest, ReadBlockRoundTrip)
 {
     for (uint64_t block : {0u, 11u, 23u}) {
-        auto content = device_.readBlock(block);
-        ASSERT_TRUE(content.has_value()) << "block " << block;
-        EXPECT_EQ(*content, blockBytes(block)) << "block " << block;
+        EXPECT_TRUE(
+            test::blockMatches(device_.readBlock(block), data_, block));
     }
 }
 
@@ -143,19 +140,17 @@ TEST_F(BlockDeviceTest, ReadRange)
     auto contents = device_.readRange(4, 9);
     ASSERT_EQ(contents.size(), 6u);
     for (uint64_t i = 0; i < 6; ++i) {
-        ASSERT_TRUE(contents[i].has_value()) << "offset " << i;
-        EXPECT_EQ(*contents[i], blockBytes(4 + i));
+        EXPECT_TRUE(test::blockMatches(contents[i], data_, 4 + i))
+            << "offset " << i;
     }
 }
 
 TEST_F(BlockDeviceTest, ReadAllReturnsWholeFile)
 {
-    auto contents = device_.readAll();
-    ASSERT_EQ(contents.size(), 24u);
-    for (uint64_t block = 0; block < 24; ++block) {
-        ASSERT_TRUE(contents[block].has_value()) << "block " << block;
-        EXPECT_EQ(*contents[block], blockBytes(block));
-    }
+    test::RoundTrip result = test::roundTrip(device_, data_);
+    EXPECT_EQ(result.blocks, 24u);
+    EXPECT_EQ(result.decoded, 24u);
+    EXPECT_EQ(result.exact, 24u) << result.first_mismatch;
 }
 
 TEST_F(BlockDeviceTest, CostsAccumulate)

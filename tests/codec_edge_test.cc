@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Edge-case tests for the codec error paths: toBase4 overflow
+ * boundaries, constrained-codec homopolymer/GC behaviour on
+ * adversarial payloads, primer-composition rejection boundaries, and
+ * the scrambler involution over randomized buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codec/base4.h"
+#include "codec/constrained.h"
+#include "codec/scrambler.h"
+#include "common/error.h"
+#include "dna/analysis.h"
+#include "primer/constraints.h"
+#include "support/fixtures.h"
+
+namespace dnastore::codec {
+namespace {
+
+// ---------------------------------------------------------------- base4
+
+TEST(Base4EdgeTest, LargestValueThatFitsIsAccepted)
+{
+    for (size_t length : {1u, 2u, 5u, 16u}) {
+        uint64_t max = (uint64_t(1) << (2 * length)) - 1;
+        Digits digits = toBase4(max, length);
+        EXPECT_EQ(digits.size(), length);
+        for (uint8_t digit : digits) {
+            EXPECT_EQ(digit, 3);
+        }
+        EXPECT_EQ(fromBase4(digits), max);
+    }
+}
+
+TEST(Base4EdgeTest, SmallestValueThatOverflowsIsRejected)
+{
+    for (size_t length : {1u, 2u, 5u, 16u}) {
+        uint64_t first_too_big = uint64_t(1) << (2 * length);
+        EXPECT_THROW(toBase4(first_too_big, length), FatalError)
+            << "length " << length;
+    }
+}
+
+TEST(Base4EdgeTest, ZeroLengthHoldsOnlyZero)
+{
+    EXPECT_TRUE(toBase4(0, 0).empty());
+    EXPECT_THROW(toBase4(1, 0), FatalError);
+}
+
+TEST(Base4EdgeTest, FullWidthUint64RoundTrips)
+{
+    // 32 base-4 digits exactly cover uint64; the all-ones value must
+    // survive and 32 digits must never overflow.
+    uint64_t max = ~uint64_t(0);
+    EXPECT_EQ(fromBase4(toBase4(max, 32)), max);
+}
+
+TEST(Base4EdgeTest, OutOfRangeDigitPanics)
+{
+    EXPECT_THROW(fromBase4({1, 4, 0}), PanicError);
+}
+
+// ------------------------------------------------------- rotation codec
+
+std::vector<uint8_t>
+patternBytes(size_t count, uint8_t a, uint8_t b)
+{
+    std::vector<uint8_t> data(count);
+    for (size_t i = 0; i < count; ++i) {
+        data[i] = (i % 2 == 0) ? a : b;
+    }
+    return data;
+}
+
+TEST(RotationCodecEdgeTest, AdversarialPayloadsStayHomopolymerFree)
+{
+    // Constant and alternating payloads are the classic worst case for
+    // run-length constraints; the rotation construction must reject a
+    // repeat of the previous base at every single position.
+    const std::vector<std::vector<uint8_t>> payloads = {
+        std::vector<uint8_t>(64, 0x00),
+        std::vector<uint8_t>(64, 0xFF),
+        std::vector<uint8_t>(64, 0xAA),
+        patternBytes(64, 0x00, 0xFF),
+        patternBytes(64, 0xCC, 0x33),
+    };
+    for (const auto &payload : payloads) {
+        dna::Sequence encoded = RotationCodec::encode(payload);
+        EXPECT_LE(dna::maxHomopolymerRun(encoded), 1u);
+        EXPECT_EQ(RotationCodec::decode(encoded, payload.size()), payload);
+    }
+}
+
+TEST(RotationCodecEdgeTest, RandomPayloadsRoundTripAtOddSizes)
+{
+    // Sizes straddling the 4-byte chunk boundary exercise the padding
+    // path of the chunked big-integer conversion.
+    Rng rng = test::testRng("rotation-odd-sizes");
+    for (size_t size : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 63u, 65u}) {
+        std::vector<uint8_t> payload(size);
+        for (auto &byte : payload) {
+            byte = static_cast<uint8_t>(rng.nextBelow(256));
+        }
+        dna::Sequence encoded = RotationCodec::encode(payload);
+        EXPECT_EQ(encoded.size(), RotationCodec::encodedLength(size));
+        EXPECT_LE(dna::maxHomopolymerRun(encoded), 1u);
+        EXPECT_EQ(RotationCodec::decode(encoded, size), payload);
+    }
+}
+
+TEST(RotationCodecEdgeTest, EmptyPayloadIsEmptySequence)
+{
+    dna::Sequence encoded = RotationCodec::encode({});
+    EXPECT_EQ(encoded.size(), 0u);
+    EXPECT_TRUE(RotationCodec::decode(encoded, 0).empty());
+}
+
+// ------------------------------------------- primer composition limits
+
+primer::Constraints
+relaxedDistances()
+{
+    primer::Constraints constraints;
+    constraints.tm_min = 0.0;
+    constraints.tm_max = 200.0;
+    return constraints;
+}
+
+TEST(CompositionEdgeTest, GcBoundsAreInclusive)
+{
+    primer::Constraints constraints = relaxedDistances();
+    // 20-mers: 9 G/C = 0.45 (on gc_min), 11 G/C = 0.55 (on gc_max),
+    // 8 and 12 fall just outside.
+    auto gcFraction = [](size_t gc_bases) {
+        std::string bases;
+        const char *gc = "GC", *at = "AT";
+        for (size_t i = 0; i < 20; ++i) {
+            bases += (i < gc_bases) ? gc[i % 2] : at[i % 2];
+        }
+        return dna::Sequence(bases);
+    };
+    EXPECT_TRUE(checkComposition(gcFraction(9), constraints).gc_ok);
+    EXPECT_TRUE(checkComposition(gcFraction(11), constraints).gc_ok);
+    EXPECT_FALSE(checkComposition(gcFraction(8), constraints).gc_ok);
+    EXPECT_FALSE(checkComposition(gcFraction(12), constraints).gc_ok);
+}
+
+TEST(CompositionEdgeTest, HomopolymerLimitIsExact)
+{
+    primer::Constraints constraints = relaxedDistances();
+    constraints.gc_min = 0.0;
+    constraints.gc_max = 1.0;
+    // Runs of exactly max_homopolymer pass; one longer fails.
+    dna::Sequence at_limit("GGGACGTACGTACGTACGTA");
+    dna::Sequence over_limit("GGGGACGTACGTACGTACGT");
+    ASSERT_EQ(constraints.max_homopolymer, 3u);
+    EXPECT_TRUE(checkComposition(at_limit, constraints).homopolymer_ok);
+    EXPECT_FALSE(checkComposition(over_limit, constraints).homopolymer_ok);
+}
+
+// ------------------------------------------------------------ scrambler
+
+TEST(ScramblerEdgeTest, InvolutionAcrossSizesAndStreams)
+{
+    Rng rng = test::testRng("scrambler-involution");
+    Scrambler scrambler(rng.next());
+    for (size_t size : {1u, 2u, 255u, 256u, 257u, 4096u}) {
+        std::vector<uint8_t> data(size);
+        for (auto &byte : data) {
+            byte = static_cast<uint8_t>(rng.nextBelow(256));
+        }
+        for (uint64_t stream : {0u, 1u, 77u}) {
+            std::vector<uint8_t> once = scrambler.applied(data, stream);
+            EXPECT_EQ(scrambler.applied(once, stream), data)
+                << "size " << size << " stream " << stream;
+            if (size >= 256) {
+                // A real keystream must actually change the buffer.
+                EXPECT_NE(once, data);
+            }
+        }
+    }
+}
+
+TEST(ScramblerEdgeTest, ScrambledOutputIsGcBalanced)
+{
+    // The paper's argument for unconstrained coding: after scrambling,
+    // 2-bit-coded payloads are GC-balanced on average even when the
+    // raw payload is maximally biased (all zero bytes -> all 'A').
+    std::vector<uint8_t> zeros(4096, 0x00);
+    Scrambler scrambler(test::kTestSeed);
+    std::vector<uint8_t> scrambled = scrambler.applied(zeros, 0);
+
+    std::string bases;
+    const char kBaseFor[4] = {'A', 'C', 'G', 'T'};
+    for (uint8_t byte : scrambled) {
+        for (int shift = 6; shift >= 0; shift -= 2) {
+            bases += kBaseFor[(byte >> shift) & 0x3];
+        }
+    }
+    double gc = dna::gcContent(dna::Sequence(bases));
+    EXPECT_NEAR(gc, 0.5, 0.03);
+    EXPECT_LE(dna::maxHomopolymerRun(dna::Sequence(bases)), 12u);
+}
+
+} // namespace
+} // namespace dnastore::codec

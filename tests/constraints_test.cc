@@ -6,12 +6,13 @@
 #include <gtest/gtest.h>
 
 #include "primer/constraints.h"
+#include "support/fixtures.h"
 
 namespace dnastore::primer {
 namespace {
 
 // 50% GC, no homopolymer > 2, Tm in window.
-const dna::Sequence kGoodPrimer("ACGTACGTACGTACGTACGT");
+const dna::Sequence &kGoodPrimer = test::fwdPrimer();
 
 TEST(ConstraintsTest, GoodPrimerPasses)
 {

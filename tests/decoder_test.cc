@@ -6,15 +6,15 @@
 #include <gtest/gtest.h>
 
 #include "core/decoder.h"
-#include "corpus/text.h"
 #include "sim/pcr.h"
 #include "sim/synthesis.h"
+#include "support/fixtures.h"
 
 namespace dnastore::core {
 namespace {
 
-const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
-const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+const dna::Sequence &kFwd = test::fwdPrimer();
+const dna::Sequence &kRev = test::revPrimer();
 
 /** Small end-to-end fixture: 20-block file, synthesized pool. */
 class DecoderTest : public ::testing::Test
@@ -30,7 +30,7 @@ class DecoderTest : public ::testing::Test
     {
         partition_ =
             std::make_unique<Partition>(config_, kFwd, kRev, 13);
-        data_ = corpus::generateBytes(20 * 256, 77);
+        data_ = test::corpusBlocks(20, 77);
         sim::SynthesisParams synthesis;
         pool_ = sim::synthesize(partition_->encodeFile(data_),
                                 synthesis);
@@ -145,7 +145,7 @@ TEST_F(DecoderTest, ForeignReadsFiltered)
                     dna::Sequence("CAGTCAGTCAGTCAGTCAGT"), 4);
     sim::SynthesisParams synthesis;
     sim::Pool foreign = sim::synthesize(
-        other.encodeFile(corpus::generateBytes(5 * 256, 5)), synthesis);
+        other.encodeFile(test::corpusBlocks(5, 5)), synthesis);
     pool_.mixIn(foreign);
 
     DecoderParams params;

@@ -7,11 +7,12 @@
 
 #include "index/sparse_index.h"
 #include "primer/elongation.h"
+#include "support/fixtures.h"
 
 namespace dnastore::primer {
 namespace {
 
-const dna::Sequence kMain("ACGTACGTACGTACGTACGT");
+const dna::Sequence &kMain = test::fwdPrimer();
 
 TEST(ElongationTest, StemIsMainPlusSync)
 {

@@ -3,30 +3,26 @@
  * End-to-end integration tests: a miniature version of the paper's
  * Section 6 experiment through the full pipeline, plus failure
  * injection (molecule dropout, heavy sequencing noise, misprimed
- * duplicate candidates).
+ * duplicate candidates). All inputs come from the shared
+ * tests/support fixtures.
  */
 
 #include <gtest/gtest.h>
 
 #include "core/block_device.h"
 #include "core/decoder.h"
-#include "corpus/text.h"
 #include "sim/pcr.h"
 #include "sim/synthesis.h"
+#include "support/fixtures.h"
 
 namespace dnastore {
 namespace {
 
-const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
-const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
-
 TEST(IntegrationTest, MiniAliceEndToEnd)
 {
     // 40 paragraph-blocks, three updated, precise single-block reads.
-    core::BlockDeviceParams params;
-    core::BlockDevice device(params, kFwd, kRev, 13);
-    core::Bytes book = corpus::generateBytes(40 * 256, 99);
-    device.writeFile(book);
+    core::Bytes book = test::corpusBlocks(40, 99);
+    auto device = test::makeLoadedDevice(core::BlockDeviceParams{}, book);
 
     for (uint64_t block : {7u, 21u, 39u}) {
         core::UpdateOp op;
@@ -34,25 +30,22 @@ TEST(IntegrationTest, MiniAliceEndToEnd)
         op.delete_len = 2;
         op.insert_pos = 0;
         op.insert_bytes = {'#', '!'};
-        device.updateBlock(block, op);
+        device->updateBlock(block, op);
     }
 
     // Clean blocks decode to the original bytes.
-    auto clean = device.readBlock(12);
-    ASSERT_TRUE(clean.has_value());
-    EXPECT_TRUE(std::equal(clean->begin(), clean->end(),
-                           book.begin() + 12 * 256));
+    EXPECT_TRUE(test::blockMatches(device->readBlock(12), book, 12));
 
     // Updated blocks decode to edited bytes in one round trip each.
     for (uint64_t block : {7u, 21u, 39u}) {
-        size_t trips = device.costs().roundTrips();
-        auto content = device.readBlock(block);
+        size_t trips = device->costs().roundTrips();
+        auto content = device->readBlock(block);
         ASSERT_TRUE(content.has_value()) << "block " << block;
         EXPECT_EQ((*content)[0], '#');
         EXPECT_EQ((*content)[1], '!');
         EXPECT_TRUE(std::equal(content->begin() + 2, content->end(),
                                book.begin() + block * 256 + 2));
-        EXPECT_EQ(device.costs().roundTrips(), trips + 1);
+        EXPECT_EQ(device->costs().roundTrips(), trips + 1);
     }
 }
 
@@ -62,21 +55,13 @@ TEST(IntegrationTest, SurvivesMoleculeDropout)
     // synthesis dropout loses ~0-2 molecules per 15-molecule block.
     core::BlockDeviceParams params;
     params.synthesis.dropout_rate = 0.03;
-    core::BlockDevice device(params, kFwd, kRev, 13);
-    core::Bytes data = corpus::generateBytes(16 * 256, 5);
-    device.writeFile(data);
+    core::Bytes data = test::corpusBlocks(16, 5);
+    auto device = test::makeLoadedDevice(params, data);
 
-    auto contents = device.readAll();
-    size_t decoded = 0;
-    for (uint64_t block = 0; block < 16; ++block) {
-        if (contents[block].has_value() &&
-            std::equal(contents[block]->begin(),
-                       contents[block]->end(),
-                       data.begin() + block * 256)) {
-            ++decoded;
-        }
-    }
-    EXPECT_GE(decoded, 15u);  // at most one unlucky block
+    test::RoundTrip result = test::roundTrip(*device, data);
+    EXPECT_EQ(result.blocks, 16u);
+    // At most one unlucky block.
+    EXPECT_GE(result.exact, 15u) << result.first_mismatch;
 }
 
 TEST(IntegrationTest, SurvivesHeavySequencingNoise)
@@ -86,14 +71,10 @@ TEST(IntegrationTest, SurvivesHeavySequencingNoise)
     params.sequencer.ins_rate = 0.004;
     params.sequencer.del_rate = 0.004;
     params.reads_per_block_access = 2000;
-    core::BlockDevice device(params, kFwd, kRev, 13);
-    core::Bytes data = corpus::generateBytes(12 * 256, 6);
-    device.writeFile(data);
+    core::Bytes data = test::corpusBlocks(12, 6);
+    auto device = test::makeLoadedDevice(params, data);
 
-    auto content = device.readBlock(5);
-    ASSERT_TRUE(content.has_value());
-    EXPECT_TRUE(std::equal(content->begin(), content->end(),
-                           data.begin() + 5 * 256));
+    EXPECT_TRUE(test::blockMatches(device->readBlock(5), data, 5));
 }
 
 TEST(IntegrationTest, ErrorCorrectionIsExercised)
@@ -103,22 +84,12 @@ TEST(IntegrationTest, ErrorCorrectionIsExercised)
     core::BlockDeviceParams params;
     params.sequencer.sub_rate = 0.015;
     params.coverage = 25.0;
-    core::BlockDevice device(params, kFwd, kRev, 13);
-    core::Bytes data = corpus::generateBytes(20 * 256, 8);
-    device.writeFile(data);
+    core::Bytes data = test::corpusBlocks(20, 8);
+    auto device = test::makeLoadedDevice(params, data);
 
-    auto contents = device.readAll();
-    const core::DecodeStats &stats = device.lastStats();
-    size_t exact = 0;
-    for (uint64_t block = 0; block < 20; ++block) {
-        if (contents[block].has_value() &&
-            std::equal(contents[block]->begin(),
-                       contents[block]->end(),
-                       data.begin() + block * 256)) {
-            ++exact;
-        }
-    }
-    EXPECT_EQ(exact, 20u);
+    test::RoundTrip result = test::roundTrip(*device, data);
+    const core::DecodeStats &stats = device->lastStats();
+    EXPECT_EQ(result.exact, 20u) << result.first_mismatch;
     EXPECT_GT(stats.reads_primer_matched, 0u);
 }
 
@@ -127,9 +98,11 @@ TEST(IntegrationTest, TwoStagePcrProtocol)
     // Section 7.7.3: with many partitions in the tube, first isolate
     // the partition with the main primers, then run the elongated
     // primer. Composability of runPcr makes this a two-call test.
+    const dna::Sequence &fwd = test::fwdPrimer();
+    const dna::Sequence &rev = test::revPrimer();
     core::PartitionConfig config;
-    core::Partition alice(config, kFwd, kRev, 13);
-    core::Bytes data = corpus::generateBytes(30 * 256, 4);
+    core::Partition alice(config, fwd, rev, 13);
+    core::Bytes data = test::corpusBlocks(30, 4);
     sim::SynthesisParams synthesis;
     sim::Pool pool = sim::synthesize(alice.encodeFile(data), synthesis);
 
@@ -140,15 +113,14 @@ TEST(IntegrationTest, TwoStagePcrProtocol)
                           dna::Sequence("GGATCCGGATCCGGATCCGG"),
                           dna::Sequence("CAGTCAGTCAGTCAGTCAGT"), 2);
     sim::Pool other_pool = sim::synthesize(
-        other.encodeFile(corpus::generateBytes(30 * 256, 3)),
-        synthesis);
+        other.encodeFile(test::corpusBlocks(30, 3)), synthesis);
     pool.mixIn(other_pool);
 
     // Stage 1: main primers.
     sim::PcrParams stage1;
     stage1.cycles = 12;
     sim::Pool isolated = sim::runPcr(
-        pool, {sim::PcrPrimer{kFwd, 1.0}}, kRev, stage1);
+        pool, {sim::PcrPrimer{fwd, 1.0}}, rev, stage1);
     double alice_fraction = isolated.massFraction(
         [](const sim::Species &s) { return s.info.file_id == 13; });
     EXPECT_GT(alice_fraction, 0.99);
@@ -158,7 +130,7 @@ TEST(IntegrationTest, TwoStagePcrProtocol)
     stage2.cycles = 20;
     stage2.stringency = sim::touchdownSchedule(8, 20, 3.0);
     sim::Pool accessed = sim::runPcr(
-        isolated, {sim::PcrPrimer{alice.blockPrimer(17), 1.0}}, kRev,
+        isolated, {sim::PcrPrimer{alice.blockPrimer(17), 1.0}}, rev,
         stage2);
     double target_fraction =
         accessed.massFraction([](const sim::Species &s) {
@@ -175,14 +147,10 @@ TEST(IntegrationTest, SurvivesSynthesisByproducts)
     core::BlockDeviceParams params;
     params.synthesis.byproduct_fraction = 0.15;
     params.synthesis.byproduct_variants = 2;
-    core::BlockDevice device(params, kFwd, kRev, 13);
-    core::Bytes data = corpus::generateBytes(10 * 256, 21);
-    device.writeFile(data);
+    core::Bytes data = test::corpusBlocks(10, 21);
+    auto device = test::makeLoadedDevice(params, data);
 
-    auto content = device.readBlock(4);
-    ASSERT_TRUE(content.has_value());
-    EXPECT_TRUE(std::equal(content->begin(), content->end(),
-                           data.begin() + 4 * 256));
+    EXPECT_TRUE(test::blockMatches(device->readBlock(4), data, 4));
 }
 
 /** End-to-end property sweep: exact decode across noise levels. */
@@ -197,13 +165,10 @@ TEST_P(NoiseSweepTest, BlockDecodesExactly)
     params.sequencer.ins_rate = sub_rate / 4.0;
     params.sequencer.del_rate = sub_rate / 4.0;
     params.reads_per_block_access = 1500;
-    core::BlockDevice device(params, kFwd, kRev, 13);
-    core::Bytes data = corpus::generateBytes(8 * 256, 33);
-    device.writeFile(data);
-    auto content = device.readBlock(3);
-    ASSERT_TRUE(content.has_value()) << "sub_rate " << sub_rate;
-    EXPECT_TRUE(std::equal(content->begin(), content->end(),
-                           data.begin() + 3 * 256));
+    core::Bytes data = test::corpusBlocks(8, 33);
+    auto device = test::makeLoadedDevice(params, data);
+    EXPECT_TRUE(test::blockMatches(device->readBlock(3), data, 3))
+        << "sub_rate " << sub_rate;
 }
 
 INSTANTIATE_TEST_SUITE_P(ErrorRates, NoiseSweepTest,
@@ -212,17 +177,14 @@ INSTANTIATE_TEST_SUITE_P(ErrorRates, NoiseSweepTest,
 
 TEST(IntegrationTest, RangeReadMatchesBlockReads)
 {
-    core::BlockDeviceParams params;
-    core::BlockDevice device(params, kFwd, kRev, 13);
-    core::Bytes data = corpus::generateBytes(32 * 256, 11);
-    device.writeFile(data);
+    core::Bytes data = test::corpusBlocks(32, 11);
+    auto device = test::makeLoadedDevice(core::BlockDeviceParams{}, data);
 
-    auto range = device.readRange(8, 15);
+    auto range = device->readRange(8, 15);
     ASSERT_EQ(range.size(), 8u);
     for (size_t i = 0; i < 8; ++i) {
-        ASSERT_TRUE(range[i].has_value()) << "offset " << i;
-        EXPECT_TRUE(std::equal(range[i]->begin(), range[i]->end(),
-                               data.begin() + (8 + i) * 256));
+        EXPECT_TRUE(test::blockMatches(range[i], data, 8 + i))
+            << "offset " << i;
     }
 }
 

@@ -8,12 +8,13 @@
 #include "codec/base_codec.h"
 #include "core/layout.h"
 #include "index/sparse_index.h"
+#include "support/fixtures.h"
 
 namespace dnastore::core {
 namespace {
 
-const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
-const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+const dna::Sequence &kFwd = test::fwdPrimer();
+const dna::Sequence &kRev = test::revPrimer();
 
 TEST(ConfigTest, PaperGeometry)
 {

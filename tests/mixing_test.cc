@@ -8,12 +8,13 @@
 
 #include "sim/mixing.h"
 #include "sim/synthesis.h"
+#include "support/fixtures.h"
 
 namespace dnastore::sim {
 namespace {
 
-const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
-const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+const dna::Sequence &kFwd = test::fwdPrimer();
+const dna::Sequence &kRev = test::revPrimer();
 
 /** Build a synthetic data pool (version 0) of @p n molecules. */
 std::vector<DesignedMolecule>

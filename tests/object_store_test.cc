@@ -6,13 +6,13 @@
 #include <gtest/gtest.h>
 
 #include "baseline/object_store.h"
-#include "corpus/text.h"
+#include "support/fixtures.h"
 
 namespace dnastore::baseline {
 namespace {
 
-const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
-const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+const dna::Sequence &kFwd = test::fwdPrimer();
+const dna::Sequence &kRev = test::revPrimer();
 const dna::Sequence kFwd2("GGATCCGGATCCGGATCCGG");
 const dna::Sequence kRev2("CAGTCAGTCAGTCAGTCAGT");
 
@@ -20,7 +20,7 @@ TEST(ObjectStoreTest, WriteReadRoundTrip)
 {
     ObjectStoreParams params;
     ObjectStore store(params, kFwd, kRev);
-    Bytes data = corpus::generateBytes(12 * 256, 9);
+    Bytes data = test::corpusBlocks(12, 9);
     store.writeObject(data);
     EXPECT_EQ(store.unitCount(), 12u);
     EXPECT_EQ(store.liveMolecules(), 12u * 15u);
@@ -35,7 +35,7 @@ TEST(ObjectStoreTest, ReadCostIsProportionalToObject)
     // The baseline's core weakness: reading anything reads everything.
     ObjectStoreParams params;
     ObjectStore store(params, kFwd, kRev);
-    store.writeObject(corpus::generateBytes(12 * 256, 10));
+    store.writeObject(test::corpusBlocks(12, 10));
     store.readObject();
     EXPECT_GE(store.costs().readsSequenced(),
               static_cast<size_t>(12 * 15 * params.coverage));
@@ -45,7 +45,7 @@ TEST(ObjectStoreTest, NaiveUpdateResynthesizesEverything)
 {
     ObjectStoreParams params;
     ObjectStore store(params, kFwd, kRev);
-    Bytes data = corpus::generateBytes(12 * 256, 11);
+    Bytes data = test::corpusBlocks(12, 11);
     store.writeObject(data);
     size_t before = store.costs().moleculesSynthesized();
 
@@ -70,7 +70,7 @@ TEST(ObjectStoreTest, OldDataRemainsInTube)
 {
     ObjectStoreParams params;
     ObjectStore store(params, kFwd, kRev);
-    store.writeObject(corpus::generateBytes(4 * 256, 12));
+    store.writeObject(test::corpusBlocks(4, 12));
     size_t species_before = store.pool().speciesCount();
 
     core::UpdateOp op;

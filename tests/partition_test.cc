@@ -9,14 +9,14 @@
 
 #include "codec/base_codec.h"
 #include "core/partition.h"
-#include "corpus/text.h"
 #include "dna/analysis.h"
+#include "support/fixtures.h"
 
 namespace dnastore::core {
 namespace {
 
-const dna::Sequence kFwd("ACGTACGTACGTACGTACGT");
-const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+const dna::Sequence &kFwd = test::fwdPrimer();
+const dna::Sequence &kRev = test::revPrimer();
 
 Partition
 makePartition()
@@ -39,7 +39,7 @@ TEST(PartitionTest, BlocksForSizes)
 TEST(PartitionTest, EncodeFileShape)
 {
     Partition partition = makePartition();
-    Bytes data = corpus::generateBytes(10 * 256, 1);
+    Bytes data = test::corpusBlocks(10, 1);
     auto molecules = partition.encodeFile(data);
     EXPECT_EQ(molecules.size(), 10u * 15u);
     std::set<std::string> unique;
@@ -54,7 +54,7 @@ TEST(PartitionTest, EncodeFileShape)
 TEST(PartitionTest, ProvenanceTagging)
 {
     Partition partition = makePartition();
-    Bytes data = corpus::generateBytes(3 * 256, 2);
+    Bytes data = test::corpusBlocks(3, 2);
     auto molecules = partition.encodeFile(data);
     for (size_t i = 0; i < molecules.size(); ++i) {
         EXPECT_EQ(molecules[i].info.file_id, 13u);
@@ -71,7 +71,7 @@ TEST(PartitionTest, BlockPrimerIs31Bases)
     EXPECT_EQ(primer.size(), 31u);
     EXPECT_TRUE(primer.startsWith(kFwd));
     // Molecules of block 531 must start with this primer; others not.
-    Bytes data = corpus::generateBytes(600 * 256, 3);
+    Bytes data = test::corpusBlocks(600, 3);
     auto molecules = partition.encodeFile(data);
     for (const auto &molecule : molecules) {
         EXPECT_EQ(molecule.seq.startsWith(primer),
@@ -96,7 +96,7 @@ TEST(PartitionTest, PatchSharesBlockPrefix)
         EXPECT_EQ(molecule.info.version, 1u);
     }
     // The version base (position 31) differs from the original's.
-    Bytes data = corpus::generateBytes(600 * 256, 3);
+    Bytes data = test::corpusBlocks(600, 3);
     auto originals = partition.encodeBlock(531, Bytes(256, 0), 0);
     EXPECT_NE(patch[0].seq[31], originals[0].seq[31]);
 }
@@ -112,7 +112,7 @@ TEST(PartitionTest, PatchVersionZeroRejected)
 TEST(PartitionTest, UnitScrambleRoundTrip)
 {
     Partition partition = makePartition();
-    Bytes payload = corpus::generateBytes(256, 4);
+    Bytes payload = test::corpusBlocks(1, 4);
     auto molecules = partition.encodeBlock(77, payload, 0);
 
     // Decode the columns directly (no noise) and unscramble.
@@ -146,7 +146,7 @@ TEST(PartitionTest, RangePrimersCoverRange)
     Partition partition = makePartition();
     auto primers = partition.rangePrimers(100, 163);
     ASSERT_FALSE(primers.empty());
-    Bytes data = corpus::generateBytes(300 * 256, 5);
+    Bytes data = test::corpusBlocks(300, 5);
     auto molecules = partition.encodeFile(data);
     for (const auto &molecule : molecules) {
         bool matched = false;

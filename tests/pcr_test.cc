@@ -11,11 +11,12 @@
 
 #include "common/error.h"
 #include "sim/pcr.h"
+#include "support/fixtures.h"
 
 namespace dnastore::sim {
 namespace {
 
-const dna::Sequence kRev("TGCATGCATGCATGCATGCA");
+const dna::Sequence &kRev = test::revPrimer();
 
 /** Molecule: fwd_primer-like prefix + payload + reverse site. */
 dna::Sequence

@@ -8,6 +8,7 @@
 
 #include "core/pool_manager.h"
 #include "corpus/text.h"
+#include "support/fixtures.h"
 
 namespace dnastore::core {
 namespace {
@@ -24,8 +25,8 @@ TEST(PoolManagerTest, StoresMultipleFiles)
 {
     PoolManager manager(smallParams());
     size_t pairs_before = manager.primerPairsAvailable();
-    uint32_t a = manager.storeFile(corpus::generateBytes(6 * 256, 1));
-    uint32_t b = manager.storeFile(corpus::generateBytes(9 * 256, 2));
+    uint32_t a = manager.storeFile(test::corpusBlocks(6, 1));
+    uint32_t b = manager.storeFile(test::corpusBlocks(9, 2));
     EXPECT_NE(a, b);
     EXPECT_EQ(manager.fileCount(), 2u);
     EXPECT_EQ(manager.blockCount(a), 6u);
@@ -37,8 +38,8 @@ TEST(PoolManagerTest, StoresMultipleFiles)
 TEST(PoolManagerTest, PartitionsGetDistinctPrimersAndSeeds)
 {
     PoolManager manager(smallParams());
-    uint32_t a = manager.storeFile(corpus::generateBytes(4 * 256, 3));
-    uint32_t b = manager.storeFile(corpus::generateBytes(4 * 256, 4));
+    uint32_t a = manager.storeFile(test::corpusBlocks(4, 3));
+    uint32_t b = manager.storeFile(test::corpusBlocks(4, 4));
     EXPECT_NE(manager.partition(a).forwardPrimer(),
               manager.partition(b).forwardPrimer());
     EXPECT_NE(manager.partition(a).tree().seed(),
@@ -48,8 +49,8 @@ TEST(PoolManagerTest, PartitionsGetDistinctPrimersAndSeeds)
 TEST(PoolManagerTest, TwoStageBlockReadAcrossFiles)
 {
     PoolManager manager(smallParams());
-    Bytes file_a = corpus::generateBytes(8 * 256, 5);
-    Bytes file_b = corpus::generateBytes(8 * 256, 6);
+    Bytes file_a = test::corpusBlocks(8, 5);
+    Bytes file_b = test::corpusBlocks(8, 6);
     uint32_t a = manager.storeFile(file_a);
     uint32_t b = manager.storeFile(file_b);
 
@@ -67,7 +68,7 @@ TEST(PoolManagerTest, TwoStageBlockReadAcrossFiles)
 TEST(PoolManagerTest, ReadFileRoundTrip)
 {
     PoolManager manager(smallParams());
-    Bytes data = corpus::generateBytes(5 * 256 + 100, 7);
+    Bytes data = corpus::generateBytes(5 * test::kBlockBytes + 100, 7);
     uint32_t id = manager.storeFile(data);
     auto recovered = manager.readFile(id);
     ASSERT_TRUE(recovered.has_value());
@@ -77,7 +78,7 @@ TEST(PoolManagerTest, ReadFileRoundTrip)
 TEST(PoolManagerTest, UpdateAppliedOnRead)
 {
     PoolManager manager(smallParams());
-    Bytes data = corpus::generateBytes(6 * 256, 8);
+    Bytes data = test::corpusBlocks(6, 8);
     uint32_t id = manager.storeFile(data);
 
     UpdateOp op;
@@ -97,7 +98,7 @@ TEST(PoolManagerTest, UpdateAppliedOnRead)
 TEST(PoolManagerTest, ErrorsOnUnknownIds)
 {
     PoolManager manager(smallParams());
-    uint32_t id = manager.storeFile(corpus::generateBytes(256, 9));
+    uint32_t id = manager.storeFile(test::corpusBlocks(1, 9));
     EXPECT_THROW(manager.readBlock(id + 1, 0), dnastore::FatalError);
     EXPECT_THROW(manager.readBlock(id, 99), dnastore::FatalError);
     EXPECT_THROW(manager.blockCount(42), dnastore::FatalError);

@@ -1,0 +1,119 @@
+#include "support/fixtures.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "corpus/text.h"
+
+namespace dnastore::test {
+
+const dna::Sequence &
+fwdPrimer()
+{
+    static const dna::Sequence primer("ACGTACGTACGTACGTACGT");
+    return primer;
+}
+
+const dna::Sequence &
+revPrimer()
+{
+    static const dna::Sequence primer("TGCATGCATGCATGCATGCA");
+    return primer;
+}
+
+Rng
+testRng(std::string_view label)
+{
+    return Rng::deriveStream(kTestSeed, label);
+}
+
+core::Bytes
+corpusBlocks(size_t blocks, uint64_t seed)
+{
+    return corpus::generateBytes(blocks * kBlockBytes, seed);
+}
+
+core::Bytes
+blockSlice(const core::Bytes &data, uint64_t block)
+{
+    panicIf((block + 1) * kBlockBytes > data.size(),
+            "blockSlice: block ", block, " runs past ", data.size(),
+            " data bytes");
+    return core::Bytes(data.begin() + block * kBlockBytes,
+                       data.begin() + (block + 1) * kBlockBytes);
+}
+
+std::unique_ptr<core::BlockDevice>
+makeLoadedDevice(const core::BlockDeviceParams &params,
+                 const core::Bytes &data, uint16_t file_id)
+{
+    auto device = std::make_unique<core::BlockDevice>(
+        params, fwdPrimer(), revPrimer(), file_id);
+    device->writeFile(data);
+    return device;
+}
+
+testing::AssertionResult
+blockMatches(const std::optional<core::Bytes> &content,
+             const core::Bytes &data, uint64_t block)
+{
+    if (!content.has_value()) {
+        return testing::AssertionFailure()
+               << "block " << block << " failed to decode";
+    }
+    core::Bytes expected = blockSlice(data, block);
+    if (content->size() != expected.size()) {
+        return testing::AssertionFailure()
+               << "block " << block << " decoded to " << content->size()
+               << " bytes, want " << expected.size();
+    }
+    auto mismatch =
+        std::mismatch(content->begin(), content->end(), expected.begin());
+    if (mismatch.first != content->end()) {
+        size_t at = static_cast<size_t>(mismatch.first - content->begin());
+        return testing::AssertionFailure()
+               << "block " << block << " diverges at byte " << at << " (got "
+               << int(*mismatch.first) << ", want " << int(*mismatch.second)
+               << ")";
+    }
+    return testing::AssertionSuccess();
+}
+
+RoundTrip
+roundTrip(core::BlockDevice &device, const core::Bytes &data)
+{
+    RoundTrip result;
+    auto contents = device.readAll();
+    result.blocks = contents.size();
+    const size_t data_blocks = data.size() / kBlockBytes;
+    for (uint64_t block = 0; block < contents.size(); ++block) {
+        if (!contents[block].has_value()) {
+            if (result.first_mismatch.empty()) {
+                result.first_mismatch =
+                    "block " + std::to_string(block) + " failed to decode";
+            }
+            continue;
+        }
+        ++result.decoded;
+        if (block >= data_blocks) {
+            // The device holds more blocks than the reference data;
+            // count them as decoded but never as exact.
+            if (result.first_mismatch.empty()) {
+                result.first_mismatch = "block " +
+                                        std::to_string(block) +
+                                        " is beyond the reference data";
+            }
+            continue;
+        }
+        testing::AssertionResult match =
+            blockMatches(contents[block], data, block);
+        if (match) {
+            ++result.exact;
+        } else if (result.first_mismatch.empty()) {
+            result.first_mismatch = match.message();
+        }
+    }
+    return result;
+}
+
+} // namespace dnastore::test

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared test fixtures: canonical primer pair, seeded RNG streams, a
+ * small deterministic text corpus, and an encode→decode round-trip
+ * harness. Used by the gtest suites (and reusable from bench drivers)
+ * so every suite agrees on one set of well-formed inputs.
+ */
+
+#ifndef DNASTORE_TESTS_SUPPORT_FIXTURES_H
+#define DNASTORE_TESTS_SUPPORT_FIXTURES_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/block_device.h"
+#include "dna/sequence.h"
+
+namespace dnastore::test {
+
+/** Seed used by every fixture unless a test overrides it. */
+inline constexpr uint64_t kTestSeed = 0xD1CE'5EEDULL;
+
+/** Bytes per logical block (mirrors core::kBlockBytes usage in tests). */
+inline constexpr size_t kBlockBytes = 256;
+
+/** Canonical forward partition primer used across the suites. */
+const dna::Sequence &fwdPrimer();
+
+/** Canonical reverse partition primer used across the suites. */
+const dna::Sequence &revPrimer();
+
+/** Deterministic RNG for a named sub-stream of the shared test seed. */
+Rng testRng(std::string_view label = "test");
+
+/** @p blocks blocks of deterministic paragraph-structured corpus text. */
+core::Bytes corpusBlocks(size_t blocks, uint64_t seed = kTestSeed);
+
+/** The 256-byte slice of @p data belonging to @p block. Panics if the
+ *  slice would run past the end of @p data. */
+core::Bytes blockSlice(const core::Bytes &data, uint64_t block);
+
+/** A BlockDevice over the canonical primers, pre-loaded with @p data.
+ *  Heap-allocated because BlockDevice is self-referential and
+ *  non-movable. */
+std::unique_ptr<core::BlockDevice> makeLoadedDevice(
+    const core::BlockDeviceParams &params, const core::Bytes &data,
+    uint16_t file_id = 13);
+
+/**
+ * Round-trip assertion: @p content (as returned by readBlock) decodes
+ * and matches @p data's slice for @p block. Use with EXPECT_TRUE for a
+ * message that names the block and the first diverging byte.
+ */
+testing::AssertionResult blockMatches(
+    const std::optional<core::Bytes> &content, const core::Bytes &data,
+    uint64_t block);
+
+/** Outcome of a whole-device encode→decode round trip. */
+struct RoundTrip {
+    size_t blocks = 0;   ///< blocks in the device
+    size_t decoded = 0;  ///< blocks that produced any content
+    size_t exact = 0;    ///< blocks that matched the source bytes
+    /** Message of the first non-matching block, for test diagnostics. */
+    std::string first_mismatch;
+};
+
+/** readAll() the device and compare every block against @p data. */
+RoundTrip roundTrip(core::BlockDevice &device, const core::Bytes &data);
+
+} // namespace dnastore::test
+
+#endif // DNASTORE_TESTS_SUPPORT_FIXTURES_H
