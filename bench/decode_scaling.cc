@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Decode-pipeline thread-scaling benchmark.
+ *
+ * Times Decoder::decodeAll on a seeded noisy-read corpus at 1, 2, 4
+ * and 8 threads, verifies the outputs are byte-identical across
+ * thread counts (the pipeline's determinism contract), and writes the
+ * measurements to BENCH_decode.json so the perf trajectory of the
+ * decode hot loop is tracked from PR to PR.
+ *
+ * Usage: decode_scaling [--out PATH] [--blocks N] [--coverage N]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/decoder.h"
+#include "corpus/text.h"
+#include "sim/synthesis.h"
+
+namespace {
+
+using namespace dnastore;
+using Clock = std::chrono::steady_clock;
+
+double
+bestOfThree(const std::function<void()> &fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto start = Clock::now();
+        fn();
+        std::chrono::duration<double> elapsed = Clock::now() - start;
+        best = std::min(best, elapsed.count());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_decode.json";
+    size_t blocks = 24;
+    size_t coverage = 25;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0)
+            out_path = argv[i + 1];
+        else if (std::strcmp(argv[i], "--blocks") == 0)
+            blocks = std::strtoul(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--coverage") == 0)
+            coverage = std::strtoul(argv[i + 1], nullptr, 10);
+    }
+
+    std::printf("=== decode pipeline thread scaling ===\n\n");
+    core::PartitionConfig config;
+    core::Partition partition(
+        config, dna::Sequence("ACTGAGGTCTGCCTGAAGTC"),
+        dna::Sequence("TGAACGCGGTATTGCAGACC"), 13);
+    core::Bytes data =
+        corpus::generateBytes(blocks * config.block_data_bytes, 77);
+    sim::SynthesisParams synthesis;
+    sim::Pool pool =
+        sim::synthesize(partition.encodeFile(data), synthesis);
+
+    sim::SequencerParams sequencer;
+    sequencer.sub_rate = 0.01;
+    sequencer.ins_rate = 0.002;
+    sequencer.del_rate = 0.002;
+    sequencer.seed = 3;
+    const size_t budget = blocks * config.rs_n * coverage;
+    std::vector<sim::Read> reads =
+        sim::sequencePool(pool, budget, sequencer);
+    std::printf("corpus: %zu blocks, %zu noisy reads\n\n", blocks,
+                reads.size());
+
+    const size_t thread_counts[] = {1, 2, 4, 8};
+    std::map<uint64_t, core::BlockVersions> baseline_units;
+    core::DecodeStats baseline_stats;
+    std::vector<double> seconds;
+    bool identical = true;
+
+    std::printf("%8s  %10s  %8s  %9s\n", "threads", "seconds",
+                "speedup", "identical");
+    for (size_t threads : thread_counts) {
+        core::DecoderParams params;
+        params.threads = threads;
+        core::Decoder decoder(partition, params);
+
+        std::map<uint64_t, core::BlockVersions> units;
+        core::DecodeStats stats;
+        double secs = bestOfThree([&] {
+            stats = core::DecodeStats{};
+            units = decoder.decodeAll(reads, &stats);
+        });
+        seconds.push_back(secs);
+
+        bool same = true;
+        if (threads == 1) {
+            baseline_units = units;
+            baseline_stats = stats;
+        } else {
+            same = units == baseline_units &&
+                   stats == baseline_stats;
+            identical = identical && same;
+        }
+        std::printf("%8zu  %10.3f  %7.2fx  %9s\n", threads, secs,
+                    seconds.front() / secs, same ? "yes" : "NO");
+    }
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: decode output changed with thread "
+                     "count\n");
+        return 1;
+    }
+    std::printf("\nunits decoded: %zu/%zu, hardware concurrency: "
+                "%u\n",
+                baseline_stats.units_decoded, blocks,
+                std::thread::hardware_concurrency());
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"decode_scaling\",\n");
+    std::fprintf(out, "  \"corpus_blocks\": %zu,\n", blocks);
+    std::fprintf(out, "  \"reads\": %zu,\n", reads.size());
+    std::fprintf(out, "  \"units_decoded\": %zu,\n",
+                 baseline_stats.units_decoded);
+    std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"identical_across_threads\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(out, "  \"results\": [\n");
+    for (size_t i = 0; i < seconds.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"threads\": %zu, \"seconds\": %.4f, "
+                     "\"speedup\": %.3f}%s\n",
+                     thread_counts[i], seconds[i],
+                     seconds.front() / seconds[i],
+                     i + 1 < seconds.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -5,10 +5,14 @@
  * decoding, clustering, trace reconstruction, and a PCR cycle.
  */
 
+#include <cstdlib>
+#include <cstring>
+
 #include <benchmark/benchmark.h>
 
 #include "cluster/clusterer.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "consensus/bma.h"
 #include "ecc/encoding_unit.h"
 #include "ecc/reed_solomon.h"
@@ -19,6 +23,10 @@
 namespace {
 
 using namespace dnastore;
+
+/** Pool size for the *Parallel benchmarks; set by --threads
+ *  (0 = hardware concurrency). */
+size_t g_threads = 0;
 
 dna::Sequence
 randomSeq(Rng &rng, size_t len)
@@ -130,6 +138,29 @@ BM_ClusterReads(benchmark::State &state)
 BENCHMARK(BM_ClusterReads);
 
 void
+BM_ClusterReadsParallel(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<dna::Sequence> reads;
+    for (int origin = 0; origin < 50; ++origin) {
+        dna::Sequence center = randomSeq(rng, 150);
+        for (int copy = 0; copy < 20; ++copy)
+            reads.push_back(center);
+    }
+    cluster::ClustererParams params;
+    ThreadPool pool(g_threads);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cluster::clusterReads(reads, params, &pool));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(reads.size()));
+    state.counters["threads"] =
+        static_cast<double>(pool.threadCount());
+}
+BENCHMARK(BM_ClusterReadsParallel);
+
+void
 BM_BmaDoubleSided(benchmark::State &state)
 {
     Rng rng(6);
@@ -140,6 +171,33 @@ BM_BmaDoubleSided(benchmark::State &state)
             consensus::bmaDoubleSided(reads, 150));
 }
 BENCHMARK(BM_BmaDoubleSided);
+
+void
+BM_BmaBatchParallel(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<dna::Sequence> reads;
+    std::vector<std::vector<size_t>> clusters;
+    for (size_t c = 0; c < 64; ++c) {
+        dna::Sequence original = randomSeq(rng, 150);
+        std::vector<size_t> members;
+        for (size_t copy = 0; copy < 10; ++copy) {
+            members.push_back(reads.size());
+            reads.push_back(original);
+        }
+        clusters.push_back(std::move(members));
+    }
+    ThreadPool pool(g_threads);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(consensus::bmaDoubleSidedBatch(
+            reads, clusters, 150, {}, &pool));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(clusters.size()));
+    state.counters["threads"] =
+        static_cast<double>(pool.threadCount());
+}
+BENCHMARK(BM_BmaBatchParallel);
 
 void
 BM_PcrReaction(benchmark::State &state)
@@ -170,4 +228,26 @@ BENCHMARK(BM_PcrReaction);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip a leading `--threads N` (ours) before handing the rest of
+    // the command line to google-benchmark.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            g_threads = static_cast<size_t>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+            ++i;
+            continue;
+        }
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -11,6 +11,8 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "alice_experiment.h"
 #include "core/decoder.h"
@@ -20,13 +22,28 @@ namespace {
 
 using namespace dnastore;
 
+/** Parse an optional `--threads N` flag (0 = hardware concurrency). */
+size_t
+parseThreads(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0)
+            return static_cast<size_t>(std::strtoul(argv[i + 1],
+                                                    nullptr, 10));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    size_t threads = parseThreads(argc, argv);
     std::printf("=== Section 8: decoding block 531 from few reads "
                 "===\n\n");
+    std::printf("decode threads: %zu%s\n\n", threads,
+                threads == 0 ? " (hardware concurrency)" : "");
     bench::AliceExperiment experiment = bench::makeAliceExperiment();
     const uint64_t target = 531;
 
@@ -43,6 +60,7 @@ main()
         bench::blockAccessPcr(experiment, partition_pool, {target});
 
     core::DecoderParams params;
+    params.threads = threads;
     core::Decoder decoder(*experiment.alice, params);
 
     std::printf("%8s  %8s  %9s  %9s  %8s  %7s\n", "reads", "clusters",

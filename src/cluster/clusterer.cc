@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "dna/distance.h"
 
 namespace dnastore::cluster {
@@ -35,39 +37,95 @@ minHashSignature(const dna::Sequence &read, size_t q, uint64_t salt)
     return best;
 }
 
+/**
+ * One signature band's bucket: the clusters indexed under one
+ * signature value. `order` preserves first-insertion order (the order
+ * candidates are gathered in, which the greedy assignment depends
+ * on); `members` makes the duplicate check O(1) where a linear scan
+ * was quadratic for hot buckets.
+ */
+struct Bucket
+{
+    std::vector<size_t> order;
+    std::unordered_set<size_t> members;
+
+    void
+    insert(size_t cluster_idx)
+    {
+        if (members.insert(cluster_idx).second)
+            order.push_back(cluster_idx);
+    }
+};
+
 } // namespace
 
 std::vector<Cluster>
 clusterReads(const std::vector<dna::Sequence> &reads,
-             const ClustererParams &params)
+             const ClustererParams &params, ThreadPool *pool)
 {
     Rng rng = Rng::deriveStream(params.seed, "clusterer");
-    std::vector<uint64_t> salts(params.signatures);
+    const size_t bands = params.signatures;
+    std::vector<uint64_t> salts(bands);
     for (uint64_t &salt : salts)
         salt = rng.next();
 
-    std::vector<Cluster> clusters;
-    // For each signature band: bucket value -> cluster indexes.
-    std::vector<std::unordered_map<uint64_t, std::vector<size_t>>>
-        buckets(params.signatures);
-    std::vector<size_t> candidates;
-
-    for (size_t r = 0; r < reads.size(); ++r) {
-        std::vector<uint64_t> signature(params.signatures);
-        candidates.clear();
-        for (size_t b = 0; b < params.signatures; ++b) {
-            signature[b] =
+    // Phase 1: per-read MinHash signatures. Each read's row is
+    // independent, so this fans out across the pool; the signatures
+    // depend only on (read, salt), never on scheduling.
+    std::vector<uint64_t> signatures(reads.size() * bands);
+    parallelFor(pool, reads.size(), [&](size_t r) {
+        for (size_t b = 0; b < bands; ++b) {
+            signatures[r * bands + b] =
                 minHashSignature(reads[r], params.qgram, salts[b]);
+        }
+    });
+
+    // Phase 2: sequential greedy bucket/assign. This pass defines the
+    // clustering (each read joins the first candidate within the
+    // distance threshold, in bucket order) and therefore stays
+    // single-threaded; with precomputed signatures it is pure hash
+    // lookups plus the banded alignments.
+    std::vector<Cluster> clusters;
+    std::vector<std::unordered_map<uint64_t, Bucket>> buckets(bands);
+    std::vector<size_t> candidates;
+    // candidate_stamp[c] == r + 1 iff cluster c is already a
+    // candidate for read r: an O(1) dedup that needs no per-read
+    // clearing.
+    std::vector<size_t> candidate_stamp;
+
+    std::vector<const std::vector<size_t> *> band_order(bands);
+    for (size_t r = 0; r < reads.size(); ++r) {
+        // .data() arithmetic, not operator[]: with zero bands the
+        // offset stays 0 and the pointer is never dereferenced.
+        const uint64_t *signature = signatures.data() + r * bands;
+        candidates.clear();
+        // Gather up to max_candidates candidates — a cap across all
+        // bands, not per band. The bands are drained round-robin
+        // (entry i of every band's bucket before entry i + 1 of any)
+        // so that one hot bucket cannot starve the other bands'
+        // entries out of the capped budget: a cluster that is only
+        // reachable through a sparser band stays reachable.
+        size_t depth = 0;
+        for (size_t b = 0; b < bands; ++b) {
             auto it = buckets[b].find(signature[b]);
-            if (it == buckets[b].end())
-                continue;
-            for (size_t cluster_idx : it->second) {
-                if (std::find(candidates.begin(), candidates.end(),
-                              cluster_idx) == candidates.end()) {
+            band_order[b] =
+                it == buckets[b].end() ? nullptr : &it->second.order;
+            if (band_order[b])
+                depth = std::max(depth, band_order[b]->size());
+        }
+        for (size_t i = 0;
+             i < depth && candidates.size() < params.max_candidates;
+             ++i) {
+            for (size_t b = 0; b < bands; ++b) {
+                if (!band_order[b] || i >= band_order[b]->size())
+                    continue;
+                size_t cluster_idx = (*band_order[b])[i];
+                if (candidate_stamp[cluster_idx] != r + 1) {
+                    candidate_stamp[cluster_idx] = r + 1;
                     candidates.push_back(cluster_idx);
+                    if (candidates.size() >= params.max_candidates)
+                        break;
                 }
-                if (candidates.size() >= params.max_candidates)
-                    break;
             }
         }
 
@@ -88,19 +146,15 @@ clusterReads(const std::vector<dna::Sequence> &reads,
             Cluster cluster;
             cluster.representative = r;
             clusters.push_back(cluster);
+            candidate_stamp.push_back(0);
         }
         clusters[assigned].members.push_back(r);
         // Index every member's signatures, not only the
         // representative's: a later read whose MinHash differs from
         // the representative can still reach the cluster through any
         // earlier member (improves recall under IDS noise).
-        for (size_t b = 0; b < params.signatures; ++b) {
-            std::vector<size_t> &bucket = buckets[b][signature[b]];
-            if (std::find(bucket.begin(), bucket.end(), assigned) ==
-                bucket.end()) {
-                bucket.push_back(assigned);
-            }
-        }
+        for (size_t b = 0; b < bands; ++b)
+            buckets[b][signature[b]].insert(assigned);
     }
 
     std::sort(clusters.begin(), clusters.end(),

@@ -22,6 +22,10 @@
 
 #include "dna/sequence.h"
 
+namespace dnastore {
+class ThreadPool;
+}
+
 namespace dnastore::cluster {
 
 /** One cluster: indexes into the input read vector. */
@@ -48,8 +52,9 @@ struct ClustererParams
      *  representative. */
     size_t distance_threshold = 8;
 
-    /** Cap on representatives compared per read (guards worst-case
-     *  quadratic behaviour on adversarial inputs). */
+    /** Cap on representatives compared per read, enforced across all
+     *  signature bands (guards worst-case quadratic behaviour on
+     *  adversarial inputs). */
     size_t max_candidates = 64;
 
     uint64_t seed = 17;
@@ -58,10 +63,14 @@ struct ClustererParams
 /**
  * Cluster reads by similarity; returns clusters sorted by decreasing
  * size (the order in which the decoder consumes them, Section 8).
+ *
+ * When @p pool is non-null the per-read MinHash signatures are
+ * computed on the pool; the greedy assignment pass stays sequential,
+ * so the result is byte-identical for any thread count.
  */
 std::vector<Cluster> clusterReads(
     const std::vector<dna::Sequence> &reads,
-    const ClustererParams &params);
+    const ClustererParams &params, ThreadPool *pool = nullptr);
 
 } // namespace dnastore::cluster
 

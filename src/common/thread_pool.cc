@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace dnastore {
+
+size_t
+ThreadPool::resolveThreadCount(size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::max<size_t>(1, hw);
+}
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    size_t resolved = resolveThreadCount(threads);
+    workers_.reserve(resolved - 1);
+    try {
+        for (size_t i = 0; i + 1 < resolved; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // A failed spawn (thread-resource exhaustion) must join the
+        // workers already started before rethrowing, or their
+        // joinable std::thread destructors would terminate().
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            return;
+        try {
+            (*job.body)(i);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!job.error)
+                    job.error = std::current_exception();
+            }
+            // Abandon the remaining iterations: park the counter past
+            // the end so every thread drains out promptly.
+            job.next.store(job.n, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [&] {
+            return stop_ || (job_ != nullptr && generation_ != seen);
+        });
+        if (stop_)
+            return;
+        seen = generation_;
+        Job *job = job_;
+        job->active.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+        runChunks(*job);
+        lock.lock();
+        if (job->active.fetch_sub(1, std::memory_order_relaxed) == 1)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    Job job;
+    job.body = &body;
+    job.n = n;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    runChunks(job);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Unpublish the job, then wait for every worker that entered it
+    // to leave: a worker waking after this point sees job_ == nullptr
+    // and never touches the (stack-allocated) job.
+    job_ = nullptr;
+    done_cv_.wait(lock, [&] {
+        return job.active.load(std::memory_order_relaxed) == 0;
+    });
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+void
+parallelFor(ThreadPool *pool, size_t n,
+            const std::function<void(size_t)> &body)
+{
+    if (pool) {
+        pool->parallelFor(n, body);
+        return;
+    }
+    for (size_t i = 0; i < n; ++i)
+        body(i);
+}
+
+} // namespace dnastore

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fixed-size worker pool with deterministic fork-join helpers.
+ *
+ * The decode pipeline parallelizes three embarrassingly-parallel
+ * stages (per-read MinHash signatures, per-cluster BMA consensus,
+ * per-unit RS decode) without changing a single output byte: every
+ * parallelFor/parallelMap writes results into index-addressed slots,
+ * so the reduction order — and therefore the result — is independent
+ * of thread count and scheduling. No work stealing, no task graph:
+ * one job at a time, indices claimed from a shared atomic counter,
+ * the calling thread participates.
+ */
+
+#ifndef DNASTORE_COMMON_THREAD_POOL_H
+#define DNASTORE_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dnastore {
+
+/**
+ * Fixed-size thread pool.
+ *
+ * A pool of size 1 never spawns a thread and runs everything inline,
+ * so sequential callers pay nothing. Pools are reusable across any
+ * number of parallelFor calls but only one call may be in flight at a
+ * time (the pipeline forks and joins stage by stage).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count including the calling thread;
+     *                0 means hardware_concurrency().
+     */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Resolved worker count (calling thread included). */
+    size_t threadCount() const { return workers_.size() + 1; }
+
+    /** Resolve a requested thread count (0 = hardware concurrency). */
+    static size_t resolveThreadCount(size_t requested);
+
+    /**
+     * Run body(i) for every i in [0, n), blocking until all
+     * iterations finish. Iterations may run on any thread in any
+     * order; the first exception thrown by the body is rethrown here
+     * (remaining iterations are abandoned).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+    /**
+     * Map [0, n) through fn into a vector, out[i] = fn(i). T must be
+     * default-constructible; slot order is by index, never by
+     * completion, which is what keeps parallel stages byte-identical
+     * to their sequential counterparts.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    parallelMap(size_t n, Fn &&fn)
+    {
+        std::vector<T> out(n);
+        parallelFor(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    /** One fork-join job: indices [0, n) claimed via `next`. */
+    struct Job
+    {
+        const std::function<void(size_t)> *body = nullptr;
+        size_t n = 0;
+        std::atomic<size_t> next{0};
+        /** Workers currently executing this job's iterations. */
+        std::atomic<size_t> active{0};
+        std::exception_ptr error;  // first failure, guarded by mutex_
+    };
+
+    void workerLoop();
+    void runChunks(Job &job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    Job *job_ = nullptr;       // guarded by mutex_
+    uint64_t generation_ = 0;  // guarded by mutex_
+    bool stop_ = false;        // guarded by mutex_
+};
+
+/**
+ * parallelFor through an optional pool: inline when @p pool is null
+ * (the sequential path used by default-constructed params and by
+ * layers that were handed no pool).
+ */
+void parallelFor(ThreadPool *pool, size_t n,
+                 const std::function<void(size_t)> &body);
+
+} // namespace dnastore
+
+#endif // DNASTORE_COMMON_THREAD_POOL_H

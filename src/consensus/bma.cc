@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace dnastore::consensus {
 
@@ -190,6 +191,25 @@ bmaDoubleSided(const std::vector<dna::Sequence> &reads,
         result = std::move(refined);
     }
     return result;
+}
+
+std::vector<dna::Sequence>
+bmaDoubleSidedBatch(const std::vector<dna::Sequence> &reads,
+                    const std::vector<std::vector<size_t>> &clusters,
+                    size_t expected_length, const BmaParams &params,
+                    ThreadPool *pool)
+{
+    std::vector<dna::Sequence> out(clusters.size());
+    parallelFor(pool, clusters.size(), [&](size_t i) {
+        if (clusters[i].empty())
+            return;
+        std::vector<dna::Sequence> members;
+        members.reserve(clusters[i].size());
+        for (size_t idx : clusters[i])
+            members.push_back(reads[idx]);
+        out[i] = bmaDoubleSided(members, expected_length, params);
+    });
+    return out;
 }
 
 } // namespace dnastore::consensus

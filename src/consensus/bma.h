@@ -22,6 +22,10 @@
 
 #include "dna/sequence.h"
 
+namespace dnastore {
+class ThreadPool;
+}
+
 namespace dnastore::consensus {
 
 /** Reconstruction parameters. */
@@ -66,6 +70,22 @@ dna::Sequence bmaForward(const std::vector<dna::Sequence> &reads,
 dna::Sequence bmaDoubleSided(const std::vector<dna::Sequence> &reads,
                              size_t expected_length,
                              const BmaParams &params = {});
+
+/**
+ * Reconstruct one strand per cluster: out[i] = bmaDoubleSided over
+ * { reads[idx] : idx in clusters[i] }. Clusters are independent, so
+ * the fan-out runs on @p pool when non-null (inline otherwise);
+ * results land in cluster order either way, keeping the output
+ * identical for any thread count. Each task gathers its own cluster's
+ * reads transiently, so peak memory stays O(largest cluster) per
+ * thread rather than a second copy of the whole read set. Empty
+ * clusters yield an empty Sequence.
+ */
+std::vector<dna::Sequence> bmaDoubleSidedBatch(
+    const std::vector<dna::Sequence> &reads,
+    const std::vector<std::vector<size_t>> &clusters,
+    size_t expected_length, const BmaParams &params = {},
+    ThreadPool *pool = nullptr);
 
 } // namespace dnastore::consensus
 

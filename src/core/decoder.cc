@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codec/base_codec.h"
+#include "common/thread_pool.h"
 #include "core/layout.h"
 #include "dna/distance.h"
 
@@ -14,20 +15,25 @@ Decoder::Decoder(const Partition &partition, DecoderParams params)
 
 std::map<std::tuple<uint64_t, unsigned, unsigned>, Decoder::Recovered>
 Decoder::recoverStrands(const std::vector<sim::Read> &reads,
-                        DecodeStats *stats) const
+                        DecodeStats *stats, ThreadPool &pool) const
 {
     const PartitionConfig &config = partition_.config();
     const dna::Sequence &stem = partition_.elongation().stem();
 
-    // Step 1: primer filter.
+    // Step 1: primer filter. The per-read alignments fan out across
+    // the pool; the keep/drop decision for a read depends only on
+    // that read, and the matches are gathered in input order.
+    std::vector<uint8_t> keep(reads.size(), 0);
+    pool.parallelFor(reads.size(), [&](size_t i) {
+        dna::PrefixAlignment align = dna::alignPrimerToPrefix(
+            stem, reads[i].seq, params_.primer_match_dist);
+        keep[i] = align.distance != dna::kDistanceInfinity;
+    });
     std::vector<dna::Sequence> filtered;
     filtered.reserve(reads.size());
-    for (const sim::Read &read : reads) {
-        dna::PrefixAlignment align = dna::alignPrimerToPrefix(
-            stem, read.seq, params_.primer_match_dist);
-        if (align.distance == dna::kDistanceInfinity)
-            continue;
-        filtered.push_back(read.seq);
+    for (size_t i = 0; i < reads.size(); ++i) {
+        if (keep[i])
+            filtered.push_back(reads[i].seq);
     }
     if (stats) {
         stats->reads_in = reads.size();
@@ -41,25 +47,34 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
 
     // Step 2: cluster (clusters arrive sorted by decreasing size).
     std::vector<cluster::Cluster> clusters =
-        cluster::clusterReads(filtered, params_.cluster);
+        cluster::clusterReads(filtered, params_.cluster, &pool);
     if (stats)
         stats->clusters_total = clusters.size();
 
-    // Step 3: reconstruct in descending cluster-size order.
-    for (const cluster::Cluster &c : clusters) {
-        if (c.size() < params_.min_cluster_size)
-            break;  // sorted: everything after is smaller
-        std::vector<dna::Sequence> members;
-        members.reserve(c.size());
-        for (size_t idx : c.members)
-            members.push_back(filtered[idx]);
-        dna::Sequence strand = consensus::bmaDoubleSided(
-            members, config.strand_length, params_.bma);
+    // Step 3: reconstruct per cluster. The clusters are sorted by
+    // decreasing size, so the ones above the size cutoff form a
+    // prefix; their BMA consensus runs are independent and fan out
+    // across the pool, while parsing/ranking below consumes the
+    // reconstructed strands in the original descending-size order.
+    size_t used = 0;
+    while (used < clusters.size() &&
+           clusters[used].size() >= params_.min_cluster_size) {
+        ++used;
+    }
+    std::vector<std::vector<size_t>> memberships(used);
+    for (size_t i = 0; i < used; ++i)
+        memberships[i] = clusters[i].members;
+    std::vector<dna::Sequence> strands = consensus::bmaDoubleSidedBatch(
+        filtered, memberships, config.strand_length, params_.bma,
+        &pool);
+
+    for (size_t i = 0; i < used; ++i) {
+        const cluster::Cluster &c = clusters[i];
         if (stats)
             ++stats->clusters_used;
 
         std::optional<StrandFields> fields =
-            parseStrand(config, strand);
+            parseStrand(config, strands[i]);
         if (!fields)
             continue;
 
@@ -107,12 +122,31 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
     return recovered;
 }
 
+namespace {
+
+/** Everything one unit decode produces, reduced in unit order. */
+struct UnitOutcome
+{
+    bool ok = false;
+    Bytes data;  // descrambled raw unit payload, when ok
+    size_t candidate_retries = 0;
+    size_t symbol_errors_corrected = 0;
+    size_t erasures_filled = 0;
+};
+
+} // namespace
+
 std::map<uint64_t, BlockVersions>
 Decoder::decodeAll(const std::vector<sim::Read> &reads,
                    DecodeStats *stats) const
 {
     const PartitionConfig &config = partition_.config();
-    auto recovered = recoverStrands(reads, stats);
+    // Clamp the pool to the workload: a decode of a handful of reads
+    // must not spawn hardware_concurrency threads just to join them.
+    ThreadPool pool(
+        std::min(ThreadPool::resolveThreadCount(params_.threads),
+                 std::max<size_t>(1, reads.size())));
+    auto recovered = recoverStrands(reads, stats, pool);
 
     // Group addresses by (block, version).
     std::map<std::pair<uint64_t, unsigned>,
@@ -123,75 +157,106 @@ Decoder::decodeAll(const std::vector<sim::Read> &reads,
         units[{block, version}][column] = &slot;
     }
 
-    std::map<uint64_t, BlockVersions> result;
-    for (const auto &[unit_key, columns] : units) {
-        auto [block, version] = unit_key;
-        if (stats)
-            ++stats->units_attempted;
+    // Step 4: units are independent (each reads only its own columns
+    // of `recovered` and the const partition codecs), so the decodes
+    // fan out across the pool; stats and results are merged
+    // sequentially in unit-key order below.
+    std::vector<std::pair<std::pair<uint64_t, unsigned>,
+                          const std::map<unsigned, const Recovered *> *>>
+        unit_list;
+    unit_list.reserve(units.size());
+    for (const auto &[unit_key, columns] : units)
+        unit_list.emplace_back(unit_key, &columns);
 
-        // Try the primary candidates first; on failure, swap in
-        // alternates one address at a time, then progressively erase
-        // the least-trustworthy columns so the outer code can fill
-        // them (Section 8.1 fallback).
-        std::vector<std::optional<Bytes>> primary(config.rs_n);
-        for (const auto &[column, slot] : columns)
-            primary[column] = slot->candidates.front().payload;
+    std::vector<UnitOutcome> outcomes =
+        pool.parallelMap<UnitOutcome>(unit_list.size(), [&](size_t u) {
+            const auto &[unit_key, columns_ptr] = unit_list[u];
+            const auto &columns = *columns_ptr;
+            auto [block, version] = unit_key;
+            UnitOutcome outcome;
 
-        ecc::UnitDecodeResult decoded =
-            partition_.unitCodec().decode(primary);
-        if (!decoded.ok()) {
-            for (const auto &[column, slot] : columns) {
-                if (decoded.ok())
-                    break;
-                for (size_t alt = 1; alt < slot->candidates.size();
-                     ++alt) {
-                    auto trial = primary;
-                    trial[column] = slot->candidates[alt].payload;
-                    if (stats)
-                        ++stats->candidate_retries;
-                    ecc::UnitDecodeResult attempt =
-                        partition_.unitCodec().decode(trial);
-                    if (attempt.ok()) {
-                        decoded = std::move(attempt);
+            // Try the primary candidates first; on failure, swap in
+            // alternates one address at a time, then progressively
+            // erase the least-trustworthy columns so the outer code
+            // can fill them (Section 8.1 fallback).
+            std::vector<std::optional<Bytes>> primary(config.rs_n);
+            for (const auto &[column, slot] : columns)
+                primary[column] = slot->candidates.front().payload;
+
+            ecc::UnitDecodeResult decoded =
+                partition_.unitCodec().decode(primary);
+            if (!decoded.ok()) {
+                for (const auto &[column, slot] : columns) {
+                    if (decoded.ok())
                         break;
+                    for (size_t alt = 1;
+                         alt < slot->candidates.size(); ++alt) {
+                        auto trial = primary;
+                        trial[column] = slot->candidates[alt].payload;
+                        ++outcome.candidate_retries;
+                        ecc::UnitDecodeResult attempt =
+                            partition_.unitCodec().decode(trial);
+                        if (attempt.ok()) {
+                            decoded = std::move(attempt);
+                            break;
+                        }
                     }
                 }
             }
-        }
-        if (!decoded.ok()) {
-            // Erase suspect columns, worst first (most index
-            // mismatches, fewest supporting reads).
-            std::vector<unsigned> order;
-            for (const auto &[column, slot] : columns)
-                order.push_back(column);
-            std::sort(order.begin(), order.end(),
-                      [&](unsigned a, unsigned b) {
-                          const Candidate &ca =
-                              columns.at(a)->candidates.front();
-                          const Candidate &cb =
-                              columns.at(b)->candidates.front();
-                          if (ca.index_mismatches !=
-                              cb.index_mismatches) {
-                              return ca.index_mismatches >
-                                     cb.index_mismatches;
-                          }
-                          return ca.cluster_size < cb.cluster_size;
-                      });
-            size_t max_erase = std::min<size_t>(
-                order.size(), config.rs_n - config.rs_k);
-            auto trial = primary;
-            for (size_t e = 0; e < max_erase && !decoded.ok(); ++e) {
-                trial[order[e]].reset();
-                if (stats)
-                    ++stats->candidate_retries;
-                ecc::UnitDecodeResult attempt =
-                    partition_.unitCodec().decode(trial);
-                if (attempt.ok())
-                    decoded = std::move(attempt);
+            if (!decoded.ok()) {
+                // Erase suspect columns, worst first (most index
+                // mismatches, fewest supporting reads).
+                std::vector<unsigned> order;
+                for (const auto &[column, slot] : columns)
+                    order.push_back(column);
+                std::sort(order.begin(), order.end(),
+                          [&](unsigned a, unsigned b) {
+                              const Candidate &ca =
+                                  columns.at(a)->candidates.front();
+                              const Candidate &cb =
+                                  columns.at(b)->candidates.front();
+                              if (ca.index_mismatches !=
+                                  cb.index_mismatches) {
+                                  return ca.index_mismatches >
+                                         cb.index_mismatches;
+                              }
+                              return ca.cluster_size <
+                                     cb.cluster_size;
+                          });
+                size_t max_erase = std::min<size_t>(
+                    order.size(), config.rs_n - config.rs_k);
+                auto trial = primary;
+                for (size_t e = 0; e < max_erase && !decoded.ok();
+                     ++e) {
+                    trial[order[e]].reset();
+                    ++outcome.candidate_retries;
+                    ecc::UnitDecodeResult attempt =
+                        partition_.unitCodec().decode(trial);
+                    if (attempt.ok())
+                        decoded = std::move(attempt);
+                }
             }
-        }
 
-        if (!decoded.ok()) {
+            if (!decoded.ok())
+                return outcome;
+            outcome.ok = true;
+            outcome.symbol_errors_corrected =
+                decoded.symbol_errors_corrected;
+            outcome.erasures_filled = decoded.erasures_filled;
+            outcome.data = partition_.unscrambleUnitRaw(
+                *decoded.data, block, version);
+            return outcome;
+        });
+
+    std::map<uint64_t, BlockVersions> result;
+    for (size_t u = 0; u < unit_list.size(); ++u) {
+        auto [block, version] = unit_list[u].first;
+        UnitOutcome &outcome = outcomes[u];
+        if (stats) {
+            ++stats->units_attempted;
+            stats->candidate_retries += outcome.candidate_retries;
+        }
+        if (!outcome.ok) {
             if (stats)
                 ++stats->units_failed;
             continue;
@@ -199,11 +264,10 @@ Decoder::decodeAll(const std::vector<sim::Read> &reads,
         if (stats) {
             ++stats->units_decoded;
             stats->symbol_errors_corrected +=
-                decoded.symbol_errors_corrected;
-            stats->erasures_filled += decoded.erasures_filled;
+                outcome.symbol_errors_corrected;
+            stats->erasures_filled += outcome.erasures_filled;
         }
-        result[block].versions[version] =
-            partition_.unscrambleUnitRaw(*decoded.data, block, version);
+        result[block].versions[version] = std::move(outcome.data);
     }
     return result;
 }

@@ -32,6 +32,10 @@
 #include "core/update.h"
 #include "sim/sequencer.h"
 
+namespace dnastore {
+class ThreadPool;
+}
+
 namespace dnastore::core {
 
 /** Pipeline knobs. */
@@ -54,6 +58,12 @@ struct DecoderParams
     /** Keep up to this many alternate candidates per address for the
      *  recursive decode fallback (Section 8.1). */
     size_t max_candidates_per_address = 3;
+
+    /** Worker threads for the decode pipeline (0 = use
+     *  hardware_concurrency). The primer filter, MinHash signatures,
+     *  per-cluster consensus and per-unit RS decodes fan out across
+     *  the pool; results are byte-identical for any thread count. */
+    size_t threads = 0;
 };
 
 /** Counters reported by a decode run. */
@@ -72,6 +82,9 @@ struct DecodeStats
     size_t symbol_errors_corrected = 0;
     size_t erasures_filled = 0;
     size_t candidate_retries = 0;
+
+    /** Field-wise equality (used by the thread-invariance tests). */
+    bool operator==(const DecodeStats &) const = default;
 };
 
 /** All decoded versions of one block. */
@@ -79,6 +92,8 @@ struct BlockVersions
 {
     /** version -> descrambled full unit payload. */
     std::map<unsigned, Bytes> versions;
+
+    bool operator==(const BlockVersions &) const = default;
 };
 
 class Decoder
@@ -142,7 +157,7 @@ class Decoder
     /** Steps 1-3: reads -> per-address payload candidates. */
     std::map<std::tuple<uint64_t, unsigned, unsigned>, Recovered>
     recoverStrands(const std::vector<sim::Read> &reads,
-                   DecodeStats *stats) const;
+                   DecodeStats *stats, ThreadPool &pool) const;
 };
 
 } // namespace dnastore::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Thread-invariance golden tests: the decode pipeline must produce
+ * byte-identical output — decoded units AND DecodeStats counters —
+ * for any DecoderParams::threads value. This is the contract that
+ * lets the pipeline scale across cores without perturbing a single
+ * result, and it guards every parallel stage (primer filter, MinHash
+ * signatures, per-cluster BMA, per-unit RS decode).
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/decoder.h"
+#include "sim/pcr.h"
+#include "sim/synthesis.h"
+#include "support/fixtures.h"
+
+namespace dnastore::core {
+namespace {
+
+const dna::Sequence &kFwd = test::fwdPrimer();
+const dna::Sequence &kRev = test::revPrimer();
+
+/** Seeded corpus fixture: 20-block file, synthesized pool. */
+class DecodeThreadsTest : public ::testing::Test
+{
+  protected:
+    PartitionConfig config_;
+    std::unique_ptr<Partition> partition_;
+    Bytes data_;
+    sim::Pool pool_;
+
+    void
+    SetUp() override
+    {
+        partition_ =
+            std::make_unique<Partition>(config_, kFwd, kRev, 13);
+        data_ = test::corpusBlocks(20, 77);
+        sim::SynthesisParams synthesis;
+        pool_ = sim::synthesize(partition_->encodeFile(data_),
+                                synthesis);
+    }
+
+    std::vector<sim::Read>
+    noisyReads(size_t count) const
+    {
+        sim::SequencerParams params;
+        params.sub_rate = 0.01;
+        params.ins_rate = 0.002;
+        params.del_rate = 0.002;
+        params.seed = 3;
+        return sim::sequencePool(pool_, count, params);
+    }
+};
+
+TEST_F(DecodeThreadsTest, DecodeAllIsByteIdenticalAcrossThreadCounts)
+{
+    std::vector<sim::Read> reads = noisyReads(20 * 15 * 25);
+
+    DecoderParams baseline_params;
+    baseline_params.threads = 1;
+    Decoder baseline(*partition_, baseline_params);
+    DecodeStats baseline_stats;
+    std::map<uint64_t, BlockVersions> baseline_units =
+        baseline.decodeAll(reads, &baseline_stats);
+    ASSERT_EQ(baseline_stats.units_decoded, 20u);
+
+    for (size_t threads : {2u, 8u}) {
+        DecoderParams params;
+        params.threads = threads;
+        Decoder decoder(*partition_, params);
+        DecodeStats stats;
+        std::map<uint64_t, BlockVersions> units =
+            decoder.decodeAll(reads, &stats);
+        EXPECT_EQ(units, baseline_units) << "threads=" << threads;
+        EXPECT_EQ(stats, baseline_stats) << "threads=" << threads;
+    }
+}
+
+TEST_F(DecodeThreadsTest, UpdateChainDecodeIsThreadInvariant)
+{
+    // A version chain exercises the multi-unit path: block 5 carries
+    // version 0 plus an inline patch in version 1.
+    UpdateRecord record;
+    record.kind = UpdateRecord::Kind::kInline;
+    record.op.delete_pos = 0;
+    record.op.delete_len = 5;
+    record.op.insert_pos = 0;
+    record.op.insert_bytes = Bytes{'H', 'E', 'L', 'L', 'O'};
+    sim::SynthesisParams synthesis;
+    synthesis.seed = 99;
+    sim::Pool patch = sim::synthesize(
+        partition_->encodePatch(5, record, 1), synthesis);
+    pool_.mixIn(patch,
+                (pool_.totalMass() / pool_.speciesCount()) /
+                    (patch.totalMass() / patch.speciesCount()));
+
+    std::vector<sim::Read> reads = noisyReads(21 * 15 * 25);
+
+    std::optional<Bytes> baseline;
+    for (size_t threads : {1u, 2u, 8u}) {
+        DecoderParams params;
+        params.threads = threads;
+        Decoder decoder(*partition_, params);
+        std::optional<Bytes> content = decoder.decodeBlock(reads, 5);
+        ASSERT_TRUE(content.has_value()) << "threads=" << threads;
+        if (!baseline) {
+            baseline = content;
+            EXPECT_EQ((*content)[0], 'H');
+        } else {
+            EXPECT_EQ(*content, *baseline) << "threads=" << threads;
+        }
+    }
+}
+
+TEST_F(DecodeThreadsTest, DefaultThreadsUsesHardwareConcurrency)
+{
+    // threads == 0 resolves to hardware_concurrency and must decode
+    // exactly like the sequential baseline.
+    std::vector<sim::Read> reads = noisyReads(20 * 15 * 25);
+
+    DecoderParams sequential_params;
+    sequential_params.threads = 1;
+    DecoderParams default_params;
+    ASSERT_EQ(default_params.threads, 0u);
+
+    DecodeStats sequential_stats;
+    DecodeStats default_stats;
+    auto sequential_units = Decoder(*partition_, sequential_params)
+                                .decodeAll(reads, &sequential_stats);
+    auto default_units = Decoder(*partition_, default_params)
+                             .decodeAll(reads, &default_stats);
+    EXPECT_EQ(default_units, sequential_units);
+    EXPECT_EQ(default_stats, sequential_stats);
+}
+
+} // namespace
+} // namespace dnastore::core

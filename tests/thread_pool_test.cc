@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the fork-join thread pool: completeness (every index runs
+ * exactly once), determinism of parallelMap slot order, pool reuse,
+ * exception propagation, and the inline sequential paths.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace dnastore {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount)
+{
+    EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(5), 5u);
+}
+
+TEST(ThreadPoolTest, SizeOnePoolSpawnsNoWorkers)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    size_t ran = 0;
+    pool.parallelFor(10, [&](size_t) { ++ran; });
+    EXPECT_EQ(ran, 10u);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> counts(n);
+    pool.parallelFor(n, [&](size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleIteration)
+{
+    ThreadPool pool(3);
+    size_t ran = 0;
+    pool.parallelFor(0, [&](size_t) { ++ran; });
+    EXPECT_EQ(ran, 0u);
+    // n == 1 runs inline on the caller, no cross-thread writes.
+    pool.parallelFor(1, [&](size_t) { ++ran; });
+    EXPECT_EQ(ran, 1u);
+}
+
+TEST(ThreadPoolTest, FewerIterationsThanThreads)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> counts(3);
+    pool.parallelFor(3, [&](size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<uint8_t> hit(97, 0);
+        pool.parallelFor(hit.size(), [&](size_t i) { hit[i] = 1; });
+        for (size_t i = 0; i < hit.size(); ++i)
+            ASSERT_EQ(hit[i], 1) << "round " << round;
+    }
+}
+
+TEST(ThreadPoolTest, ParallelMapSlotsFollowIndexOrder)
+{
+    ThreadPool pool(4);
+    std::vector<uint64_t> out = pool.parallelMap<uint64_t>(
+        1000, [](size_t i) { return uint64_t{i} * i; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], uint64_t{i} * i);
+}
+
+TEST(ThreadPoolTest, ParallelMapMatchesSequential)
+{
+    auto fn = [](size_t i) { return (uint64_t{i} * 2654435761u) ^ i; };
+    ThreadPool parallel(7);
+    ThreadPool sequential(1);
+    EXPECT_EQ(parallel.parallelMap<uint64_t>(5000, fn),
+              sequential.parallelMap<uint64_t>(5000, fn));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(1000,
+                                  [](size_t i) {
+                                      if (i == 137)
+                                          fatal("boom at ", i);
+                                  }),
+                 FatalError);
+    // The pool survives a failed job.
+    std::vector<uint8_t> hit(10, 0);
+    pool.parallelFor(hit.size(), [&](size_t i) { hit[i] = 1; });
+    for (uint8_t h : hit)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, NullPoolHelperRunsInline)
+{
+    std::vector<uint8_t> hit(25, 0);
+    parallelFor(nullptr, hit.size(), [&](size_t i) { hit[i] = 1; });
+    for (uint8_t h : hit)
+        EXPECT_EQ(h, 1);
+
+    ThreadPool pool(2);
+    std::fill(hit.begin(), hit.end(), 0);
+    parallelFor(&pool, hit.size(), [&](size_t i) { hit[i] = 1; });
+    for (uint8_t h : hit)
+        EXPECT_EQ(h, 1);
+}
+
+} // namespace
+} // namespace dnastore
