@@ -2,25 +2,34 @@
  * @file
  * Decode-pipeline thread-scaling benchmark.
  *
- * Times Decoder::decodeAll on a seeded noisy-read corpus at 1, 2, 4
- * and 8 threads, verifies the outputs are byte-identical across
- * thread counts (the pipeline's determinism contract), and writes the
- * measurements to BENCH_decode.json so the perf trajectory of the
- * decode hot loop is tracked from PR to PR.
+ * Part 1 times Decoder::decodeAll on a seeded noisy-read corpus at 1,
+ * 2, 4 and 8 threads. Part 2 times DecodeService batch submission:
+ * several partitions' read sets decoded as one batch, sharded across
+ * the service's shared pool. Both parts verify outputs are
+ * byte-identical across thread counts (the determinism contract) and
+ * write measurements to BENCH_decode.json so the perf trajectory of
+ * the decode hot loop is tracked from PR to PR. CI records this on a
+ * multi-core runner and uploads the JSON as an artifact.
  *
  * Usage: decode_scaling [--out PATH] [--blocks N] [--coverage N]
+ *                       [--parts N]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <future>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/decode_service.h"
 #include "core/decoder.h"
 #include "corpus/text.h"
 #include "sim/synthesis.h"
@@ -45,12 +54,27 @@ bestOfThree(const std::function<void()> &fn)
 
 } // namespace
 
+/** Primer pairs for the batch-submission partitions. */
+struct PrimerPair
+{
+    const char *fwd;
+    const char *rev;
+};
+
+constexpr PrimerPair kPrimerPairs[] = {
+    {"ACTGAGGTCTGCCTGAAGTC", "TGAACGCGGTATTGCAGACC"},
+    {"ACGTACGTACGTACGTACGT", "TGCATGCATGCATGCATGCA"},
+    {"GATTACAGTCCAGGCATGCA", "CCATGGTTAACGTCAGTGGA"},
+    {"TTGCACCGTAGATCCGATAC", "GGTACTTCGAACGGACTTGA"},
+};
+
 int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_decode.json";
     size_t blocks = 24;
     size_t coverage = 25;
+    size_t parts = 4;
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0)
             out_path = argv[i + 1];
@@ -58,7 +82,10 @@ main(int argc, char **argv)
             blocks = std::strtoul(argv[i + 1], nullptr, 10);
         else if (std::strcmp(argv[i], "--coverage") == 0)
             coverage = std::strtoul(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--parts") == 0)
+            parts = std::strtoul(argv[i + 1], nullptr, 10);
     }
+    parts = std::clamp<size_t>(parts, 1, std::size(kPrimerPairs));
 
     std::printf("=== decode pipeline thread scaling ===\n\n");
     core::PartitionConfig config;
@@ -126,6 +153,90 @@ main(int argc, char **argv)
                 baseline_stats.units_decoded, blocks,
                 std::thread::hardware_concurrency());
 
+    // Part 2: batch submission — `parts` partitions' read sets
+    // decoded as one DecodeService batch sharded over a shared pool.
+    std::printf("\n=== DecodeService batch submission "
+                "(%zu partitions) ===\n\n",
+                parts);
+    const size_t part_blocks = std::max<size_t>(1, blocks / parts);
+    std::vector<std::unique_ptr<core::Partition>> partitions;
+    std::vector<std::unique_ptr<core::Decoder>> decoders;
+    std::vector<std::vector<sim::Read>> part_reads;
+    for (size_t p = 0; p < parts; ++p) {
+        core::PartitionConfig part_config;
+        part_config.index_seed += 17 * p;
+        part_config.scramble_seed += 29 * p;
+        partitions.push_back(std::make_unique<core::Partition>(
+            part_config, dna::Sequence(kPrimerPairs[p].fwd),
+            dna::Sequence(kPrimerPairs[p].rev),
+            static_cast<uint32_t>(13 + p)));
+        core::Bytes part_data = corpus::generateBytes(
+            part_blocks * part_config.block_data_bytes, 77 + p);
+        sim::SynthesisParams part_synthesis;
+        part_synthesis.seed = 1 + p;
+        sim::Pool part_pool = sim::synthesize(
+            partitions[p]->encodeFile(part_data), part_synthesis);
+        sim::SequencerParams part_sequencer = sequencer;
+        part_sequencer.seed = 3 + 131 * p;
+        part_reads.push_back(sim::sequencePool(
+            part_pool, part_blocks * part_config.rs_n * coverage,
+            part_sequencer));
+        core::DecoderParams decoder_params;
+        decoder_params.threads = 1;
+        decoders.push_back(std::make_unique<core::Decoder>(
+            *partitions[p], decoder_params));
+    }
+
+    std::vector<double> batch_seconds;
+    std::vector<core::DecodeOutcome> batch_baseline;
+    bool batch_identical = true;
+    std::printf("%8s  %10s  %8s  %10s  %9s\n", "threads", "seconds",
+                "speedup", "blocks/s", "identical");
+    for (size_t threads : thread_counts) {
+        core::DecodeServiceParams service_params;
+        service_params.threads = threads;
+        core::DecodeService service(service_params);
+
+        std::vector<core::DecodeOutcome> outcomes;
+        double secs = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            // Build the request batch (read-set copies) outside the
+            // timed region: the measurement is the service, not the
+            // caller's memcpy.
+            std::vector<core::DecodeRequest> batch(parts);
+            for (size_t p = 0; p < parts; ++p) {
+                batch[p].decoder = decoders[p].get();
+                batch[p].reads = part_reads[p];
+            }
+            auto start = Clock::now();
+            std::vector<std::future<core::DecodeOutcome>> futures =
+                service.submitBatch(std::move(batch));
+            outcomes.clear();
+            for (std::future<core::DecodeOutcome> &future : futures)
+                outcomes.push_back(future.get());
+            std::chrono::duration<double> elapsed =
+                Clock::now() - start;
+            secs = std::min(secs, elapsed.count());
+        }
+        batch_seconds.push_back(secs);
+
+        bool same = true;
+        if (threads == 1)
+            batch_baseline = outcomes;
+        else
+            same = outcomes == batch_baseline;
+        batch_identical = batch_identical && same;
+        std::printf("%8zu  %10.3f  %7.2fx  %10.1f  %9s\n", threads,
+                    secs, batch_seconds.front() / secs,
+                    static_cast<double>(parts * part_blocks) / secs,
+                    same ? "yes" : "NO");
+    }
+    if (!batch_identical) {
+        std::fprintf(stderr, "FAIL: batch decode output changed with "
+                             "thread count\n");
+        return 1;
+    }
+
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -149,6 +260,23 @@ main(int argc, char **argv)
                      thread_counts[i], seconds[i],
                      seconds.front() / seconds[i],
                      i + 1 < seconds.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"batch_partitions\": %zu,\n", parts);
+    std::fprintf(out, "  \"batch_blocks_per_partition\": %zu,\n",
+                 part_blocks);
+    std::fprintf(out, "  \"batch_identical_across_threads\": %s,\n",
+                 batch_identical ? "true" : "false");
+    std::fprintf(out, "  \"batch_results\": [\n");
+    for (size_t i = 0; i < batch_seconds.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"threads\": %zu, \"seconds\": %.4f, "
+                     "\"speedup\": %.3f, \"blocks_per_sec\": %.1f}%s\n",
+                     thread_counts[i], batch_seconds[i],
+                     batch_seconds.front() / batch_seconds[i],
+                     static_cast<double>(parts * part_blocks) /
+                         batch_seconds[i],
+                     i + 1 < batch_seconds.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);

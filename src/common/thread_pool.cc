@@ -69,19 +69,27 @@ ThreadPool::runChunks(Job &job)
     }
 }
 
+ThreadPool::Job *
+ThreadPool::pickRunnable() const
+{
+    for (Job *job : jobs_) {
+        if (job->next.load(std::memory_order_relaxed) < job->n)
+            return job;
+    }
+    return nullptr;
+}
+
 void
 ThreadPool::workerLoop()
 {
-    uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
+        Job *job = nullptr;
         work_cv_.wait(lock, [&] {
-            return stop_ || (job_ != nullptr && generation_ != seen);
+            return stop_ || (job = pickRunnable()) != nullptr;
         });
         if (stop_)
             return;
-        seen = generation_;
-        Job *job = job_;
         job->active.fetch_add(1, std::memory_order_relaxed);
         lock.unlock();
         runChunks(*job);
@@ -108,17 +116,16 @@ ThreadPool::parallelFor(size_t n,
     job.n = n;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        job_ = &job;
-        ++generation_;
+        jobs_.push_back(&job);
     }
     work_cv_.notify_all();
     runChunks(job);
 
     std::unique_lock<std::mutex> lock(mutex_);
     // Unpublish the job, then wait for every worker that entered it
-    // to leave: a worker waking after this point sees job_ == nullptr
-    // and never touches the (stack-allocated) job.
-    job_ = nullptr;
+    // to leave: a worker waking after this point no longer finds the
+    // (stack-allocated) job in the published list.
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
     done_cv_.wait(lock, [&] {
         return job.active.load(std::memory_order_relaxed) == 0;
     });

@@ -2,14 +2,23 @@
  * @file
  * Fixed-size worker pool with deterministic fork-join helpers.
  *
- * The decode pipeline parallelizes three embarrassingly-parallel
- * stages (per-read MinHash signatures, per-cluster BMA consensus,
- * per-unit RS decode) without changing a single output byte: every
- * parallelFor/parallelMap writes results into index-addressed slots,
- * so the reduction order — and therefore the result — is independent
- * of thread count and scheduling. No work stealing, no task graph:
- * one job at a time, indices claimed from a shared atomic counter,
- * the calling thread participates.
+ * The decode pipeline parallelizes its embarrassingly-parallel stages
+ * (per-read MinHash signatures, per-cluster BMA consensus, per-unit
+ * RS decode, per-block encode) without changing a single output byte:
+ * every parallelFor/parallelMap writes results into index-addressed
+ * slots, so the reduction order — and therefore the result — is
+ * independent of thread count and scheduling. No work stealing, no
+ * task graph: published fork-join jobs with indices claimed from a
+ * per-job atomic counter; the calling thread always participates in
+ * its own job.
+ *
+ * Multiple fork-join jobs may be in flight at once (the DecodeService
+ * shards per-partition decodes across one shared pool, and each
+ * partition job's internal stages fork on the same pool), including
+ * nested parallelFor calls issued from inside a job body: idle
+ * workers drain whichever published job still has unclaimed indices,
+ * and every caller makes progress on its own job inline, so the
+ * nesting can never deadlock.
  */
 
 #ifndef DNASTORE_COMMON_THREAD_POOL_H
@@ -31,8 +40,9 @@ namespace dnastore {
  *
  * A pool of size 1 never spawns a thread and runs everything inline,
  * so sequential callers pay nothing. Pools are reusable across any
- * number of parallelFor calls but only one call may be in flight at a
- * time (the pipeline forks and joins stage by stage).
+ * number of parallelFor calls, and calls may overlap: any thread may
+ * fork a job at any time — including from inside another job's body —
+ * and the pool's workers are shared among all in-flight jobs.
  */
 class ThreadPool
 {
@@ -57,7 +67,9 @@ class ThreadPool
      * Run body(i) for every i in [0, n), blocking until all
      * iterations finish. Iterations may run on any thread in any
      * order; the first exception thrown by the body is rethrown here
-     * (remaining iterations are abandoned).
+     * (remaining iterations of this job are abandoned; concurrent
+     * jobs are unaffected). Safe to call from several threads at
+     * once and reentrantly from inside a job body.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &body);
 
@@ -91,12 +103,14 @@ class ThreadPool
     void workerLoop();
     void runChunks(Job &job);
 
+    /** First published job with unclaimed indices (under mutex_). */
+    Job *pickRunnable() const;
+
     std::vector<std::thread> workers_;
     std::mutex mutex_;
     std::condition_variable work_cv_;
     std::condition_variable done_cv_;
-    Job *job_ = nullptr;       // guarded by mutex_
-    uint64_t generation_ = 0;  // guarded by mutex_
+    std::vector<Job *> jobs_;  // in-flight jobs, guarded by mutex_
     bool stop_ = false;        // guarded by mutex_
 };
 

@@ -19,7 +19,7 @@ void
 BlockDevice::writeFile(const Bytes &data)
 {
     std::vector<sim::DesignedMolecule> order =
-        partition_.encodeFile(data);
+        partition_.encodeFile(data, params_.encode);
     data_blocks_ = partition_.blocksFor(data.size());
     update_counts_.clear();
     overflow_chain_.clear();

@@ -45,6 +45,7 @@ struct BlockDeviceParams
     sim::PcrParams pcr;
     sim::SequencerParams sequencer;
     DecoderParams decoder;
+    EncodeParams encode;
     CostParams costs;
 
     /** Reads sequenced for a single-block access. */

@@ -1,0 +1,119 @@
+#include "core/decode_service.h"
+
+#include "common/error.h"
+
+namespace dnastore::core {
+
+DecodeService::DecodeService(DecodeServiceParams params)
+    : pool_(params.threads),
+      dispatcher_([this] { dispatcherLoop(); })
+{}
+
+DecodeService::~DecodeService()
+{
+    shutdown();
+}
+
+void
+DecodeService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        accepting_ = false;
+    }
+    queue_cv_.notify_all();
+    std::call_once(joined_, [this] { dispatcher_.join(); });
+}
+
+std::future<DecodeOutcome>
+DecodeService::submit(const Decoder &decoder,
+                      std::vector<sim::Read> reads)
+{
+    std::vector<DecodeRequest> batch(1);
+    batch[0].decoder = &decoder;
+    batch[0].reads = std::move(reads);
+    return std::move(submitBatch(std::move(batch))[0]);
+}
+
+std::vector<std::future<DecodeOutcome>>
+DecodeService::submitBatch(std::vector<DecodeRequest> batch)
+{
+    Batch pending;
+    pending.items.resize(batch.size());
+    std::vector<std::future<DecodeOutcome>> futures;
+    futures.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        pending.items[i].request = std::move(batch[i]);
+        futures.push_back(pending.items[i].promise.get_future());
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fatalIf(!accepting_,
+                "DecodeService: submission after shutdown");
+        if (!pending.items.empty())
+            queue_.push_back(std::move(pending));
+    }
+    queue_cv_.notify_one();
+    return futures;
+}
+
+size_t
+DecodeService::pendingBatches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+DecodeService::dispatcherLoop()
+{
+    for (;;) {
+        Batch batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_cv_.wait(lock, [&] {
+                return !accepting_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // shut down and fully drained
+            batch = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        runBatch(batch);
+    }
+}
+
+void
+DecodeService::runBatch(Batch &batch)
+{
+    const size_t n = batch.items.size();
+    std::vector<DecodeOutcome> outcomes(n);
+    std::vector<std::exception_ptr> errors(n);
+
+    // Shard the batch's partition jobs across the pool. Each job's
+    // internal stages fork on the same pool (nested fork-join), and
+    // each job catches its own failure so one bad request cannot
+    // abandon its siblings' iterations or poison their promises.
+    pool_.parallelFor(n, [&](size_t i) {
+        Item &item = batch.items[i];
+        try {
+            fatalIf(item.request.decoder == nullptr,
+                    "DecodeService: request has no decoder");
+            outcomes[i].units = item.request.decoder->decodeAll(
+                item.request.reads, &outcomes[i].stats, pool_);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    });
+
+    // Reduce in submission order: promises fire exactly in the order
+    // the requests were handed in.
+    for (size_t i = 0; i < n; ++i) {
+        if (errors[i])
+            batch.items[i].promise.set_exception(errors[i]);
+        else
+            batch.items[i].promise.set_value(std::move(outcomes[i]));
+    }
+}
+
+} // namespace dnastore::core

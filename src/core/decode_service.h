@@ -1,0 +1,135 @@
+/**
+ * @file
+ * DecodeService: asynchronous batch decoding over one shared pool.
+ *
+ * Decoder::decodeAll is synchronous and spawns a fresh ThreadPool per
+ * call; a device serving heavy traffic instead wants to enqueue work
+ * (a batch of read sets, one per partition) and collect futures. The
+ * service owns one long-lived ThreadPool and a FIFO submission queue:
+ *
+ *  - a batch's per-partition jobs are sharded across the pool and run
+ *    concurrently, while each job's internal decode stages fork on
+ *    the same pool (the nested fork-join the multi-job ThreadPool
+ *    supports);
+ *  - each job's result is exactly what a sequential decodeAll of that
+ *    read set would produce (the per-stage index-addressed slots keep
+ *    every decode byte-identical for any thread count), and the
+ *    batch's promises are fulfilled in submission order;
+ *  - an exception inside one partition's job surfaces through that
+ *    job's future only — sibling futures in the batch still deliver.
+ *
+ * Shutdown drains: pending batches are decoded, not dropped, before
+ * the dispatcher exits, so destroying the service never leaves a
+ * broken promise. Submissions after shutdown are rejected with
+ * FatalError.
+ */
+
+#ifndef DNASTORE_CORE_DECODE_SERVICE_H
+#define DNASTORE_CORE_DECODE_SERVICE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/decoder.h"
+
+namespace dnastore::core {
+
+/** Service-wide knobs. */
+struct DecodeServiceParams
+{
+    /** Worker threads of the shared pool (0 = hardware
+     *  concurrency). Partition jobs and their internal stages share
+     *  these workers. */
+    size_t threads = 0;
+};
+
+/** One partition's unit of work within a batch. */
+struct DecodeRequest
+{
+    /** Decoder bound to the partition the reads came from. Must stay
+     *  alive until the request's future is ready. */
+    const Decoder *decoder = nullptr;
+
+    std::vector<sim::Read> reads;
+};
+
+/** What a request's future delivers. */
+struct DecodeOutcome
+{
+    std::map<uint64_t, BlockVersions> units;
+    DecodeStats stats;
+
+    bool operator==(const DecodeOutcome &) const = default;
+};
+
+class DecodeService
+{
+  public:
+    explicit DecodeService(DecodeServiceParams params = {});
+
+    /** Drains the queue (pending batches still decode) and joins. */
+    ~DecodeService();
+
+    DecodeService(const DecodeService &) = delete;
+    DecodeService &operator=(const DecodeService &) = delete;
+
+    /** Enqueue one read set. Throws FatalError after shutdown(). */
+    std::future<DecodeOutcome> submit(const Decoder &decoder,
+                                      std::vector<sim::Read> reads);
+
+    /**
+     * Enqueue a batch (typically one request per partition of a
+     * device). The batch's jobs run concurrently; futures are
+     * returned — and later fulfilled — in submission order. Throws
+     * FatalError after shutdown().
+     */
+    std::vector<std::future<DecodeOutcome>> submitBatch(
+        std::vector<DecodeRequest> batch);
+
+    /**
+     * Stop accepting submissions, decode everything already queued,
+     * and join the dispatcher. Idempotent; also run by the
+     * destructor.
+     */
+    void shutdown();
+
+    /** Worker count of the shared pool. */
+    size_t threadCount() const { return pool_.threadCount(); }
+
+    /** Batches accepted but not yet started (for backpressure). */
+    size_t pendingBatches() const;
+
+  private:
+    struct Item
+    {
+        DecodeRequest request;
+        std::promise<DecodeOutcome> promise;
+    };
+
+    struct Batch
+    {
+        std::vector<Item> items;
+    };
+
+    void dispatcherLoop();
+    void runBatch(Batch &batch);
+
+    ThreadPool pool_;
+    mutable std::mutex mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Batch> queue_;  // guarded by mutex_
+    bool accepting_ = true;    // guarded by mutex_
+    std::once_flag joined_;
+    std::thread dispatcher_;
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_DECODE_SERVICE_H

@@ -140,12 +140,19 @@ std::map<uint64_t, BlockVersions>
 Decoder::decodeAll(const std::vector<sim::Read> &reads,
                    DecodeStats *stats) const
 {
-    const PartitionConfig &config = partition_.config();
     // Clamp the pool to the workload: a decode of a handful of reads
     // must not spawn hardware_concurrency threads just to join them.
     ThreadPool pool(
         std::min(ThreadPool::resolveThreadCount(params_.threads),
                  std::max<size_t>(1, reads.size())));
+    return decodeAll(reads, stats, pool);
+}
+
+std::map<uint64_t, BlockVersions>
+Decoder::decodeAll(const std::vector<sim::Read> &reads,
+                   DecodeStats *stats, ThreadPool &pool) const
+{
+    const PartitionConfig &config = partition_.config();
     auto recovered = recoverStrands(reads, stats, pool);
 
     // Group addresses by (block, version).

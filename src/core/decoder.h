@@ -110,6 +110,17 @@ class Decoder
         DecodeStats *stats = nullptr) const;
 
     /**
+     * decodeAll through a caller-owned pool. Used by DecodeService to
+     * share one long-lived pool across submissions instead of paying
+     * a pool spawn per call; DecoderParams::threads is ignored in
+     * favor of the pool's size. Output is byte-identical to the
+     * pool-per-call overload for any pool size.
+     */
+    std::map<uint64_t, BlockVersions> decodeAll(
+        const std::vector<sim::Read> &reads, DecodeStats *stats,
+        ThreadPool &pool) const;
+
+    /**
      * Decode one block's final contents: version 0 plus the update
      * chain applied in slot order. Returns nullopt if version 0 is
      * not decodable. If the chain ends in an overflow pointer, the

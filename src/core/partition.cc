@@ -1,6 +1,9 @@
 #include "core/partition.h"
 
+#include <optional>
+
 #include "codec/base_codec.h"
+#include "common/thread_pool.h"
 #include "core/layout.h"
 
 namespace dnastore::core {
@@ -29,23 +32,41 @@ Partition::blocksFor(size_t data_size) const
 }
 
 std::vector<sim::DesignedMolecule>
-Partition::encodeFile(const Bytes &data) const
+Partition::encodeFile(const Bytes &data, const EncodeParams &params,
+                      ThreadPool *pool) const
 {
     uint64_t blocks = blocksFor(data.size());
     fatalIf(blocks > tree_.leafCount(),
             "file needs ", blocks, " blocks but the partition has ",
             tree_.leafCount());
-    std::vector<sim::DesignedMolecule> molecules;
-    molecules.reserve(blocks * config_.rs_n);
-    for (uint64_t block = 0; block < blocks; ++block) {
+
+    // Blocks are independent (the scrambler, outer codec and index
+    // tree are all stateless per call), so per-block encoding fans
+    // out; the slots are concatenated in block order below, keeping
+    // the molecule stream byte-identical to the sequential path.
+    std::optional<ThreadPool> local;
+    if (!pool && blocks > 1) {
+        size_t want =
+            std::min(ThreadPool::resolveThreadCount(params.threads),
+                     static_cast<size_t>(blocks));
+        if (want > 1)
+            pool = &local.emplace(want);
+    }
+    std::vector<std::vector<sim::DesignedMolecule>> per_block(blocks);
+    parallelFor(pool, blocks, [&](size_t block) {
         size_t offset = block * config_.block_data_bytes;
         size_t len =
             std::min(config_.block_data_bytes, data.size() - offset);
         Bytes payload(data.begin() + static_cast<ptrdiff_t>(offset),
                       data.begin() + static_cast<ptrdiff_t>(offset + len));
-        auto block_molecules = encodeBlock(block, payload, 0);
-        molecules.insert(molecules.end(), block_molecules.begin(),
-                         block_molecules.end());
+        per_block[block] = encodeBlock(block, payload, 0);
+    });
+
+    std::vector<sim::DesignedMolecule> molecules;
+    molecules.reserve(blocks * config_.rs_n);
+    for (std::vector<sim::DesignedMolecule> &block_molecules : per_block) {
+        for (sim::DesignedMolecule &molecule : block_molecules)
+            molecules.push_back(std::move(molecule));
     }
     return molecules;
 }

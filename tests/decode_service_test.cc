@@ -1,0 +1,239 @@
+/**
+ * @file
+ * DecodeService contract tests.
+ *
+ * Determinism: a batch outcome must be byte-identical to sequential
+ * Decoder::decodeAll for every service thread count and for any
+ * submission order or interleaving — the service only adds
+ * scheduling, never changes a result.
+ *
+ * Lifecycle: submissions after shutdown are rejected, an exception in
+ * one partition's job surfaces only through that job's future, and
+ * the destructor drains (decodes, not drops) everything queued.
+ */
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/decode_service.h"
+#include "sim/synthesis.h"
+#include "support/fixtures.h"
+
+namespace dnastore::core {
+namespace {
+
+/** Three partitions with distinct primer pairs and seeds, each
+ *  holding its own 5-block corpus, plus seeded noisy reads and the
+ *  sequential golden outcome per partition. */
+class DecodeServiceTest : public ::testing::Test
+{
+  protected:
+    static constexpr size_t kPartitions = 3;
+    static constexpr size_t kBlocks = 5;
+    static constexpr size_t kCoverage = 18;
+
+    std::vector<std::unique_ptr<Partition>> partitions_;
+    std::vector<std::unique_ptr<Decoder>> decoders_;
+    std::vector<std::vector<sim::Read>> reads_;
+    std::vector<DecodeOutcome> golden_;
+
+    void
+    SetUp() override
+    {
+        for (size_t p = 0; p < kPartitions; ++p) {
+            const test::PrimerPair &primers = test::primerPair(p);
+            partitions_.push_back(std::make_unique<Partition>(
+                test::partitionConfig(p), primers.forward,
+                primers.reverse, static_cast<uint32_t>(13 + p)));
+
+            Bytes data = test::corpusBlocks(kBlocks, test::kTestSeed + p);
+            sim::SynthesisParams synthesis;
+            synthesis.seed = 1000 + p;
+            sim::Pool pool = sim::synthesize(
+                partitions_[p]->encodeFile(data), synthesis);
+
+            sim::SequencerParams sequencer;
+            sequencer.sub_rate = 0.01;
+            sequencer.ins_rate = 0.002;
+            sequencer.del_rate = 0.002;
+            sequencer.seed = 3 + 131 * p;
+            reads_.push_back(sim::sequencePool(
+                pool, kBlocks * partitions_[p]->config().rs_n * kCoverage,
+                sequencer));
+
+            DecoderParams params;
+            params.threads = 1;
+            decoders_.push_back(
+                std::make_unique<Decoder>(*partitions_[p], params));
+
+            DecodeOutcome outcome;
+            outcome.units =
+                decoders_[p]->decodeAll(reads_[p], &outcome.stats);
+            EXPECT_EQ(outcome.stats.units_decoded, kBlocks);
+            golden_.push_back(std::move(outcome));
+        }
+    }
+
+    std::vector<DecodeRequest>
+    fullBatch() const
+    {
+        std::vector<DecodeRequest> batch(kPartitions);
+        for (size_t p = 0; p < kPartitions; ++p) {
+            batch[p].decoder = decoders_[p].get();
+            batch[p].reads = reads_[p];
+        }
+        return batch;
+    }
+};
+
+TEST_F(DecodeServiceTest, BatchMatchesSequentialDecodeAcrossThreadCounts)
+{
+    for (size_t threads : {1u, 2u, 8u}) {
+        DecodeServiceParams params;
+        params.threads = threads;
+        DecodeService service(params);
+        EXPECT_EQ(service.threadCount(), threads);
+
+        std::vector<std::future<DecodeOutcome>> futures =
+            service.submitBatch(fullBatch());
+        ASSERT_EQ(futures.size(), kPartitions);
+        for (size_t p = 0; p < kPartitions; ++p) {
+            DecodeOutcome outcome = futures[p].get();
+            EXPECT_EQ(outcome.units, golden_[p].units)
+                << "threads=" << threads << " partition=" << p;
+            EXPECT_EQ(outcome.stats, golden_[p].stats)
+                << "threads=" << threads << " partition=" << p;
+        }
+    }
+}
+
+TEST_F(DecodeServiceTest, SubmissionOrderDoesNotChangeResults)
+{
+    DecodeServiceParams params;
+    params.threads = 4;
+    DecodeService service(params);
+
+    // Out-of-order single submissions, then an interleaved second
+    // round before the first round's futures are consumed.
+    std::vector<std::future<DecodeOutcome>> first(kPartitions);
+    for (size_t p = kPartitions; p-- > 0;)
+        first[p] = service.submit(*decoders_[p], reads_[p]);
+    std::vector<std::future<DecodeOutcome>> second =
+        service.submitBatch(fullBatch());
+
+    for (size_t p = 0; p < kPartitions; ++p) {
+        EXPECT_EQ(first[p].get(), golden_[p]) << "partition " << p;
+        EXPECT_EQ(second[p].get(), golden_[p]) << "partition " << p;
+    }
+}
+
+TEST_F(DecodeServiceTest, ConcurrentSubmittersGetTheirOwnResults)
+{
+    DecodeServiceParams params;
+    params.threads = 4;
+    DecodeService service(params);
+
+    constexpr size_t kRounds = 3;
+    std::vector<std::vector<std::future<DecodeOutcome>>> futures(
+        kPartitions);
+    std::vector<std::thread> submitters;
+    for (size_t p = 0; p < kPartitions; ++p) {
+        futures[p].resize(kRounds);
+        submitters.emplace_back([&, p] {
+            for (size_t round = 0; round < kRounds; ++round) {
+                futures[p][round] =
+                    service.submit(*decoders_[p], reads_[p]);
+            }
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+
+    for (size_t p = 0; p < kPartitions; ++p)
+        for (size_t round = 0; round < kRounds; ++round)
+            EXPECT_EQ(futures[p][round].get(), golden_[p])
+                << "partition " << p << " round " << round;
+}
+
+TEST_F(DecodeServiceTest, SubmitAfterShutdownIsRejected)
+{
+    DecodeServiceParams params;
+    params.threads = 2;
+    DecodeService service(params);
+    std::future<DecodeOutcome> accepted =
+        service.submit(*decoders_[0], reads_[0]);
+    service.shutdown();
+
+    EXPECT_THROW(service.submit(*decoders_[1], reads_[1]), FatalError);
+    EXPECT_THROW(service.submitBatch(fullBatch()), FatalError);
+    // Work accepted before shutdown still delivered.
+    EXPECT_EQ(accepted.get(), golden_[0]);
+    // shutdown is idempotent.
+    service.shutdown();
+}
+
+TEST_F(DecodeServiceTest, ExceptionInOneJobDoesNotPoisonSiblings)
+{
+    DecodeServiceParams params;
+    params.threads = 4;
+    DecodeService service(params);
+
+    std::vector<DecodeRequest> batch = fullBatch();
+    batch[1].decoder = nullptr;  // this job must fail alone
+    std::vector<std::future<DecodeOutcome>> futures =
+        service.submitBatch(std::move(batch));
+
+    EXPECT_EQ(futures[0].get(), golden_[0]);
+    EXPECT_THROW(futures[1].get(), FatalError);
+    EXPECT_EQ(futures[2].get(), golden_[2]);
+
+    // The service keeps serving after a failed job.
+    EXPECT_EQ(service.submit(*decoders_[1], reads_[1]).get(),
+              golden_[1]);
+}
+
+TEST_F(DecodeServiceTest, DestructorDrainsPendingQueue)
+{
+    constexpr size_t kBatches = 3;
+    std::vector<std::vector<std::future<DecodeOutcome>>> futures;
+    {
+        DecodeServiceParams params;
+        params.threads = 2;
+        DecodeService service(params);
+        for (size_t b = 0; b < kBatches; ++b)
+            futures.push_back(service.submitBatch(fullBatch()));
+        // Destruction races the dispatcher: whatever is still queued
+        // must be decoded, not dropped.
+    }
+    for (size_t b = 0; b < kBatches; ++b) {
+        for (size_t p = 0; p < kPartitions; ++p) {
+            ASSERT_EQ(futures[b][p].wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready)
+                << "batch " << b << " partition " << p;
+            EXPECT_EQ(futures[b][p].get(), golden_[p])
+                << "batch " << b << " partition " << p;
+        }
+    }
+}
+
+TEST_F(DecodeServiceTest, EmptyBatchAndEmptyReads)
+{
+    DecodeService service;
+    EXPECT_TRUE(service.submitBatch({}).empty());
+
+    std::future<DecodeOutcome> future =
+        service.submit(*decoders_[0], {});
+    DecodeOutcome outcome = future.get();
+    EXPECT_TRUE(outcome.units.empty());
+    EXPECT_EQ(outcome.stats.reads_in, 0u);
+    EXPECT_EQ(outcome.stats.units_decoded, 0u);
+}
+
+} // namespace
+} // namespace dnastore::core

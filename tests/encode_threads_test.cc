@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Encode-path thread-invariance tests: Partition::encodeFile and
+ * BlockDevice::writeFile must produce byte-identical molecule streams
+ * (and therefore identical pools) for any EncodeParams::threads
+ * value, whether the blocks fan out over a local pool or a shared
+ * caller-owned one. This is the encode-side twin of
+ * decode_threads_test.cc's contract.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/block_device.h"
+#include "sim/synthesis.h"
+#include "support/fixtures.h"
+
+namespace dnastore::core {
+namespace {
+
+/** Molecule streams equal in order, sequence, and provenance. */
+testing::AssertionResult
+moleculesEqual(const std::vector<sim::DesignedMolecule> &got,
+               const std::vector<sim::DesignedMolecule> &want)
+{
+    if (got.size() != want.size()) {
+        return testing::AssertionFailure()
+               << "molecule count " << got.size() << " != "
+               << want.size();
+    }
+    for (size_t i = 0; i < got.size(); ++i) {
+        if (!(got[i].seq == want[i].seq) ||
+            !(got[i].info == want[i].info)) {
+            return testing::AssertionFailure()
+                   << "molecule " << i << " differs (block "
+                   << got[i].info.block << " vs " << want[i].info.block
+                   << ", column " << int(got[i].info.column) << " vs "
+                   << int(want[i].info.column) << ")";
+        }
+    }
+    return testing::AssertionSuccess();
+}
+
+class EncodeThreadsTest : public ::testing::Test
+{
+  protected:
+    PartitionConfig config_;
+    std::unique_ptr<Partition> partition_;
+    Bytes data_;
+
+    void
+    SetUp() override
+    {
+        partition_ = std::make_unique<Partition>(
+            config_, test::fwdPrimer(), test::revPrimer(), 13);
+        data_ = test::corpusBlocks(20, 77);
+    }
+};
+
+TEST_F(EncodeThreadsTest, EncodeFileByteIdenticalAcrossThreadCounts)
+{
+    EncodeParams sequential;
+    sequential.threads = 1;
+    std::vector<sim::DesignedMolecule> baseline =
+        partition_->encodeFile(data_, sequential);
+    ASSERT_EQ(baseline.size(), 20u * config_.rs_n);
+
+    for (size_t threads : {2u, 8u, 0u}) {
+        EncodeParams params;
+        params.threads = threads;
+        EXPECT_TRUE(moleculesEqual(
+            partition_->encodeFile(data_, params), baseline))
+            << "threads=" << threads;
+    }
+}
+
+TEST_F(EncodeThreadsTest, EncodeFileOverSharedPoolMatches)
+{
+    EncodeParams sequential;
+    sequential.threads = 1;
+    std::vector<sim::DesignedMolecule> baseline =
+        partition_->encodeFile(data_, sequential);
+
+    // A caller-owned pool (the DecodeService/bench sharing pattern),
+    // reused across several encodes.
+    ThreadPool pool(3);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_TRUE(moleculesEqual(
+            partition_->encodeFile(data_, {}, &pool), baseline))
+            << "round " << round;
+    }
+}
+
+TEST_F(EncodeThreadsTest, TailBlockPaddingIsThreadInvariant)
+{
+    // A non-multiple-of-block-size file exercises the zero-padded
+    // tail block in the parallel path.
+    Bytes ragged(data_.begin(),
+                 data_.begin() + 7 * config_.block_data_bytes + 100);
+    EncodeParams sequential;
+    sequential.threads = 1;
+    EncodeParams parallel;
+    parallel.threads = 8;
+    EXPECT_TRUE(
+        moleculesEqual(partition_->encodeFile(ragged, parallel),
+                       partition_->encodeFile(ragged, sequential)));
+}
+
+TEST_F(EncodeThreadsTest, WriteFilePoolIdenticalAcrossEncodeThreads)
+{
+    BlockDeviceParams sequential_params;
+    sequential_params.encode.threads = 1;
+    BlockDeviceParams parallel_params;
+    parallel_params.encode.threads = 8;
+
+    auto sequential =
+        test::makeLoadedDevice(sequential_params, data_);
+    auto parallel = test::makeLoadedDevice(parallel_params, data_);
+
+    const auto &sequential_species = sequential->pool().species();
+    const auto &parallel_species = parallel->pool().species();
+    ASSERT_EQ(parallel_species.size(), sequential_species.size());
+    for (size_t i = 0; i < sequential_species.size(); ++i) {
+        EXPECT_EQ(parallel_species[i].seq, sequential_species[i].seq)
+            << "species " << i;
+        EXPECT_EQ(parallel_species[i].info, sequential_species[i].info)
+            << "species " << i;
+        // Masses come from one sequential RNG stream over an
+        // identical molecule order, so they match bit for bit.
+        EXPECT_EQ(parallel_species[i].mass, sequential_species[i].mass)
+            << "species " << i;
+    }
+}
+
+TEST_F(EncodeThreadsTest, ParallelEncodedDeviceRoundTrips)
+{
+    BlockDeviceParams params;
+    params.encode.threads = 0;  // hardware concurrency
+    auto device = test::makeLoadedDevice(params, data_);
+    EXPECT_TRUE(
+        test::blockMatches(device->readBlock(3), data_, 3));
+}
+
+} // namespace
+} // namespace dnastore::core

@@ -21,6 +21,32 @@ revPrimer()
     return primer;
 }
 
+const PrimerPair &
+primerPair(size_t i)
+{
+    static const PrimerPair pairs[kPrimerPairCount] = {
+        {fwdPrimer(), revPrimer()},
+        {dna::Sequence("ACTGAGGTCTGCCTGAAGTC"),
+         dna::Sequence("TGAACGCGGTATTGCAGACC")},
+        {dna::Sequence("GATTACAGTCCAGGCATGCA"),
+         dna::Sequence("CCATGGTTAACGTCAGTGGA")},
+        {dna::Sequence("TTGCACCGTAGATCCGATAC"),
+         dna::Sequence("GGTACTTCGAACGGACTTGA")},
+    };
+    panicIf(i >= kPrimerPairCount, "primerPair: index ", i,
+            " out of range");
+    return pairs[i];
+}
+
+core::PartitionConfig
+partitionConfig(size_t i)
+{
+    core::PartitionConfig config;
+    config.index_seed += 17 * static_cast<uint64_t>(i);
+    config.scramble_seed += 29 * static_cast<uint64_t>(i);
+    return config;
+}
+
 Rng
 testRng(std::string_view label)
 {

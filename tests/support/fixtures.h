@@ -35,6 +35,25 @@ const dna::Sequence &fwdPrimer();
 /** Canonical reverse partition primer used across the suites. */
 const dna::Sequence &revPrimer();
 
+/** A main-primer pair defining one partition. */
+struct PrimerPair
+{
+    dna::Sequence forward;
+    dna::Sequence reverse;
+};
+
+/** Number of entries in the fixed primer-pair table. */
+inline constexpr size_t kPrimerPairCount = 4;
+
+/** The i-th of a small table of mutually well-separated 20-base
+ *  primer pairs for multi-partition tests. Pair 0 is
+ *  {fwdPrimer(), revPrimer()}. Panics if i >= kPrimerPairCount. */
+const PrimerPair &primerPair(size_t i);
+
+/** A per-partition config: the default geometry with index and
+ *  scrambler seeds varied per partition (Section 4.4). */
+core::PartitionConfig partitionConfig(size_t i);
+
 /** Deterministic RNG for a named sub-stream of the shared test seed. */
 Rng testRng(std::string_view label = "test");
 

@@ -2,12 +2,16 @@
  * @file
  * Tests for the fork-join thread pool: completeness (every index runs
  * exactly once), determinism of parallelMap slot order, pool reuse,
- * exception propagation, and the inline sequential paths.
+ * exception propagation, the inline sequential paths, and the
+ * multi-job surface (concurrent parallelFor calls from several
+ * threads, nested fork-join from inside a job body) that the
+ * DecodeService's cross-partition sharding builds on.
  */
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -113,6 +117,114 @@ TEST(ThreadPoolTest, ExceptionPropagatesToCaller)
     pool.parallelFor(hit.size(), [&](size_t i) { hit[i] = 1; });
     for (uint8_t h : hit)
         EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentJobsFromMultipleSubmitters)
+{
+    // Several threads fork jobs on one shared pool at once; every
+    // job must complete exactly its own index set.
+    ThreadPool pool(4);
+    constexpr size_t kSubmitters = 6;
+    constexpr size_t kRounds = 20;
+    constexpr size_t kIndices = 257;
+    std::vector<std::vector<std::atomic<int>>> counts(kSubmitters);
+    for (auto &slot : counts)
+        slot = std::vector<std::atomic<int>>(kIndices);
+
+    std::vector<std::thread> submitters;
+    for (size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            for (size_t round = 0; round < kRounds; ++round) {
+                pool.parallelFor(kIndices, [&, s](size_t i) {
+                    counts[s][i].fetch_add(
+                        1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+    for (size_t s = 0; s < kSubmitters; ++s) {
+        for (size_t i = 0; i < kIndices; ++i) {
+            ASSERT_EQ(counts[s][i].load(),
+                      static_cast<int>(kRounds))
+                << "submitter " << s << " index " << i;
+        }
+    }
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnSamePool)
+{
+    // A job body forking on its own pool is the DecodeService
+    // sharding pattern: outer = per-partition jobs, inner = decode
+    // stages. Every (outer, inner) pair must run exactly once.
+    ThreadPool pool(4);
+    constexpr size_t kOuter = 12;
+    constexpr size_t kInner = 64;
+    std::vector<std::vector<std::atomic<int>>> counts(kOuter);
+    for (auto &slot : counts)
+        slot = std::vector<std::atomic<int>>(kInner);
+
+    pool.parallelFor(kOuter, [&](size_t o) {
+        pool.parallelFor(kInner, [&, o](size_t i) {
+            counts[o][i].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    for (size_t o = 0; o < kOuter; ++o)
+        for (size_t i = 0; i < kInner; ++i)
+            ASSERT_EQ(counts[o][i].load(), 1)
+                << "outer " << o << " inner " << i;
+}
+
+TEST(ThreadPoolTest, NestedExceptionReachesOuterBody)
+{
+    // An inner job's failure rethrows inside the outer body; when the
+    // outer body lets it escape, the outer caller sees it, and jobs
+    // that already ran are unaffected.
+    ThreadPool pool(3);
+    std::atomic<int> clean_outers{0};
+    EXPECT_THROW(
+        pool.parallelFor(8,
+                         [&](size_t o) {
+                             pool.parallelFor(16, [&](size_t i) {
+                                 if (o == 3 && i == 7)
+                                     fatal("inner boom");
+                             });
+                             clean_outers.fetch_add(
+                                 1, std::memory_order_relaxed);
+                         }),
+        FatalError);
+    EXPECT_LT(clean_outers.load(), 8);
+
+    // The pool stays serviceable after the nested failure.
+    std::vector<uint8_t> hit(40, 0);
+    pool.parallelFor(hit.size(), [&](size_t i) { hit[i] = 1; });
+    for (uint8_t h : hit)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentJobFailureIsIsolated)
+{
+    // One submitter's exception must not leak into a concurrent
+    // submitter's job on the same pool.
+    ThreadPool pool(4);
+    for (int round = 0; round < 10; ++round) {
+        std::vector<std::atomic<int>> counts(300);
+        std::thread failing([&] {
+            EXPECT_THROW(pool.parallelFor(300,
+                                          [](size_t i) {
+                                              if (i == 100)
+                                                  fatal("boom");
+                                          }),
+                         FatalError);
+        });
+        pool.parallelFor(counts.size(), [&](size_t i) {
+            counts[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        failing.join();
+        for (size_t i = 0; i < counts.size(); ++i)
+            ASSERT_EQ(counts[i].load(), 1) << "round " << round;
+    }
 }
 
 TEST(ThreadPoolTest, NullPoolHelperRunsInline)
