@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Bench regression gate for BENCH_decode.json.
+
+Diffs a freshly captured decode_scaling run against the committed
+baseline and fails when batch decode throughput regresses beyond a
+tolerance. Two kinds of checks:
+
+ * correctness flags (`identical_across_threads`,
+   `batch_identical_across_threads`) must be true in the fresh run —
+   a determinism break is always fatal, whatever the hardware;
+ * per-thread-count batch throughput (`batch_results[].blocks_per_sec`)
+   and per-call decode time (`results[].seconds`) are compared only
+   when both runs report the same `hardware_concurrency` — the
+   committed baseline may come from a different machine class (the
+   seed baseline was captured on a 1-core container), and comparing
+   absolute numbers across machines would only produce noise.
+
+Exit status: 0 = pass (or skipped perf diff), 1 = regression/failure.
+
+Usage: compare_bench.py BASELINE FRESH [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL: cannot load {path}: {err}")
+        sys.exit(1)
+
+
+def by_threads(rows):
+    return {row["threads"]: row
+            for row in rows if isinstance(row.get("threads"), int)}
+
+
+def metric(row, key):
+    """A row's metric as a positive number, or ValueError — a zero or
+    malformed baseline must read as a clean gate failure, not a
+    traceback."""
+    value = row.get(key)
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise ValueError(f"{key} = {value!r}")
+    return value
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_decode.json runs; fail on regression.")
+    parser.add_argument("baseline", help="committed BENCH_decode.json")
+    parser.add_argument("fresh", help="freshly captured run")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression (default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+
+    # Determinism flags: non-negotiable.
+    for flag in ("identical_across_threads",
+                 "batch_identical_across_threads"):
+        if not fresh.get(flag, False):
+            failures.append(f"fresh run reports {flag} = false")
+
+    base_hw = baseline.get("hardware_concurrency")
+    fresh_hw = fresh.get("hardware_concurrency")
+    if base_hw != fresh_hw:
+        print(f"note: hardware_concurrency differs "
+              f"(baseline {base_hw}, fresh {fresh_hw}); "
+              f"skipping throughput comparison")
+    else:
+        base_batch = by_threads(baseline.get("batch_results", []))
+        fresh_batch = by_threads(fresh.get("batch_results", []))
+        for threads, base_row in sorted(base_batch.items()):
+            fresh_row = fresh_batch.get(threads)
+            if fresh_row is None:
+                failures.append(
+                    f"batch_results missing threads={threads}")
+                continue
+            try:
+                base_tp = metric(base_row, "blocks_per_sec")
+                fresh_tp = metric(fresh_row, "blocks_per_sec")
+            except ValueError as err:
+                failures.append(
+                    f"batch_results threads={threads}: bad row ({err})")
+                continue
+            change = fresh_tp / base_tp - 1.0
+            status = "ok"
+            if change < -args.tolerance:
+                status = "REGRESSION"
+                failures.append(
+                    f"batch throughput at {threads} threads: "
+                    f"{base_tp:.1f} -> {fresh_tp:.1f} blocks/s "
+                    f"({change:+.1%}, tolerance -{args.tolerance:.0%})")
+            print(f"batch  threads={threads}: {base_tp:8.1f} -> "
+                  f"{fresh_tp:8.1f} blocks/s  {change:+7.1%}  {status}")
+
+        base_call = by_threads(baseline.get("results", []))
+        fresh_call = by_threads(fresh.get("results", []))
+        for threads, base_row in sorted(base_call.items()):
+            fresh_row = fresh_call.get(threads)
+            if fresh_row is None:
+                failures.append(f"results missing threads={threads}")
+                continue
+            try:
+                base_secs = metric(base_row, "seconds")
+                fresh_secs = metric(fresh_row, "seconds")
+            except ValueError as err:
+                failures.append(
+                    f"results threads={threads}: bad row ({err})")
+                continue
+            # seconds: lower is better.
+            change = fresh_secs / base_secs - 1.0
+            status = "ok"
+            if change > args.tolerance:
+                status = "REGRESSION"
+                failures.append(
+                    f"per-call decode at {threads} threads: "
+                    f"{base_secs:.3f}s -> {fresh_secs:.3f}s "
+                    f"({change:+.1%})")
+            print(f"call   threads={threads}: "
+                  f"{base_secs:8.3f} -> {fresh_secs:8.3f} s        "
+                  f"{change:+7.1%}  {status}")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,23 @@
 
 namespace dnastore {
 
+namespace {
+
+/** Balances ThreadPool::active_ across every exit path. */
+struct ActiveGuard
+{
+    std::atomic<size_t> &count;
+
+    explicit ActiveGuard(std::atomic<size_t> &counter) : count(counter)
+    {
+        count.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    ~ActiveGuard() { count.fetch_sub(1, std::memory_order_relaxed); }
+};
+
+} // namespace
+
 size_t
 ThreadPool::resolveThreadCount(size_t requested)
 {
@@ -49,6 +66,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::runChunks(Job &job)
 {
+    ActiveGuard guard(active_);
     for (;;) {
         size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= job.n)
@@ -106,6 +124,7 @@ ThreadPool::parallelFor(size_t n,
     if (n == 0)
         return;
     if (workers_.empty() || n == 1) {
+        ActiveGuard guard(active_);
         for (size_t i = 0; i < n; ++i)
             body(i);
         return;

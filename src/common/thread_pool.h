@@ -24,6 +24,7 @@
 #ifndef DNASTORE_COMMON_THREAD_POOL_H
 #define DNASTORE_COMMON_THREAD_POOL_H
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -59,6 +60,22 @@ class ThreadPool
 
     /** Resolved worker count (calling thread included). */
     size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Threads currently executing job iterations — an instantaneous
+     * sample for telemetry gauges, not a synchronization primitive.
+     * Capped at threadCount(): a thread nested inside its own job's
+     * parallelFor is busy once, not twice.
+     */
+    size_t
+    activeThreads() const
+    {
+        return std::min(active_.load(std::memory_order_relaxed),
+                        threadCount());
+    }
+
+    /** threadCount() minus activeThreads(); same sampling caveat. */
+    size_t idleThreads() const { return threadCount() - activeThreads(); }
 
     /** Resolve a requested thread count (0 = hardware concurrency). */
     static size_t resolveThreadCount(size_t requested);
@@ -112,6 +129,10 @@ class ThreadPool
     std::condition_variable done_cv_;
     std::vector<Job *> jobs_;  // in-flight jobs, guarded by mutex_
     bool stop_ = false;        // guarded by mutex_
+
+    /** Threads inside runChunks; nested entries count again, so
+     *  activeThreads() caps the sample at threadCount(). */
+    std::atomic<size_t> active_{0};
 };
 
 /**

@@ -1,8 +1,10 @@
 #include "core/block_device.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/rng.h"
+#include "core/decode_service.h"
 
 namespace dnastore::core {
 
@@ -160,9 +162,26 @@ BlockDevice::roundTrip(const std::vector<sim::PcrPrimer> &primers,
     return sim::sequencePool(product, reads, sequencer);
 }
 
+std::map<uint64_t, BlockVersions>
+BlockDevice::decodeReads(std::vector<sim::Read> reads,
+                         DecodeStats *stats, DecodeService *service)
+{
+    if (!service)
+        return decoder_.decodeAll(reads, stats);
+    DecodeOutcome outcome =
+        service->submit(decoder_, std::move(reads)).get();
+    if (outcome.status == DecodeStatus::Overloaded)
+        throw OverloadedError("BlockDevice read shed by the decode "
+                              "service");
+    if (stats)
+        *stats = outcome.stats;
+    return std::move(outcome.units);
+}
+
 std::optional<Bytes>
 BlockDevice::resolveBlock(
-    uint64_t block, const std::map<uint64_t, BlockVersions> &units)
+    uint64_t block, const std::map<uint64_t, BlockVersions> &units,
+    DecodeService *service)
 {
     auto it = units.find(block);
     if (it == units.end())
@@ -189,7 +208,8 @@ BlockDevice::resolveBlock(
                                 1.0}},
                 params_.reads_per_block_access);
             DecodeStats stats;
-            auto fetched = decoder_.decodeAll(reads, &stats);
+            auto fetched =
+                decodeReads(std::move(reads), &stats, service);
             for (auto &entry : fetched)
                 extra.insert(entry);
             container_it = extra.find(container);
@@ -222,19 +242,19 @@ BlockDevice::resolveBlock(
 }
 
 std::optional<Bytes>
-BlockDevice::readBlock(uint64_t block)
+BlockDevice::readBlock(uint64_t block, DecodeService *service)
 {
     fatalIf(block >= data_blocks_, "block ", block, " was never written");
     std::vector<sim::Read> reads = roundTrip(
         {sim::PcrPrimer{partition_.blockPrimer(block), 1.0}},
         params_.reads_per_block_access);
     last_stats_ = DecodeStats();
-    auto units = decoder_.decodeAll(reads, &last_stats_);
-    return resolveBlock(block, units);
+    auto units = decodeReads(std::move(reads), &last_stats_, service);
+    return resolveBlock(block, units, service);
 }
 
-std::vector<std::optional<Bytes>>
-BlockDevice::readRange(uint64_t lo, uint64_t hi)
+std::vector<sim::Read>
+BlockDevice::sequenceRange(uint64_t lo, uint64_t hi)
 {
     fatalIf(lo > hi || hi >= data_blocks_, "invalid block range");
     std::vector<dna::Sequence> primer_seqs =
@@ -248,19 +268,11 @@ BlockDevice::readRange(uint64_t lo, uint64_t hi)
     size_t budget = static_cast<size_t>(
         params_.coverage *
         static_cast<double>((hi - lo + 1) * params_.config.rs_n) * 4.0);
-    std::vector<sim::Read> reads = roundTrip(primers, budget);
-    last_stats_ = DecodeStats();
-    auto units = decoder_.decodeAll(reads, &last_stats_);
-
-    std::vector<std::optional<Bytes>> result;
-    result.reserve(hi - lo + 1);
-    for (uint64_t block = lo; block <= hi; ++block)
-        result.push_back(resolveBlock(block, units));
-    return result;
+    return roundTrip(primers, budget);
 }
 
-std::vector<std::optional<Bytes>>
-BlockDevice::readAll()
+std::vector<sim::Read>
+BlockDevice::sequenceAll()
 {
     fatalIf(data_blocks_ == 0, "device has no data");
     size_t budget = static_cast<size_t>(
@@ -276,16 +288,40 @@ BlockDevice::readAll()
         Rng::deriveSeed(params_.sequencer.seed, costs_.readsSequenced());
     costs_.recordSequencing(budget);
     costs_.recordRoundTrip();
-    std::vector<sim::Read> reads =
-        sim::sequencePool(product, budget, sequencer);
+    return sim::sequencePool(product, budget, sequencer);
+}
 
-    last_stats_ = DecodeStats();
-    auto units = decoder_.decodeAll(reads, &last_stats_);
+std::vector<std::optional<Bytes>>
+BlockDevice::assembleRange(
+    uint64_t lo, uint64_t hi,
+    const std::map<uint64_t, BlockVersions> &units,
+    DecodeService *service)
+{
+    fatalIf(lo > hi || hi >= data_blocks_, "invalid block range");
     std::vector<std::optional<Bytes>> result;
-    result.reserve(data_blocks_);
-    for (uint64_t block = 0; block < data_blocks_; ++block)
-        result.push_back(resolveBlock(block, units));
+    result.reserve(hi - lo + 1);
+    for (uint64_t block = lo; block <= hi; ++block)
+        result.push_back(resolveBlock(block, units, service));
     return result;
+}
+
+std::vector<std::optional<Bytes>>
+BlockDevice::readRange(uint64_t lo, uint64_t hi,
+                       DecodeService *service)
+{
+    std::vector<sim::Read> reads = sequenceRange(lo, hi);
+    last_stats_ = DecodeStats();
+    auto units = decodeReads(std::move(reads), &last_stats_, service);
+    return assembleRange(lo, hi, units, service);
+}
+
+std::vector<std::optional<Bytes>>
+BlockDevice::readAll(DecodeService *service)
+{
+    std::vector<sim::Read> reads = sequenceAll();
+    last_stats_ = DecodeStats();
+    auto units = decodeReads(std::move(reads), &last_stats_, service);
+    return assembleRange(0, data_blocks_ - 1, units, service);
 }
 
 } // namespace dnastore::core

@@ -37,6 +37,8 @@
 
 namespace dnastore::core {
 
+class DecodeService;
+
 /** Everything configurable about a device. */
 struct BlockDeviceParams
 {
@@ -97,18 +99,49 @@ class BlockDevice
     /**
      * Retrieve one block with all updates applied. Performs one PCR
      * + sequencing round trip, plus one more per overflow hop.
+     *
+     * Every read method takes an optional DecodeService: when one is
+     * given, all decode traffic of the call — including overflow-hop
+     * decodes — is submitted to it instead of running synchronously,
+     * byte-identical to the synchronous path for any service thread
+     * count. A Reject-policy service that sheds the request surfaces
+     * as OverloadedError here (in the caller's thread).
      */
-    std::optional<Bytes> readBlock(uint64_t block);
+    std::optional<Bytes> readBlock(uint64_t block,
+                                   DecodeService *service = nullptr);
 
     /** Retrieve blocks [lo, hi] via one multiplex PCR. */
-    std::vector<std::optional<Bytes>> readRange(uint64_t lo,
-                                                uint64_t hi);
+    std::vector<std::optional<Bytes>> readRange(
+        uint64_t lo, uint64_t hi, DecodeService *service = nullptr);
 
     /** Retrieve the whole partition (baseline random access). */
-    std::vector<std::optional<Bytes>> readAll();
+    std::vector<std::optional<Bytes>> readAll(
+        DecodeService *service = nullptr);
+
+    /**
+     * The wetlab half of readRange(): multiplex PCR over an exact
+     * prefix cover of [lo, hi] plus sequencing, no decoding. Pair
+     * with assembleRange() — StorageFrontend uses the split to fan
+     * many devices' decodes into one DecodeService batch.
+     */
+    std::vector<sim::Read> sequenceRange(uint64_t lo, uint64_t hi);
+
+    /** The wetlab half of readAll(). */
+    std::vector<sim::Read> sequenceAll();
+
+    /**
+     * The assembly half of readRange()/readAll(): resolve blocks
+     * [lo, hi] from already-decoded units, following overflow hops
+     * (extra round trips decode through @p service when given).
+     */
+    std::vector<std::optional<Bytes>> assembleRange(
+        uint64_t lo, uint64_t hi,
+        const std::map<uint64_t, BlockVersions> &units,
+        DecodeService *service = nullptr);
 
     const sim::Pool &pool() const { return pool_; }
     const Partition &partition() const { return partition_; }
+    const Decoder &decoder() const { return decoder_; }
     CostModel &costs() { return costs_; }
     const CostModel &costs() const { return costs_; }
 
@@ -151,9 +184,16 @@ class BlockDevice
     std::vector<sim::Read> roundTrip(
         const std::vector<sim::PcrPrimer> &primers, size_t reads);
 
+    /** Decode @p reads synchronously, or through @p service when one
+     *  is given (throws OverloadedError if the service sheds it). */
+    std::map<uint64_t, BlockVersions> decodeReads(
+        std::vector<sim::Read> reads, DecodeStats *stats,
+        DecodeService *service);
+
     /** Apply a block's updates, following overflow hops. */
     std::optional<Bytes> resolveBlock(
-        uint64_t block, const std::map<uint64_t, BlockVersions> &units);
+        uint64_t block, const std::map<uint64_t, BlockVersions> &units,
+        DecodeService *service);
 };
 
 } // namespace dnastore::core

@@ -4,10 +4,48 @@
 
 namespace dnastore::core {
 
+namespace {
+
+uint64_t
+elapsedUs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        to - from);
+    return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+}
+
+} // namespace
+
 DecodeService::DecodeService(DecodeServiceParams params)
-    : pool_(params.threads),
-      dispatcher_([this] { dispatcherLoop(); })
-{}
+    : params_(params), pool_(params.threads)
+{
+    if (params_.metrics) {
+        telemetry::MetricsRegistry &registry = *params_.metrics;
+        batches_submitted_ =
+            &registry.counter("decode_service.batches_submitted");
+        requests_submitted_ =
+            &registry.counter("decode_service.requests_submitted");
+        requests_rejected_ =
+            &registry.counter("decode_service.requests_rejected");
+        requests_decoded_ =
+            &registry.counter("decode_service.requests_decoded");
+        requests_failed_ =
+            &registry.counter("decode_service.requests_failed");
+        queue_depth_ = &registry.gauge("decode_service.queue_depth");
+        pool_threads_ = &registry.gauge("decode_service.pool_threads");
+        pool_active_ =
+            &registry.gauge("decode_service.pool_active_threads");
+        queue_latency_us_ =
+            &registry.histogram("decode_service.queue_latency_us");
+        decode_latency_us_ =
+            &registry.histogram("decode_service.decode_latency_us");
+        pool_threads_->set(
+            static_cast<int64_t>(pool_.threadCount()));
+    }
+    // Start the dispatcher only once every member it reads exists.
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
 
 DecodeService::~DecodeService()
 {
@@ -22,6 +60,7 @@ DecodeService::shutdown()
         accepting_ = false;
     }
     queue_cv_.notify_all();
+    space_cv_.notify_all();
     std::call_once(joined_, [this] { dispatcher_.join(); });
 }
 
@@ -38,22 +77,73 @@ DecodeService::submit(const Decoder &decoder,
 std::vector<std::future<DecodeOutcome>>
 DecodeService::submitBatch(std::vector<DecodeRequest> batch)
 {
+    const size_t n = batch.size();
     Batch pending;
-    pending.items.resize(batch.size());
+    pending.items.resize(n);
     std::vector<std::future<DecodeOutcome>> futures;
-    futures.reserve(batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) {
+    futures.reserve(n);
+    Clock::time_point now = Clock::now();
+    for (size_t i = 0; i < n; ++i) {
+        if (batch[i].decoder)
+            pending.items[i].liveness = batch[i].decoder->livenessToken();
         pending.items[i].request = std::move(batch[i]);
+        pending.items[i].enqueued = now;
         futures.push_back(pending.items[i].promise.get_future());
     }
+
+    bool rejected = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
         fatalIf(!accepting_,
                 "DecodeService: submission after shutdown");
-        if (!pending.items.empty())
+        if (n == 0)
+            return futures;
+        if (params_.max_queue_depth > 0) {
+            fatalIf(n > params_.max_queue_depth,
+                    "DecodeService: batch of ", n,
+                    " requests exceeds max_queue_depth ",
+                    params_.max_queue_depth);
+            if (in_flight_ + n > params_.max_queue_depth) {
+                if (params_.overflow == OverflowPolicy::Reject) {
+                    rejected = true;
+                } else {
+                    space_cv_.wait(lock, [&] {
+                        return !accepting_ ||
+                               in_flight_ + n <=
+                                   params_.max_queue_depth;
+                    });
+                    fatalIf(!accepting_,
+                            "DecodeService: shut down while a "
+                            "submission was blocked on a full queue");
+                }
+            }
+        }
+        if (!rejected) {
+            in_flight_ += n;
+            if (queue_depth_)
+                queue_depth_->set(static_cast<int64_t>(in_flight_));
             queue_.push_back(std::move(pending));
+        }
     }
+
+    if (rejected) {
+        // Shed: resolve every future with a typed Overloaded outcome
+        // rather than throwing across threads. No decoding ran.
+        if (requests_rejected_)
+            requests_rejected_->increment(n);
+        for (Item &item : pending.items) {
+            DecodeOutcome outcome;
+            outcome.status = DecodeStatus::Overloaded;
+            item.promise.set_value(std::move(outcome));
+        }
+        return futures;
+    }
+
     queue_cv_.notify_one();
+    if (batches_submitted_)
+        batches_submitted_->increment();
+    if (requests_submitted_)
+        requests_submitted_->increment(n);
     return futures;
 }
 
@@ -62,6 +152,13 @@ DecodeService::pendingBatches() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
+}
+
+size_t
+DecodeService::inFlightRequests() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_flight_;
 }
 
 void
@@ -96,15 +193,52 @@ DecodeService::runBatch(Batch &batch)
     // abandon its siblings' iterations or poison their promises.
     pool_.parallelFor(n, [&](size_t i) {
         Item &item = batch.items[i];
+        Clock::time_point start = Clock::now();
+        if (queue_latency_us_)
+            queue_latency_us_->observe(
+                elapsedUs(item.enqueued, start));
+        if (pool_active_)
+            pool_active_->set(
+                static_cast<int64_t>(pool_.activeThreads()));
         try {
             fatalIf(item.request.decoder == nullptr,
                     "DecodeService: request has no decoder");
+            fatalIf(item.liveness.expired(),
+                    "DecodeService: Decoder destroyed before its "
+                    "request ran");
             outcomes[i].units = item.request.decoder->decodeAll(
                 item.request.reads, &outcomes[i].stats, pool_);
+            if (decode_latency_us_)
+                decode_latency_us_->observe(
+                    elapsedUs(start, Clock::now()));
         } catch (...) {
             errors[i] = std::current_exception();
         }
     });
+    // Re-sample after the batch so an idle service doesn't keep
+    // reporting the last mid-decode occupancy forever.
+    if (pool_active_)
+        pool_active_->set(static_cast<int64_t>(pool_.activeThreads()));
+
+    // Release queue space before fulfilling the promises: a caller
+    // woken by future.get() must observe the freed capacity.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        in_flight_ -= n;
+        if (queue_depth_)
+            queue_depth_->set(static_cast<int64_t>(in_flight_));
+    }
+    space_cv_.notify_all();
+
+    // Count outcomes before any promise fires so a caller returning
+    // from future.get() already observes the updated counters.
+    size_t failed = 0;
+    for (size_t i = 0; i < n; ++i)
+        failed += errors[i] ? 1 : 0;
+    if (requests_failed_ && failed > 0)
+        requests_failed_->increment(failed);
+    if (requests_decoded_ && failed < n)
+        requests_decoded_->increment(n - failed);
 
     // Reduce in submission order: promises fire exactly in the order
     // the requests were handed in.

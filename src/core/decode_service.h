@@ -1,6 +1,7 @@
 /**
  * @file
- * DecodeService: asynchronous batch decoding over one shared pool.
+ * DecodeService: asynchronous batch decoding over one shared pool,
+ * with admission control and telemetry.
  *
  * Decoder::decodeAll is synchronous and spawns a fresh ThreadPool per
  * call; a device serving heavy traffic instead wants to enqueue work
@@ -18,28 +19,59 @@
  *  - an exception inside one partition's job surfaces through that
  *    job's future only — sibling futures in the batch still deliver.
  *
+ * Admission control: max_queue_depth bounds the requests admitted but
+ * not yet fulfilled. A submission that would exceed the bound either
+ * blocks the submitter until space frees (OverflowPolicy::Block, the
+ * default) or is shed (OverflowPolicy::Reject): every future of the
+ * shed batch resolves immediately with DecodeStatus::Overloaded — a
+ * typed outcome, never an exception thrown across threads, so remote
+ * callers can retry or back off. A batch larger than the bound can
+ * never be admitted and is rejected at the call site with FatalError.
+ *
+ * Telemetry: point DecodeServiceParams::metrics at a registry (which
+ * must outlive the service) and the service records, per request,
+ * queue latency (submit → job start) and decode latency into
+ * fixed-bucket histograms, plus submitted/decoded/failed/rejected
+ * counters and in-flight / pool-occupancy gauges. See README
+ * "Storage frontend & telemetry" for the exact metric names.
+ *
  * Shutdown drains: pending batches are decoded, not dropped, before
  * the dispatcher exits, so destroying the service never leaves a
  * broken promise. Submissions after shutdown are rejected with
- * FatalError.
+ * FatalError; a submitter blocked on a full queue when shutdown()
+ * lands is woken and also fails with FatalError.
  */
 
 #ifndef DNASTORE_CORE_DECODE_SERVICE_H
 #define DNASTORE_CORE_DECODE_SERVICE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "core/decoder.h"
+#include "telemetry/metrics.h"
 
 namespace dnastore::core {
+
+/** What happens to a submission that would overflow the queue. */
+enum class OverflowPolicy
+{
+    /** Block the submitter until the queue has room. */
+    Block,
+
+    /** Shed the batch: futures resolve with DecodeStatus::Overloaded. */
+    Reject,
+};
 
 /** Service-wide knobs. */
 struct DecodeServiceParams
@@ -48,25 +80,64 @@ struct DecodeServiceParams
      *  concurrency). Partition jobs and their internal stages share
      *  these workers. */
     size_t threads = 0;
+
+    /** Maximum requests admitted but not yet fulfilled (queued plus
+     *  decoding); 0 = unbounded. One submitBatch() must fit whole:
+     *  batches larger than this throw FatalError. */
+    size_t max_queue_depth = 0;
+
+    /** Applied when a submission would exceed max_queue_depth. */
+    OverflowPolicy overflow = OverflowPolicy::Block;
+
+    /** Optional metrics sink; not owned, must outlive the service.
+     *  nullptr disables instrumentation. */
+    telemetry::MetricsRegistry *metrics = nullptr;
 };
 
 /** One partition's unit of work within a batch. */
 struct DecodeRequest
 {
     /** Decoder bound to the partition the reads came from. Must stay
-     *  alive until the request's future is ready. */
+     *  alive until the request's future is ready; a decoder destroyed
+     *  while the request is still queued is caught at dispatch and
+     *  surfaces as FatalError through the future. */
     const Decoder *decoder = nullptr;
 
     std::vector<sim::Read> reads;
 };
 
+/** How a request left the service. */
+enum class DecodeStatus
+{
+    Ok,
+
+    /** Shed by OverflowPolicy::Reject before any decoding ran;
+     *  units/stats are empty. */
+    Overloaded,
+};
+
 /** What a request's future delivers. */
 struct DecodeOutcome
 {
+    DecodeStatus status = DecodeStatus::Ok;
     std::map<uint64_t, BlockVersions> units;
     DecodeStats stats;
 
     bool operator==(const DecodeOutcome &) const = default;
+};
+
+/**
+ * Thrown by synchronous read frontends (StorageFrontend, the routed
+ * BlockDevice/PoolManager paths) when a Reject-policy service sheds
+ * the request. Distinct from FatalError: the request was well-formed,
+ * the service was merely saturated — retry or back off.
+ */
+class OverloadedError : public std::runtime_error
+{
+  public:
+    explicit OverloadedError(const std::string &msg)
+        : std::runtime_error("overloaded: " + msg)
+    {}
 };
 
 class DecodeService
@@ -88,7 +159,9 @@ class DecodeService
      * Enqueue a batch (typically one request per partition of a
      * device). The batch's jobs run concurrently; futures are
      * returned — and later fulfilled — in submission order. Throws
-     * FatalError after shutdown().
+     * FatalError after shutdown() or when the batch alone exceeds
+     * max_queue_depth; a Reject-policy overflow instead resolves
+     * every returned future with DecodeStatus::Overloaded.
      */
     std::vector<std::future<DecodeOutcome>> submitBatch(
         std::vector<DecodeRequest> batch);
@@ -106,11 +179,18 @@ class DecodeService
     /** Batches accepted but not yet started (for backpressure). */
     size_t pendingBatches() const;
 
+    /** Requests admitted but not yet fulfilled (queued + decoding). */
+    size_t inFlightRequests() const;
+
   private:
+    using Clock = std::chrono::steady_clock;
+
     struct Item
     {
         DecodeRequest request;
         std::promise<DecodeOutcome> promise;
+        std::weak_ptr<const void> liveness;
+        Clock::time_point enqueued;
     };
 
     struct Batch
@@ -121,13 +201,29 @@ class DecodeService
     void dispatcherLoop();
     void runBatch(Batch &batch);
 
+    DecodeServiceParams params_;
     ThreadPool pool_;
     mutable std::mutex mutex_;
     std::condition_variable queue_cv_;
-    std::deque<Batch> queue_;  // guarded by mutex_
-    bool accepting_ = true;    // guarded by mutex_
+    std::condition_variable space_cv_;
+    std::deque<Batch> queue_;   // guarded by mutex_
+    size_t in_flight_ = 0;      // guarded by mutex_
+    bool accepting_ = true;     // guarded by mutex_
     std::once_flag joined_;
     std::thread dispatcher_;
+
+    // Cached instruments (null when params_.metrics is null) so the
+    // submit/dispatch hot paths never take the registry lock.
+    telemetry::Counter *batches_submitted_ = nullptr;
+    telemetry::Counter *requests_submitted_ = nullptr;
+    telemetry::Counter *requests_rejected_ = nullptr;
+    telemetry::Counter *requests_decoded_ = nullptr;
+    telemetry::Counter *requests_failed_ = nullptr;
+    telemetry::Gauge *queue_depth_ = nullptr;
+    telemetry::Gauge *pool_threads_ = nullptr;
+    telemetry::Gauge *pool_active_ = nullptr;
+    telemetry::Histogram *queue_latency_us_ = nullptr;
+    telemetry::Histogram *decode_latency_us_ = nullptr;
 };
 
 } // namespace dnastore::core

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -141,9 +142,22 @@ class Decoder
         const Bytes &base, const BlockVersions &chain,
         std::optional<uint64_t> *overflow_block = nullptr) const;
 
+    /**
+     * Expires when this decoder is destroyed. DecodeService captures
+     * it at submission and refuses (FatalError through the future) to
+     * run a request whose decoder died while queued — turning the
+     * "decoder must outlive its future" contract from silent UB into
+     * a typed failure. Best-effort: a decoder destroyed *while* its
+     * request is decoding is still a caller bug.
+     */
+    std::weak_ptr<const void> livenessToken() const { return liveness_; }
+
   private:
     const Partition &partition_;
     DecoderParams params_;
+
+    /** Anchor for livenessToken(); dies with the decoder. */
+    std::shared_ptr<const void> liveness_ = std::make_shared<int>(0);
 
     struct Candidate
     {

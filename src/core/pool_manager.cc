@@ -1,6 +1,9 @@
 #include "core/pool_manager.h"
 
+#include <utility>
+
 #include "common/rng.h"
+#include "core/decode_service.h"
 #include "primer/library.h"
 
 namespace dnastore::core {
@@ -104,8 +107,27 @@ PoolManager::storeFile(const Bytes &data)
     return file_id;
 }
 
+std::map<uint64_t, BlockVersions>
+PoolManager::decodeReads(const FileState &state,
+                         std::vector<sim::Read> reads,
+                         DecodeStats *stats,
+                         DecodeService *service) const
+{
+    if (!service)
+        return state.decoder->decodeAll(reads, stats);
+    DecodeOutcome outcome =
+        service->submit(*state.decoder, std::move(reads)).get();
+    if (outcome.status == DecodeStatus::Overloaded)
+        throw OverloadedError("PoolManager read shed by the decode "
+                              "service");
+    if (stats)
+        *stats = outcome.stats;
+    return std::move(outcome.units);
+}
+
 std::optional<Bytes>
-PoolManager::readBlock(uint32_t file_id, uint64_t block)
+PoolManager::readBlock(uint32_t file_id, uint64_t block,
+                       DecodeService *service)
 {
     FileState &state = stateOf(file_id);
     fatalIf(block >= state.blocks, "block out of range");
@@ -138,7 +160,7 @@ PoolManager::readBlock(uint32_t file_id, uint64_t block)
         accessed, params_.reads_per_block_access, sequencer);
 
     DecodeStats stats;
-    auto units = state.decoder->decodeAll(reads, &stats);
+    auto units = decodeReads(state, std::move(reads), &stats, service);
     auto it = units.find(block);
     if (it == units.end() || !it->second.versions.count(0))
         return std::nullopt;
@@ -147,8 +169,8 @@ PoolManager::readBlock(uint32_t file_id, uint64_t block)
     return state.decoder->applyUpdateChain(base, it->second);
 }
 
-std::optional<Bytes>
-PoolManager::readFile(uint32_t file_id)
+std::vector<sim::Read>
+PoolManager::sequenceFile(uint32_t file_id)
 {
     FileState &state = stateOf(file_id);
     sim::PcrParams stage1 = params_.pcr;
@@ -166,10 +188,21 @@ PoolManager::readFile(uint32_t file_id)
         Rng::deriveSeed(params_.sequencer.seed, costs_.readsSequenced());
     costs_.recordSequencing(budget);
     costs_.recordRoundTrip();
-    std::vector<sim::Read> reads =
-        sim::sequencePool(isolated, budget, sequencer);
+    return sim::sequencePool(isolated, budget, sequencer);
+}
 
-    auto units = state.decoder->decodeAll(reads);
+const Decoder &
+PoolManager::decoderOf(uint32_t file_id) const
+{
+    return *stateOf(file_id).decoder;
+}
+
+std::optional<Bytes>
+PoolManager::assembleFile(
+    uint32_t file_id,
+    const std::map<uint64_t, BlockVersions> &units) const
+{
+    const FileState &state = stateOf(file_id);
     Bytes result;
     result.reserve(state.blocks * params_.config.block_data_bytes);
     for (uint64_t block = 0; block < state.blocks; ++block) {
@@ -184,6 +217,15 @@ PoolManager::readFile(uint32_t file_id)
     }
     result.resize(state.file_size);
     return result;
+}
+
+std::optional<Bytes>
+PoolManager::readFile(uint32_t file_id, DecodeService *service)
+{
+    std::vector<sim::Read> reads = sequenceFile(file_id);
+    auto units = decodeReads(stateOf(file_id), std::move(reads),
+                             nullptr, service);
+    return assembleFile(file_id, units);
 }
 
 void

@@ -31,6 +31,8 @@
 
 namespace dnastore::core {
 
+class DecodeService;
+
 /** Knobs for the manager and its simulated wetlab. */
 struct PoolManagerParams
 {
@@ -82,12 +84,36 @@ class PoolManager
     uint64_t blockCount(uint32_t file_id) const;
 
     /**
-     * Read one block of one file with the two-stage protocol.
+     * Read one block of one file with the two-stage protocol. When a
+     * DecodeService is given, the decode is submitted to it instead
+     * of running synchronously (byte-identical either way); a
+     * Reject-policy service that sheds the request surfaces as
+     * OverloadedError in the caller's thread.
      */
-    std::optional<Bytes> readBlock(uint32_t file_id, uint64_t block);
+    std::optional<Bytes> readBlock(uint32_t file_id, uint64_t block,
+                                   DecodeService *service = nullptr);
 
-    /** Read a whole file (stage-1 PCR only, full decode). */
-    std::optional<Bytes> readFile(uint32_t file_id);
+    /** Read a whole file (stage-1 PCR only, full decode). Routes the
+     *  decode through @p service when one is given. */
+    std::optional<Bytes> readFile(uint32_t file_id,
+                                  DecodeService *service = nullptr);
+
+    /**
+     * The wetlab half of readFile(): stage-1 PCR isolation plus
+     * sequencing, no decoding. Pair with decoderOf()/assembleFile() —
+     * StorageFrontend uses the split to fan many files' decodes into
+     * one DecodeService batch.
+     */
+    std::vector<sim::Read> sequenceFile(uint32_t file_id);
+
+    /** Decoder bound to a file's partition. */
+    const Decoder &decoderOf(uint32_t file_id) const;
+
+    /** The assembly half of readFile(): stitch decoded units back
+     *  into file bytes (nullopt when any block is missing). */
+    std::optional<Bytes> assembleFile(
+        uint32_t file_id,
+        const std::map<uint64_t, BlockVersions> &units) const;
 
     /** Log an update patch against a file's block. */
     void updateBlock(uint32_t file_id, uint64_t block,
@@ -120,6 +146,12 @@ class PoolManager
 
     FileState &stateOf(uint32_t file_id);
     const FileState &stateOf(uint32_t file_id) const;
+
+    /** Decode @p reads with a file's decoder, synchronously or via
+     *  @p service (throws OverloadedError if the service sheds it). */
+    std::map<uint64_t, BlockVersions> decodeReads(
+        const FileState &state, std::vector<sim::Read> reads,
+        DecodeStats *stats, DecodeService *service) const;
 
     /** Mix a fresh synthesis order into the shared pool. */
     void synthesizeAndMix(const std::vector<sim::DesignedMolecule> &order);

@@ -1,0 +1,178 @@
+#include "core/storage_frontend.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.h"
+
+namespace dnastore::core {
+
+StorageFrontend::StorageFrontend(DecodeService &service,
+                                 StorageFrontendParams params)
+    : service_(service)
+{
+    if (params.metrics) {
+        telemetry::MetricsRegistry &registry = *params.metrics;
+        block_reads_ = &registry.counter("frontend.block_reads");
+        range_reads_ = &registry.counter("frontend.range_reads");
+        full_reads_ = &registry.counter("frontend.full_reads");
+        file_reads_ = &registry.counter("frontend.file_reads");
+        batch_reads_ = &registry.counter("frontend.batch_reads");
+        blocks_returned_ =
+            &registry.counter("frontend.blocks_returned");
+        blocks_missing_ = &registry.counter("frontend.blocks_missing");
+        overloaded_ = &registry.counter("frontend.overloaded");
+        read_latency_us_ =
+            &registry.histogram("frontend.read_latency_us");
+    }
+}
+
+template <typename Fn>
+auto
+StorageFrontend::instrumented(telemetry::Counter *calls, Fn &&fn)
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start = Clock::now();
+    try {
+        auto result = fn();
+        if (calls)
+            calls->increment();
+        if (read_latency_us_) {
+            auto us = std::chrono::duration_cast<
+                std::chrono::microseconds>(Clock::now() - start);
+            read_latency_us_->observe(
+                us.count() < 0 ? 0
+                               : static_cast<uint64_t>(us.count()));
+        }
+        return result;
+    } catch (const OverloadedError &) {
+        if (overloaded_)
+            overloaded_->increment();
+        throw;
+    }
+}
+
+void
+StorageFrontend::recordBlocks(
+    const std::vector<std::optional<Bytes>> &blocks)
+{
+    if (!blocks_returned_)
+        return;
+    size_t returned = 0;
+    for (const std::optional<Bytes> &block : blocks)
+        returned += block.has_value() ? 1 : 0;
+    blocks_returned_->increment(returned);
+    blocks_missing_->increment(blocks.size() - returned);
+}
+
+std::optional<Bytes>
+StorageFrontend::readBlock(BlockDevice &device, uint64_t block)
+{
+    return instrumented(block_reads_, [&] {
+        std::optional<Bytes> content =
+            device.readBlock(block, &service_);
+        if (blocks_returned_) {
+            (content ? blocks_returned_ : blocks_missing_)
+                ->increment();
+        }
+        return content;
+    });
+}
+
+std::vector<std::optional<Bytes>>
+StorageFrontend::readBlocks(BlockDevice &device, uint64_t lo,
+                            uint64_t hi)
+{
+    return instrumented(range_reads_, [&] {
+        std::vector<std::optional<Bytes>> blocks =
+            device.readRange(lo, hi, &service_);
+        recordBlocks(blocks);
+        return blocks;
+    });
+}
+
+std::vector<std::optional<Bytes>>
+StorageFrontend::readAll(BlockDevice &device)
+{
+    return instrumented(full_reads_, [&] {
+        std::vector<std::optional<Bytes>> blocks =
+            device.readAll(&service_);
+        recordBlocks(blocks);
+        return blocks;
+    });
+}
+
+std::optional<Bytes>
+StorageFrontend::readFile(PoolManager &pool, uint32_t file_id)
+{
+    return instrumented(file_reads_, [&] {
+        return pool.readFile(file_id, &service_);
+    });
+}
+
+std::vector<std::vector<std::optional<Bytes>>>
+StorageFrontend::readBlocksBatch(const std::vector<RangeRead> &ranges)
+{
+    return instrumented(batch_reads_, [&] {
+        // Wetlab stage stays sequential: each device owns its cost
+        // and RNG state, and the sequencing order is part of the
+        // byte-identical contract with per-call readBlocks.
+        std::vector<DecodeRequest> batch(ranges.size());
+        for (size_t i = 0; i < ranges.size(); ++i) {
+            fatalIf(ranges[i].device == nullptr,
+                    "readBlocksBatch: null device");
+            batch[i].decoder = &ranges[i].device->decoder();
+            batch[i].reads = ranges[i].device->sequenceRange(
+                ranges[i].lo, ranges[i].hi);
+        }
+
+        // One submission: the ranges' decodes shard across the
+        // service pool and run concurrently.
+        std::vector<std::future<DecodeOutcome>> futures =
+            service_.submitBatch(std::move(batch));
+
+        std::vector<std::vector<std::optional<Bytes>>> results;
+        results.reserve(ranges.size());
+        for (size_t i = 0; i < ranges.size(); ++i) {
+            DecodeOutcome outcome = futures[i].get();
+            if (outcome.status == DecodeStatus::Overloaded)
+                throw OverloadedError(
+                    "readBlocksBatch shed by the decode service");
+            results.push_back(ranges[i].device->assembleRange(
+                ranges[i].lo, ranges[i].hi, outcome.units,
+                &service_));
+            recordBlocks(results.back());
+        }
+        return results;
+    });
+}
+
+std::vector<std::optional<Bytes>>
+StorageFrontend::readFiles(PoolManager &pool,
+                           const std::vector<uint32_t> &file_ids)
+{
+    return instrumented(batch_reads_, [&] {
+        std::vector<DecodeRequest> batch(file_ids.size());
+        for (size_t i = 0; i < file_ids.size(); ++i) {
+            batch[i].decoder = &pool.decoderOf(file_ids[i]);
+            batch[i].reads = pool.sequenceFile(file_ids[i]);
+        }
+
+        std::vector<std::future<DecodeOutcome>> futures =
+            service_.submitBatch(std::move(batch));
+
+        std::vector<std::optional<Bytes>> files;
+        files.reserve(file_ids.size());
+        for (size_t i = 0; i < file_ids.size(); ++i) {
+            DecodeOutcome outcome = futures[i].get();
+            if (outcome.status == DecodeStatus::Overloaded)
+                throw OverloadedError(
+                    "readFiles shed by the decode service");
+            files.push_back(
+                pool.assembleFile(file_ids[i], outcome.units));
+        }
+        return files;
+    });
+}
+
+} // namespace dnastore::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * StorageFrontend: the admission-controlled read frontend.
+ *
+ * One frontend (or many — the class is stateless apart from cached
+ * telemetry instruments, so frontends are cheap and may share a
+ * service) routes every device- and pool-level read through one
+ * shared DecodeService: the service's pool is the single decode
+ * resource, its max_queue_depth is the admission bound, and its
+ * metrics registry sees every request. Two call shapes:
+ *
+ *  - pass-through reads (readBlock/readBlocks/readAll/readFile):
+ *    one wetlab round trip, one service submission, identical bytes
+ *    to the target's synchronous method for any service thread
+ *    count, queue depth, and submission interleaving;
+ *  - batched reads (readBlocksBatch/readFiles): sequence every
+ *    target first (wetlab simulation stays sequential — each device
+ *    owns its cost/RNG state), then fan one DecodeRequest per
+ *    target partition into a single submitBatch, so N devices and M
+ *    pool files decode concurrently on one pool.
+ *
+ * A Reject-policy service that sheds a routed request surfaces here
+ * as OverloadedError, thrown in the caller's thread — the typed
+ * Overloaded outcome never crosses threads as an exception.
+ *
+ * The frontend borrows everything: the service, the registry, and
+ * each call's target device/pool must outlive the call (the service
+ * must outlive the frontend). Devices and pools are not themselves
+ * thread-safe — concurrent frontend calls must target distinct
+ * devices/pools, while the shared service serializes admission.
+ */
+
+#ifndef DNASTORE_CORE_STORAGE_FRONTEND_H
+#define DNASTORE_CORE_STORAGE_FRONTEND_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/block_device.h"
+#include "core/decode_service.h"
+#include "core/pool_manager.h"
+#include "telemetry/metrics.h"
+
+namespace dnastore::core {
+
+/** Frontend knobs. */
+struct StorageFrontendParams
+{
+    /** Optional metrics sink; not owned, must outlive the frontend.
+     *  Independent of the service's registry (point both at one
+     *  registry for a single exportable snapshot). */
+    telemetry::MetricsRegistry *metrics = nullptr;
+};
+
+class StorageFrontend
+{
+  public:
+    explicit StorageFrontend(DecodeService &service,
+                             StorageFrontendParams params = {});
+
+    StorageFrontend(const StorageFrontend &) = delete;
+    StorageFrontend &operator=(const StorageFrontend &) = delete;
+
+    /** One block of one device, updates applied. */
+    std::optional<Bytes> readBlock(BlockDevice &device,
+                                   uint64_t block);
+
+    /** Blocks [lo, hi] of one device via one multiplex PCR. */
+    std::vector<std::optional<Bytes>> readBlocks(BlockDevice &device,
+                                                 uint64_t lo,
+                                                 uint64_t hi);
+
+    /** A device's whole partition (baseline random access). */
+    std::vector<std::optional<Bytes>> readAll(BlockDevice &device);
+
+    /** One whole file of a multi-partition pool. */
+    std::optional<Bytes> readFile(PoolManager &pool,
+                                  uint32_t file_id);
+
+    /** One device's range within a batched read. */
+    struct RangeRead
+    {
+        BlockDevice *device = nullptr;
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+    };
+
+    /**
+     * Read many devices' ranges as one service batch: every range is
+     * sequenced, then all decodes are submitted together and fulfil
+     * concurrently on the shared pool. results[i] corresponds to
+     * ranges[i] and is byte-identical to readBlocks(ranges[i]).
+     */
+    std::vector<std::vector<std::optional<Bytes>>> readBlocksBatch(
+        const std::vector<RangeRead> &ranges);
+
+    /**
+     * Read many files of one pool as one service batch; results[i]
+     * corresponds to file_ids[i] and is byte-identical to
+     * readFile(pool, file_ids[i]).
+     */
+    std::vector<std::optional<Bytes>> readFiles(
+        PoolManager &pool, const std::vector<uint32_t> &file_ids);
+
+    DecodeService &service() { return service_; }
+
+  private:
+    /** Count returned/missing blocks and the end-to-end latency of
+     *  one frontend call; rethrows OverloadedError after counting. */
+    template <typename Fn>
+    auto instrumented(telemetry::Counter *calls, Fn &&fn);
+
+    void recordBlocks(const std::vector<std::optional<Bytes>> &blocks);
+
+    DecodeService &service_;
+
+    // Cached instruments (null without a registry).
+    telemetry::Counter *block_reads_ = nullptr;
+    telemetry::Counter *range_reads_ = nullptr;
+    telemetry::Counter *full_reads_ = nullptr;
+    telemetry::Counter *file_reads_ = nullptr;
+    telemetry::Counter *batch_reads_ = nullptr;
+    telemetry::Counter *blocks_returned_ = nullptr;
+    telemetry::Counter *blocks_missing_ = nullptr;
+    telemetry::Counter *overloaded_ = nullptr;
+    telemetry::Histogram *read_latency_us_ = nullptr;
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_STORAGE_FRONTEND_H

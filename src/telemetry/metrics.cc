@@ -1,0 +1,160 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dnastore::telemetry {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    fatalIf(bounds_.empty(), "histogram needs at least one bound");
+    fatalIf(!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+                std::adjacent_find(bounds_.begin(), bounds_.end()) !=
+                    bounds_.end(),
+            "histogram bounds must be strictly increasing");
+}
+
+void
+Histogram::observe(uint64_t value)
+{
+    size_t bucket = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> counts(buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    return counts;
+}
+
+std::vector<uint64_t>
+defaultLatencyBoundsUs()
+{
+    return {10, 100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fatalIf(gauges_.count(name) || histograms_.count(name),
+            "metric '", std::string(name),
+            "' already registered as another kind");
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fatalIf(counters_.count(name) || histograms_.count(name),
+            "metric '", std::string(name),
+            "' already registered as another kind");
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           std::vector<uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fatalIf(counters_.count(name) || gauges_.count(name), "metric '",
+            std::string(name),
+            "' already registered as another kind");
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>(
+                              std::move(bounds)))
+                 .first;
+    } else {
+        fatalIf(it->second->bounds() != bounds, "histogram '",
+                std::string(name),
+                "' re-registered with different bounds");
+    }
+    return *it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : counters_)
+        snap.counters.emplace(name, counter->value());
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges.emplace(name, gauge->value());
+    for (const auto &[name, histogram] : histograms_) {
+        HistogramSnapshot h;
+        h.bounds = histogram->bounds();
+        h.buckets = histogram->bucketCounts();
+        h.count = histogram->count();
+        h.sum = histogram->sum();
+        snap.histograms.emplace(name, std::move(h));
+    }
+    return snap;
+}
+
+std::string
+MetricsRegistry::exportText() const
+{
+    MetricsSnapshot snap = snapshot();
+    std::ostringstream os;
+    for (const auto &[name, value] : snap.counters)
+        os << name << ' ' << value << '\n';
+    for (const auto &[name, value] : snap.gauges)
+        os << name << ' ' << value << '\n';
+    for (const auto &[name, h] : snap.histograms) {
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+            cumulative += h.buckets[i];
+            os << name << "_bucket{le=\"";
+            if (i < h.bounds.size())
+                os << h.bounds[i];
+            else
+                os << "+Inf";
+            os << "\"} " << cumulative << '\n';
+        }
+        os << name << "_count " << h.count << '\n';
+        os << name << "_sum " << h.sum << '\n';
+    }
+    return os.str();
+}
+
+} // namespace dnastore::telemetry

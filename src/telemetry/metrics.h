@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Lock-cheap service telemetry: counters, gauges, fixed-bucket
+ * histograms, and a MetricsRegistry that owns them by name.
+ *
+ * The hot path — a DecodeService worker recording a queue latency, a
+ * frontend counting a returned block — touches only relaxed atomics;
+ * the registry mutex is taken only to register a metric (once per
+ * name) and to snapshot. Instruments are created on first use and
+ * live as long as the registry, so callers cache the returned
+ * references and record without any lookup.
+ *
+ * Snapshots are deterministic: instruments are keyed in sorted name
+ * order, and exportText() emits one stable line per sample (a
+ * Prometheus-style text format), so two snapshots of registries with
+ * identical recorded values serialize identically — tests pin the
+ * export format literally.
+ */
+
+#ifndef DNASTORE_TELEMETRY_METRICS_H
+#define DNASTORE_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnastore::telemetry {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    increment(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous level (queue depth, threads busy); may go down. */
+class Gauge
+{
+  public:
+    void
+    set(int64_t value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations <= bounds[i];
+ * one implicit overflow bucket counts the rest. Bounds are fixed at
+ * registration (strictly increasing), so concurrent observers only
+ * ever fetch_add — no resizing, no locking.
+ */
+class Histogram
+{
+  public:
+    /** @param bounds strictly increasing upper bounds; throws
+     *               FatalError when empty or unsorted. */
+    explicit Histogram(std::vector<uint64_t> bounds);
+
+    void observe(uint64_t value);
+
+    uint64_t count() const;
+    uint64_t sum() const;
+
+    const std::vector<uint64_t> &bounds() const { return bounds_; }
+
+    /** Per-bucket counts, overflow bucket last
+     *  (size = bounds().size() + 1). */
+    std::vector<uint64_t> bucketCounts() const;
+
+  private:
+    std::vector<uint64_t> bounds_;
+    std::vector<std::atomic<uint64_t>> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** Default latency bounds in microseconds: 10us .. 10s, decades. */
+std::vector<uint64_t> defaultLatencyBoundsUs();
+
+/** Point-in-time copy of one histogram. */
+struct HistogramSnapshot
+{
+    std::vector<uint64_t> bounds;
+    std::vector<uint64_t> buckets;  ///< overflow bucket last
+    uint64_t count = 0;
+    uint64_t sum = 0;
+
+    bool operator==(const HistogramSnapshot &) const = default;
+};
+
+/** Point-in-time copy of a whole registry, keyed in name order. */
+struct MetricsSnapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    bool operator==(const MetricsSnapshot &) const = default;
+};
+
+/**
+ * Owns instruments by name. A name identifies exactly one instrument
+ * of exactly one kind for the registry's lifetime; re-requesting it
+ * returns the same object (so independent layers can share a
+ * registry), and requesting it as a different kind — or a histogram
+ * with different bounds — throws FatalError.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name,
+                         std::vector<uint64_t> bounds =
+                             defaultLatencyBoundsUs());
+
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Prometheus-style text export of snapshot(): counters and gauges
+     * as `name value`, histograms as cumulative `name_bucket{le="B"}`
+     * lines (last bucket le="+Inf") plus `name_count` / `name_sum`.
+     * Line order is name order — byte-stable for equal contents.
+     */
+    std::string exportText() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+};
+
+} // namespace dnastore::telemetry
+
+#endif // DNASTORE_TELEMETRY_METRICS_H

@@ -12,6 +12,7 @@
  * the destructor drains (decodes, not drops) everything queued.
  */
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -230,9 +231,205 @@ TEST_F(DecodeServiceTest, EmptyBatchAndEmptyReads)
     std::future<DecodeOutcome> future =
         service.submit(*decoders_[0], {});
     DecodeOutcome outcome = future.get();
+    EXPECT_EQ(outcome.status, DecodeStatus::Ok);
     EXPECT_TRUE(outcome.units.empty());
     EXPECT_EQ(outcome.stats.reads_in, 0u);
     EXPECT_EQ(outcome.stats.units_decoded, 0u);
+}
+
+TEST_F(DecodeServiceTest, EmptyReadsRequestInsideBatch)
+{
+    DecodeService service;
+    std::vector<DecodeRequest> batch(2);
+    batch[0].decoder = decoders_[0].get();
+    batch[0].reads = reads_[0];
+    batch[1].decoder = decoders_[1].get();
+    batch[1].reads = {};  // legal: decodes to an empty outcome
+
+    std::vector<std::future<DecodeOutcome>> futures =
+        service.submitBatch(std::move(batch));
+    EXPECT_EQ(futures[0].get(), golden_[0]);
+    DecodeOutcome empty = futures[1].get();
+    EXPECT_EQ(empty.status, DecodeStatus::Ok);
+    EXPECT_TRUE(empty.units.empty());
+    EXPECT_EQ(empty.stats.reads_in, 0u);
+}
+
+TEST_F(DecodeServiceTest, RejectPolicyShedsAtDepthOne)
+{
+    telemetry::MetricsRegistry registry;
+    DecodeServiceParams params;
+    params.threads = 2;
+    params.max_queue_depth = 1;
+    params.overflow = OverflowPolicy::Reject;
+    params.metrics = &registry;
+    DecodeService service(params);
+
+    // Occupy the only queue slot: the admitted request counts as
+    // in-flight until its future is fulfilled, so the next submit is
+    // shed deterministically while this decode runs.
+    std::future<DecodeOutcome> admitted =
+        service.submit(*decoders_[0], reads_[0]);
+    std::future<DecodeOutcome> shed =
+        service.submit(*decoders_[1], reads_[1]);
+
+    DecodeOutcome overloaded = shed.get();
+    EXPECT_EQ(overloaded.status, DecodeStatus::Overloaded);
+    EXPECT_TRUE(overloaded.units.empty());
+    EXPECT_EQ(overloaded.stats, DecodeStats{});
+
+    // The shed request never perturbs the admitted one...
+    EXPECT_EQ(admitted.get(), golden_[0]);
+    // ...and once it resolves, the slot is free again.
+    EXPECT_EQ(service.submit(*decoders_[1], reads_[1]).get(),
+              golden_[1]);
+
+    telemetry::MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.at("decode_service.requests_submitted"),
+              2u);
+    EXPECT_EQ(snap.counters.at("decode_service.requests_rejected"),
+              1u);
+    EXPECT_EQ(snap.counters.at("decode_service.requests_decoded"),
+              2u);
+    EXPECT_EQ(snap.gauges.at("decode_service.queue_depth"), 0);
+}
+
+TEST_F(DecodeServiceTest, BlockPolicyBlocksUntilSpaceFrees)
+{
+    DecodeServiceParams params;
+    params.threads = 2;
+    params.max_queue_depth = 1;
+    params.overflow = OverflowPolicy::Block;
+    DecodeService service(params);
+
+    std::future<DecodeOutcome> first =
+        service.submit(*decoders_[0], reads_[0]);
+    // This submit must block until the first request completes and
+    // frees the only slot (space is released just before the promise
+    // fires, so `first` is ready at most instants later).
+    std::future<DecodeOutcome> second =
+        service.submit(*decoders_[1], reads_[1]);
+    EXPECT_EQ(first.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+
+    EXPECT_EQ(first.get(), golden_[0]);
+    EXPECT_EQ(second.get(), golden_[1]);
+}
+
+TEST_F(DecodeServiceTest, BatchLargerThanDepthThrows)
+{
+    DecodeServiceParams params;
+    params.threads = 2;
+    params.max_queue_depth = 2;
+    DecodeService service(params);
+    EXPECT_THROW(service.submitBatch(fullBatch()), FatalError);
+    // A fitting batch still goes through afterwards.
+    EXPECT_EQ(service.submit(*decoders_[0], reads_[0]).get(),
+              golden_[0]);
+}
+
+TEST_F(DecodeServiceTest, ShutdownUnblocksBlockedSubmitter)
+{
+    DecodeServiceParams params;
+    params.threads = 2;
+    params.max_queue_depth = 1;
+    params.overflow = OverflowPolicy::Block;
+    DecodeService service(params);
+
+    std::future<DecodeOutcome> admitted =
+        service.submit(*decoders_[0], reads_[0]);
+
+    // The contract under test: a submitter parked on the full queue
+    // must never hang across shutdown — it either fails with
+    // FatalError (woken by shutdown) or, if the first decode already
+    // freed the slot, is admitted and fully served. A hang would
+    // trip the suite timeout.
+    std::atomic<bool> submitter_failed{false};
+    std::future<DecodeOutcome> late;
+    std::thread submitter([&] {
+        try {
+            late = service.submit(*decoders_[1], reads_[1]);
+        } catch (const FatalError &) {
+            submitter_failed = true;
+        }
+    });
+    // Give the submitter time to park on the full queue, then shut
+    // down while the first decode is (almost certainly) still busy.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    service.shutdown();
+    submitter.join();
+
+    if (!submitter_failed)
+        EXPECT_EQ(late.get(), golden_[1]);  // admitted before shutdown
+    EXPECT_EQ(admitted.get(), golden_[0]);  // drained, not dropped
+}
+
+TEST_F(DecodeServiceTest, DecoderDestroyedWhileQueuedIsCaught)
+{
+    DecodeServiceParams params;
+    params.threads = 2;
+    DecodeService service(params);
+
+    // Keep the dispatcher busy so the doomed request stays queued.
+    std::future<DecodeOutcome> busy =
+        service.submit(*decoders_[0], reads_[0]);
+
+    DecoderParams decoder_params;
+    decoder_params.threads = 1;
+    auto doomed = std::make_unique<Decoder>(*partitions_[1],
+                                            decoder_params);
+    std::future<DecodeOutcome> orphan =
+        service.submit(*doomed, reads_[1]);
+    doomed.reset();  // destroyed before its request ran
+
+    EXPECT_THROW(orphan.get(), FatalError);
+    EXPECT_EQ(busy.get(), golden_[0]);
+    // The service survives the caught lifetime bug.
+    EXPECT_EQ(service.submit(*decoders_[1], reads_[1]).get(),
+              golden_[1]);
+}
+
+TEST_F(DecodeServiceTest, LatencyHistogramsCountEveryRequest)
+{
+    // The latency values are wall-clock, but the *accounting* is
+    // deterministic for every service thread count: one histogram
+    // observation per request on both histograms, counters matching,
+    // and the queue-depth gauge back at zero once futures resolve.
+    for (size_t threads : {1u, 2u, 8u}) {
+        telemetry::MetricsRegistry registry;
+        DecodeServiceParams params;
+        params.threads = threads;
+        params.metrics = &registry;
+        DecodeService service(params);
+
+        std::vector<std::future<DecodeOutcome>> futures =
+            service.submitBatch(fullBatch());
+        for (size_t p = 0; p < kPartitions; ++p)
+            EXPECT_EQ(futures[p].get(), golden_[p])
+                << "threads=" << threads;
+
+        telemetry::MetricsSnapshot snap = registry.snapshot();
+        EXPECT_EQ(
+            snap.counters.at("decode_service.batches_submitted"), 1u);
+        EXPECT_EQ(
+            snap.counters.at("decode_service.requests_submitted"),
+            kPartitions);
+        EXPECT_EQ(
+            snap.counters.at("decode_service.requests_decoded"),
+            kPartitions);
+        EXPECT_EQ(snap.histograms.at("decode_service.queue_latency_us")
+                      .count,
+                  kPartitions)
+            << "threads=" << threads;
+        EXPECT_EQ(
+            snap.histograms.at("decode_service.decode_latency_us")
+                .count,
+            kPartitions)
+            << "threads=" << threads;
+        EXPECT_EQ(snap.gauges.at("decode_service.queue_depth"), 0);
+        EXPECT_EQ(snap.gauges.at("decode_service.pool_threads"),
+                  static_cast<int64_t>(threads));
+    }
 }
 
 } // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Telemetry subsystem tests: instrument semantics (counter, gauge,
+ * fixed-bucket histogram), registry identity and kind/bounds
+ * conflicts, concurrent recording, and the deterministic snapshot /
+ * text-export contract that the frontend metrics demo relies on.
+ */
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "telemetry/metrics.h"
+
+namespace dnastore::telemetry {
+namespace {
+
+TEST(TelemetryTest, CounterStartsAtZeroAndAccumulates)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.increment();
+    counter.increment(41);
+    EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(TelemetryTest, GaugeSetAndAdd)
+{
+    Gauge gauge;
+    EXPECT_EQ(gauge.value(), 0);
+    gauge.set(7);
+    gauge.add(-10);
+    EXPECT_EQ(gauge.value(), -3);
+}
+
+TEST(TelemetryTest, HistogramBucketBoundariesAreInclusive)
+{
+    Histogram histogram({10, 100});
+    histogram.observe(0);    // <= 10
+    histogram.observe(10);   // <= 10 (bound is inclusive)
+    histogram.observe(11);   // <= 100
+    histogram.observe(100);  // <= 100
+    histogram.observe(101);  // overflow
+    EXPECT_EQ(histogram.bucketCounts(),
+              (std::vector<uint64_t>{2, 2, 1}));
+    EXPECT_EQ(histogram.count(), 5u);
+    EXPECT_EQ(histogram.sum(), 0u + 10 + 11 + 100 + 101);
+}
+
+TEST(TelemetryTest, HistogramRejectsBadBounds)
+{
+    EXPECT_THROW(Histogram({}), FatalError);
+    EXPECT_THROW(Histogram({10, 10}), FatalError);
+    EXPECT_THROW(Histogram({100, 10}), FatalError);
+}
+
+TEST(TelemetryTest, DefaultLatencyBoundsAreStrictlyIncreasing)
+{
+    std::vector<uint64_t> bounds = defaultLatencyBoundsUs();
+    ASSERT_FALSE(bounds.empty());
+    for (size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(TelemetryTest, RegistryReturnsSameInstrumentForSameName)
+{
+    MetricsRegistry registry;
+    Counter &a = registry.counter("requests");
+    Counter &b = registry.counter("requests");
+    EXPECT_EQ(&a, &b);
+    a.increment();
+    EXPECT_EQ(b.value(), 1u);
+
+    Histogram &h1 = registry.histogram("latency", {1, 2});
+    Histogram &h2 = registry.histogram("latency", {1, 2});
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(TelemetryTest, RegistryRejectsKindAndBoundsConflicts)
+{
+    MetricsRegistry registry;
+    registry.counter("requests");
+    EXPECT_THROW(registry.gauge("requests"), FatalError);
+    EXPECT_THROW(registry.histogram("requests"), FatalError);
+
+    registry.histogram("latency", {1, 2});
+    EXPECT_THROW(registry.counter("latency"), FatalError);
+    EXPECT_THROW(registry.histogram("latency", {1, 2, 3}),
+                 FatalError);
+}
+
+TEST(TelemetryTest, ConcurrentRecordingLosesNothing)
+{
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("events");
+    Histogram &histogram = registry.histogram("values", {8});
+
+    constexpr size_t kThreads = 8;
+    constexpr size_t kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (size_t i = 0; i < kPerThread; ++i) {
+                counter.increment();
+                histogram.observe(t);  // threads 0..7: all <= 8
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(counter.value(), kThreads * kPerThread);
+    EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+    EXPECT_EQ(histogram.bucketCounts(),
+              (std::vector<uint64_t>{kThreads * kPerThread, 0}));
+    // sum = kPerThread * (0 + 1 + ... + 7)
+    EXPECT_EQ(histogram.sum(), kPerThread * 28);
+}
+
+TEST(TelemetryTest, SnapshotIsDeterministicAndComplete)
+{
+    MetricsRegistry registry;
+    registry.counter("b.count").increment(2);
+    registry.counter("a.count").increment(1);
+    registry.gauge("depth").set(-4);
+    registry.histogram("lat", {5, 50}).observe(3);
+    registry.histogram("lat", {5, 50}).observe(500);
+
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters.begin()->first, "a.count");  // sorted
+    EXPECT_EQ(snap.counters.at("b.count"), 2u);
+    EXPECT_EQ(snap.gauges.at("depth"), -4);
+
+    const HistogramSnapshot &lat = snap.histograms.at("lat");
+    EXPECT_EQ(lat.bounds, (std::vector<uint64_t>{5, 50}));
+    EXPECT_EQ(lat.buckets, (std::vector<uint64_t>{1, 0, 1}));
+    EXPECT_EQ(lat.count, 2u);
+    EXPECT_EQ(lat.sum, 503u);
+
+    EXPECT_EQ(snap, registry.snapshot());  // stable when idle
+}
+
+TEST(TelemetryTest, ExportTextFormatIsPinned)
+{
+    MetricsRegistry registry;
+    registry.counter("svc.requests").increment(3);
+    registry.gauge("svc.depth").set(2);
+    Histogram &lat = registry.histogram("svc.lat", {10, 100});
+    lat.observe(4);
+    lat.observe(40);
+    lat.observe(400);
+
+    // Cumulative buckets, +Inf last, count/sum lines — the literal
+    // format contract of MetricsRegistry::exportText().
+    EXPECT_EQ(registry.exportText(),
+              "svc.requests 3\n"
+              "svc.depth 2\n"
+              "svc.lat_bucket{le=\"10\"} 1\n"
+              "svc.lat_bucket{le=\"100\"} 2\n"
+              "svc.lat_bucket{le=\"+Inf\"} 3\n"
+              "svc.lat_count 3\n"
+              "svc.lat_sum 444\n");
+}
+
+} // namespace
+} // namespace dnastore::telemetry
