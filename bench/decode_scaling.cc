@@ -5,18 +5,24 @@
  * Part 1 times Decoder::decodeAll on a seeded noisy-read corpus at 1,
  * 2, 4 and 8 threads. Part 2 times DecodeService batch submission:
  * several partitions' read sets decoded as one batch, sharded across
- * the service's shared pool. Both parts verify outputs are
- * byte-identical across thread counts (the determinism contract) and
- * write measurements to BENCH_decode.json so the perf trajectory of
- * the decode hot loop is tracked from PR to PR. CI records this on a
- * multi-core runner and uploads the JSON as an artifact.
+ * the service's shared pool. Part 3 saturates a two-tenant service
+ * (WDRR weights 3:1) with a scripted backlog and measures both the
+ * drain throughput and the achieved dispatch ratio in the contended
+ * prefix — fairness drift is treated like a determinism break. All
+ * parts verify outputs are byte-identical across thread counts (the
+ * determinism contract) and write measurements to BENCH_decode.json
+ * so the perf trajectory of the decode hot loop is tracked from PR
+ * to PR. CI records this on a multi-core runner and uploads the JSON
+ * as an artifact.
  *
  * Usage: decode_scaling [--out PATH] [--blocks N] [--coverage N]
- *                       [--parts N]
+ *                       [--parts N] [--tenants B]
+ *        (B = batches per tenant in the fairness section; 0 skips it)
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +31,7 @@
 #include <iterator>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +82,7 @@ main(int argc, char **argv)
     size_t blocks = 24;
     size_t coverage = 25;
     size_t parts = 4;
+    size_t tenant_batches = 12;
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0)
             out_path = argv[i + 1];
@@ -84,6 +92,8 @@ main(int argc, char **argv)
             coverage = std::strtoul(argv[i + 1], nullptr, 10);
         else if (std::strcmp(argv[i], "--parts") == 0)
             parts = std::strtoul(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--tenants") == 0)
+            tenant_batches = std::strtoul(argv[i + 1], nullptr, 10);
     }
     parts = std::clamp<size_t>(parts, 1, std::size(kPrimerPairs));
 
@@ -237,6 +247,102 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Part 3: two-tenant fairness under saturation. A heavy tenant
+    // (WDRR weight 3) and a light tenant (weight 1) each enqueue
+    // `tenant_batches` single-partition batches against a paused
+    // dispatcher, so the whole backlog contends; the dispatch
+    // observer then yields the exact interleaving. While the heavy
+    // tenant is backlogged, dispatches must split 3:1 (±1 light
+    // batch) — drift is treated like a determinism break.
+    double tenant_seconds = 0.0;
+    double tenant_ratio = 0.0;
+    size_t contended_heavy = 0;
+    size_t contended_light = 0;
+    bool tenant_fair = true;
+    if (tenant_batches > 0) {
+        std::printf("\n=== two-tenant fairness (weights 3:1, %zu "
+                    "batches each) ===\n\n",
+                    tenant_batches);
+        core::DecodeServiceParams service_params;
+        service_params.threads = 4;
+        service_params.tenants[1].weight = 3;
+        service_params.tenants[2].weight = 1;
+        service_params.start_paused = true;
+        std::mutex dispatch_mutex;
+        std::vector<core::TenantId> dispatch_order;
+        service_params.on_dispatch =
+            [&dispatch_mutex, &dispatch_order](core::TenantId tenant,
+                                               size_t) {
+                std::lock_guard<std::mutex> lock(dispatch_mutex);
+                dispatch_order.push_back(tenant);
+            };
+        core::DecodeService service(service_params);
+
+        std::vector<std::future<core::DecodeOutcome>> futures;
+        for (core::TenantId tenant : {core::TenantId{1},
+                                      core::TenantId{2}}) {
+            for (size_t b = 0; b < tenant_batches; ++b) {
+                futures.push_back(service.submit(
+                    *decoders[b % parts], part_reads[b % parts],
+                    tenant));
+            }
+        }
+
+        auto start = Clock::now();
+        service.resumeDispatch();
+        for (std::future<core::DecodeOutcome> &future : futures) {
+            if (future.get().status != core::DecodeStatus::Ok) {
+                std::fprintf(stderr, "FAIL: tenant batch not Ok\n");
+                return 1;
+            }
+        }
+        std::chrono::duration<double> elapsed = Clock::now() - start;
+        tenant_seconds = elapsed.count();
+
+        // Contended prefix: through the heavy tenant's last dispatch
+        // both queues were non-empty, and the light dispatch that
+        // closes that WDRR round was earned under contention too —
+        // cutting before it would skew a perfect 3:1 split to 4:1.
+        std::lock_guard<std::mutex> lock(dispatch_mutex);
+        size_t last_heavy = 0;
+        for (size_t i = 0; i < dispatch_order.size(); ++i) {
+            if (dispatch_order[i] == 1)
+                last_heavy = i;
+        }
+        if (last_heavy + 1 < dispatch_order.size() &&
+            dispatch_order[last_heavy + 1] == 2)
+            ++last_heavy;
+        for (size_t i = 0; i <= last_heavy; ++i) {
+            contended_heavy += dispatch_order[i] == 1 ? 1 : 0;
+            contended_light += dispatch_order[i] == 2 ? 1 : 0;
+        }
+        tenant_ratio =
+            contended_light > 0
+                ? static_cast<double>(contended_heavy) /
+                      static_cast<double>(contended_light)
+                : 0.0;
+        tenant_fair =
+            std::abs(static_cast<double>(contended_heavy) -
+                     3.0 * static_cast<double>(contended_light)) <=
+            3.0;
+        std::printf("contended dispatches: heavy %zu, light %zu "
+                    "(ratio %.2f, target 3.00)\n",
+                    contended_heavy, contended_light, tenant_ratio);
+        std::printf("drain: %.3f s, %.1f blocks/s, fair: %s\n",
+                    tenant_seconds,
+                    static_cast<double>(2 * tenant_batches *
+                                        part_blocks) /
+                        tenant_seconds,
+                    tenant_fair ? "yes" : "NO");
+        if (!tenant_fair) {
+            std::fprintf(stderr,
+                         "FAIL: 3:1 tenant weights dispatched %zu:%zu "
+                         "under saturation\n",
+                         contended_heavy, contended_light);
+            return 1;
+        }
+    }
+
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -278,7 +384,29 @@ main(int argc, char **argv)
                          batch_seconds[i],
                      i + 1 < batch_seconds.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"tenant_batches_per_tenant\": %zu,\n",
+                 tenant_batches);
+    if (tenant_batches > 0) {
+        std::fprintf(out, "  \"tenant_weights\": [3, 1],\n");
+        std::fprintf(out,
+                     "  \"tenant_contended_dispatches\": [%zu, %zu],\n",
+                     contended_heavy, contended_light);
+        std::fprintf(out, "  \"tenant_dispatch_ratio\": %.3f,\n",
+                     tenant_ratio);
+        std::fprintf(out, "  \"tenant_fair_within_one\": %s,\n",
+                     tenant_fair ? "true" : "false");
+        std::fprintf(out,
+                     "  \"tenant_results\": {\"threads\": 4, "
+                     "\"seconds\": %.4f, \"blocks_per_sec\": %.1f}\n",
+                     tenant_seconds,
+                     static_cast<double>(2 * tenant_batches *
+                                         part_blocks) /
+                         tenant_seconds);
+    } else {
+        std::fprintf(out, "  \"tenant_results\": null\n");
+    }
+    std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

@@ -5,11 +5,14 @@
  * Stores three files in one multi-partition pool, then hammers it
  * with concurrent reads from two frontends sharing one bounded
  * DecodeService: a batched readFiles() fan-out plus per-file reads
- * from worker threads. Every byte is checked against the stored
+ * from worker threads. The two frontends are bound to two competing
+ * tenants with 3:1 WDRR weights, so the run also demos per-tenant
+ * fair scheduling: every decode is billed to its frontend's tenant,
+ * and the printed registry snapshot includes the per-tenant
+ * admitted/dispatched counters and queue-latency histograms next to
+ * the service-wide ones. Every byte is checked against the stored
  * sources, and the run finishes by printing the shared
- * MetricsRegistry snapshot — queue/decode latency histograms,
- * admission counters, and frontend read counters — in the text
- * export format.
+ * MetricsRegistry snapshot in the text export format.
  */
 
 #include <cstdio>
@@ -48,15 +51,19 @@ main()
     }
 
     // One shared, bounded service; one registry sees everything.
+    // Two tenants compete for the decode pool at 3:1 weights.
     telemetry::MetricsRegistry registry;
     core::DecodeServiceParams service_params;
     service_params.max_queue_depth = 16;
     service_params.overflow = core::OverflowPolicy::Block;
     service_params.metrics = &registry;
+    service_params.tenants[1].weight = 3;
+    service_params.tenants[2].weight = 1;
     core::DecodeService service(service_params);
 
     core::StorageFrontendParams frontend_params;
     frontend_params.metrics = &registry;
+    frontend_params.tenant = 1;  // the heavy tenant
     core::StorageFrontend frontend(service, frontend_params);
 
     // Round 1: batched fan-out — all files decode as one service
@@ -72,9 +79,12 @@ main()
     }
 
     // Round 2: concurrent frontends. Each worker owns its own pool
-    // twin (PoolManager is not thread-safe) and a second frontend on
-    // the same service, so the submissions interleave on one queue.
-    core::StorageFrontend frontend2(service, frontend_params);
+    // twin (PoolManager is not thread-safe) and a second frontend —
+    // bound to the light tenant — on the same service, so the two
+    // tenants' submissions contend on one weighted-fair queue.
+    core::StorageFrontendParams light_params = frontend_params;
+    light_params.tenant = 2;  // the light tenant
+    core::StorageFrontend frontend2(service, light_params);
     std::vector<std::unique_ptr<core::PoolManager>> twins;
     for (size_t w = 0; w < 2; ++w) {
         twins.push_back(

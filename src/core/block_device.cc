@@ -164,12 +164,16 @@ BlockDevice::roundTrip(const std::vector<sim::PcrPrimer> &primers,
 
 std::map<uint64_t, BlockVersions>
 BlockDevice::decodeReads(std::vector<sim::Read> reads,
-                         DecodeStats *stats, DecodeService *service)
+                         DecodeStats *stats, DecodeService *service,
+                         TenantId tenant)
 {
     if (!service)
         return decoder_.decodeAll(reads, stats);
     DecodeOutcome outcome =
-        service->submit(decoder_, std::move(reads)).get();
+        service->submit(decoder_, std::move(reads), tenant).get();
+    if (outcome.status == DecodeStatus::Throttled)
+        throw ThrottledError("BlockDevice read shed by the tenant's "
+                             "token bucket");
     if (outcome.status == DecodeStatus::Overloaded)
         throw OverloadedError("BlockDevice read shed by the decode "
                               "service");
@@ -181,7 +185,7 @@ BlockDevice::decodeReads(std::vector<sim::Read> reads,
 std::optional<Bytes>
 BlockDevice::resolveBlock(
     uint64_t block, const std::map<uint64_t, BlockVersions> &units,
-    DecodeService *service)
+    DecodeService *service, TenantId tenant)
 {
     auto it = units.find(block);
     if (it == units.end())
@@ -209,7 +213,7 @@ BlockDevice::resolveBlock(
                 params_.reads_per_block_access);
             DecodeStats stats;
             auto fetched =
-                decodeReads(std::move(reads), &stats, service);
+                decodeReads(std::move(reads), &stats, service, tenant);
             for (auto &entry : fetched)
                 extra.insert(entry);
             container_it = extra.find(container);
@@ -242,15 +246,17 @@ BlockDevice::resolveBlock(
 }
 
 std::optional<Bytes>
-BlockDevice::readBlock(uint64_t block, DecodeService *service)
+BlockDevice::readBlock(uint64_t block, DecodeService *service,
+                       TenantId tenant)
 {
     fatalIf(block >= data_blocks_, "block ", block, " was never written");
     std::vector<sim::Read> reads = roundTrip(
         {sim::PcrPrimer{partition_.blockPrimer(block), 1.0}},
         params_.reads_per_block_access);
     last_stats_ = DecodeStats();
-    auto units = decodeReads(std::move(reads), &last_stats_, service);
-    return resolveBlock(block, units, service);
+    auto units =
+        decodeReads(std::move(reads), &last_stats_, service, tenant);
+    return resolveBlock(block, units, service, tenant);
 }
 
 std::vector<sim::Read>
@@ -295,33 +301,35 @@ std::vector<std::optional<Bytes>>
 BlockDevice::assembleRange(
     uint64_t lo, uint64_t hi,
     const std::map<uint64_t, BlockVersions> &units,
-    DecodeService *service)
+    DecodeService *service, TenantId tenant)
 {
     fatalIf(lo > hi || hi >= data_blocks_, "invalid block range");
     std::vector<std::optional<Bytes>> result;
     result.reserve(hi - lo + 1);
     for (uint64_t block = lo; block <= hi; ++block)
-        result.push_back(resolveBlock(block, units, service));
+        result.push_back(resolveBlock(block, units, service, tenant));
     return result;
 }
 
 std::vector<std::optional<Bytes>>
 BlockDevice::readRange(uint64_t lo, uint64_t hi,
-                       DecodeService *service)
+                       DecodeService *service, TenantId tenant)
 {
     std::vector<sim::Read> reads = sequenceRange(lo, hi);
     last_stats_ = DecodeStats();
-    auto units = decodeReads(std::move(reads), &last_stats_, service);
-    return assembleRange(lo, hi, units, service);
+    auto units =
+        decodeReads(std::move(reads), &last_stats_, service, tenant);
+    return assembleRange(lo, hi, units, service, tenant);
 }
 
 std::vector<std::optional<Bytes>>
-BlockDevice::readAll(DecodeService *service)
+BlockDevice::readAll(DecodeService *service, TenantId tenant)
 {
     std::vector<sim::Read> reads = sequenceAll();
     last_stats_ = DecodeStats();
-    auto units = decodeReads(std::move(reads), &last_stats_, service);
-    return assembleRange(0, data_blocks_ - 1, units, service);
+    auto units =
+        decodeReads(std::move(reads), &last_stats_, service, tenant);
+    return assembleRange(0, data_blocks_ - 1, units, service, tenant);
 }
 
 } // namespace dnastore::core

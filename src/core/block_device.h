@@ -30,6 +30,7 @@
 #include "core/cost.h"
 #include "core/decoder.h"
 #include "core/partition.h"
+#include "core/tenant.h"
 #include "sim/mixing.h"
 #include "sim/pcr.h"
 #include "sim/sequencer.h"
@@ -105,18 +106,24 @@ class BlockDevice
      * decodes — is submitted to it instead of running synchronously,
      * byte-identical to the synchronous path for any service thread
      * count. A Reject-policy service that sheds the request surfaces
-     * as OverloadedError here (in the caller's thread).
+     * as OverloadedError here (in the caller's thread); a tenant
+     * token bucket that sheds it surfaces as ThrottledError. The
+     * routed requests are billed to @p tenant (StorageFrontend
+     * passes its per-frontend binding).
      */
     std::optional<Bytes> readBlock(uint64_t block,
-                                   DecodeService *service = nullptr);
+                                   DecodeService *service = nullptr,
+                                   TenantId tenant = kDefaultTenant);
 
     /** Retrieve blocks [lo, hi] via one multiplex PCR. */
     std::vector<std::optional<Bytes>> readRange(
-        uint64_t lo, uint64_t hi, DecodeService *service = nullptr);
+        uint64_t lo, uint64_t hi, DecodeService *service = nullptr,
+        TenantId tenant = kDefaultTenant);
 
     /** Retrieve the whole partition (baseline random access). */
     std::vector<std::optional<Bytes>> readAll(
-        DecodeService *service = nullptr);
+        DecodeService *service = nullptr,
+        TenantId tenant = kDefaultTenant);
 
     /**
      * The wetlab half of readRange(): multiplex PCR over an exact
@@ -137,7 +144,8 @@ class BlockDevice
     std::vector<std::optional<Bytes>> assembleRange(
         uint64_t lo, uint64_t hi,
         const std::map<uint64_t, BlockVersions> &units,
-        DecodeService *service = nullptr);
+        DecodeService *service = nullptr,
+        TenantId tenant = kDefaultTenant);
 
     const sim::Pool &pool() const { return pool_; }
     const Partition &partition() const { return partition_; }
@@ -185,15 +193,16 @@ class BlockDevice
         const std::vector<sim::PcrPrimer> &primers, size_t reads);
 
     /** Decode @p reads synchronously, or through @p service when one
-     *  is given (throws OverloadedError if the service sheds it). */
+     *  is given, billed to @p tenant (throws OverloadedError /
+     *  ThrottledError if the service sheds it). */
     std::map<uint64_t, BlockVersions> decodeReads(
         std::vector<sim::Read> reads, DecodeStats *stats,
-        DecodeService *service);
+        DecodeService *service, TenantId tenant);
 
     /** Apply a block's updates, following overflow hops. */
     std::optional<Bytes> resolveBlock(
         uint64_t block, const std::map<uint64_t, BlockVersions> &units,
-        DecodeService *service);
+        DecodeService *service, TenantId tenant);
 };
 
 } // namespace dnastore::core

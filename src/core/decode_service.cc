@@ -1,5 +1,8 @@
 #include "core/decode_service.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/error.h"
 
 namespace dnastore::core {
@@ -15,10 +18,16 @@ elapsedUs(std::chrono::steady_clock::time_point from,
     return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
 }
 
+/** Slack for the double-valued token ledger so an exact refill (1.0
+ *  token after exactly one second at rate 1) is never lost to the
+ *  last ulp of the accumulation. */
+constexpr double kTokenEpsilon = 1e-9;
+
 } // namespace
 
 DecodeService::DecodeService(DecodeServiceParams params)
-    : params_(params), pool_(params.threads)
+    : params_(std::move(params)), pool_(params_.threads),
+      paused_(params_.start_paused)
 {
     if (params_.metrics) {
         telemetry::MetricsRegistry &registry = *params_.metrics;
@@ -28,6 +37,8 @@ DecodeService::DecodeService(DecodeServiceParams params)
             &registry.counter("decode_service.requests_submitted");
         requests_rejected_ =
             &registry.counter("decode_service.requests_rejected");
+        requests_throttled_ =
+            &registry.counter("decode_service.requests_throttled");
         requests_decoded_ =
             &registry.counter("decode_service.requests_decoded");
         requests_failed_ =
@@ -42,6 +53,13 @@ DecodeService::DecodeService(DecodeServiceParams params)
             &registry.histogram("decode_service.decode_latency_us");
         pool_threads_->set(
             static_cast<int64_t>(pool_.threadCount()));
+    }
+    // Validate every configured tenant (and create its instruments)
+    // up front so a bad contract throws here, not mid-traffic. The
+    // dispatcher doesn't exist yet, so no lock is needed.
+    for (const auto &[tenant, tenant_params] : params_.tenants) {
+        (void)tenant_params;
+        tenantStateLocked(tenant);
     }
     // Start the dispatcher only once every member it reads exists.
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
@@ -58,19 +76,108 @@ DecodeService::shutdown()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         accepting_ = false;
+        paused_ = false;  // draining must not hang on a paused valve
     }
     queue_cv_.notify_all();
     space_cv_.notify_all();
     std::call_once(joined_, [this] { dispatcher_.join(); });
 }
 
+void
+DecodeService::pauseDispatch()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void
+DecodeService::resumeDispatch()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    queue_cv_.notify_all();
+}
+
+uint64_t
+DecodeService::nowUs() const
+{
+    if (params_.clock_us)
+        return params_.clock_us();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
+
+DecodeService::TenantState &
+DecodeService::tenantStateLocked(TenantId tenant)
+{
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end())
+        return it->second;
+
+    TenantState state;
+    auto configured = params_.tenants.find(tenant);
+    if (configured != params_.tenants.end())
+        state.params = configured->second;
+    fatalIf(state.params.weight == 0, "DecodeService: tenant ", tenant,
+            " has weight 0; WDRR weights must be >= 1");
+    fatalIf(state.params.rate < 0.0 || state.params.burst < 0.0,
+            "DecodeService: tenant ", tenant,
+            " has a negative token-bucket rate or burst");
+
+    // Per-tenant instruments only for tenants the caller opted into —
+    // explicitly configured or non-default — so a default-tenant-only
+    // run exports exactly the pre-tenant metric set.
+    if (params_.metrics &&
+        (configured != params_.tenants.end() ||
+         tenant != kDefaultTenant)) {
+        telemetry::MetricsRegistry &registry = *params_.metrics;
+        const std::string prefix =
+            "decode_service.tenant." + std::to_string(tenant) + ".";
+        state.admitted =
+            &registry.counter(prefix + "requests_admitted");
+        state.rejected =
+            &registry.counter(prefix + "requests_rejected");
+        state.throttled =
+            &registry.counter(prefix + "requests_throttled");
+        state.dispatched =
+            &registry.counter(prefix + "batches_dispatched");
+        state.queue_latency =
+            &registry.histogram(prefix + "queue_latency_us");
+    }
+    return tenants_.emplace(tenant, std::move(state)).first->second;
+}
+
+void
+DecodeService::refillBucketLocked(TenantState &state)
+{
+    const uint64_t now_us = nowUs();
+    if (!state.bucket_primed) {
+        // The bucket starts full: a fresh tenant may burst.
+        state.tokens = state.params.burst;
+        state.bucket_primed = true;
+    } else if (now_us > state.last_refill_us) {
+        const double elapsed_us =
+            static_cast<double>(now_us - state.last_refill_us);
+        state.tokens =
+            std::min(state.params.burst,
+                     state.tokens +
+                         elapsed_us * state.params.rate / 1e6);
+    }
+    state.last_refill_us = now_us;
+}
+
 std::future<DecodeOutcome>
 DecodeService::submit(const Decoder &decoder,
-                      std::vector<sim::Read> reads)
+                      std::vector<sim::Read> reads, TenantId tenant)
 {
     std::vector<DecodeRequest> batch(1);
     batch[0].decoder = &decoder;
     batch[0].reads = std::move(reads);
+    batch[0].tenant = tenant;
     return std::move(submitBatch(std::move(batch))[0]);
 }
 
@@ -83,7 +190,13 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
     std::vector<std::future<DecodeOutcome>> futures;
     futures.reserve(n);
     Clock::time_point now = Clock::now();
+    const TenantId tenant = n > 0 ? batch[0].tenant : kDefaultTenant;
+    pending.tenant = tenant;
     for (size_t i = 0; i < n; ++i) {
+        fatalIf(batch[i].tenant != tenant,
+                "DecodeService: batch mixes tenants ", tenant, " and ",
+                batch[i].tenant,
+                "; one submitBatch is one tenant's work");
         if (batch[i].decoder)
             pending.items[i].liveness = batch[i].decoder->livenessToken();
         pending.items[i].request = std::move(batch[i]);
@@ -91,55 +204,133 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
         futures.push_back(pending.items[i].promise.get_future());
     }
 
-    bool rejected = false;
+    enum class Verdict
+    {
+        Admitted,
+        Rejected,
+        Throttled,
+    };
+    Verdict verdict = Verdict::Admitted;
+    telemetry::Counter *tenant_rejected = nullptr;
+    telemetry::Counter *tenant_throttled = nullptr;
+    bool ticketed = false;
     {
         std::unique_lock<std::mutex> lock(mutex_);
         fatalIf(!accepting_,
                 "DecodeService: submission after shutdown");
         if (n == 0)
             return futures;
+        TenantState &state = tenantStateLocked(tenant);
+        tenant_rejected = state.rejected;
+        tenant_throttled = state.throttled;
+        pending.dispatched = state.dispatched;
+        pending.queue_latency = state.queue_latency;
+
         if (params_.max_queue_depth > 0) {
             fatalIf(n > params_.max_queue_depth,
                     "DecodeService: batch of ", n,
                     " requests exceeds max_queue_depth ",
                     params_.max_queue_depth);
-            if (in_flight_ + n > params_.max_queue_depth) {
+        }
+        const size_t tenant_cap = state.params.max_queue_depth;
+        if (tenant_cap > 0) {
+            fatalIf(n > tenant_cap, "DecodeService: batch of ", n,
+                    " requests exceeds tenant ", tenant,
+                    "'s queue-depth cap of ", tenant_cap);
+        }
+
+        // Token bucket first: the rate contract is independent of
+        // how full the queue happens to be, and never blocks.
+        if (state.params.bucketEnabled()) {
+            refillBucketLocked(state);
+            if (state.tokens + kTokenEpsilon <
+                static_cast<double>(n)) {
+                verdict = Verdict::Throttled;
+            } else {
+                state.tokens -= static_cast<double>(n);
+            }
+        }
+
+        if (verdict == Verdict::Admitted) {
+            auto fits = [&] {
+                if (params_.max_queue_depth > 0 &&
+                    in_flight_ + n > params_.max_queue_depth)
+                    return false;
+                if (tenant_cap > 0 &&
+                    state.in_flight + n > tenant_cap)
+                    return false;
+                return true;
+            };
+            // Join the ticket line when the queue is full OR other
+            // submitters are already parked — barging past them
+            // would undo the FIFO admission order.
+            if (!fits() || next_ticket_ != serving_ticket_) {
                 if (params_.overflow == OverflowPolicy::Reject) {
-                    rejected = true;
+                    if (!fits())
+                        verdict = Verdict::Rejected;
+                    // A Reject-policy service never parks submitters,
+                    // so the line is empty and a fitting batch admits.
                 } else {
+                    const uint64_t ticket = next_ticket_++;
+                    ticketed = true;
                     space_cv_.wait(lock, [&] {
                         return !accepting_ ||
-                               in_flight_ + n <=
-                                   params_.max_queue_depth;
+                               (ticket == serving_ticket_ && fits());
                     });
-                    fatalIf(!accepting_,
-                            "DecodeService: shut down while a "
-                            "submission was blocked on a full queue");
+                    ++serving_ticket_;
+                    if (!accepting_) {
+                        // Successors wake via accepting_ and fail too.
+                        space_cv_.notify_all();
+                        fatal("DecodeService: shut down while a "
+                              "submission was blocked on a full "
+                              "queue");
+                    }
                 }
             }
         }
-        if (!rejected) {
+        if (verdict == Verdict::Admitted) {
             in_flight_ += n;
+            state.in_flight += n;
             if (queue_depth_)
                 queue_depth_->set(static_cast<int64_t>(in_flight_));
-            queue_.push_back(std::move(pending));
+            state.queue.push_back(std::move(pending));
+            ++pending_batches_;
+            if (!state.active) {
+                state.active = true;
+                active_.push_back(tenant);
+            }
+            if (state.admitted)
+                state.admitted->increment(n);
         }
     }
 
-    if (rejected) {
-        // Shed: resolve every future with a typed Overloaded outcome
-        // rather than throwing across threads. No decoding ran.
-        if (requests_rejected_)
-            requests_rejected_->increment(n);
+    if (verdict != Verdict::Admitted) {
+        // Shed: resolve every future with a typed outcome rather
+        // than throwing across threads. No decoding ran.
+        const bool throttled = verdict == Verdict::Throttled;
+        telemetry::Counter *global =
+            throttled ? requests_throttled_ : requests_rejected_;
+        telemetry::Counter *per_tenant =
+            throttled ? tenant_throttled : tenant_rejected;
+        if (global)
+            global->increment(n);
+        if (per_tenant)
+            per_tenant->increment(n);
         for (Item &item : pending.items) {
             DecodeOutcome outcome;
-            outcome.status = DecodeStatus::Overloaded;
+            outcome.status = throttled ? DecodeStatus::Throttled
+                                       : DecodeStatus::Overloaded;
             item.promise.set_value(std::move(outcome));
         }
         return futures;
     }
 
     queue_cv_.notify_one();
+    if (ticketed) {
+        // We were the head of the line; the next ticket holder must
+        // re-evaluate whether the remaining space fits it.
+        space_cv_.notify_all();
+    }
     if (batches_submitted_)
         batches_submitted_->increment();
     if (requests_submitted_)
@@ -151,7 +342,7 @@ size_t
 DecodeService::pendingBatches() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return pending_batches_;
 }
 
 size_t
@@ -159,6 +350,60 @@ DecodeService::inFlightRequests() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return in_flight_;
+}
+
+size_t
+DecodeService::blockedSubmitters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<size_t>(next_ticket_ - serving_ticket_);
+}
+
+DecodeService::Batch
+DecodeService::popNextBatchLocked()
+{
+    // Weighted deficit round robin over the active tenants, in
+    // activation order. Each tenant's turn at the head grants it
+    // `weight` requests' worth of deficit once; it dispatches whole
+    // batches while the deficit covers them, then rotates to the
+    // back. An emptied tenant leaves the round and forfeits its
+    // remaining deficit, so credit never banks across idle periods.
+    for (;;) {
+        TenantState &state = tenants_.at(active_.front());
+        if (!state.charged) {
+            state.deficit += state.params.weight;
+            state.charged = true;
+        }
+        const uint64_t cost = static_cast<uint64_t>(
+            std::max<size_t>(1, state.queue.front().items.size()));
+        if (active_.size() == 1 && state.deficit < cost) {
+            // Alone in the round there is nothing to interleave
+            // with: grant the full cost at once instead of spinning
+            // ceil(cost/weight) empty rotations under the lock. The
+            // deficit is consumed in full below, so no credit leaks
+            // into a later contended round.
+            state.deficit = cost;
+        }
+        if (state.deficit >= cost) {
+            Batch batch = std::move(state.queue.front());
+            state.queue.pop_front();
+            --pending_batches_;
+            state.deficit -= cost;
+            if (state.queue.empty()) {
+                state.deficit = 0;
+                state.charged = false;
+                state.active = false;
+                active_.pop_front();
+            }
+            return batch;
+        }
+        // Turn exhausted: keep the accumulated deficit (a batch
+        // bigger than one quantum still dispatches within
+        // ceil(cost / weight) rounds — starvation-free) and rotate.
+        state.charged = false;
+        active_.push_back(active_.front());
+        active_.pop_front();
+    }
 }
 
 void
@@ -169,13 +414,17 @@ DecodeService::dispatcherLoop()
         {
             std::unique_lock<std::mutex> lock(mutex_);
             queue_cv_.wait(lock, [&] {
-                return !accepting_ || !queue_.empty();
+                return !accepting_ ||
+                       (pending_batches_ > 0 && !paused_);
             });
-            if (queue_.empty())
+            if (pending_batches_ == 0)
                 return;  // shut down and fully drained
-            batch = std::move(queue_.front());
-            queue_.pop_front();
+            batch = popNextBatchLocked();
         }
+        if (params_.on_dispatch)
+            params_.on_dispatch(batch.tenant, batch.items.size());
+        if (batch.dispatched)
+            batch.dispatched->increment();
         runBatch(batch);
     }
 }
@@ -194,9 +443,11 @@ DecodeService::runBatch(Batch &batch)
     pool_.parallelFor(n, [&](size_t i) {
         Item &item = batch.items[i];
         Clock::time_point start = Clock::now();
+        const uint64_t queued_us = elapsedUs(item.enqueued, start);
         if (queue_latency_us_)
-            queue_latency_us_->observe(
-                elapsedUs(item.enqueued, start));
+            queue_latency_us_->observe(queued_us);
+        if (batch.queue_latency)
+            batch.queue_latency->observe(queued_us);
         if (pool_active_)
             pool_active_->set(
                 static_cast<int64_t>(pool_.activeThreads()));
@@ -225,6 +476,7 @@ DecodeService::runBatch(Batch &batch)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         in_flight_ -= n;
+        tenants_.at(batch.tenant).in_flight -= n;
         if (queue_depth_)
             queue_depth_->set(static_cast<int64_t>(in_flight_));
     }

@@ -1,12 +1,13 @@
 /**
  * @file
  * DecodeService: asynchronous batch decoding over one shared pool,
- * with admission control and telemetry.
+ * with per-tenant admission control, fair scheduling, and telemetry.
  *
  * Decoder::decodeAll is synchronous and spawns a fresh ThreadPool per
  * call; a device serving heavy traffic instead wants to enqueue work
  * (a batch of read sets, one per partition) and collect futures. The
- * service owns one long-lived ThreadPool and a FIFO submission queue:
+ * service owns one long-lived ThreadPool and per-tenant submission
+ * queues drained by a weighted-deficit-round-robin dispatcher:
  *
  *  - a batch's per-partition jobs are sharded across the pool and run
  *    concurrently, while each job's internal decode stages fork on
@@ -19,27 +20,59 @@
  *  - an exception inside one partition's job surfaces through that
  *    job's future only — sibling futures in the batch still deliver.
  *
+ * Tenancy: every request names a TenantId (kDefaultTenant when the
+ * caller doesn't care — one submitBatch is one tenant's work, mixed
+ * batches throw FatalError). Configured tenants
+ * (DecodeServiceParams::tenants) carry a token-bucket admission
+ * contract, a WDRR weight, and an optional per-tenant queue-depth
+ * cap; see core/tenant.h for the exact bucket semantics. The
+ * dispatcher serves queued tenants round-robin in activation order,
+ * granting each `weight` requests' worth of deficit per round, so
+ * under saturation dispatch counts match the weight ratio exactly
+ * for any pool size, and no backlogged tenant can be starved: a
+ * flooding tenant only ever delays others by one round. The default
+ * tenant with no configured TenantParams preserves the untenanted
+ * service behavior byte-for-byte (single queue, FIFO dispatch, no
+ * bucket, no per-tenant instruments).
+ *
  * Admission control: max_queue_depth bounds the requests admitted but
- * not yet fulfilled. A submission that would exceed the bound either
+ * not yet fulfilled, service-wide; TenantParams::max_queue_depth adds
+ * a per-tenant bound. A submission that would exceed either either
  * blocks the submitter until space frees (OverflowPolicy::Block, the
  * default) or is shed (OverflowPolicy::Reject): every future of the
  * shed batch resolves immediately with DecodeStatus::Overloaded — a
  * typed outcome, never an exception thrown across threads, so remote
- * callers can retry or back off. A batch larger than the bound can
- * never be admitted and is rejected at the call site with FatalError.
+ * callers can retry or back off. Blocked submitters are ticketed and
+ * admitted strictly in the order they arrived (no barging, no
+ * spurious-wakeup lottery). A batch that exceeds a tenant's token
+ * bucket is shed with DecodeStatus::Throttled regardless of policy —
+ * rate contracts are never converted into blocking. A batch larger
+ * than an applicable bound can never be admitted and is rejected at
+ * the call site with FatalError.
  *
  * Telemetry: point DecodeServiceParams::metrics at a registry (which
  * must outlive the service) and the service records, per request,
  * queue latency (submit → job start) and decode latency into
- * fixed-bucket histograms, plus submitted/decoded/failed/rejected
- * counters and in-flight / pool-occupancy gauges. See README
- * "Storage frontend & telemetry" for the exact metric names.
+ * fixed-bucket histograms, plus submitted/decoded/failed/rejected/
+ * throttled counters and in-flight / pool-occupancy gauges.
+ * Explicitly configured tenants — and any non-default tenant seen at
+ * runtime — additionally get per-tenant admitted/rejected/throttled/
+ * dispatched counters and a queue-latency histogram under
+ * `decode_service.tenant.<id>.*`. See README "Storage frontend &
+ * telemetry" for the exact metric names.
+ *
+ * Determinism hooks (used by tests/support/scheduler_harness):
+ * `clock_us` replaces the token buckets' time source with a virtual
+ * clock, `on_dispatch` observes the exact dispatch order from the
+ * dispatcher thread, and `start_paused` + resumeDispatch() let a test
+ * script an entire contended backlog before a single batch runs.
  *
  * Shutdown drains: pending batches are decoded, not dropped, before
- * the dispatcher exits, so destroying the service never leaves a
- * broken promise. Submissions after shutdown are rejected with
- * FatalError; a submitter blocked on a full queue when shutdown()
- * lands is woken and also fails with FatalError.
+ * the dispatcher exits (dispatch resumes if paused), so destroying
+ * the service never leaves a broken promise. Submissions after
+ * shutdown are rejected with FatalError; a submitter blocked on a
+ * full queue when shutdown() lands is woken and also fails with
+ * FatalError.
  */
 
 #ifndef DNASTORE_CORE_DECODE_SERVICE_H
@@ -49,6 +82,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -59,6 +93,7 @@
 
 #include "common/thread_pool.h"
 #include "core/decoder.h"
+#include "core/tenant.h"
 #include "telemetry/metrics.h"
 
 namespace dnastore::core {
@@ -66,7 +101,14 @@ namespace dnastore::core {
 /** What happens to a submission that would overflow the queue. */
 enum class OverflowPolicy
 {
-    /** Block the submitter until the queue has room. */
+    /** Block the submitter until the queue has room; waiters are
+     *  admitted strictly in arrival order — one global line, so a
+     *  head waiter parked on its own tenant's queue-depth cap delays
+     *  later submitters of other tenants until its tenant drains.
+     *  That coupling is the price of total admission order; tenants
+     *  that need isolation from each other's backpressure should
+     *  bound themselves with token buckets or Reject-policy caps,
+     *  which never park anyone. */
     Block,
 
     /** Shed the batch: futures resolve with DecodeStatus::Overloaded. */
@@ -86,12 +128,33 @@ struct DecodeServiceParams
      *  batches larger than this throw FatalError. */
     size_t max_queue_depth = 0;
 
-    /** Applied when a submission would exceed max_queue_depth. */
+    /** Applied when a submission would exceed max_queue_depth or a
+     *  tenant's own cap. */
     OverflowPolicy overflow = OverflowPolicy::Block;
+
+    /** Per-tenant admission contracts and WDRR weights. Tenants not
+     *  listed here get TenantParams{} (weight 1, no bucket, no cap);
+     *  a listed weight of 0 throws FatalError at construction. */
+    std::map<TenantId, TenantParams> tenants;
 
     /** Optional metrics sink; not owned, must outlive the service.
      *  nullptr disables instrumentation. */
     telemetry::MetricsRegistry *metrics = nullptr;
+
+    /** Time source for the token buckets, in microseconds. Leave
+     *  empty for steady_clock; tests inject a virtual clock so
+     *  refill decisions are asserted exactly, not statistically. */
+    std::function<uint64_t()> clock_us;
+
+    /** Observer invoked from the dispatcher thread, in dispatch
+     *  order, just before each batch runs: (tenant, request count).
+     *  Must not call back into the service. */
+    std::function<void(TenantId, size_t)> on_dispatch;
+
+    /** Construct with dispatch paused (submissions queue up but
+     *  nothing runs) until resumeDispatch(); shutdown() resumes
+     *  automatically so draining always completes. */
+    bool start_paused = false;
 };
 
 /** One partition's unit of work within a batch. */
@@ -104,6 +167,10 @@ struct DecodeRequest
     const Decoder *decoder = nullptr;
 
     std::vector<sim::Read> reads;
+
+    /** Tenant this request is billed to. All requests of one
+     *  submitBatch must agree. */
+    TenantId tenant = kDefaultTenant;
 };
 
 /** How a request left the service. */
@@ -114,6 +181,11 @@ enum class DecodeStatus
     /** Shed by OverflowPolicy::Reject before any decoding ran;
      *  units/stats are empty. */
     Overloaded,
+
+    /** Shed by the tenant's token bucket before any decoding ran;
+     *  units/stats are empty. Applies under either overflow policy —
+     *  a rate contract never blocks the submitter. */
+    Throttled,
 };
 
 /** What a request's future delivers. */
@@ -140,6 +212,20 @@ class OverloadedError : public std::runtime_error
     {}
 };
 
+/**
+ * Thrown by synchronous read frontends when the caller's tenant
+ * token bucket sheds the request. Derives from OverloadedError so
+ * existing back-off handlers keep working; catch ThrottledError
+ * first to distinguish a rate-contract breach from plain saturation.
+ */
+class ThrottledError : public OverloadedError
+{
+  public:
+    explicit ThrottledError(const std::string &msg)
+        : OverloadedError("throttled: " + msg)
+    {}
+};
+
 class DecodeService
 {
   public:
@@ -151,27 +237,38 @@ class DecodeService
     DecodeService(const DecodeService &) = delete;
     DecodeService &operator=(const DecodeService &) = delete;
 
-    /** Enqueue one read set. Throws FatalError after shutdown(). */
+    /** Enqueue one read set for @p tenant. Throws FatalError after
+     *  shutdown(). */
     std::future<DecodeOutcome> submit(const Decoder &decoder,
-                                      std::vector<sim::Read> reads);
+                                      std::vector<sim::Read> reads,
+                                      TenantId tenant = kDefaultTenant);
 
     /**
      * Enqueue a batch (typically one request per partition of a
      * device). The batch's jobs run concurrently; futures are
      * returned — and later fulfilled — in submission order. Throws
-     * FatalError after shutdown() or when the batch alone exceeds
-     * max_queue_depth; a Reject-policy overflow instead resolves
-     * every returned future with DecodeStatus::Overloaded.
+     * FatalError after shutdown(), when the batch mixes tenants, or
+     * when the batch alone exceeds max_queue_depth or its tenant's
+     * cap; a Reject-policy overflow instead resolves every returned
+     * future with DecodeStatus::Overloaded, and a token-bucket breach
+     * resolves them with DecodeStatus::Throttled.
      */
     std::vector<std::future<DecodeOutcome>> submitBatch(
         std::vector<DecodeRequest> batch);
 
     /**
-     * Stop accepting submissions, decode everything already queued,
-     * and join the dispatcher. Idempotent; also run by the
-     * destructor.
+     * Stop accepting submissions, decode everything already queued
+     * (resuming dispatch if paused), and join the dispatcher.
+     * Idempotent; also run by the destructor.
      */
     void shutdown();
+
+    /** Hold back dispatch: admitted batches queue but none start.
+     *  Requests already dispatched finish normally. */
+    void pauseDispatch();
+
+    /** Resume dispatch after pauseDispatch()/start_paused. */
+    void resumeDispatch();
 
     /** Worker count of the shared pool. */
     size_t threadCount() const { return pool_.threadCount(); }
@@ -181,6 +278,10 @@ class DecodeService
 
     /** Requests admitted but not yet fulfilled (queued + decoding). */
     size_t inFlightRequests() const;
+
+    /** Block-policy submitters currently parked on a full queue, in
+     *  ticket order (for backpressure and the ordering tests). */
+    size_t blockedSubmitters() const;
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -196,19 +297,65 @@ class DecodeService
     struct Batch
     {
         std::vector<Item> items;
+        TenantId tenant = kDefaultTenant;
+        // Per-tenant instruments resolved at admission (null when
+        // uninstrumented) so dispatch never re-locks the registry.
+        telemetry::Counter *dispatched = nullptr;
+        telemetry::Histogram *queue_latency = nullptr;
+    };
+
+    /** Per-tenant scheduler state; guarded by mutex_. */
+    struct TenantState
+    {
+        TenantParams params;
+        std::deque<Batch> queue;
+        bool active = false;     ///< has an entry in active_
+        uint64_t deficit = 0;    ///< WDRR credit, in requests
+        bool charged = false;    ///< quantum granted for current turn
+        double tokens = 0.0;     ///< token bucket level
+        uint64_t last_refill_us = 0;
+        bool bucket_primed = false;
+        size_t in_flight = 0;    ///< admitted but unfulfilled requests
+
+        // Cached per-tenant instruments (null when uninstrumented).
+        telemetry::Counter *admitted = nullptr;
+        telemetry::Counter *rejected = nullptr;
+        telemetry::Counter *throttled = nullptr;
+        telemetry::Counter *dispatched = nullptr;
+        telemetry::Histogram *queue_latency = nullptr;
     };
 
     void dispatcherLoop();
     void runBatch(Batch &batch);
+
+    /** Find-or-create a tenant's state (mutex_ held, or pre-thread
+     *  from the constructor). */
+    TenantState &tenantStateLocked(TenantId tenant);
+
+    /** Refill a tenant's token bucket to the service clock (mutex_
+     *  held). */
+    void refillBucketLocked(TenantState &state);
+
+    /** Pop the next batch under weighted deficit round robin
+     *  (mutex_ held; at least one batch must be pending). */
+    Batch popNextBatchLocked();
+
+    /** Token-bucket clock, microseconds. */
+    uint64_t nowUs() const;
 
     DecodeServiceParams params_;
     ThreadPool pool_;
     mutable std::mutex mutex_;
     std::condition_variable queue_cv_;
     std::condition_variable space_cv_;
-    std::deque<Batch> queue_;   // guarded by mutex_
-    size_t in_flight_ = 0;      // guarded by mutex_
-    bool accepting_ = true;     // guarded by mutex_
+    std::map<TenantId, TenantState> tenants_;  // guarded by mutex_
+    std::deque<TenantId> active_;  // WDRR round order; guarded by mutex_
+    size_t pending_batches_ = 0;   // guarded by mutex_
+    size_t in_flight_ = 0;         // guarded by mutex_
+    bool accepting_ = true;        // guarded by mutex_
+    bool paused_ = false;          // guarded by mutex_
+    uint64_t next_ticket_ = 0;     // guarded by mutex_
+    uint64_t serving_ticket_ = 0;  // guarded by mutex_
     std::once_flag joined_;
     std::thread dispatcher_;
 
@@ -217,6 +364,7 @@ class DecodeService
     telemetry::Counter *batches_submitted_ = nullptr;
     telemetry::Counter *requests_submitted_ = nullptr;
     telemetry::Counter *requests_rejected_ = nullptr;
+    telemetry::Counter *requests_throttled_ = nullptr;
     telemetry::Counter *requests_decoded_ = nullptr;
     telemetry::Counter *requests_failed_ = nullptr;
     telemetry::Gauge *queue_depth_ = nullptr;

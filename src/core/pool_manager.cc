@@ -110,13 +110,17 @@ PoolManager::storeFile(const Bytes &data)
 std::map<uint64_t, BlockVersions>
 PoolManager::decodeReads(const FileState &state,
                          std::vector<sim::Read> reads,
-                         DecodeStats *stats,
-                         DecodeService *service) const
+                         DecodeStats *stats, DecodeService *service,
+                         TenantId tenant) const
 {
     if (!service)
         return state.decoder->decodeAll(reads, stats);
     DecodeOutcome outcome =
-        service->submit(*state.decoder, std::move(reads)).get();
+        service->submit(*state.decoder, std::move(reads), tenant)
+            .get();
+    if (outcome.status == DecodeStatus::Throttled)
+        throw ThrottledError("PoolManager read shed by the tenant's "
+                             "token bucket");
     if (outcome.status == DecodeStatus::Overloaded)
         throw OverloadedError("PoolManager read shed by the decode "
                               "service");
@@ -127,7 +131,7 @@ PoolManager::decodeReads(const FileState &state,
 
 std::optional<Bytes>
 PoolManager::readBlock(uint32_t file_id, uint64_t block,
-                       DecodeService *service)
+                       DecodeService *service, TenantId tenant)
 {
     FileState &state = stateOf(file_id);
     fatalIf(block >= state.blocks, "block out of range");
@@ -160,7 +164,8 @@ PoolManager::readBlock(uint32_t file_id, uint64_t block,
         accessed, params_.reads_per_block_access, sequencer);
 
     DecodeStats stats;
-    auto units = decodeReads(state, std::move(reads), &stats, service);
+    auto units =
+        decodeReads(state, std::move(reads), &stats, service, tenant);
     auto it = units.find(block);
     if (it == units.end() || !it->second.versions.count(0))
         return std::nullopt;
@@ -220,11 +225,12 @@ PoolManager::assembleFile(
 }
 
 std::optional<Bytes>
-PoolManager::readFile(uint32_t file_id, DecodeService *service)
+PoolManager::readFile(uint32_t file_id, DecodeService *service,
+                      TenantId tenant)
 {
     std::vector<sim::Read> reads = sequenceFile(file_id);
     auto units = decodeReads(stateOf(file_id), std::move(reads),
-                             nullptr, service);
+                             nullptr, service, tenant);
     return assembleFile(file_id, units);
 }
 

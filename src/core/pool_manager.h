@@ -24,6 +24,7 @@
 #include "core/cost.h"
 #include "core/decoder.h"
 #include "core/partition.h"
+#include "core/tenant.h"
 #include "primer/constraints.h"
 #include "sim/pcr.h"
 #include "sim/sequencer.h"
@@ -86,17 +87,21 @@ class PoolManager
     /**
      * Read one block of one file with the two-stage protocol. When a
      * DecodeService is given, the decode is submitted to it instead
-     * of running synchronously (byte-identical either way); a
-     * Reject-policy service that sheds the request surfaces as
-     * OverloadedError in the caller's thread.
+     * of running synchronously (byte-identical either way), billed
+     * to @p tenant; a Reject-policy service that sheds the request
+     * surfaces as OverloadedError in the caller's thread, a tenant
+     * token bucket as ThrottledError.
      */
     std::optional<Bytes> readBlock(uint32_t file_id, uint64_t block,
-                                   DecodeService *service = nullptr);
+                                   DecodeService *service = nullptr,
+                                   TenantId tenant = kDefaultTenant);
 
     /** Read a whole file (stage-1 PCR only, full decode). Routes the
-     *  decode through @p service when one is given. */
+     *  decode through @p service when one is given, billed to
+     *  @p tenant. */
     std::optional<Bytes> readFile(uint32_t file_id,
-                                  DecodeService *service = nullptr);
+                                  DecodeService *service = nullptr,
+                                  TenantId tenant = kDefaultTenant);
 
     /**
      * The wetlab half of readFile(): stage-1 PCR isolation plus
@@ -148,10 +153,12 @@ class PoolManager
     const FileState &stateOf(uint32_t file_id) const;
 
     /** Decode @p reads with a file's decoder, synchronously or via
-     *  @p service (throws OverloadedError if the service sheds it). */
+     *  @p service billed to @p tenant (throws OverloadedError /
+     *  ThrottledError if the service sheds it). */
     std::map<uint64_t, BlockVersions> decodeReads(
         const FileState &state, std::vector<sim::Read> reads,
-        DecodeStats *stats, DecodeService *service) const;
+        DecodeStats *stats, DecodeService *service,
+        TenantId tenant) const;
 
     /** Mix a fresh synthesis order into the shared pool. */
     void synthesizeAndMix(const std::vector<sim::DesignedMolecule> &order);

@@ -9,7 +9,7 @@ namespace dnastore::core {
 
 StorageFrontend::StorageFrontend(DecodeService &service,
                                  StorageFrontendParams params)
-    : service_(service)
+    : service_(service), tenant_(params.tenant)
 {
     if (params.metrics) {
         telemetry::MetricsRegistry &registry = *params.metrics;
@@ -22,6 +22,7 @@ StorageFrontend::StorageFrontend(DecodeService &service,
             &registry.counter("frontend.blocks_returned");
         blocks_missing_ = &registry.counter("frontend.blocks_missing");
         overloaded_ = &registry.counter("frontend.overloaded");
+        throttled_ = &registry.counter("frontend.throttled");
         read_latency_us_ =
             &registry.histogram("frontend.read_latency_us");
     }
@@ -45,6 +46,10 @@ StorageFrontend::instrumented(telemetry::Counter *calls, Fn &&fn)
                                : static_cast<uint64_t>(us.count()));
         }
         return result;
+    } catch (const ThrottledError &) {
+        if (throttled_)
+            throttled_->increment();
+        throw;
     } catch (const OverloadedError &) {
         if (overloaded_)
             overloaded_->increment();
@@ -70,7 +75,7 @@ StorageFrontend::readBlock(BlockDevice &device, uint64_t block)
 {
     return instrumented(block_reads_, [&] {
         std::optional<Bytes> content =
-            device.readBlock(block, &service_);
+            device.readBlock(block, &service_, tenant_);
         if (blocks_returned_) {
             (content ? blocks_returned_ : blocks_missing_)
                 ->increment();
@@ -85,7 +90,7 @@ StorageFrontend::readBlocks(BlockDevice &device, uint64_t lo,
 {
     return instrumented(range_reads_, [&] {
         std::vector<std::optional<Bytes>> blocks =
-            device.readRange(lo, hi, &service_);
+            device.readRange(lo, hi, &service_, tenant_);
         recordBlocks(blocks);
         return blocks;
     });
@@ -96,7 +101,7 @@ StorageFrontend::readAll(BlockDevice &device)
 {
     return instrumented(full_reads_, [&] {
         std::vector<std::optional<Bytes>> blocks =
-            device.readAll(&service_);
+            device.readAll(&service_, tenant_);
         recordBlocks(blocks);
         return blocks;
     });
@@ -106,7 +111,7 @@ std::optional<Bytes>
 StorageFrontend::readFile(PoolManager &pool, uint32_t file_id)
 {
     return instrumented(file_reads_, [&] {
-        return pool.readFile(file_id, &service_);
+        return pool.readFile(file_id, &service_, tenant_);
     });
 }
 
@@ -124,6 +129,7 @@ StorageFrontend::readBlocksBatch(const std::vector<RangeRead> &ranges)
             batch[i].decoder = &ranges[i].device->decoder();
             batch[i].reads = ranges[i].device->sequenceRange(
                 ranges[i].lo, ranges[i].hi);
+            batch[i].tenant = tenant_;
         }
 
         // One submission: the ranges' decodes shard across the
@@ -135,12 +141,16 @@ StorageFrontend::readBlocksBatch(const std::vector<RangeRead> &ranges)
         results.reserve(ranges.size());
         for (size_t i = 0; i < ranges.size(); ++i) {
             DecodeOutcome outcome = futures[i].get();
+            if (outcome.status == DecodeStatus::Throttled)
+                throw ThrottledError(
+                    "readBlocksBatch shed by the tenant's token "
+                    "bucket");
             if (outcome.status == DecodeStatus::Overloaded)
                 throw OverloadedError(
                     "readBlocksBatch shed by the decode service");
             results.push_back(ranges[i].device->assembleRange(
                 ranges[i].lo, ranges[i].hi, outcome.units,
-                &service_));
+                &service_, tenant_));
             recordBlocks(results.back());
         }
         return results;
@@ -156,6 +166,7 @@ StorageFrontend::readFiles(PoolManager &pool,
         for (size_t i = 0; i < file_ids.size(); ++i) {
             batch[i].decoder = &pool.decoderOf(file_ids[i]);
             batch[i].reads = pool.sequenceFile(file_ids[i]);
+            batch[i].tenant = tenant_;
         }
 
         std::vector<std::future<DecodeOutcome>> futures =
@@ -165,6 +176,9 @@ StorageFrontend::readFiles(PoolManager &pool,
         files.reserve(file_ids.size());
         for (size_t i = 0; i < file_ids.size(); ++i) {
             DecodeOutcome outcome = futures[i].get();
+            if (outcome.status == DecodeStatus::Throttled)
+                throw ThrottledError(
+                    "readFiles shed by the tenant's token bucket");
             if (outcome.status == DecodeStatus::Overloaded)
                 throw OverloadedError(
                     "readFiles shed by the decode service");

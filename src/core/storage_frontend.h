@@ -21,7 +21,17 @@
  *
  * A Reject-policy service that sheds a routed request surfaces here
  * as OverloadedError, thrown in the caller's thread — the typed
- * Overloaded outcome never crosses threads as an exception.
+ * Overloaded outcome never crosses threads as an exception. A tenant
+ * token bucket that sheds one surfaces as ThrottledError (a subclass,
+ * so saturation handlers keep working).
+ *
+ * Tenancy: each frontend is bound to one TenantId
+ * (StorageFrontendParams::tenant, default kDefaultTenant) and bills
+ * every routed request — pass-through, batched, and overflow-hop
+ * decodes alike — to it, so two frontends on one service give two
+ * callers independently metered, weighted-fair shares of the decode
+ * pool. The binding never changes what bytes a read returns, only
+ * when it is admitted and dispatched.
  *
  * The frontend borrows everything: the service, the registry, and
  * each call's target device/pool must outlive the call (the service
@@ -51,6 +61,11 @@ struct StorageFrontendParams
      *  Independent of the service's registry (point both at one
      *  registry for a single exportable snapshot). */
     telemetry::MetricsRegistry *metrics = nullptr;
+
+    /** Tenant every read of this frontend is billed to; configure it
+     *  in the service's DecodeServiceParams::tenants to give this
+     *  frontend a rate contract, weight, or queue-depth cap. */
+    TenantId tenant = kDefaultTenant;
 };
 
 class StorageFrontend
@@ -105,15 +120,20 @@ class StorageFrontend
 
     DecodeService &service() { return service_; }
 
+    /** Tenant this frontend bills its reads to. */
+    TenantId tenant() const { return tenant_; }
+
   private:
     /** Count returned/missing blocks and the end-to-end latency of
-     *  one frontend call; rethrows OverloadedError after counting. */
+     *  one frontend call; rethrows OverloadedError/ThrottledError
+     *  after counting. */
     template <typename Fn>
     auto instrumented(telemetry::Counter *calls, Fn &&fn);
 
     void recordBlocks(const std::vector<std::optional<Bytes>> &blocks);
 
     DecodeService &service_;
+    TenantId tenant_ = kDefaultTenant;
 
     // Cached instruments (null without a registry).
     telemetry::Counter *block_reads_ = nullptr;
@@ -124,6 +144,7 @@ class StorageFrontend
     telemetry::Counter *blocks_returned_ = nullptr;
     telemetry::Counter *blocks_missing_ = nullptr;
     telemetry::Counter *overloaded_ = nullptr;
+    telemetry::Counter *throttled_ = nullptr;
     telemetry::Histogram *read_latency_us_ = nullptr;
 };
 

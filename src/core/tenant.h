@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tenant identity and per-tenant admission/scheduling parameters.
+ *
+ * A tenant is one caller class sharing a DecodeService — a frontend,
+ * a remote client, a batch job. Tenants exist so that one hot caller
+ * cannot monopolize the service: each tenant can carry a token-bucket
+ * admission contract (rate/burst), a weighted-fair-queueing weight,
+ * and its own queue-depth cap, all enforced by the service's
+ * scheduler. The default tenant (id 0) with no configured TenantParams
+ * behaves exactly like the pre-tenant service: no bucket, weight 1,
+ * no per-tenant cap, FIFO dispatch.
+ *
+ * This header is deliberately tiny so that device- and pool-level
+ * read APIs can carry a TenantId without pulling in the full
+ * DecodeService header.
+ */
+
+#ifndef DNASTORE_CORE_TENANT_H
+#define DNASTORE_CORE_TENANT_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dnastore::core {
+
+/** Identifies one caller class sharing a DecodeService. */
+using TenantId = uint32_t;
+
+/** The tenant used when callers don't name one; with no configured
+ *  TenantParams it reproduces the untenanted service byte-for-byte. */
+inline constexpr TenantId kDefaultTenant = 0;
+
+/**
+ * Per-tenant admission and scheduling knobs
+ * (DecodeServiceParams::tenants).
+ *
+ * Token bucket: enabled when rate > 0 or burst > 0. The bucket starts
+ * full (burst tokens, one token = one request), refills at `rate`
+ * tokens per second of the service clock, and admission is
+ * all-or-nothing per submitBatch: a batch whose size exceeds the
+ * available tokens is shed with DecodeStatus::Throttled and consumes
+ * nothing, while a batch that passes the bucket spends its tokens
+ * even if the queue-depth stage then sheds it — overload shedding is
+ * load, too. A bucket with rate > 0 but burst == 0 admits nothing.
+ *
+ * Weight: requests' worth of dispatch credit the tenant earns per
+ * weighted-deficit-round-robin round while it has queued batches.
+ * Under saturation, dispatch counts match the weight ratio exactly
+ * (a weight-3 tenant dispatches 3 single-request batches for every 1
+ * of a weight-1 tenant). Must be >= 1.
+ *
+ * max_queue_depth: per-tenant bound on admitted-but-unfulfilled
+ * requests, layered under the service-wide bound; 0 = no per-tenant
+ * cap. Overflow follows the service's OverflowPolicy — note that
+ * under Block a submitter parked on its own tenant's cap holds the
+ * service's single FIFO admission line (see OverflowPolicy::Block),
+ * so shedding caps (Reject) or rate contracts (the bucket) are the
+ * isolation-preserving way to bound one tenant.
+ */
+struct TenantParams
+{
+    /** Token-bucket refill, in requests per second (0 = no refill). */
+    double rate = 0.0;
+
+    /** Token-bucket capacity, in requests (0 with rate > 0 admits
+     *  nothing). */
+    double burst = 0.0;
+
+    /** WDRR dispatch weight, in requests per scheduling round. */
+    uint32_t weight = 1;
+
+    /** Per-tenant queue-depth cap (0 = only the service-wide bound). */
+    size_t max_queue_depth = 0;
+
+    bool operator==(const TenantParams &) const = default;
+
+    /** Whether this tenant carries a token bucket at all. */
+    bool
+    bucketEnabled() const
+    {
+        return rate > 0.0 || burst > 0.0;
+    }
+};
+
+} // namespace dnastore::core
+
+#endif // DNASTORE_CORE_TENANT_H

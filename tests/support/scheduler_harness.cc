@@ -1,0 +1,65 @@
+#include "support/scheduler_harness.h"
+
+#include <utility>
+
+#include "support/fixtures.h"
+
+namespace dnastore::test {
+
+SchedulerHarness::SchedulerHarness(core::DecodeServiceParams params)
+{
+    const PrimerPair &primers = primerPair(0);
+    partition_ = std::make_unique<core::Partition>(
+        partitionConfig(0), primers.forward, primers.reverse, 13);
+    core::DecoderParams decoder_params;
+    decoder_params.threads = 1;
+    decoder_ = std::make_unique<core::Decoder>(*partition_,
+                                               decoder_params);
+
+    params.clock_us = clock_.source();
+    params.on_dispatch = [this](core::TenantId tenant,
+                                size_t requests) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        records_.push_back(DispatchRecord{tenant, requests});
+    };
+    params.start_paused = true;
+    service_ = std::make_unique<core::DecodeService>(std::move(params));
+}
+
+size_t
+SchedulerHarness::submitOne(core::TenantId tenant)
+{
+    futures_.push_back(service_->submit(*decoder_, {}, tenant));
+    outcomes_.emplace_back();
+    return futures_.size() - 1;
+}
+
+void
+SchedulerHarness::resume()
+{
+    service_->resumeDispatch();
+}
+
+void
+SchedulerHarness::drain()
+{
+    for (size_t i = 0; i < futures_.size(); ++i)
+        (void)statusOf(i);
+}
+
+core::DecodeStatus
+SchedulerHarness::statusOf(size_t index)
+{
+    if (!outcomes_.at(index))
+        outcomes_[index] = futures_[index].get();
+    return outcomes_[index]->status;
+}
+
+std::vector<DispatchRecord>
+SchedulerHarness::dispatches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+} // namespace dnastore::test

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic scheduler harness for DecodeService fairness tests.
+ *
+ * Fairness under contention is inherently racy to observe from the
+ * outside: whether two tenants' queues are both backlogged when a
+ * batch dispatches depends on thread timing. This harness removes
+ * every source of nondeterminism the scheduler contract allows:
+ *
+ *  - the service starts with dispatch paused, so a test scripts an
+ *    entire contended backlog before a single batch runs;
+ *  - token buckets read a VirtualClock the test advances explicitly,
+ *    so refill decisions are asserted exactly, not statistically;
+ *  - the service's on_dispatch observer records the exact dispatch
+ *    order (the dispatcher is single-threaded, so the order is total
+ *    and, for a scripted backlog, identical for any pool size).
+ *
+ * Workload requests carry empty read sets: they decode to an empty
+ * outcome instantly and deterministically, which is all a scheduling
+ * assertion needs. Byte-identity of real decodes under tenancy is
+ * pinned separately (decode_service_test, storage_frontend_test).
+ *
+ * The harness is driven from one test thread (submitOne/statusOf are
+ * not thread-safe against each other); the scripted schedule IS the
+ * point.
+ */
+
+#ifndef DNASTORE_TESTS_SUPPORT_SCHEDULER_HARNESS_H
+#define DNASTORE_TESTS_SUPPORT_SCHEDULER_HARNESS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/decode_service.h"
+
+namespace dnastore::test {
+
+/** Deterministic microsecond clock for token-bucket tests. */
+class VirtualClock
+{
+  public:
+    uint64_t
+    nowUs() const
+    {
+        return now_us_.load(std::memory_order_relaxed);
+    }
+
+    void
+    advanceUs(uint64_t us)
+    {
+        now_us_.fetch_add(us, std::memory_order_relaxed);
+    }
+
+    /** Plug into DecodeServiceParams::clock_us. The clock must
+     *  outlive the service. */
+    std::function<uint64_t()>
+    source()
+    {
+        return [this] { return nowUs(); };
+    }
+
+  private:
+    std::atomic<uint64_t> now_us_{0};
+};
+
+/** One dispatched batch, as seen by the service's observer. */
+struct DispatchRecord
+{
+    core::TenantId tenant = core::kDefaultTenant;
+    size_t requests = 0;
+
+    bool operator==(const DispatchRecord &) const = default;
+};
+
+class SchedulerHarness
+{
+  public:
+    /**
+     * Wires @p params to the harness (virtual clock, dispatch
+     * recorder, start_paused) and constructs the service. Any
+     * clock_us/on_dispatch the caller set are overwritten; tenants,
+     * threads, depth, policy, and metrics are the test's to choose.
+     */
+    explicit SchedulerHarness(core::DecodeServiceParams params);
+
+    core::DecodeService &service() { return *service_; }
+    VirtualClock &clock() { return clock_; }
+
+    /** A live decoder for hand-built batches (mixed-tenant tests). */
+    const core::Decoder &decoder() const { return *decoder_; }
+
+    /** Submit one single-request batch of empty reads for @p tenant;
+     *  returns the submission's index for statusOf(). */
+    size_t submitOne(core::TenantId tenant);
+
+    /** Release the (start-paused) dispatcher. */
+    void resume();
+
+    /** Wait until every submission so far has resolved. */
+    void drain();
+
+    /** The submission's final status (waits for its future). */
+    core::DecodeStatus statusOf(size_t index);
+
+    /** Dispatch order observed so far. Call after drain() for the
+     *  complete scripted sequence. */
+    std::vector<DispatchRecord> dispatches() const;
+
+  private:
+    VirtualClock clock_;
+    mutable std::mutex mutex_;
+    std::vector<DispatchRecord> records_;  // guarded by mutex_
+
+    std::unique_ptr<core::Partition> partition_;
+    std::unique_ptr<core::Decoder> decoder_;
+    std::vector<std::future<core::DecodeOutcome>> futures_;
+    std::vector<std::optional<core::DecodeOutcome>> outcomes_;
+
+    // Declared last so the service (whose observer writes records_)
+    // is destroyed before anything it touches.
+    std::unique_ptr<core::DecodeService> service_;
+};
+
+} // namespace dnastore::test
+
+#endif // DNASTORE_TESTS_SUPPORT_SCHEDULER_HARNESS_H

@@ -50,6 +50,74 @@ TEST(TelemetryTest, HistogramBucketBoundariesAreInclusive)
     EXPECT_EQ(histogram.sum(), 0u + 10 + 11 + 100 + 101);
 }
 
+TEST(TelemetryTest, HistogramEveryExactBoundLandsInOwnBucket)
+{
+    // A value exactly on an inclusive upper bound belongs to that
+    // bound's bucket — for every bound of the default latency table,
+    // not just the first.
+    std::vector<uint64_t> bounds = defaultLatencyBoundsUs();
+    Histogram histogram(bounds);
+    for (uint64_t bound : bounds)
+        histogram.observe(bound);
+
+    std::vector<uint64_t> expected(bounds.size() + 1, 1);
+    expected.back() = 0;  // nothing overflows
+    EXPECT_EQ(histogram.bucketCounts(), expected);
+
+    // One past each bound lands one bucket later (the last one in
+    // the overflow bucket).
+    for (uint64_t bound : bounds)
+        histogram.observe(bound + 1);
+    std::vector<uint64_t> shifted(bounds.size() + 1, 2);
+    shifted.front() = 1;
+    shifted.back() = 1;
+    EXPECT_EQ(histogram.bucketCounts(), shifted);
+}
+
+TEST(TelemetryTest, HistogramOverflowBucketAccounting)
+{
+    Histogram histogram({10});
+    histogram.observe(11);
+    histogram.observe(1'000'000'000'000'000'000ULL);
+    histogram.observe(UINT64_MAX);
+
+    EXPECT_EQ(histogram.bucketCounts(),
+              (std::vector<uint64_t>{0, 3}));
+    EXPECT_EQ(histogram.count(), 3u);
+    // The sum is a uint64 accumulator: it wraps modulo 2^64 rather
+    // than saturating, which snapshots must reproduce verbatim.
+    uint64_t expected_sum = 11;
+    expected_sum += 1'000'000'000'000'000'000ULL;
+    expected_sum += UINT64_MAX;
+    EXPECT_EQ(histogram.sum(), expected_sum);
+}
+
+TEST(TelemetryTest, ExportTextStableAcrossIdenticallyNamedRegistries)
+{
+    // Two registries built in different registration orders but with
+    // identical instrument names and recorded values must export the
+    // same bytes — the contract that lets per-shard registries be
+    // merged/diffed by name (cross-process aggregation relies on it).
+    MetricsRegistry first;
+    first.counter("svc.requests").increment(3);
+    first.gauge("svc.depth").set(2);
+    first.histogram("svc.lat", {10, 100}).observe(40);
+
+    MetricsRegistry second;
+    second.histogram("svc.lat", {10, 100}).observe(40);
+    second.counter("svc.requests").increment(1);
+    second.gauge("svc.depth").set(2);
+    second.counter("svc.requests").increment(2);
+
+    EXPECT_EQ(first.exportText(), second.exportText());
+    EXPECT_EQ(first.snapshot(), second.snapshot());
+
+    // Diverge one value: the exports must diverge too (stability is
+    // not constancy).
+    second.counter("svc.requests").increment();
+    EXPECT_NE(first.exportText(), second.exportText());
+}
+
 TEST(TelemetryTest, HistogramRejectsBadBounds)
 {
     EXPECT_THROW(Histogram({}), FatalError);
