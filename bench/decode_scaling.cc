@@ -8,12 +8,15 @@
  * the service's shared pool. Part 3 saturates a two-tenant service
  * (WDRR weights 3:1) with a scripted backlog and measures both the
  * drain throughput and the achieved dispatch ratio in the contended
- * prefix — fairness drift is treated like a determinism break. All
- * parts verify outputs are byte-identical across thread counts (the
- * determinism contract) and write measurements to BENCH_decode.json
- * so the perf trajectory of the decode hot loop is tracked from PR
- * to PR. CI records this on a multi-core runner and uploads the JSON
- * as an artifact.
+ * prefix — fairness drift is treated like a determinism break. Part 4
+ * streams the part-1 corpus through a StreamingDecoder in fixed-size
+ * chunks with every (block, 0) unit expected, measuring wall time and
+ * the fraction of the read budget consumed before early termination.
+ * All parts verify outputs are byte-identical across thread counts
+ * (the determinism contract) and write measurements to
+ * BENCH_decode.json so the perf trajectory of the decode hot loop is
+ * tracked from PR to PR. CI records this on a multi-core runner and
+ * uploads the JSON as an artifact.
  *
  * Usage: decode_scaling [--out PATH] [--blocks N] [--coverage N]
  *                       [--parts N] [--tenants B]
@@ -343,6 +346,92 @@ main(int argc, char **argv)
         }
     }
 
+    // Part 4: streaming incremental decode with early termination on
+    // the part-1 corpus. Reads arrive in fixed chunks; every
+    // (block, 0) unit is expected, so the session stops consuming the
+    // moment the whole file is recoverable. Identity is checked per
+    // emitted unit against the one-shot baseline, and the JSON
+    // records how much of the read budget the session consumed.
+    constexpr size_t kStreamChunk = 500;
+    std::printf("\n=== streaming incremental decode (chunks of %zu "
+                "reads) ===\n\n",
+                kStreamChunk);
+    std::vector<double> stream_seconds;
+    size_t stream_consumed = 0;
+    size_t stream_skipped = 0;
+    size_t stream_early = 0;
+    bool stream_identical = true;
+    std::printf("%8s  %10s  %12s  %10s  %9s\n", "threads", "seconds",
+                "vs one-shot", "consumed", "identical");
+    for (size_t t = 0; t < std::size(thread_counts); ++t) {
+        const size_t threads = thread_counts[t];
+        core::DecoderParams params;
+        params.threads = threads;
+        core::StreamingParams streaming;
+        for (uint64_t block = 0; block < blocks; ++block)
+            streaming.expected_units.push_back(
+                {block, 0u});
+
+        core::DecodeStats stats;
+        std::map<uint64_t, core::BlockVersions> units;
+        double secs = bestOfThree([&] {
+            core::StreamingDecoder session(partition, params,
+                                           streaming);
+            for (size_t i = 0;
+                 i < reads.size() && !session.complete();
+                 i += kStreamChunk) {
+                std::vector<sim::Read> chunk(
+                    reads.begin() + i,
+                    reads.begin() +
+                        std::min(reads.size(), i + kStreamChunk));
+                session.feed(chunk);
+            }
+            stats = core::DecodeStats{};
+            units = session.finish(&stats);
+        });
+        stream_seconds.push_back(secs);
+
+        bool same = true;
+        for (const auto &[block, baseline_versions] : baseline_units) {
+            auto it = units.find(block);
+            auto base_zero = baseline_versions.versions.find(0);
+            if (base_zero == baseline_versions.versions.end())
+                continue;
+            if (it == units.end() ||
+                !it->second.versions.count(0) ||
+                it->second.versions.at(0) != base_zero->second) {
+                same = false;
+                break;
+            }
+        }
+        if (t == 0) {
+            stream_consumed = stats.reads_consumed;
+            stream_skipped = stats.reads_skipped;
+            stream_early = stats.units_emitted_early;
+        } else {
+            // Reads-consumed-at-completion is part of the
+            // determinism contract, not just the payload bytes.
+            same = same && stats.reads_consumed == stream_consumed;
+        }
+        stream_identical = stream_identical && same;
+        std::printf("%8zu  %10.3f  %11.2fx  %10zu  %9s\n", threads,
+                    secs, seconds[t] / secs, stats.reads_consumed,
+                    same ? "yes" : "NO");
+    }
+    const double consumed_fraction =
+        reads.empty() ? 0.0
+                      : static_cast<double>(stream_consumed) /
+                            static_cast<double>(reads.size());
+    std::printf("\nearly units: %zu/%zu, consumed %zu/%zu reads "
+                "(%.0f%%)\n",
+                stream_early, blocks, stream_consumed, reads.size(),
+                100.0 * consumed_fraction);
+    if (!stream_identical) {
+        std::fprintf(stderr, "FAIL: streaming decode diverged from "
+                             "the one-shot baseline\n");
+        return 1;
+    }
+
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -383,6 +472,30 @@ main(int argc, char **argv)
                      static_cast<double>(parts * part_blocks) /
                          batch_seconds[i],
                      i + 1 < batch_seconds.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"streaming_chunk_reads\": %zu,\n",
+                 kStreamChunk);
+    std::fprintf(out, "  \"streaming_reads_consumed\": %zu,\n",
+                 stream_consumed);
+    std::fprintf(out, "  \"streaming_reads_skipped\": %zu,\n",
+                 stream_skipped);
+    std::fprintf(out, "  \"streaming_units_early\": %zu,\n",
+                 stream_early);
+    std::fprintf(out, "  \"streaming_consumed_fraction\": %.3f,\n",
+                 consumed_fraction);
+    std::fprintf(out,
+                 "  \"streaming_identical_across_threads\": %s,\n",
+                 stream_identical ? "true" : "false");
+    std::fprintf(out, "  \"streaming_results\": [\n");
+    for (size_t i = 0; i < stream_seconds.size(); ++i) {
+        std::fprintf(
+            out,
+            "    {\"threads\": %zu, \"seconds\": %.4f, "
+            "\"speedup_vs_oneshot\": %.3f}%s\n",
+            thread_counts[i], stream_seconds[i],
+            seconds[i] / stream_seconds[i],
+            i + 1 < stream_seconds.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
     std::fprintf(out, "  \"tenant_batches_per_tenant\": %zu,\n",

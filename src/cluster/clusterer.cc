@@ -1,8 +1,6 @@
 #include "cluster/clusterer.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -37,38 +35,103 @@ minHashSignature(const dna::Sequence &read, size_t q, uint64_t salt)
     return best;
 }
 
-/**
- * One signature band's bucket: the clusters indexed under one
- * signature value. `order` preserves first-insertion order (the order
- * candidates are gathered in, which the greedy assignment depends
- * on); `members` makes the duplicate check O(1) where a linear scan
- * was quadratic for hot buckets.
- */
-struct Bucket
-{
-    std::vector<size_t> order;
-    std::unordered_set<size_t> members;
-
-    void
-    insert(size_t cluster_idx)
-    {
-        if (members.insert(cluster_idx).second)
-            order.push_back(cluster_idx);
-    }
-};
-
 } // namespace
 
-std::vector<Cluster>
-clusterReads(const std::vector<dna::Sequence> &reads,
-             const ClustererParams &params, ThreadPool *pool)
+OnlineClusterer::OnlineClusterer(ClustererParams params)
+    : params_(params)
 {
-    Rng rng = Rng::deriveStream(params.seed, "clusterer");
-    const size_t bands = params.signatures;
-    std::vector<uint64_t> salts(bands);
-    for (uint64_t &salt : salts)
+    Rng rng = Rng::deriveStream(params_.seed, "clusterer");
+    salts_.resize(params_.signatures);
+    for (uint64_t &salt : salts_)
         salt = rng.next();
+    buckets_.resize(params_.signatures);
+    band_order_.resize(params_.signatures);
+    signature_scratch_.resize(params_.signatures);
+}
 
+size_t
+OnlineClusterer::assign(const dna::Sequence &read)
+{
+    for (size_t b = 0; b < salts_.size(); ++b) {
+        signature_scratch_[b] =
+            minHashSignature(read, params_.qgram, salts_[b]);
+    }
+    return assignWithSignatures(read, signature_scratch_.data());
+}
+
+size_t
+OnlineClusterer::assignWithSignatures(const dna::Sequence &read,
+                                      const uint64_t *signature)
+{
+    const size_t bands = salts_.size();
+    const size_t r = reads_.size();
+    reads_.push_back(read);
+
+    candidates_.clear();
+    // Gather up to max_candidates candidates — a cap across all
+    // bands, not per band. The bands are drained round-robin
+    // (entry i of every band's bucket before entry i + 1 of any)
+    // so that one hot bucket cannot starve the other bands'
+    // entries out of the capped budget: a cluster that is only
+    // reachable through a sparser band stays reachable.
+    size_t depth = 0;
+    for (size_t b = 0; b < bands; ++b) {
+        auto it = buckets_[b].find(signature[b]);
+        band_order_[b] =
+            it == buckets_[b].end() ? nullptr : &it->second.order;
+        if (band_order_[b])
+            depth = std::max(depth, band_order_[b]->size());
+    }
+    for (size_t i = 0;
+         i < depth && candidates_.size() < params_.max_candidates;
+         ++i) {
+        for (size_t b = 0; b < bands; ++b) {
+            if (!band_order_[b] || i >= band_order_[b]->size())
+                continue;
+            size_t cluster_idx = (*band_order_[b])[i];
+            if (candidate_stamp_[cluster_idx] != r + 1) {
+                candidate_stamp_[cluster_idx] = r + 1;
+                candidates_.push_back(cluster_idx);
+                if (candidates_.size() >= params_.max_candidates)
+                    break;
+            }
+        }
+    }
+
+    size_t assigned = SIZE_MAX;
+    for (size_t cluster_idx : candidates_) {
+        const dna::Sequence &rep =
+            reads_[clusters_[cluster_idx].representative];
+        if (dna::bandedLevenshtein(read, rep,
+                                   params_.distance_threshold) !=
+            dna::kDistanceInfinity) {
+            assigned = cluster_idx;
+            break;
+        }
+    }
+
+    if (assigned == SIZE_MAX) {
+        assigned = clusters_.size();
+        Cluster cluster;
+        cluster.representative = r;
+        clusters_.push_back(cluster);
+        candidate_stamp_.push_back(0);
+    }
+    clusters_[assigned].members.push_back(r);
+    // Index every member's signatures, not only the
+    // representative's: a later read whose MinHash differs from
+    // the representative can still reach the cluster through any
+    // earlier member (improves recall under IDS noise).
+    for (size_t b = 0; b < bands; ++b)
+        buckets_[b][signature[b]].insert(assigned);
+    return assigned;
+}
+
+std::vector<size_t>
+OnlineClusterer::assignBatch(const std::vector<dna::Sequence> &reads,
+                             ThreadPool *pool)
+{
+    const size_t bands = salts_.size();
     // Phase 1: per-read MinHash signatures. Each read's row is
     // independent, so this fans out across the pool; the signatures
     // depend only on (read, salt), never on scheduling.
@@ -76,92 +139,43 @@ clusterReads(const std::vector<dna::Sequence> &reads,
     parallelFor(pool, reads.size(), [&](size_t r) {
         for (size_t b = 0; b < bands; ++b) {
             signatures[r * bands + b] =
-                minHashSignature(reads[r], params.qgram, salts[b]);
+                minHashSignature(reads[r], params_.qgram, salts_[b]);
         }
     });
 
-    // Phase 2: sequential greedy bucket/assign. This pass defines the
-    // clustering (each read joins the first candidate within the
-    // distance threshold, in bucket order) and therefore stays
-    // single-threaded; with precomputed signatures it is pure hash
-    // lookups plus the banded alignments.
-    std::vector<Cluster> clusters;
-    std::vector<std::unordered_map<uint64_t, Bucket>> buckets(bands);
-    std::vector<size_t> candidates;
-    // candidate_stamp[c] == r + 1 iff cluster c is already a
-    // candidate for read r: an O(1) dedup that needs no per-read
-    // clearing.
-    std::vector<size_t> candidate_stamp;
-
-    std::vector<const std::vector<size_t> *> band_order(bands);
+    // Phase 2: sequential greedy bucket/assign in chunk order. This
+    // pass defines the clustering (each read joins the first
+    // candidate within the distance threshold, in bucket order) and
+    // therefore stays single-threaded; with precomputed signatures
+    // it is pure hash lookups plus the banded alignments.
+    std::vector<size_t> assigned(reads.size());
     for (size_t r = 0; r < reads.size(); ++r) {
         // .data() arithmetic, not operator[]: with zero bands the
         // offset stays 0 and the pointer is never dereferenced.
-        const uint64_t *signature = signatures.data() + r * bands;
-        candidates.clear();
-        // Gather up to max_candidates candidates — a cap across all
-        // bands, not per band. The bands are drained round-robin
-        // (entry i of every band's bucket before entry i + 1 of any)
-        // so that one hot bucket cannot starve the other bands'
-        // entries out of the capped budget: a cluster that is only
-        // reachable through a sparser band stays reachable.
-        size_t depth = 0;
-        for (size_t b = 0; b < bands; ++b) {
-            auto it = buckets[b].find(signature[b]);
-            band_order[b] =
-                it == buckets[b].end() ? nullptr : &it->second.order;
-            if (band_order[b])
-                depth = std::max(depth, band_order[b]->size());
-        }
-        for (size_t i = 0;
-             i < depth && candidates.size() < params.max_candidates;
-             ++i) {
-            for (size_t b = 0; b < bands; ++b) {
-                if (!band_order[b] || i >= band_order[b]->size())
-                    continue;
-                size_t cluster_idx = (*band_order[b])[i];
-                if (candidate_stamp[cluster_idx] != r + 1) {
-                    candidate_stamp[cluster_idx] = r + 1;
-                    candidates.push_back(cluster_idx);
-                    if (candidates.size() >= params.max_candidates)
-                        break;
-                }
-            }
-        }
-
-        size_t assigned = SIZE_MAX;
-        for (size_t cluster_idx : candidates) {
-            const dna::Sequence &rep =
-                reads[clusters[cluster_idx].representative];
-            if (dna::bandedLevenshtein(reads[r], rep,
-                                       params.distance_threshold) !=
-                dna::kDistanceInfinity) {
-                assigned = cluster_idx;
-                break;
-            }
-        }
-
-        if (assigned == SIZE_MAX) {
-            assigned = clusters.size();
-            Cluster cluster;
-            cluster.representative = r;
-            clusters.push_back(cluster);
-            candidate_stamp.push_back(0);
-        }
-        clusters[assigned].members.push_back(r);
-        // Index every member's signatures, not only the
-        // representative's: a later read whose MinHash differs from
-        // the representative can still reach the cluster through any
-        // earlier member (improves recall under IDS noise).
-        for (size_t b = 0; b < bands; ++b)
-            buckets[b][signature[b]].insert(assigned);
+        assigned[r] = assignWithSignatures(
+            reads[r], signatures.data() + r * bands);
     }
+    return assigned;
+}
 
-    std::sort(clusters.begin(), clusters.end(),
+std::vector<Cluster>
+OnlineClusterer::sortedClusters() const
+{
+    std::vector<Cluster> sorted = clusters_;
+    std::sort(sorted.begin(), sorted.end(),
               [](const Cluster &a, const Cluster &b) {
                   return a.size() > b.size();
               });
-    return clusters;
+    return sorted;
+}
+
+std::vector<Cluster>
+clusterReads(const std::vector<dna::Sequence> &reads,
+             const ClustererParams &params, ThreadPool *pool)
+{
+    OnlineClusterer clusterer(params);
+    clusterer.assignBatch(reads, pool);
+    return clusterer.sortedClusters();
 }
 
 } // namespace dnastore::cluster

@@ -1,6 +1,8 @@
 #include "core/decode_service.h"
 
 #include <algorithm>
+#include <atomic>
+#include <set>
 #include <string>
 
 #include "common/error.h"
@@ -24,6 +26,106 @@ elapsedUs(std::chrono::steady_clock::time_point from,
 constexpr double kTokenEpsilon = 1e-9;
 
 } // namespace
+
+/**
+ * Shared session state behind every copy of a DecodeStream handle.
+ * The StreamingDecoder itself is touched only from the dispatcher
+ * thread (chunks of a session are strictly serialized through the
+ * queue); the promise/future maps are shared with caller threads and
+ * guarded by `m`.
+ */
+struct DecodeStream::State
+{
+    DecodeService *service = nullptr;
+    std::weak_ptr<const void> liveness;
+    TenantId tenant = kDefaultTenant;
+
+    /** Dispatcher-thread only after openStream(). */
+    std::unique_ptr<StreamingDecoder> session;
+
+    /** Set once the reads-at-completion histogram was fed, so a
+     *  stream observes exactly one sample (dispatcher-thread only). */
+    bool completion_observed = false;
+
+    std::mutex m;
+    std::map<UnitKey, std::promise<StreamUnitResult>> unit_promises;
+    std::map<UnitKey, std::future<StreamUnitResult>> unit_futures;
+    bool finish_submitted = false;
+
+    std::atomic<bool> complete{false};
+
+    /** StreamingParams::on_unit target: resolves the unit's
+     *  completion future the moment it decodes. */
+    void
+    deliverUnit(uint64_t block, unsigned version, const Bytes &payload)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        auto it = unit_promises.find({block, version});
+        if (it == unit_promises.end())
+            return;  // unexpected unit, or already delivered
+        StreamUnitResult result;
+        result.status = UnitStatus::Decoded;
+        result.block = block;
+        result.version = version;
+        result.payload = payload;
+        it->second.set_value(std::move(result));
+        unit_promises.erase(it);
+    }
+};
+
+DecodeStream::DecodeStream(std::shared_ptr<State> state)
+    : state_(std::move(state))
+{}
+
+std::future<DecodeOutcome>
+DecodeStream::feed(std::vector<sim::Read> reads)
+{
+    {
+        std::lock_guard<std::mutex> lock(state_->m);
+        fatalIf(state_->finish_submitted,
+                "DecodeStream: feed after finish()");
+    }
+    return state_->service->submitStreamChunk(state_, std::move(reads),
+                                              false);
+}
+
+std::future<StreamUnitResult>
+DecodeStream::unitFuture(uint64_t block, unsigned version)
+{
+    std::lock_guard<std::mutex> lock(state_->m);
+    auto it = state_->unit_futures.find({block, version});
+    fatalIf(it == state_->unit_futures.end(),
+            "DecodeStream: unit (", block, ", ", version,
+            ") is not an expected unit of this stream, or its future "
+            "was already claimed");
+    std::future<StreamUnitResult> future = std::move(it->second);
+    state_->unit_futures.erase(it);
+    return future;
+}
+
+std::future<DecodeOutcome>
+DecodeStream::finish()
+{
+    {
+        std::lock_guard<std::mutex> lock(state_->m);
+        fatalIf(state_->finish_submitted,
+                "DecodeStream: finish() called twice");
+        state_->finish_submitted = true;
+    }
+    return state_->service->submitStreamChunk(state_, {}, true);
+}
+
+bool
+DecodeStream::complete() const
+{
+    return state_->complete.load(std::memory_order_acquire);
+}
+
+TenantId
+DecodeStream::tenant() const
+{
+    return state_->tenant;
+}
 
 DecodeService::DecodeService(DecodeServiceParams params)
     : params_(std::move(params)), pool_(params_.threads),
@@ -51,6 +153,21 @@ DecodeService::DecodeService(DecodeServiceParams params)
             &registry.histogram("decode_service.queue_latency_us");
         decode_latency_us_ =
             &registry.histogram("decode_service.decode_latency_us");
+        streams_opened_ =
+            &registry.counter("decode_service.streams_opened");
+        stream_chunks_ =
+            &registry.counter("decode_service.stream_chunks");
+        stream_reads_consumed_ =
+            &registry.counter("decode_service.stream_reads_consumed");
+        stream_reads_skipped_ =
+            &registry.counter("decode_service.stream_reads_skipped");
+        stream_units_early_ =
+            &registry.counter("decode_service.stream_units_early");
+        streams_completed_early_ = &registry.counter(
+            "decode_service.streams_completed_early");
+        stream_reads_at_completion_ = &registry.histogram(
+            "decode_service.stream_reads_at_completion",
+            telemetry::defaultReadCountBounds());
         pool_threads_->set(
             static_cast<int64_t>(pool_.threadCount()));
     }
@@ -59,7 +176,7 @@ DecodeService::DecodeService(DecodeServiceParams params)
     // dispatcher doesn't exist yet, so no lock is needed.
     for (const auto &[tenant, tenant_params] : params_.tenants) {
         (void)tenant_params;
-        tenantStateLocked(tenant);
+        tenants_.emplace(tenant, makeTenantState(tenant));
     }
     // Start the dispatcher only once every member it reads exists.
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
@@ -111,13 +228,9 @@ DecodeService::nowUs() const
             .count());
 }
 
-DecodeService::TenantState &
-DecodeService::tenantStateLocked(TenantId tenant)
+DecodeService::TenantState
+DecodeService::makeTenantState(TenantId tenant) const
 {
-    auto it = tenants_.find(tenant);
-    if (it != tenants_.end())
-        return it->second;
-
     TenantState state;
     auto configured = params_.tenants.find(tenant);
     if (configured != params_.tenants.end())
@@ -148,7 +261,30 @@ DecodeService::tenantStateLocked(TenantId tenant)
         state.queue_latency =
             &registry.histogram(prefix + "queue_latency_us");
     }
-    return tenants_.emplace(tenant, std::move(state)).first->second;
+    return state;
+}
+
+DecodeService::TenantState &
+DecodeService::tenantStateLocked(std::unique_lock<std::mutex> &lock,
+                                 TenantId tenant)
+{
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end())
+        return it->second;
+
+    // First sighting of a runtime tenant. Building its state creates
+    // instruments in the registry, which takes the registry mutex —
+    // drop the service lock for that so the two mutexes are never
+    // held together and a concurrent snapshot()/exportText() never
+    // contends with the admission path.
+    lock.unlock();
+    TenantState fresh = makeTenantState(tenant);
+    lock.lock();
+    fatalIf(!accepting_, "DecodeService: submission after shutdown");
+    // A racing submitter may have inserted the tenant during the gap;
+    // emplace keeps the first insertion and the duplicate instruments
+    // resolve to the same registry objects by name.
+    return tenants_.emplace(tenant, std::move(fresh)).first->second;
 }
 
 void
@@ -181,6 +317,104 @@ DecodeService::submit(const Decoder &decoder,
     return std::move(submitBatch(std::move(batch))[0]);
 }
 
+DecodeService::Verdict
+DecodeService::admitBatch(Batch &pending, size_t n,
+                          telemetry::Counter **tenant_rejected,
+                          telemetry::Counter **tenant_throttled,
+                          bool *ticketed)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    fatalIf(!accepting_, "DecodeService: submission after shutdown");
+    const TenantId tenant = pending.tenant;
+    TenantState &state = tenantStateLocked(lock, tenant);
+    *tenant_rejected = state.rejected;
+    *tenant_throttled = state.throttled;
+    pending.dispatched = state.dispatched;
+    pending.queue_latency = state.queue_latency;
+
+    // A finish marker is a control message, not work: it carries no
+    // reads and must always reach the session (its unit futures
+    // resolve there), so it bypasses the rate and capacity checks.
+    const bool exempt = pending.stream && pending.stream_finish;
+
+    if (!exempt && params_.max_queue_depth > 0) {
+        fatalIf(n > params_.max_queue_depth,
+                "DecodeService: batch of ", n,
+                " requests exceeds max_queue_depth ",
+                params_.max_queue_depth);
+    }
+    const size_t tenant_cap = state.params.max_queue_depth;
+    if (!exempt && tenant_cap > 0) {
+        fatalIf(n > tenant_cap, "DecodeService: batch of ", n,
+                " requests exceeds tenant ", tenant,
+                "'s queue-depth cap of ", tenant_cap);
+    }
+
+    Verdict verdict = Verdict::Admitted;
+
+    // Token bucket first: the rate contract is independent of how
+    // full the queue happens to be, and never blocks.
+    if (!exempt && state.params.bucketEnabled()) {
+        refillBucketLocked(state);
+        if (state.tokens + kTokenEpsilon < static_cast<double>(n)) {
+            verdict = Verdict::Throttled;
+        } else {
+            state.tokens -= static_cast<double>(n);
+        }
+    }
+
+    if (!exempt && verdict == Verdict::Admitted) {
+        auto fits = [&] {
+            if (params_.max_queue_depth > 0 &&
+                in_flight_ + n > params_.max_queue_depth)
+                return false;
+            if (tenant_cap > 0 && state.in_flight + n > tenant_cap)
+                return false;
+            return true;
+        };
+        // Join the ticket line when the queue is full OR other
+        // submitters are already parked — barging past them would
+        // undo the FIFO admission order.
+        if (!fits() || next_ticket_ != serving_ticket_) {
+            if (params_.overflow == OverflowPolicy::Reject) {
+                if (!fits())
+                    verdict = Verdict::Rejected;
+                // A Reject-policy service never parks submitters,
+                // so the line is empty and a fitting batch admits.
+            } else {
+                const uint64_t ticket = next_ticket_++;
+                *ticketed = true;
+                space_cv_.wait(lock, [&] {
+                    return !accepting_ ||
+                           (ticket == serving_ticket_ && fits());
+                });
+                ++serving_ticket_;
+                if (!accepting_) {
+                    // Successors wake via accepting_ and fail too.
+                    space_cv_.notify_all();
+                    fatal("DecodeService: shut down while a "
+                          "submission was blocked on a full queue");
+                }
+            }
+        }
+    }
+    if (verdict == Verdict::Admitted) {
+        in_flight_ += n;
+        state.in_flight += n;
+        if (queue_depth_)
+            queue_depth_->set(static_cast<int64_t>(in_flight_));
+        state.queue.push_back(std::move(pending));
+        ++pending_batches_;
+        if (!state.active) {
+            state.active = true;
+            active_.push_back(tenant);
+        }
+        if (state.admitted)
+            state.admitted->increment(n);
+    }
+    return verdict;
+}
+
 std::vector<std::future<DecodeOutcome>>
 DecodeService::submitBatch(std::vector<DecodeRequest> batch)
 {
@@ -203,106 +437,18 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
         pending.items[i].enqueued = now;
         futures.push_back(pending.items[i].promise.get_future());
     }
+    if (n == 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fatalIf(!accepting_,
+                "DecodeService: submission after shutdown");
+        return futures;
+    }
 
-    enum class Verdict
-    {
-        Admitted,
-        Rejected,
-        Throttled,
-    };
-    Verdict verdict = Verdict::Admitted;
     telemetry::Counter *tenant_rejected = nullptr;
     telemetry::Counter *tenant_throttled = nullptr;
     bool ticketed = false;
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        fatalIf(!accepting_,
-                "DecodeService: submission after shutdown");
-        if (n == 0)
-            return futures;
-        TenantState &state = tenantStateLocked(tenant);
-        tenant_rejected = state.rejected;
-        tenant_throttled = state.throttled;
-        pending.dispatched = state.dispatched;
-        pending.queue_latency = state.queue_latency;
-
-        if (params_.max_queue_depth > 0) {
-            fatalIf(n > params_.max_queue_depth,
-                    "DecodeService: batch of ", n,
-                    " requests exceeds max_queue_depth ",
-                    params_.max_queue_depth);
-        }
-        const size_t tenant_cap = state.params.max_queue_depth;
-        if (tenant_cap > 0) {
-            fatalIf(n > tenant_cap, "DecodeService: batch of ", n,
-                    " requests exceeds tenant ", tenant,
-                    "'s queue-depth cap of ", tenant_cap);
-        }
-
-        // Token bucket first: the rate contract is independent of
-        // how full the queue happens to be, and never blocks.
-        if (state.params.bucketEnabled()) {
-            refillBucketLocked(state);
-            if (state.tokens + kTokenEpsilon <
-                static_cast<double>(n)) {
-                verdict = Verdict::Throttled;
-            } else {
-                state.tokens -= static_cast<double>(n);
-            }
-        }
-
-        if (verdict == Verdict::Admitted) {
-            auto fits = [&] {
-                if (params_.max_queue_depth > 0 &&
-                    in_flight_ + n > params_.max_queue_depth)
-                    return false;
-                if (tenant_cap > 0 &&
-                    state.in_flight + n > tenant_cap)
-                    return false;
-                return true;
-            };
-            // Join the ticket line when the queue is full OR other
-            // submitters are already parked — barging past them
-            // would undo the FIFO admission order.
-            if (!fits() || next_ticket_ != serving_ticket_) {
-                if (params_.overflow == OverflowPolicy::Reject) {
-                    if (!fits())
-                        verdict = Verdict::Rejected;
-                    // A Reject-policy service never parks submitters,
-                    // so the line is empty and a fitting batch admits.
-                } else {
-                    const uint64_t ticket = next_ticket_++;
-                    ticketed = true;
-                    space_cv_.wait(lock, [&] {
-                        return !accepting_ ||
-                               (ticket == serving_ticket_ && fits());
-                    });
-                    ++serving_ticket_;
-                    if (!accepting_) {
-                        // Successors wake via accepting_ and fail too.
-                        space_cv_.notify_all();
-                        fatal("DecodeService: shut down while a "
-                              "submission was blocked on a full "
-                              "queue");
-                    }
-                }
-            }
-        }
-        if (verdict == Verdict::Admitted) {
-            in_flight_ += n;
-            state.in_flight += n;
-            if (queue_depth_)
-                queue_depth_->set(static_cast<int64_t>(in_flight_));
-            state.queue.push_back(std::move(pending));
-            ++pending_batches_;
-            if (!state.active) {
-                state.active = true;
-                active_.push_back(tenant);
-            }
-            if (state.admitted)
-                state.admitted->increment(n);
-        }
-    }
+    Verdict verdict = admitBatch(pending, n, &tenant_rejected,
+                                 &tenant_throttled, &ticketed);
 
     if (verdict != Verdict::Admitted) {
         // Shed: resolve every future with a typed outcome rather
@@ -336,6 +482,98 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
     if (requests_submitted_)
         requests_submitted_->increment(n);
     return futures;
+}
+
+DecodeStream
+DecodeService::openStream(StreamParams params)
+{
+    fatalIf(params.decoder == nullptr,
+            "DecodeService::openStream: no decoder");
+    auto state = std::make_shared<DecodeStream::State>();
+    state->service = this;
+    state->liveness = params.decoder->livenessToken();
+    state->tenant = params.tenant;
+
+    StreamingParams streaming;
+    streaming.expected_units = params.expected_units;
+    streaming.attempt_columns = params.attempt_columns;
+    // The callback outlives nothing: the session lives inside the
+    // state it points back to, and fires only while processing a
+    // chunk of that session.
+    DecodeStream::State *raw = state.get();
+    streaming.on_unit = [raw](uint64_t block, unsigned version,
+                              const Bytes &payload) {
+        raw->deliverUnit(block, version, payload);
+    };
+    state->session = std::make_unique<StreamingDecoder>(
+        params.decoder->partition(), params.decoder->params(),
+        std::move(streaming));
+
+    for (const UnitKey &unit : params.expected_units) {
+        if (state->unit_futures.count(unit))
+            continue;  // a duplicate expected unit gets one future
+        std::promise<StreamUnitResult> promise;
+        state->unit_futures.emplace(unit, promise.get_future());
+        state->unit_promises.emplace(unit, std::move(promise));
+    }
+    {
+        // Resolve the tenant now so the first chunk's admission
+        // doesn't pay the instrument-creation detour.
+        std::unique_lock<std::mutex> lock(mutex_);
+        fatalIf(!accepting_,
+                "DecodeService: openStream after shutdown");
+        tenantStateLocked(lock, params.tenant);
+    }
+    if (streams_opened_)
+        streams_opened_->increment();
+    return DecodeStream(std::move(state));
+}
+
+std::future<DecodeOutcome>
+DecodeService::submitStreamChunk(
+    std::shared_ptr<DecodeStream::State> stream,
+    std::vector<sim::Read> reads, bool finish_marker)
+{
+    Batch pending;
+    pending.tenant = stream->tenant;
+    pending.stream = std::move(stream);
+    pending.chunk = std::move(reads);
+    pending.stream_finish = finish_marker;
+    pending.enqueued = Clock::now();
+    std::future<DecodeOutcome> future =
+        pending.stream_promise.get_future();
+
+    telemetry::Counter *tenant_rejected = nullptr;
+    telemetry::Counter *tenant_throttled = nullptr;
+    bool ticketed = false;
+    Verdict verdict = admitBatch(pending, 1, &tenant_rejected,
+                                 &tenant_throttled, &ticketed);
+
+    if (verdict != Verdict::Admitted) {
+        const bool throttled = verdict == Verdict::Throttled;
+        telemetry::Counter *global =
+            throttled ? requests_throttled_ : requests_rejected_;
+        telemetry::Counter *per_tenant =
+            throttled ? tenant_throttled : tenant_rejected;
+        if (global)
+            global->increment();
+        if (per_tenant)
+            per_tenant->increment();
+        DecodeOutcome outcome;
+        outcome.status = throttled ? DecodeStatus::Throttled
+                                   : DecodeStatus::Overloaded;
+        pending.stream_promise.set_value(std::move(outcome));
+        return future;
+    }
+
+    queue_cv_.notify_one();
+    if (ticketed)
+        space_cv_.notify_all();
+    if (stream_chunks_)
+        stream_chunks_->increment();
+    if (requests_submitted_)
+        requests_submitted_->increment();
+    return future;
 }
 
 size_t
@@ -422,10 +660,116 @@ DecodeService::dispatcherLoop()
             batch = popNextBatchLocked();
         }
         if (params_.on_dispatch)
-            params_.on_dispatch(batch.tenant, batch.items.size());
+            params_.on_dispatch(batch.tenant,
+                                std::max<size_t>(
+                                    1, batch.items.size()));
         if (batch.dispatched)
             batch.dispatched->increment();
-        runBatch(batch);
+        if (batch.stream)
+            runStreamChunk(batch);
+        else
+            runBatch(batch);
+    }
+}
+
+void
+DecodeService::runStreamChunk(Batch &batch)
+{
+    DecodeStream::State &stream = *batch.stream;
+    Clock::time_point start = Clock::now();
+    const uint64_t queued_us = elapsedUs(batch.enqueued, start);
+    if (queue_latency_us_)
+        queue_latency_us_->observe(queued_us);
+    if (batch.queue_latency)
+        batch.queue_latency->observe(queued_us);
+
+    DecodeOutcome outcome;
+    std::exception_ptr error;
+    try {
+        fatalIf(stream.liveness.expired(),
+                "DecodeService: Decoder destroyed before its stream "
+                "chunk ran");
+        const DecodeStats before = stream.session->stats();
+        if (batch.stream_finish) {
+            outcome.units =
+                stream.session->finish(&outcome.stats, &pool_);
+            // Expected units the session never recovered resolve
+            // with a typed Incomplete result, and the finish
+            // outcome reports Partial.
+            size_t missing = 0;
+            {
+                std::lock_guard<std::mutex> lock(stream.m);
+                missing = stream.unit_promises.size();
+                for (auto &[unit, promise] : stream.unit_promises) {
+                    StreamUnitResult result;
+                    result.status = UnitStatus::Incomplete;
+                    result.block = unit.first;
+                    result.version = unit.second;
+                    promise.set_value(std::move(result));
+                }
+                stream.unit_promises.clear();
+            }
+            outcome.status = missing == 0 ? DecodeStatus::Ok
+                                          : DecodeStatus::Partial;
+        } else {
+            const size_t consumed =
+                stream.session->feed(batch.chunk, &pool_);
+            outcome.stats = stream.session->stats();
+            outcome.status = (consumed == 0 && !batch.chunk.empty())
+                                 ? DecodeStatus::Skipped
+                                 : DecodeStatus::Ok;
+        }
+
+        const DecodeStats &after = outcome.stats;
+        if (stream_reads_consumed_)
+            stream_reads_consumed_->increment(
+                after.reads_consumed - before.reads_consumed);
+        if (stream_reads_skipped_)
+            stream_reads_skipped_->increment(
+                after.reads_skipped - before.reads_skipped);
+        if (stream_units_early_)
+            stream_units_early_->increment(
+                after.units_emitted_early -
+                before.units_emitted_early);
+        if (stream.session->complete() &&
+            !stream.complete.load(std::memory_order_relaxed)) {
+            stream.complete.store(true, std::memory_order_release);
+            if (streams_completed_early_)
+                streams_completed_early_->increment();
+        }
+        if ((stream.session->complete() || batch.stream_finish) &&
+            !stream.completion_observed) {
+            stream.completion_observed = true;
+            if (stream_reads_at_completion_)
+                stream_reads_at_completion_->observe(
+                    after.reads_consumed);
+        }
+        if (decode_latency_us_)
+            decode_latency_us_->observe(
+                elapsedUs(start, Clock::now()));
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    // Release queue space before fulfilling the promise: a caller
+    // woken by future.get() must observe the freed capacity.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        in_flight_ -= 1;
+        tenants_.at(batch.tenant).in_flight -= 1;
+        if (queue_depth_)
+            queue_depth_->set(static_cast<int64_t>(in_flight_));
+    }
+    space_cv_.notify_all();
+
+    if (error) {
+        if (requests_failed_)
+            requests_failed_->increment();
+        batch.stream_promise.set_exception(error);
+    } else {
+        if (requests_decoded_)
+            requests_decoded_->increment();
+        batch.stream_promise.set_value(std::move(outcome));
     }
 }
 

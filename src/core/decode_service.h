@@ -186,6 +186,17 @@ enum class DecodeStatus
      *  units/stats are empty. Applies under either overflow policy —
      *  a rate contract never blocks the submitter. */
     Throttled,
+
+    /** A stream chunk that arrived after its session had already
+     *  recovered every expected unit: the reads were counted as
+     *  skipped, never processed. Stream chunks only. */
+    Skipped,
+
+    /** A stream finished with at least one expected unit still
+     *  unrecovered; `units` holds everything that did decode and the
+     *  missing units' futures resolve as Incomplete. Stream finish
+     *  outcomes only. */
+    Partial,
 };
 
 /** What a request's future delivers. */
@@ -226,6 +237,113 @@ class ThrottledError : public OverloadedError
     {}
 };
 
+/** How one expected unit of a stream resolved. */
+enum class UnitStatus
+{
+    /** The unit decoded; `payload` is byte-identical to what a
+     *  one-shot decodeAll of the full read set would produce. */
+    Decoded,
+
+    /** The stream finished before the unit ever became decodable;
+     *  `payload` is empty. */
+    Incomplete,
+};
+
+/** What a per-unit completion future delivers. */
+struct StreamUnitResult
+{
+    UnitStatus status = UnitStatus::Incomplete;
+    uint64_t block = 0;
+    unsigned version = 0;
+    Bytes payload;
+
+    bool operator==(const StreamUnitResult &) const = default;
+};
+
+/** Parameters of one streaming decode session. */
+struct StreamParams
+{
+    /** Decoder bound to the partition the stream reads from. Must
+     *  outlive the stream (same liveness contract as
+     *  DecodeRequest::decoder). */
+    const Decoder *decoder = nullptr;
+
+    /** Tenant every chunk of this stream is billed to. */
+    TenantId tenant = kDefaultTenant;
+
+    /** Units whose recovery completes the session early; each gets a
+     *  completion future (DecodeStream::unitFuture). Empty = deferred
+     *  mode: no early attempts, finish() is byte-identical to a
+     *  one-shot decodeAll (see StreamingParams::expected_units). */
+    std::vector<UnitKey> expected_units;
+
+    /** See StreamingParams::attempt_columns (0 = the margin-derived
+     *  default; early accepts always keep reliability margin >= 3). */
+    size_t attempt_columns = 0;
+};
+
+class DecodeService;
+
+/**
+ * Handle to one streaming decode session on a DecodeService. Obtained
+ * from DecodeService::openStream; copyable (all copies share the
+ * session). Chunks submitted through feed() pass the same admission
+ * control as batch submissions (token bucket, queue depth, WDRR
+ * dispatch — one chunk costs one request) and are processed strictly
+ * in submission order, so the session sees the exact chunk sequence
+ * the caller fed.
+ *
+ * The service must outlive every handle. finish() must be called to
+ * resolve outstanding unit futures (dropping the last handle without
+ * finishing breaks them with std::future_error instead).
+ */
+class DecodeStream
+{
+  public:
+    /**
+     * Submit one chunk. The future resolves after the chunk is
+     * processed: Ok (with the session's running stats) when consumed,
+     * Skipped when the session had already completed, Overloaded /
+     * Throttled when admission shed the chunk before it reached the
+     * session. Throws FatalError after finish() was called or after
+     * service shutdown.
+     */
+    std::future<DecodeOutcome> feed(std::vector<sim::Read> reads);
+
+    /**
+     * Completion future for one expected unit: resolves Decoded the
+     * moment the unit's RS decode succeeds (possibly many chunks
+     * before the stream ends), or Incomplete when finish() runs
+     * first. Each expected unit's future can be claimed once; an
+     * unexpected (block, version) throws FatalError.
+     */
+    std::future<StreamUnitResult> unitFuture(uint64_t block,
+                                             unsigned version);
+
+    /**
+     * Finalize the session: decodes everything still decodable from
+     * the accumulated state, resolves every unclaimed expected-unit
+     * future, and delivers the full result set — DecodeStatus::Ok
+     * when every expected unit decoded (always Ok in deferred mode),
+     * Partial otherwise. Single-shot; further feed()/finish() throws.
+     */
+    std::future<DecodeOutcome> finish();
+
+    /** True once every expected unit has decoded — further feed()
+     *  chunks will be skipped, so callers should stop reading. */
+    bool complete() const;
+
+    TenantId tenant() const;
+
+  private:
+    friend class DecodeService;
+
+    struct State;
+    explicit DecodeStream(std::shared_ptr<State> state);
+
+    std::shared_ptr<State> state_;
+};
+
 class DecodeService
 {
   public:
@@ -255,6 +373,14 @@ class DecodeService
      */
     std::vector<std::future<DecodeOutcome>> submitBatch(
         std::vector<DecodeRequest> batch);
+
+    /**
+     * Open a streaming decode session (see DecodeStream). The
+     * session's chunks flow through this service's admission and
+     * scheduling like any other submission of @p params.tenant.
+     * Throws FatalError after shutdown() or without a decoder.
+     */
+    DecodeStream openStream(StreamParams params);
 
     /**
      * Stop accepting submissions, decode everything already queued
@@ -302,6 +428,16 @@ class DecodeService
         // uninstrumented) so dispatch never re-locks the registry.
         telemetry::Counter *dispatched = nullptr;
         telemetry::Histogram *queue_latency = nullptr;
+
+        // Streaming chunk (items empty, costs one request): the
+        // session it belongs to, the reads, and the chunk's own
+        // completion promise. stream_finish marks the finalizing
+        // pseudo-chunk enqueued by DecodeStream::finish().
+        std::shared_ptr<DecodeStream::State> stream;
+        std::vector<sim::Read> chunk;
+        bool stream_finish = false;
+        std::promise<DecodeOutcome> stream_promise;
+        Clock::time_point enqueued;
     };
 
     /** Per-tenant scheduler state; guarded by mutex_. */
@@ -328,9 +464,42 @@ class DecodeService
     void dispatcherLoop();
     void runBatch(Batch &batch);
 
-    /** Find-or-create a tenant's state (mutex_ held, or pre-thread
-     *  from the constructor). */
-    TenantState &tenantStateLocked(TenantId tenant);
+    /** Process one streaming chunk (or finish marker) inside the
+     *  dispatcher; chunks of one session are strictly serialized. */
+    void runStreamChunk(Batch &batch);
+
+    /** Admission path shared by submitBatch and stream chunks: bill
+     *  the token bucket, wait in the ticket line (Block policy) or
+     *  shed, and enqueue on success. @p pending is consumed only on
+     *  Admitted; a shed verdict leaves it with the caller, whose
+     *  promises must still be resolved. */
+    enum class Verdict
+    {
+        Admitted,
+        Rejected,
+        Throttled,
+    };
+    Verdict admitBatch(Batch &pending, size_t n,
+                       telemetry::Counter **tenant_rejected,
+                       telemetry::Counter **tenant_throttled,
+                       bool *ticketed);
+
+    /** Enqueue one chunk of @p stream through admission control. */
+    std::future<DecodeOutcome> submitStreamChunk(
+        std::shared_ptr<DecodeStream::State> stream,
+        std::vector<sim::Read> reads, bool finish_marker);
+
+    /** Build a fresh tenant's state: validate its contract and create
+     *  its instruments. Takes only the registry lock — never call
+     *  with mutex_ held. */
+    TenantState makeTenantState(TenantId tenant) const;
+
+    /** Find-or-create a tenant's state. On first sighting the
+     *  instruments are created with @p lock dropped (the registry
+     *  mutex is never taken under mutex_), then reacquired; rechecks
+     *  accepting_ after the gap. */
+    TenantState &tenantStateLocked(std::unique_lock<std::mutex> &lock,
+                                   TenantId tenant);
 
     /** Refill a tenant's token bucket to the service clock (mutex_
      *  held). */
@@ -372,6 +541,17 @@ class DecodeService
     telemetry::Gauge *pool_active_ = nullptr;
     telemetry::Histogram *queue_latency_us_ = nullptr;
     telemetry::Histogram *decode_latency_us_ = nullptr;
+
+    // Streaming instruments (null when params_.metrics is null).
+    telemetry::Counter *streams_opened_ = nullptr;
+    telemetry::Counter *stream_chunks_ = nullptr;
+    telemetry::Counter *stream_reads_consumed_ = nullptr;
+    telemetry::Counter *stream_reads_skipped_ = nullptr;
+    telemetry::Counter *stream_units_early_ = nullptr;
+    telemetry::Counter *streams_completed_early_ = nullptr;
+    telemetry::Histogram *stream_reads_at_completion_ = nullptr;
+
+    friend class DecodeStream;
 };
 
 } // namespace dnastore::core

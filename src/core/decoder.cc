@@ -3,17 +3,123 @@
 #include <algorithm>
 
 #include "codec/base_codec.h"
+#include "common/error.h"
 #include "common/thread_pool.h"
 #include "core/layout.h"
 #include "dna/distance.h"
 
 namespace dnastore::core {
 
+namespace {
+
+/** Everything one unit decode produces, reduced in unit order. */
+struct UnitOutcome
+{
+    bool ok = false;
+    Bytes data;  // descrambled raw unit payload, when ok
+    size_t candidate_retries = 0;
+    size_t symbol_errors_corrected = 0;
+    size_t erasures_filled = 0;
+    size_t max_row_correction_load = 0;
+};
+
+/**
+ * Decode one (block, version) unit from its per-column candidate
+ * slots: primary candidates first; on failure, swap in alternates one
+ * address at a time, then progressively erase the least-trustworthy
+ * columns so the outer code can fill them (Section 8.1 fallback).
+ * Shared by the one-shot pipeline and the streaming session's early
+ * attempts — the fallback policy cannot drift between the two paths.
+ */
+UnitOutcome
+decodeUnitWithFallback(
+    const Partition &partition, uint64_t block, unsigned version,
+    const std::map<unsigned, const RecoveredSlot *> &columns)
+{
+    const PartitionConfig &config = partition.config();
+    UnitOutcome outcome;
+
+    std::vector<std::optional<Bytes>> primary(config.rs_n);
+    for (const auto &[column, slot] : columns)
+        primary[column] = slot->candidates.front().payload;
+
+    ecc::UnitDecodeResult decoded =
+        partition.unitCodec().decode(primary);
+    if (!decoded.ok()) {
+        for (const auto &[column, slot] : columns) {
+            if (decoded.ok())
+                break;
+            for (size_t alt = 1; alt < slot->candidates.size();
+                 ++alt) {
+                auto trial = primary;
+                trial[column] = slot->candidates[alt].payload;
+                ++outcome.candidate_retries;
+                ecc::UnitDecodeResult attempt =
+                    partition.unitCodec().decode(trial);
+                if (attempt.ok()) {
+                    decoded = std::move(attempt);
+                    break;
+                }
+            }
+        }
+    }
+    if (!decoded.ok()) {
+        // Erase suspect columns, worst first (most index mismatches,
+        // fewest supporting reads).
+        std::vector<unsigned> order;
+        for (const auto &[column, slot] : columns)
+            order.push_back(column);
+        std::sort(order.begin(), order.end(),
+                  [&](unsigned a, unsigned b) {
+                      const StrandCandidate &ca =
+                          columns.at(a)->candidates.front();
+                      const StrandCandidate &cb =
+                          columns.at(b)->candidates.front();
+                      if (ca.index_mismatches != cb.index_mismatches)
+                          return ca.index_mismatches >
+                                 cb.index_mismatches;
+                      return ca.cluster_size < cb.cluster_size;
+                  });
+        size_t max_erase = std::min<size_t>(
+            order.size(), config.rs_n - config.rs_k);
+        auto trial = primary;
+        for (size_t e = 0; e < max_erase && !decoded.ok(); ++e) {
+            trial[order[e]].reset();
+            ++outcome.candidate_retries;
+            ecc::UnitDecodeResult attempt =
+                partition.unitCodec().decode(trial);
+            if (attempt.ok())
+                decoded = std::move(attempt);
+        }
+    }
+
+    if (!decoded.ok())
+        return outcome;
+    outcome.ok = true;
+    outcome.symbol_errors_corrected = decoded.symbol_errors_corrected;
+    outcome.erasures_filled = decoded.erasures_filled;
+    outcome.max_row_correction_load = decoded.max_row_correction_load;
+    outcome.data =
+        partition.unscrambleUnitRaw(*decoded.data, block, version);
+    return outcome;
+}
+
+/** Best-first candidate order within a slot (Section 8.1 ranking). */
+bool
+candidateBefore(const StrandCandidate &a, const StrandCandidate &b)
+{
+    if (a.index_mismatches != b.index_mismatches)
+        return a.index_mismatches < b.index_mismatches;
+    return a.cluster_size > b.cluster_size;
+}
+
+} // namespace
+
 Decoder::Decoder(const Partition &partition, DecoderParams params)
     : partition_(partition), params_(params)
 {}
 
-std::map<std::tuple<uint64_t, unsigned, unsigned>, Decoder::Recovered>
+std::map<std::tuple<uint64_t, unsigned, unsigned>, RecoveredSlot>
 Decoder::recoverStrands(const std::vector<sim::Read> &reads,
                         DecodeStats *stats, ThreadPool &pool) const
 {
@@ -37,10 +143,12 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
     }
     if (stats) {
         stats->reads_in = reads.size();
+        // The one-shot pipeline ingests everything it is offered.
+        stats->reads_consumed = reads.size();
         stats->reads_primer_matched = filtered.size();
     }
 
-    std::map<std::tuple<uint64_t, unsigned, unsigned>, Recovered>
+    std::map<std::tuple<uint64_t, unsigned, unsigned>, RecoveredSlot>
         recovered;
     if (filtered.empty())
         return recovered;
@@ -93,12 +201,12 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
         }
 
         auto key = std::make_tuple(match.block, match.version, column);
-        Recovered &slot = recovered[key];
+        RecoveredSlot &slot = recovered[key];
         if (!slot.candidates.empty() && stats)
             ++stats->duplicate_addresses;
         if (slot.candidates.size() <
             params_.max_candidates_per_address) {
-            Candidate candidate;
+            StrandCandidate candidate;
             candidate.payload = codec::basesToBytes(fields->payload);
             candidate.cluster_size = c.size();
             candidate.index_mismatches = match.mismatches;
@@ -112,29 +220,10 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
     // first; misprimed amplicons sink to the back (Section 8.1).
     for (auto &[key, slot] : recovered) {
         std::sort(slot.candidates.begin(), slot.candidates.end(),
-                  [](const Candidate &a, const Candidate &b) {
-                      if (a.index_mismatches != b.index_mismatches)
-                          return a.index_mismatches <
-                                 b.index_mismatches;
-                      return a.cluster_size > b.cluster_size;
-                  });
+                  candidateBefore);
     }
     return recovered;
 }
-
-namespace {
-
-/** Everything one unit decode produces, reduced in unit order. */
-struct UnitOutcome
-{
-    bool ok = false;
-    Bytes data;  // descrambled raw unit payload, when ok
-    size_t candidate_retries = 0;
-    size_t symbol_errors_corrected = 0;
-    size_t erasures_filled = 0;
-};
-
-} // namespace
 
 std::map<uint64_t, BlockVersions>
 Decoder::decodeAll(const std::vector<sim::Read> &reads,
@@ -152,13 +241,10 @@ std::map<uint64_t, BlockVersions>
 Decoder::decodeAll(const std::vector<sim::Read> &reads,
                    DecodeStats *stats, ThreadPool &pool) const
 {
-    const PartitionConfig &config = partition_.config();
     auto recovered = recoverStrands(reads, stats, pool);
 
     // Group addresses by (block, version).
-    std::map<std::pair<uint64_t, unsigned>,
-             std::map<unsigned, const Recovered *>>
-        units;
+    std::map<UnitKey, std::map<unsigned, const RecoveredSlot *>> units;
     for (const auto &[key, slot] : recovered) {
         auto [block, version, column] = key;
         units[{block, version}][column] = &slot;
@@ -168,8 +254,9 @@ Decoder::decodeAll(const std::vector<sim::Read> &reads,
     // of `recovered` and the const partition codecs), so the decodes
     // fan out across the pool; stats and results are merged
     // sequentially in unit-key order below.
-    std::vector<std::pair<std::pair<uint64_t, unsigned>,
-                          const std::map<unsigned, const Recovered *> *>>
+    std::vector<std::pair<UnitKey,
+                          const std::map<unsigned,
+                                         const RecoveredSlot *> *>>
         unit_list;
     unit_list.reserve(units.size());
     for (const auto &[unit_key, columns] : units)
@@ -177,82 +264,9 @@ Decoder::decodeAll(const std::vector<sim::Read> &reads,
 
     std::vector<UnitOutcome> outcomes =
         pool.parallelMap<UnitOutcome>(unit_list.size(), [&](size_t u) {
-            const auto &[unit_key, columns_ptr] = unit_list[u];
-            const auto &columns = *columns_ptr;
-            auto [block, version] = unit_key;
-            UnitOutcome outcome;
-
-            // Try the primary candidates first; on failure, swap in
-            // alternates one address at a time, then progressively
-            // erase the least-trustworthy columns so the outer code
-            // can fill them (Section 8.1 fallback).
-            std::vector<std::optional<Bytes>> primary(config.rs_n);
-            for (const auto &[column, slot] : columns)
-                primary[column] = slot->candidates.front().payload;
-
-            ecc::UnitDecodeResult decoded =
-                partition_.unitCodec().decode(primary);
-            if (!decoded.ok()) {
-                for (const auto &[column, slot] : columns) {
-                    if (decoded.ok())
-                        break;
-                    for (size_t alt = 1;
-                         alt < slot->candidates.size(); ++alt) {
-                        auto trial = primary;
-                        trial[column] = slot->candidates[alt].payload;
-                        ++outcome.candidate_retries;
-                        ecc::UnitDecodeResult attempt =
-                            partition_.unitCodec().decode(trial);
-                        if (attempt.ok()) {
-                            decoded = std::move(attempt);
-                            break;
-                        }
-                    }
-                }
-            }
-            if (!decoded.ok()) {
-                // Erase suspect columns, worst first (most index
-                // mismatches, fewest supporting reads).
-                std::vector<unsigned> order;
-                for (const auto &[column, slot] : columns)
-                    order.push_back(column);
-                std::sort(order.begin(), order.end(),
-                          [&](unsigned a, unsigned b) {
-                              const Candidate &ca =
-                                  columns.at(a)->candidates.front();
-                              const Candidate &cb =
-                                  columns.at(b)->candidates.front();
-                              if (ca.index_mismatches !=
-                                  cb.index_mismatches) {
-                                  return ca.index_mismatches >
-                                         cb.index_mismatches;
-                              }
-                              return ca.cluster_size <
-                                     cb.cluster_size;
-                          });
-                size_t max_erase = std::min<size_t>(
-                    order.size(), config.rs_n - config.rs_k);
-                auto trial = primary;
-                for (size_t e = 0; e < max_erase && !decoded.ok();
-                     ++e) {
-                    trial[order[e]].reset();
-                    ++outcome.candidate_retries;
-                    ecc::UnitDecodeResult attempt =
-                        partition_.unitCodec().decode(trial);
-                    if (attempt.ok())
-                        decoded = std::move(attempt);
-                }
-            }
-
-            if (!decoded.ok())
-                return outcome;
-            outcome.ok = true;
-            outcome.symbol_errors_corrected =
-                decoded.symbol_errors_corrected;
-            outcome.erasures_filled = decoded.erasures_filled;
-            outcome.data = partition_.unscrambleUnitRaw(
-                *decoded.data, block, version);
-            return outcome;
+            const auto &[unit_key, columns] = unit_list[u];
+            return decodeUnitWithFallback(partition_, unit_key.first,
+                                          unit_key.second, *columns);
         });
 
     std::map<uint64_t, BlockVersions> result;
@@ -332,6 +346,430 @@ Decoder::decodeBlock(const std::vector<sim::Read> &reads, uint64_t block,
     Bytes base = base_it->second;
     base.resize(partition_.config().block_data_bytes);
     return applyUpdateChain(base, it->second, overflow_block);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingDecoder
+
+StreamingDecoder::StreamingDecoder(const Partition &partition,
+                                   DecoderParams params,
+                                   StreamingParams streaming)
+    : partition_(partition), params_(params),
+      streaming_(std::move(streaming)), clusterer_(params_.cluster)
+{
+    eager_ = !streaming_.expected_units.empty();
+    for (const UnitKey &unit : streaming_.expected_units)
+        expected_remaining_.insert(unit);
+}
+
+StreamingDecoder::~StreamingDecoder() = default;
+
+ThreadPool &
+StreamingDecoder::resolvePool(ThreadPool *pool)
+{
+    if (pool)
+        return *pool;
+    if (!own_pool_) {
+        own_pool_ = std::make_unique<ThreadPool>(
+            ThreadPool::resolveThreadCount(params_.threads));
+    }
+    return *own_pool_;
+}
+
+size_t
+StreamingDecoder::feed(const std::vector<sim::Read> &reads,
+                       ThreadPool *pool)
+{
+    fatalIf(finished_, "StreamingDecoder::feed after finish()");
+    stats_.reads_in += reads.size();
+    if (complete_) {
+        // Early termination: the session stops consuming; skipped
+        // reads are counted, never processed (satellite: they must
+        // not be misreported as consumed).
+        stats_.reads_skipped += reads.size();
+        return 0;
+    }
+    stats_.reads_consumed += reads.size();
+    if (reads.empty())
+        return 0;
+    ThreadPool &p = resolvePool(pool);
+
+    // Step 1: primer filter — the same per-read decision as the
+    // one-shot pipeline, so the surviving stream is identical.
+    const dna::Sequence &stem = partition_.elongation().stem();
+    std::vector<uint8_t> keep(reads.size(), 0);
+    p.parallelFor(reads.size(), [&](size_t i) {
+        dna::PrefixAlignment align = dna::alignPrimerToPrefix(
+            stem, reads[i].seq, params_.primer_match_dist);
+        keep[i] = align.distance != dna::kDistanceInfinity;
+    });
+    std::vector<dna::Sequence> filtered;
+    filtered.reserve(reads.size());
+    for (size_t i = 0; i < reads.size(); ++i) {
+        if (keep[i])
+            filtered.push_back(reads[i].seq);
+    }
+    stats_.reads_primer_matched += filtered.size();
+    if (filtered.empty())
+        return reads.size();
+
+    // Step 2: online clustering — the chunk joins the running index.
+    std::vector<size_t> joined = clusterer_.assignBatch(filtered, &p);
+    views_.resize(clusterer_.clusters().size());
+
+    if (!eager_)
+        return reads.size();  // deferred: finish() runs steps 3-4
+
+    // Step 3: refresh consensus for the clusters this chunk touched
+    // (only those big enough to be used), then fire RS attempts for
+    // any unit whose column map changed.
+    std::sort(joined.begin(), joined.end());
+    joined.erase(std::unique(joined.begin(), joined.end()),
+                 joined.end());
+    std::vector<size_t> usable;
+    usable.reserve(joined.size());
+    for (size_t c : joined) {
+        if (clusterer_.clusters()[c].size() >=
+            params_.min_cluster_size)
+            usable.push_back(c);
+    }
+    if (usable.empty())
+        return reads.size();
+
+    std::set<UnitKey> changed = refreshClusters(usable, p);
+    attemptUnits(changed, p);
+    return reads.size();
+}
+
+std::set<UnitKey>
+StreamingDecoder::refreshClusters(const std::vector<size_t> &cluster_ids,
+                                  ThreadPool &pool)
+{
+    const PartitionConfig &config = partition_.config();
+
+    // Consensus per cluster depends only on (all reads so far, that
+    // cluster's membership) — independent of chunking and of every
+    // other cluster — so the runs fan out across the pool and the
+    // views update sequentially in ascending cluster id.
+    std::vector<std::vector<size_t>> memberships(cluster_ids.size());
+    for (size_t i = 0; i < cluster_ids.size(); ++i)
+        memberships[i] = clusterer_.clusters()[cluster_ids[i]].members;
+    std::vector<dna::Sequence> strands = consensus::bmaDoubleSidedBatch(
+        clusterer_.reads(), memberships, config.strand_length,
+        params_.bma, &pool);
+
+    std::set<UnitKey> changed;
+    for (size_t i = 0; i < cluster_ids.size(); ++i) {
+        size_t c = cluster_ids[i];
+        ClusterView &view = views_[c];
+
+        // Unmap the previous consensus of this cluster from its unit
+        // before recording the new one.
+        if (view.state == ClusterView::State::Mapped) {
+            auto unit_it = pending_units_.find(view.unit);
+            if (unit_it != pending_units_.end()) {
+                auto col_it = unit_it->second.find(view.column);
+                if (col_it != unit_it->second.end()) {
+                    auto &ids = col_it->second;
+                    ids.erase(std::remove(ids.begin(), ids.end(), c),
+                              ids.end());
+                    if (ids.empty())
+                        unit_it->second.erase(col_it);
+                    if (unit_it->second.empty())
+                        pending_units_.erase(unit_it);
+                    changed.insert(view.unit);
+                }
+            }
+        }
+        view.members_at_consensus = clusterer_.clusters()[c].size();
+        view.state = ClusterView::State::Unparsed;
+
+        std::optional<StrandFields> fields =
+            parseStrand(config, strands[i]);
+        if (!fields)
+            continue;
+        index::IndexMatch match =
+            partition_.tree().decodeNearest(fields->address);
+        if (match.mismatches > params_.max_index_mismatches) {
+            view.state = ClusterView::State::IndexReject;
+            continue;
+        }
+        unsigned column = decodeIntra(config, fields->intra);
+        if (column >= config.rs_n) {
+            view.state = ClusterView::State::IndexReject;
+            continue;
+        }
+
+        view.state = ClusterView::State::Mapped;
+        view.unit = {match.block, match.version};
+        view.column = column;
+        view.payload = codec::basesToBytes(fields->payload);
+        view.index_mismatches = match.mismatches;
+        if (!completed_.count(view.unit)) {
+            pending_units_[view.unit][column].push_back(c);
+            changed.insert(view.unit);
+        }
+    }
+    return changed;
+}
+
+void
+StreamingDecoder::attemptUnits(const std::set<UnitKey> &changed,
+                               ThreadPool &pool)
+{
+    const PartitionConfig &config = partition_.config();
+    // An accepted early decode must keep a reliability margin of at
+    // least 3: with f erasures filled and e symbols corrected, a
+    // wrong-but-"successful" decode needs >= d - f - 2e genuinely
+    // wrong consensus columns at once (d = rs_n - rs_k + 1). At
+    // exactly rs_k columns the margin is zero — errors-and-erasures
+    // degenerates to interpolation and a single wrong column yields a
+    // confidently wrong payload, which is how the original streaming
+    // bug corrupted early emissions. The default attempt threshold
+    // admits just enough missing columns that a clean decode can
+    // still clear the margin, so a structurally thin column does not
+    // block early termination forever.
+    const size_t distance = config.rs_n - config.rs_k + 1;
+    const size_t slack = distance > 3 ? distance - 3 : 0;
+    const size_t threshold = streaming_.attempt_columns
+                                 ? streaming_.attempt_columns
+                                 : config.rs_n - slack;
+
+    // std::set iteration gives ascending unit-key order — the
+    // deterministic emission order within a chunk.
+    std::vector<UnitKey> attempt;
+    for (const UnitKey &unit : changed) {
+        auto it = pending_units_.find(unit);
+        if (it != pending_units_.end() &&
+            it->second.size() >= threshold)
+            attempt.push_back(unit);
+    }
+    if (attempt.empty())
+        return;
+
+    // Build candidate slots per unit: within a column, contributors
+    // rank best-first (fewest index mismatches, most supporting
+    // reads, then cluster id as a total tiebreak), capped at
+    // max_candidates_per_address like the one-shot path.
+    std::vector<std::map<unsigned, RecoveredSlot>> slots(
+        attempt.size());
+    for (size_t u = 0; u < attempt.size(); ++u) {
+        for (const auto &[column, ids] :
+             pending_units_.at(attempt[u])) {
+            std::vector<size_t> ranked = ids;
+            std::sort(
+                ranked.begin(), ranked.end(),
+                [&](size_t a, size_t b) {
+                    const ClusterView &va = views_[a];
+                    const ClusterView &vb = views_[b];
+                    if (va.index_mismatches != vb.index_mismatches)
+                        return va.index_mismatches <
+                               vb.index_mismatches;
+                    size_t sa = clusterer_.clusters()[a].size();
+                    size_t sb = clusterer_.clusters()[b].size();
+                    if (sa != sb)
+                        return sa > sb;
+                    return a < b;
+                });
+            RecoveredSlot &slot = slots[u][column];
+            size_t take = std::min(
+                ranked.size(), params_.max_candidates_per_address);
+            for (size_t i = 0; i < take; ++i) {
+                StrandCandidate candidate;
+                candidate.payload = views_[ranked[i]].payload;
+                candidate.cluster_size =
+                    clusterer_.clusters()[ranked[i]].size();
+                candidate.index_mismatches =
+                    views_[ranked[i]].index_mismatches;
+                slot.candidates.push_back(std::move(candidate));
+            }
+        }
+    }
+
+    // The attempts are independent; fan out, fold in key order. A
+    // failed probe is not stats-visible — the unit re-attempts the
+    // next time its column map changes, and only its terminal decode
+    // counts (keeping eager stats comparable to one-shot stats).
+    std::vector<std::map<unsigned, const RecoveredSlot *>> column_ptrs(
+        attempt.size());
+    for (size_t u = 0; u < attempt.size(); ++u) {
+        for (const auto &[column, slot] : slots[u])
+            column_ptrs[u][column] = &slot;
+    }
+    std::vector<UnitOutcome> outcomes =
+        pool.parallelMap<UnitOutcome>(attempt.size(), [&](size_t u) {
+            return decodeUnitWithFallback(partition_,
+                                          attempt[u].first,
+                                          attempt[u].second,
+                                          column_ptrs[u]);
+        });
+    for (size_t u = 0; u < attempt.size(); ++u) {
+        UnitOutcome &outcome = outcomes[u];
+        if (!outcome.ok)
+            continue;
+        // An early emission freezes the payload, so it must be
+        // trustworthy on partial evidence: enforce the reliability
+        // margin described above on the unit's weakest codeword
+        // (f + 2e <= d - 3 per row, so a wrong accept needs at least
+        // 3 genuinely wrong symbols in one row at once). A decode
+        // whose worst row burned more of the code's distance on
+        // erasure fallback or corrections can be a confident
+        // mis-correction while clusters are still small — defer it to
+        // the next column-map change or to finish(), where the full
+        // read set backs the consensus.
+        if (outcome.max_row_correction_load > slack)
+            continue;
+        ++stats_.units_attempted;
+        ++stats_.units_decoded;
+        stats_.candidate_retries += outcome.candidate_retries;
+        stats_.symbol_errors_corrected +=
+            outcome.symbol_errors_corrected;
+        stats_.erasures_filled += outcome.erasures_filled;
+        emitUnit(attempt[u], std::move(outcome.data), true);
+    }
+}
+
+void
+StreamingDecoder::emitUnit(const UnitKey &unit, Bytes payload,
+                           bool early)
+{
+    if (early) {
+        ++stats_.units_emitted_early;
+        pending_units_.erase(unit);
+    }
+    auto [it, inserted] = completed_.emplace(unit, std::move(payload));
+    (void)inserted;
+    emitted_.push_back({unit.first, unit.second, it->second});
+    if (streaming_.on_unit)
+        streaming_.on_unit(unit.first, unit.second, it->second);
+    if (!expected_remaining_.empty()) {
+        expected_remaining_.erase(unit);
+        if (expected_remaining_.empty())
+            complete_ = true;
+    }
+}
+
+std::map<uint64_t, BlockVersions>
+StreamingDecoder::finish(DecodeStats *stats, ThreadPool *pool)
+{
+    fatalIf(finished_, "StreamingDecoder::finish called twice");
+    finished_ = true;
+    ThreadPool &p = resolvePool(pool);
+
+    // Bring consensus up to date for every usable cluster that grew
+    // since its last refresh. Deferred mode: that is all of them, so
+    // steps 3-4 below replay the one-shot pipeline over the full
+    // accumulated state. Early-terminated sessions skip this — their
+    // pending attempts are cancelled, not completed.
+    views_.resize(clusterer_.clusters().size());
+    if (!complete_) {
+        std::vector<size_t> stale;
+        for (size_t c = 0; c < views_.size(); ++c) {
+            const cluster::Cluster &cl = clusterer_.clusters()[c];
+            if (cl.size() >= params_.min_cluster_size &&
+                views_[c].members_at_consensus != cl.size())
+                stale.push_back(c);
+        }
+        if (!stale.empty())
+            refreshClusters(stale, p);
+    }
+
+    // Assemble per-address candidate slots in the exact order the
+    // one-shot pipeline uses: clusters by decreasing size, size
+    // cutoff as a prefix. This defines the cluster/strand accounting
+    // in every mode; in non-complete sessions it also feeds the RS
+    // sweep below, making deferred finish() ≡ decodeAll by
+    // construction.
+    std::vector<size_t> order(clusterer_.clusters().size());
+    for (size_t c = 0; c < order.size(); ++c)
+        order[c] = c;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return clusterer_.clusters()[a].size() >
+               clusterer_.clusters()[b].size();
+    });
+
+    stats_.clusters_total = clusterer_.clusters().size();
+    std::map<std::tuple<uint64_t, unsigned, unsigned>, RecoveredSlot>
+        recovered;
+    for (size_t c : order) {
+        const cluster::Cluster &cl = clusterer_.clusters()[c];
+        if (cl.size() < params_.min_cluster_size)
+            break;  // sorted: the rest are below the cutoff too
+        ++stats_.clusters_used;
+        const ClusterView &view = views_[c];
+        if (view.state == ClusterView::State::Unparsed)
+            continue;
+        if (view.state == ClusterView::State::IndexReject) {
+            ++stats_.index_rejects;
+            continue;
+        }
+        auto key = std::make_tuple(view.unit.first, view.unit.second,
+                                   view.column);
+        RecoveredSlot &slot = recovered[key];
+        if (!slot.candidates.empty())
+            ++stats_.duplicate_addresses;
+        if (slot.candidates.size() <
+            params_.max_candidates_per_address) {
+            StrandCandidate candidate;
+            candidate.payload = view.payload;
+            candidate.cluster_size = cl.size();
+            candidate.index_mismatches = view.index_mismatches;
+            slot.candidates.push_back(std::move(candidate));
+            ++stats_.strands_recovered;
+        }
+    }
+    for (auto &[key, slot] : recovered) {
+        std::sort(slot.candidates.begin(), slot.candidates.end(),
+                  candidateBefore);
+    }
+
+    // Step 4: RS-decode every unit not already emitted. An
+    // early-terminated session decodes nothing further.
+    std::map<UnitKey, std::map<unsigned, const RecoveredSlot *>> units;
+    if (!complete_) {
+        for (const auto &[key, slot] : recovered) {
+            auto [block, version, column] = key;
+            UnitKey unit{block, version};
+            if (completed_.count(unit))
+                continue;
+            units[unit][column] = &slot;
+        }
+    }
+    std::vector<std::pair<UnitKey,
+                          const std::map<unsigned,
+                                         const RecoveredSlot *> *>>
+        unit_list;
+    unit_list.reserve(units.size());
+    for (const auto &[unit, columns] : units)
+        unit_list.emplace_back(unit, &columns);
+    std::vector<UnitOutcome> outcomes =
+        p.parallelMap<UnitOutcome>(unit_list.size(), [&](size_t u) {
+            const auto &[unit, columns] = unit_list[u];
+            return decodeUnitWithFallback(partition_, unit.first,
+                                          unit.second, *columns);
+        });
+    for (size_t u = 0; u < unit_list.size(); ++u) {
+        const UnitKey &unit = unit_list[u].first;
+        UnitOutcome &outcome = outcomes[u];
+        ++stats_.units_attempted;
+        stats_.candidate_retries += outcome.candidate_retries;
+        if (!outcome.ok) {
+            ++stats_.units_failed;
+            continue;
+        }
+        ++stats_.units_decoded;
+        stats_.symbol_errors_corrected +=
+            outcome.symbol_errors_corrected;
+        stats_.erasures_filled += outcome.erasures_filled;
+        emitUnit(unit, std::move(outcome.data), false);
+    }
+
+    std::map<uint64_t, BlockVersions> result;
+    for (const auto &[unit, payload] : completed_)
+        result[unit.first].versions[unit.second] = payload;
+    if (stats)
+        *stats = stats_;
+    return result;
 }
 
 } // namespace dnastore::core

@@ -16,15 +16,29 @@
  *     column), decode each unit with RS errors-and-erasures,
  *     descramble;
  *  5. apply each block's update chain in version order.
+ *
+ * Two entry points share the stages. Decoder::decodeAll is the
+ * one-shot path: the whole read set in, every decodable unit out.
+ * StreamingDecoder is the incremental path: reads stream in through
+ * feed() (as they come off a sequencer) into a running OnlineClusterer
+ * and per-cluster consensus state, each RS unit decodes the moment its
+ * column coverage suffices, and the session terminates early — further
+ * reads are skipped, not processed — once every expected unit is
+ * recovered. That makes p50 decode latency proportional to when the
+ * file *became* recoverable instead of to the worst-case read budget.
  */
 
 #ifndef DNASTORE_CORE_DECODER_H
 #define DNASTORE_CORE_DECODER_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "cluster/clusterer.h"
@@ -70,6 +84,7 @@ struct DecoderParams
 /** Counters reported by a decode run. */
 struct DecodeStats
 {
+    /** Reads offered to the pipeline — consumed or skipped. */
     size_t reads_in = 0;
     size_t reads_primer_matched = 0;
     size_t clusters_total = 0;
@@ -84,6 +99,20 @@ struct DecodeStats
     size_t erasures_filled = 0;
     size_t candidate_retries = 0;
 
+    /** Reads the pipeline actually ingested (filtered, clustered).
+     *  Always reads_in for the one-shot path; for a streaming session
+     *  it stops growing at early termination, so skipped reads are
+     *  never misreported as processed. Invariant:
+     *  reads_in == reads_consumed + reads_skipped. */
+    size_t reads_consumed = 0;
+
+    /** Reads offered after the session completed; never processed. */
+    size_t reads_skipped = 0;
+
+    /** Units emitted by an early (pre-finish) streaming RS attempt.
+     *  Always 0 for the one-shot path. */
+    size_t units_emitted_early = 0;
+
     /** Field-wise equality (used by the thread-invariance tests). */
     bool operator==(const DecodeStats &) const = default;
 };
@@ -95,6 +124,28 @@ struct BlockVersions
     std::map<unsigned, Bytes> versions;
 
     bool operator==(const BlockVersions &) const = default;
+};
+
+/** One payload candidate recovered for a (block, version, column)
+ *  address (step 3's output, step 4's input). */
+struct StrandCandidate
+{
+    Bytes payload;
+
+    /** Reads supporting the reconstruction. */
+    size_t cluster_size = 0;
+
+    /** Tree-walk mismatches of the decoded index; misprimed
+     *  amplicons typically decode with 1-2 mismatches while true
+     *  strands decode exactly, so this ranks candidates. */
+    size_t index_mismatches = 0;
+};
+
+/** All candidates recovered for one address, sorted best-first:
+ *  fewest index mismatches, then most supporting reads. */
+struct RecoveredSlot
+{
+    std::vector<StrandCandidate> candidates;
 };
 
 class Decoder
@@ -142,6 +193,9 @@ class Decoder
         const Bytes &base, const BlockVersions &chain,
         std::optional<uint64_t> *overflow_block = nullptr) const;
 
+    const Partition &partition() const { return partition_; }
+    const DecoderParams &params() const { return params_; }
+
     /**
      * Expires when this decoder is destroyed. DecodeService captures
      * it at submission and refuses (FatalError through the future) to
@@ -159,30 +213,190 @@ class Decoder
     /** Anchor for livenessToken(); dies with the decoder. */
     std::shared_ptr<const void> liveness_ = std::make_shared<int>(0);
 
-    struct Candidate
+    /** Steps 1-3: reads -> per-address payload candidates. */
+    std::map<std::tuple<uint64_t, unsigned, unsigned>, RecoveredSlot>
+    recoverStrands(const std::vector<sim::Read> &reads,
+                   DecodeStats *stats, ThreadPool &pool) const;
+};
+
+/** Identifies one RS encoding unit: (block, version slot). */
+using UnitKey = std::pair<uint64_t, unsigned>;
+
+/** Streaming-session knobs (on top of DecoderParams). */
+struct StreamingParams
+{
+    /**
+     * Units whose recovery terminates the session early: once every
+     * listed unit has decoded, the session is complete() and further
+     * feed() chunks are skipped (counted, never processed). Typically
+     * {(block, 0)} for every block of the file being read.
+     *
+     * Empty list = deferred mode: feed() only accumulates cluster
+     * state (no early RS attempts, no early termination) and
+     * finish() is byte-identical — units AND DecodeStats — to a
+     * one-shot Decoder::decodeAll over the concatenated chunks.
+     */
+    std::vector<UnitKey> expected_units;
+
+    /**
+     * Distinct columns a unit needs before an early RS attempt
+     * fires; 0 = rs_n - max(0, d - 3) where d = rs_n - rs_k + 1 is
+     * the code's minimum distance (13 of 15 for the default RS
+     * geometry). Early attempts additionally only accept outcomes
+     * whose erasures f and corrections e keep the reliability margin
+     * d - f - 2e >= 3, so a frozen early payload can only be wrong
+     * if three consensus columns are wrong at once. Lowering the
+     * threshold toward rs_k fires attempts sooner but cannot bypass
+     * that accept guard — at exactly rs_k a decode is pure
+     * interpolation and would never clear the margin. Eager mode
+     * only.
+     */
+    size_t attempt_columns = 0;
+
+    /**
+     * Invoked synchronously from inside feed()/finish() for each
+     * unit the moment it decodes, in deterministic order (ascending
+     * unit key within a chunk). The payload is the descrambled raw
+     * unit payload, byte-identical to the one-shot decode of the
+     * same unit.
+     */
+    std::function<void(uint64_t block, unsigned version,
+                       const Bytes &payload)>
+        on_unit;
+};
+
+/** One unit emitted by a streaming session, in emission order. */
+struct StreamedUnit
+{
+    uint64_t block = 0;
+    unsigned version = 0;
+    Bytes payload;
+
+    bool operator==(const StreamedUnit &) const = default;
+};
+
+/**
+ * Incremental decode session. Feed reads as they arrive; the session
+ * maintains a running OnlineClusterer, per-cluster BMA consensus, and
+ * per-unit column coverage, firing an RS unit decode as soon as a
+ * unit's coverage threshold is met. All processing happens inside
+ * feed()/finish() on the caller's thread (fanning out internal stages
+ * on the given pool) — the session itself is not thread-safe; drive
+ * it from one thread, or through DecodeService::openStream which
+ * serializes chunks per session.
+ *
+ * Determinism: for a fixed chunk sequence, the emitted units, their
+ * order, and the final stats are byte-identical for any pool size,
+ * and every emitted payload is byte-identical to the one-shot
+ * decodeAll of the full read set.
+ */
+class StreamingDecoder
+{
+  public:
+    StreamingDecoder(const Partition &partition, DecoderParams params,
+                     StreamingParams streaming = {});
+    ~StreamingDecoder();
+
+    StreamingDecoder(const StreamingDecoder &) = delete;
+    StreamingDecoder &operator=(const StreamingDecoder &) = delete;
+
+    /**
+     * Ingest one chunk. Returns the number of reads consumed: the
+     * whole chunk, or 0 when the session already completed (the
+     * chunk is counted as skipped). Newly decodable units are
+     * emitted through StreamingParams::on_unit before feed returns.
+     * Throws FatalError after finish().
+     *
+     * @p pool serves the chunk's internal parallel stages; nullptr
+     * uses a session-owned pool of DecoderParams::threads workers.
+     */
+    size_t feed(const std::vector<sim::Read> &reads,
+                ThreadPool *pool = nullptr);
+
+    /** True once every expected unit has decoded (eager mode). */
+    bool complete() const { return complete_; }
+
+    /**
+     * Finalize the session: decode everything still decodable from
+     * the accumulated state (deferred mode: exactly the one-shot
+     * pipeline over all consumed reads) and return every recovered
+     * unit — early-emitted and finish-decoded alike. Expected units
+     * that never reached decodability are simply absent from the
+     * result (DecodeService::openStream surfaces them with a typed
+     * per-unit status). Single-shot: a second call throws.
+     */
+    std::map<uint64_t, BlockVersions> finish(
+        DecodeStats *stats = nullptr, ThreadPool *pool = nullptr);
+
+    bool finished() const { return finished_; }
+
+    /** Units emitted so far, in emission order. */
+    const std::vector<StreamedUnit> &emitted() const { return emitted_; }
+
+    /** Running counters (reads consumed/skipped grow per feed). */
+    const DecodeStats &stats() const { return stats_; }
+
+  private:
+    /** What the latest consensus of one cluster mapped to. */
+    struct ClusterView
     {
+        enum class State
+        {
+            Unparsed,     ///< consensus did not parse to fields
+            IndexReject,  ///< parsed, but index/column decode failed
+            Mapped,       ///< contributes a candidate for `unit`
+        };
+
+        /** Cluster size when consensus last ran (0 = never). */
+        size_t members_at_consensus = 0;
+
+        State state = State::Unparsed;
+        UnitKey unit{0, 0};
+        unsigned column = 0;
         Bytes payload;
-
-        /** Reads supporting the reconstruction. */
-        size_t cluster_size = 0;
-
-        /** Tree-walk mismatches of the decoded index; misprimed
-         *  amplicons typically decode with 1-2 mismatches while true
-         *  strands decode exactly, so this ranks candidates. */
         size_t index_mismatches = 0;
     };
 
-    struct Recovered
-    {
-        /** Sorted best-first: fewest index mismatches, then most
-         *  supporting reads. */
-        std::vector<Candidate> candidates;
-    };
+    ThreadPool &resolvePool(ThreadPool *pool);
 
-    /** Steps 1-3: reads -> per-address payload candidates. */
-    std::map<std::tuple<uint64_t, unsigned, unsigned>, Recovered>
-    recoverStrands(const std::vector<sim::Read> &reads,
-                   DecodeStats *stats, ThreadPool &pool) const;
+    /** Recompute consensus for @p cluster_ids (ascending), refresh
+     *  their views, and collect the unit keys whose column maps
+     *  changed. */
+    std::set<UnitKey> refreshClusters(
+        const std::vector<size_t> &cluster_ids, ThreadPool &pool);
+
+    /** Fire RS attempts for changed, coverage-sufficient units in
+     *  ascending key order; emit successes. */
+    void attemptUnits(const std::set<UnitKey> &changed,
+                      ThreadPool &pool);
+
+    /** Record a successful unit decode: emission list, callback,
+     *  early-termination bookkeeping (stats fold in the callers). */
+    void emitUnit(const UnitKey &unit, Bytes payload, bool early);
+
+    const Partition &partition_;
+    DecoderParams params_;
+    StreamingParams streaming_;
+
+    cluster::OnlineClusterer clusterer_;
+    std::vector<ClusterView> views_;
+
+    /** Incomplete units: column -> contributing cluster ids. */
+    std::map<UnitKey, std::map<unsigned, std::vector<size_t>>>
+        pending_units_;
+
+    /** Decoded units: descrambled raw unit payloads. */
+    std::map<UnitKey, Bytes> completed_;
+
+    std::vector<StreamedUnit> emitted_;
+    std::set<UnitKey> expected_remaining_;
+    bool eager_ = false;
+    bool complete_ = false;
+    bool finished_ = false;
+    DecodeStats stats_;
+
+    /** Lazily created when feed()/finish() get no external pool. */
+    std::unique_ptr<ThreadPool> own_pool_;
 };
 
 } // namespace dnastore::core

@@ -1,5 +1,7 @@
 #include "ecc/encoding_unit.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace dnastore::ecc {
@@ -113,6 +115,9 @@ EncodingUnitCodec::decode(
         }
         result.symbol_errors_corrected += row.errors_corrected;
         result.erasures_filled += row.erasures_filled;
+        result.max_row_correction_load =
+            std::max(result.max_row_correction_load,
+                     row.erasures_filled + 2 * row.errors_corrected);
         for (unsigned c = 0; c < k_; ++c)
             data_nibbles[c * row_count + r] = (*row.codeword)[c];
     }

@@ -41,6 +41,16 @@ struct UnitDecodeResult
     /** Total erasures filled across all rows. */
     size_t erasures_filled = 0;
 
+    /**
+     * Max over rows of (erasures filled + 2 * errors corrected) —
+     * the decoding-sphere distance the worst row consumed. The
+     * code's minimum distance minus this is the confidence margin of
+     * the least-trusted codeword in the unit: how many additional
+     * genuinely wrong symbols it would have taken for that row to
+     * decode to the wrong codeword.
+     */
+    size_t max_row_correction_load = 0;
+
     bool ok() const { return data.has_value(); }
 };
 

@@ -55,6 +55,13 @@ defaultLatencyBoundsUs()
     return {10, 100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
 }
 
+std::vector<uint64_t>
+defaultReadCountBounds()
+{
+    return {10,     30,     100,     300,     1'000,
+            3'000,  10'000, 30'000,  100'000, 300'000};
+}
+
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {

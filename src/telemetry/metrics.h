@@ -111,6 +111,10 @@ class Histogram
 /** Default latency bounds in microseconds: 10us .. 10s, decades. */
 std::vector<uint64_t> defaultLatencyBoundsUs();
 
+/** Default bounds for read-count distributions (e.g. reads consumed
+ *  before a streaming decode completed): 10 .. 300k, 1-3-10 steps. */
+std::vector<uint64_t> defaultReadCountBounds();
+
 /** Point-in-time copy of one histogram. */
 struct HistogramSnapshot
 {

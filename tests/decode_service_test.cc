@@ -17,6 +17,7 @@
 #include <future>
 #include <mutex>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -500,6 +501,62 @@ TEST_F(DecodeServiceTest, LatencyHistogramsCountEveryRequest)
         EXPECT_EQ(snap.gauges.at("decode_service.queue_depth"), 0);
         EXPECT_EQ(snap.gauges.at("decode_service.pool_threads"),
                   static_cast<int64_t>(threads));
+    }
+}
+
+TEST_F(DecodeServiceTest, TenantInstrumentCreationDoesNotRaceExport)
+{
+    // Regression pin: first sighting of a non-default tenant creates
+    // its instruments in the metrics registry. That creation used to
+    // run with the service mutex held, ordering service-mutex →
+    // registry-mutex against exporters that take only the registry
+    // mutex; the creation now happens with the service lock dropped,
+    // so concurrent snapshot()/exportText() never contends with
+    // admission. Repeated so TSan gets many first-sighting windows;
+    // a reintroduced lock-order inversion shows up as a TSan report
+    // or a suite-timeout deadlock.
+    for (int iteration = 0; iteration < 20; ++iteration) {
+        telemetry::MetricsRegistry registry;
+        DecodeServiceParams params;
+        params.threads = 2;
+        params.metrics = &registry;
+        DecodeService service(params);
+
+        std::atomic<bool> stop{false};
+        std::thread exporter([&] {
+            while (!stop.load(std::memory_order_relaxed))
+                registry.exportText();
+        });
+
+        constexpr size_t kSubmitters = 4;
+        std::vector<std::future<DecodeOutcome>> futures(kSubmitters);
+        std::vector<std::thread> submitters;
+        for (size_t s = 0; s < kSubmitters; ++s) {
+            // Each submitter is its tenant's first sighting: the
+            // empty read set keeps the decode itself trivial.
+            submitters.emplace_back([&, s] {
+                futures[s] = service.submit(
+                    *decoders_[0], {},
+                    static_cast<TenantId>(100 * iteration + s + 1));
+            });
+        }
+        for (std::thread &submitter : submitters)
+            submitter.join();
+        for (std::future<DecodeOutcome> &future : futures)
+            EXPECT_EQ(future.get().status, DecodeStatus::Ok);
+        stop.store(true, std::memory_order_relaxed);
+        exporter.join();
+
+        telemetry::MetricsSnapshot snap = registry.snapshot();
+        for (size_t s = 0; s < kSubmitters; ++s) {
+            const std::string prefix =
+                "decode_service.tenant." +
+                std::to_string(100 * iteration + s + 1) + ".";
+            EXPECT_EQ(snap.counters.at(prefix + "requests_admitted"),
+                      1u);
+            EXPECT_EQ(snap.counters.at(prefix + "requests_rejected"),
+                      0u);
+        }
     }
 }
 

@@ -21,9 +21,12 @@
  *    the pre-tenant metric set and byte-identical real decodes.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <future>
+#include <thread>
 #include <memory>
 #include <string>
 #include <utility>
@@ -486,6 +489,66 @@ TEST(FairSchedulingTest, RealDecodesAreByteIdenticalUnderTenancy)
                 << "threads=" << threads << " tenant=" << tenant;
         }
     }
+}
+
+/** Pin: shutdown() while the dispatcher is paused and Block-policy
+ *  submitters are parked in the ticket line. Every parked waiter is
+ *  woken and fails with FatalError (never admitted, never hung), the
+ *  already-admitted backlog still drains to completion, and the
+ *  ticket line ends empty. */
+TEST(FairSchedulingTest, ShutdownWhilePausedReleasesParkedSubmitters)
+{
+    const test::PrimerPair &primers = test::primerPair(0);
+    Partition partition(test::partitionConfig(0), primers.forward,
+                        primers.reverse, 13);
+    DecoderParams decoder_params;
+    decoder_params.threads = 1;
+    Decoder decoder(partition, decoder_params);
+
+    DecodeServiceParams params;
+    params.threads = 2;
+    params.max_queue_depth = 2;
+    params.overflow = OverflowPolicy::Block;
+    params.start_paused = true;
+    DecodeService service(params);
+
+    // Fill the queue while nothing dispatches.
+    std::future<DecodeOutcome> first = service.submit(decoder, {});
+    std::future<DecodeOutcome> second = service.submit(decoder, {});
+    ASSERT_EQ(service.inFlightRequests(), 2u);
+
+    constexpr size_t kParked = 3;
+    std::atomic<size_t> failures{0};
+    std::vector<std::thread> parked;
+    for (size_t w = 0; w < kParked; ++w) {
+        parked.emplace_back([&] {
+            try {
+                service.submit(decoder, {});
+            } catch (const FatalError &) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (service.blockedSubmitters() < kParked &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+    }
+    ASSERT_EQ(service.blockedSubmitters(), kParked);
+
+    // With dispatch paused no slot can free before shutdown lands,
+    // so every waiter's wake reason is deterministically
+    // !accepting_: all three must fail, none may be admitted.
+    service.shutdown();
+    for (std::thread &waiter : parked)
+        waiter.join();
+    EXPECT_EQ(failures.load(), kParked);
+    EXPECT_EQ(service.blockedSubmitters(), 0u);
+
+    // The admitted backlog drained instead of being dropped.
+    EXPECT_EQ(first.get().status, DecodeStatus::Ok);
+    EXPECT_EQ(second.get().status, DecodeStatus::Ok);
 }
 
 } // namespace

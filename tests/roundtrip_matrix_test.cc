@@ -264,6 +264,11 @@ TEST(RoundtripGoldenTest, CanonicalCellStatsArePinned)
     golden.symbol_errors_corrected = 12;
     golden.erasures_filled = 0;
     golden.candidate_retries = 3;
+    // One-shot decode consumes every read it is offered: skipped
+    // reads exist only for early-terminated streaming sessions.
+    golden.reads_consumed = 900;
+    golden.reads_skipped = 0;
+    golden.units_emitted_early = 0;
     EXPECT_EQ(stats, golden);
     EXPECT_EQ(units.size(), 5u);
 }
