@@ -19,12 +19,19 @@ tolerance. Three kinds of checks:
    hardware_concurrency, under the (wider) --single-thread-tolerance.
    Single-thread time doesn't depend on core count, so this arm always
    fires — including on the 1-core container the committed baseline
-   was captured on, where the multi-core arm never engages.
+   was captured on, where the multi-core arm never engages;
+ * --min-scaling FLOOR (off by default) gates the FRESH run against
+   itself: batch throughput at the highest measured thread count that
+   fits the runner's cores must be >= FLOOR x the threads=1 row. This
+   arm needs no comparable baseline at all, so it is the one check of
+   the scaling curve that engages when the committed baseline came
+   from a 1-core container and the CI runner is multi-core.
 
 Exit status: 0 = pass (or skipped perf diff), 1 = regression/failure.
 
 Usage: compare_bench.py BASELINE FRESH [--tolerance 0.25]
                         [--single-thread-tolerance 0.30]
+                        [--min-scaling 1.3]
 """
 
 import argparse
@@ -68,6 +75,12 @@ def main():
         "--single-thread-tolerance", type=float, default=0.30,
         help="tolerance for the always-on threads=1 arm "
              "(default 0.30 = 30%%)")
+    parser.add_argument(
+        "--min-scaling", type=float, default=0.0,
+        help="required batch speedup of the FRESH run's best "
+             "in-core-budget thread count over its threads=1 row; "
+             "0 (default) disables the arm. Skipped (with a note) on "
+             "runners with fewer than 2 cores.")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -136,6 +149,39 @@ def main():
     if baseline.get("streaming_results") is not None:
         compare_rows("streaming", "streaming_results", "seconds",
                      True, only, tolerance)
+
+    # Self-contained scaling floor: judge the fresh run's own curve,
+    # so the arm engages even when the committed baseline came from a
+    # different machine class (e.g. the original 1-core capture).
+    if args.min_scaling > 0:
+        fresh_batch = by_threads(fresh.get("batch_results", []))
+        eligible = [t for t in fresh_batch
+                    if isinstance(fresh_hw, int) and 1 < t <= fresh_hw]
+        if not isinstance(fresh_hw, int) or fresh_hw < 2:
+            print(f"note: --min-scaling skipped "
+                  f"(hardware_concurrency {fresh_hw!r} < 2)")
+        elif 1 not in fresh_batch or not eligible:
+            failures.append(
+                "--min-scaling set but fresh batch_results lack a "
+                "threads=1 row or any in-core-budget multi-thread row")
+        else:
+            best = max(eligible)
+            try:
+                speedup = (metric(fresh_batch[best], "blocks_per_sec")
+                           / metric(fresh_batch[1], "blocks_per_sec"))
+            except ValueError as err:
+                failures.append(f"--min-scaling: bad row ({err})")
+            else:
+                status = ("ok" if speedup >= args.min_scaling
+                          else "REGRESSION")
+                print(f"scaling   threads={best} vs 1: "
+                      f"{speedup:.2f}x (floor "
+                      f"{args.min_scaling:.2f}x)  {status}")
+                if speedup < args.min_scaling:
+                    failures.append(
+                        f"batch speedup at {best} threads is "
+                        f"{speedup:.2f}x < required "
+                        f"{args.min_scaling:.2f}x")
 
     if failures:
         print("\nFAIL:")

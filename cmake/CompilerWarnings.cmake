@@ -6,6 +6,14 @@ add_library(dnastore_warnings INTERFACE)
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   target_compile_options(dnastore_warnings INTERFACE -Wall -Wextra)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    # Static thread-safety proof: the capability annotations in
+    # common/sync.h (GUARDED_BY / REQUIRES / ACQUIRE / RELEASE) are
+    # checked here. gcc ignores the attributes, so only the clang CI
+    # legs carry the proof — with DNASTORE_WERROR any violation is a
+    # build break.
+    target_compile_options(dnastore_warnings INTERFACE -Wthread-safety)
+  endif()
   if(DNASTORE_WERROR)
     target_compile_options(dnastore_warnings INTERFACE -Werror)
   endif()

@@ -42,7 +42,7 @@ ThreadPool::ThreadPool(size_t threads)
         // workers already started before rethrowing, or their
         // joinable std::thread destructors would terminate().
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            sync::MutexLock lock(mutex_);
             stop_ = true;
         }
         work_cv_.notify_all();
@@ -55,7 +55,7 @@ ThreadPool::ThreadPool(size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -75,7 +75,7 @@ ThreadPool::runChunks(Job &job)
             (*job.body)(i);
         } catch (...) {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                sync::MutexLock lock(mutex_);
                 if (!job.error)
                     job.error = std::current_exception();
             }
@@ -100,12 +100,13 @@ ThreadPool::pickRunnable() const
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     for (;;) {
         Job *job = nullptr;
-        work_cv_.wait(lock, [&] {
-            return stop_ || (job = pickRunnable()) != nullptr;
-        });
+        // Open-coded wait loop: the analysis sees the guarded reads
+        // under the lock (a predicate lambda would be opaque to it).
+        while (!stop_ && (job = pickRunnable()) == nullptr)
+            work_cv_.wait(lock);
         if (stop_)
             return;
         job->active.fetch_add(1, std::memory_order_relaxed);
@@ -134,20 +135,19 @@ ThreadPool::parallelFor(size_t n,
     job.body = &body;
     job.n = n;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         jobs_.push_back(&job);
     }
     work_cv_.notify_all();
     runChunks(job);
 
-    std::unique_lock<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     // Unpublish the job, then wait for every worker that entered it
     // to leave: a worker waking after this point no longer finds the
     // (stack-allocated) job in the published list.
     jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
-    done_cv_.wait(lock, [&] {
-        return job.active.load(std::memory_order_relaxed) == 0;
-    });
+    while (job.active.load(std::memory_order_relaxed) != 0)
+        done_cv_.wait(lock);
     if (job.error)
         std::rethrow_exception(job.error);
 }

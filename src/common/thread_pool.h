@@ -26,13 +26,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dnastore {
 
@@ -120,15 +120,17 @@ class ThreadPool
     void workerLoop();
     void runChunks(Job &job);
 
-    /** First published job with unclaimed indices (under mutex_). */
-    Job *pickRunnable() const;
+    /** First published job with unclaimed indices. */
+    Job *pickRunnable() const DNASTORE_REQUIRES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    std::vector<Job *> jobs_;  // in-flight jobs, guarded by mutex_
-    bool stop_ = false;        // guarded by mutex_
+    sync::Mutex mutex_{sync::Rank::kPoolJobs, "thread_pool"};
+    sync::CondVar work_cv_;
+    sync::CondVar done_cv_;
+    /** In-flight jobs. Job::error is likewise written under mutex_;
+     *  the other Job fields are atomics or set before publication. */
+    std::vector<Job *> jobs_ DNASTORE_GUARDED_BY(mutex_);
+    bool stop_ DNASTORE_GUARDED_BY(mutex_) = false;
 
     /** Threads inside runChunks; nested entries count again, so
      *  activeThreads() caps the sample at threadCount(). */

@@ -47,10 +47,17 @@ struct DecodeStream::State
      *  stream observes exactly one sample (dispatcher-thread only). */
     bool completion_observed = false;
 
-    std::mutex m;
-    std::map<UnitKey, std::promise<StreamUnitResult>> unit_promises;
-    std::map<UnitKey, std::future<StreamUnitResult>> unit_futures;
-    bool finish_submitted = false;
+    /** Guards the promise/future maps shared between caller threads
+     *  and the dispatcher. Ranks below the service mutex: a chunk's
+     *  admission never nests the two (feed() drops m before
+     *  submitting), but if they ever must nest, service-then-stream
+     *  is the direction the dispatcher already implies. */
+    sync::Mutex m{sync::Rank::kStreamState, "decode_stream"};
+    std::map<UnitKey, std::promise<StreamUnitResult>> unit_promises
+        DNASTORE_GUARDED_BY(m);
+    std::map<UnitKey, std::future<StreamUnitResult>> unit_futures
+        DNASTORE_GUARDED_BY(m);
+    bool finish_submitted DNASTORE_GUARDED_BY(m) = false;
 
     std::atomic<bool> complete{false};
 
@@ -59,7 +66,7 @@ struct DecodeStream::State
     void
     deliverUnit(uint64_t block, unsigned version, const Bytes &payload)
     {
-        std::lock_guard<std::mutex> lock(m);
+        sync::MutexLock lock(m);
         auto it = unit_promises.find({block, version});
         if (it == unit_promises.end())
             return;  // unexpected unit, or already delivered
@@ -81,7 +88,7 @@ std::future<DecodeOutcome>
 DecodeStream::feed(std::vector<sim::Read> reads)
 {
     {
-        std::lock_guard<std::mutex> lock(state_->m);
+        sync::MutexLock lock(state_->m);
         fatalIf(state_->finish_submitted,
                 "DecodeStream: feed after finish()");
     }
@@ -92,7 +99,7 @@ DecodeStream::feed(std::vector<sim::Read> reads)
 std::future<StreamUnitResult>
 DecodeStream::unitFuture(uint64_t block, unsigned version)
 {
-    std::lock_guard<std::mutex> lock(state_->m);
+    sync::MutexLock lock(state_->m);
     auto it = state_->unit_futures.find({block, version});
     fatalIf(it == state_->unit_futures.end(),
             "DecodeStream: unit (", block, ", ", version,
@@ -107,7 +114,7 @@ std::future<DecodeOutcome>
 DecodeStream::finish()
 {
     {
-        std::lock_guard<std::mutex> lock(state_->m);
+        sync::MutexLock lock(state_->m);
         fatalIf(state_->finish_submitted,
                 "DecodeStream: finish() called twice");
         state_->finish_submitted = true;
@@ -173,10 +180,16 @@ DecodeService::DecodeService(DecodeServiceParams params)
     }
     // Validate every configured tenant (and create its instruments)
     // up front so a bad contract throws here, not mid-traffic. The
-    // dispatcher doesn't exist yet, so no lock is needed.
+    // registry work happens before mutex_ is ever taken — the rank
+    // order (registry above service) allows no other arrangement.
+    std::map<TenantId, TenantState> initial;
     for (const auto &[tenant, tenant_params] : params_.tenants) {
         (void)tenant_params;
-        tenants_.emplace(tenant, makeTenantState(tenant));
+        initial.emplace(tenant, makeTenantState(tenant));
+    }
+    {
+        sync::MutexLock lock(mutex_);
+        tenants_ = std::move(initial);
     }
     // Start the dispatcher only once every member it reads exists.
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
@@ -191,7 +204,7 @@ void
 DecodeService::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         accepting_ = false;
         paused_ = false;  // draining must not hang on a paused valve
     }
@@ -203,7 +216,7 @@ DecodeService::shutdown()
 void
 DecodeService::pauseDispatch()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     paused_ = true;
 }
 
@@ -211,7 +224,7 @@ void
 DecodeService::resumeDispatch()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         paused_ = false;
     }
     queue_cv_.notify_all();
@@ -264,8 +277,12 @@ DecodeService::makeTenantState(TenantId tenant) const
     return state;
 }
 
+// The body drops and reacquires the caller's lock through a
+// parameter, which the thread-safety analysis cannot follow; the
+// REQUIRES(mutex_) contract is still enforced at every call site,
+// and the rank checker covers the registry acquisition in the gap.
 DecodeService::TenantState &
-DecodeService::tenantStateLocked(std::unique_lock<std::mutex> &lock,
+DecodeService::tenantStateLocked(sync::MutexLock &lock,
                                  TenantId tenant)
 {
     auto it = tenants_.find(tenant);
@@ -317,13 +334,25 @@ DecodeService::submit(const Decoder &decoder,
     return std::move(submitBatch(std::move(batch))[0]);
 }
 
+bool
+DecodeService::fitsLocked(const TenantState &state, size_t n) const
+{
+    if (params_.max_queue_depth > 0 &&
+        in_flight_ + n > params_.max_queue_depth)
+        return false;
+    const size_t tenant_cap = state.params.max_queue_depth;
+    if (tenant_cap > 0 && state.in_flight + n > tenant_cap)
+        return false;
+    return true;
+}
+
 DecodeService::Verdict
 DecodeService::admitBatch(Batch &pending, size_t n,
                           telemetry::Counter **tenant_rejected,
                           telemetry::Counter **tenant_throttled,
                           bool *ticketed)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     fatalIf(!accepting_, "DecodeService: submission after shutdown");
     const TenantId tenant = pending.tenant;
     TenantState &state = tenantStateLocked(lock, tenant);
@@ -364,30 +393,23 @@ DecodeService::admitBatch(Batch &pending, size_t n,
     }
 
     if (!exempt && verdict == Verdict::Admitted) {
-        auto fits = [&] {
-            if (params_.max_queue_depth > 0 &&
-                in_flight_ + n > params_.max_queue_depth)
-                return false;
-            if (tenant_cap > 0 && state.in_flight + n > tenant_cap)
-                return false;
-            return true;
-        };
         // Join the ticket line when the queue is full OR other
         // submitters are already parked — barging past them would
         // undo the FIFO admission order.
-        if (!fits() || next_ticket_ != serving_ticket_) {
+        if (!fitsLocked(state, n) ||
+            next_ticket_ != serving_ticket_) {
             if (params_.overflow == OverflowPolicy::Reject) {
-                if (!fits())
+                if (!fitsLocked(state, n))
                     verdict = Verdict::Rejected;
                 // A Reject-policy service never parks submitters,
                 // so the line is empty and a fitting batch admits.
             } else {
                 const uint64_t ticket = next_ticket_++;
                 *ticketed = true;
-                space_cv_.wait(lock, [&] {
-                    return !accepting_ ||
-                           (ticket == serving_ticket_ && fits());
-                });
+                while (accepting_ &&
+                       !(ticket == serving_ticket_ &&
+                         fitsLocked(state, n)))
+                    space_cv_.wait(lock);
                 ++serving_ticket_;
                 if (!accepting_) {
                     // Successors wake via accepting_ and fail too.
@@ -438,7 +460,7 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
         futures.push_back(pending.items[i].promise.get_future());
     }
     if (n == 0) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         fatalIf(!accepting_,
                 "DecodeService: submission after shutdown");
         return futures;
@@ -519,7 +541,7 @@ DecodeService::openStream(StreamParams params)
     {
         // Resolve the tenant now so the first chunk's admission
         // doesn't pay the instrument-creation detour.
-        std::unique_lock<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         fatalIf(!accepting_,
                 "DecodeService: openStream after shutdown");
         tenantStateLocked(lock, params.tenant);
@@ -579,21 +601,21 @@ DecodeService::submitStreamChunk(
 size_t
 DecodeService::pendingBatches() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return pending_batches_;
 }
 
 size_t
 DecodeService::inFlightRequests() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return in_flight_;
 }
 
 size_t
 DecodeService::blockedSubmitters() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return static_cast<size_t>(next_ticket_ - serving_ticket_);
 }
 
@@ -650,11 +672,10 @@ DecodeService::dispatcherLoop()
     for (;;) {
         Batch batch;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queue_cv_.wait(lock, [&] {
-                return !accepting_ ||
-                       (pending_batches_ > 0 && !paused_);
-            });
+            sync::MutexLock lock(mutex_);
+            while (accepting_ &&
+                   (pending_batches_ == 0 || paused_))
+                queue_cv_.wait(lock);
             if (pending_batches_ == 0)
                 return;  // shut down and fully drained
             batch = popNextBatchLocked();
@@ -698,7 +719,7 @@ DecodeService::runStreamChunk(Batch &batch)
             // outcome reports Partial.
             size_t missing = 0;
             {
-                std::lock_guard<std::mutex> lock(stream.m);
+                sync::MutexLock lock(stream.m);
                 missing = stream.unit_promises.size();
                 for (auto &[unit, promise] : stream.unit_promises) {
                     StreamUnitResult result;
@@ -754,7 +775,7 @@ DecodeService::runStreamChunk(Batch &batch)
     // Release queue space before fulfilling the promise: a caller
     // woken by future.get() must observe the freed capacity.
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         in_flight_ -= 1;
         tenants_.at(batch.tenant).in_flight -= 1;
         if (queue_depth_)
@@ -818,7 +839,7 @@ DecodeService::runBatch(Batch &batch)
     // Release queue space before fulfilling the promises: a caller
     // woken by future.get() must observe the freed capacity.
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         in_flight_ -= n;
         tenants_.at(batch.tenant).in_flight -= n;
         if (queue_depth_)

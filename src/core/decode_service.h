@@ -79,18 +79,18 @@
 #define DNASTORE_CORE_DECODE_SERVICE_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag only; locks are common/sync.h
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/decoder.h"
 #include "core/tenant.h"
@@ -440,7 +440,8 @@ class DecodeService
         Clock::time_point enqueued;
     };
 
-    /** Per-tenant scheduler state; guarded by mutex_. */
+    /** Per-tenant scheduler state; lives in tenants_, so every field
+     *  is reached under mutex_ (the map carries the GUARDED_BY). */
     struct TenantState
     {
         TenantParams params;
@@ -461,12 +462,12 @@ class DecodeService
         telemetry::Histogram *queue_latency = nullptr;
     };
 
-    void dispatcherLoop();
-    void runBatch(Batch &batch);
+    void dispatcherLoop() DNASTORE_EXCLUDES(mutex_);
+    void runBatch(Batch &batch) DNASTORE_EXCLUDES(mutex_);
 
     /** Process one streaming chunk (or finish marker) inside the
      *  dispatcher; chunks of one session are strictly serialized. */
-    void runStreamChunk(Batch &batch);
+    void runStreamChunk(Batch &batch) DNASTORE_EXCLUDES(mutex_);
 
     /** Admission path shared by submitBatch and stream chunks: bill
      *  the token bucket, wait in the ticket line (Block policy) or
@@ -482,49 +483,64 @@ class DecodeService
     Verdict admitBatch(Batch &pending, size_t n,
                        telemetry::Counter **tenant_rejected,
                        telemetry::Counter **tenant_throttled,
-                       bool *ticketed);
+                       bool *ticketed) DNASTORE_EXCLUDES(mutex_);
 
     /** Enqueue one chunk of @p stream through admission control. */
     std::future<DecodeOutcome> submitStreamChunk(
         std::shared_ptr<DecodeStream::State> stream,
-        std::vector<sim::Read> reads, bool finish_marker);
+        std::vector<sim::Read> reads, bool finish_marker)
+        DNASTORE_EXCLUDES(mutex_);
 
     /** Build a fresh tenant's state: validate its contract and create
-     *  its instruments. Takes only the registry lock — never call
-     *  with mutex_ held. */
-    TenantState makeTenantState(TenantId tenant) const;
+     *  its instruments. Takes only the registry lock — holding
+     *  mutex_ (rank kServiceState) while it reaches for the registry
+     *  (rank kTelemetryRegistry, higher) is the PR 6 inversion, and
+     *  the rank checker aborts on it. */
+    TenantState makeTenantState(TenantId tenant) const
+        DNASTORE_EXCLUDES(mutex_);
 
     /** Find-or-create a tenant's state. On first sighting the
      *  instruments are created with @p lock dropped (the registry
      *  mutex is never taken under mutex_), then reacquired; rechecks
-     *  accepting_ after the gap. */
-    TenantState &tenantStateLocked(std::unique_lock<std::mutex> &lock,
-                                   TenantId tenant);
+     *  accepting_ after the gap. The drop/relock goes through a
+     *  parameter the analysis cannot follow, so the body is exempt;
+     *  REQUIRES still binds every call site. */
+    TenantState &tenantStateLocked(sync::MutexLock &lock,
+                                   TenantId tenant)
+        DNASTORE_REQUIRES(mutex_) DNASTORE_NO_THREAD_SAFETY_ANALYSIS;
 
-    /** Refill a tenant's token bucket to the service clock (mutex_
-     *  held). */
-    void refillBucketLocked(TenantState &state);
+    /** Refill a tenant's token bucket to the service clock. */
+    void refillBucketLocked(TenantState &state)
+        DNASTORE_REQUIRES(mutex_);
 
-    /** Pop the next batch under weighted deficit round robin
-     *  (mutex_ held; at least one batch must be pending). */
-    Batch popNextBatchLocked();
+    /** Whether @p n more requests fit under both the global and the
+     *  tenant's queue-depth bound. */
+    bool fitsLocked(const TenantState &state, size_t n) const
+        DNASTORE_REQUIRES(mutex_);
+
+    /** Pop the next batch under weighted deficit round robin (at
+     *  least one batch must be pending). */
+    Batch popNextBatchLocked() DNASTORE_REQUIRES(mutex_);
 
     /** Token-bucket clock, microseconds. */
     uint64_t nowUs() const;
 
     DecodeServiceParams params_;
     ThreadPool pool_;
-    mutable std::mutex mutex_;
-    std::condition_variable queue_cv_;
-    std::condition_variable space_cv_;
-    std::map<TenantId, TenantState> tenants_;  // guarded by mutex_
-    std::deque<TenantId> active_;  // WDRR round order; guarded by mutex_
-    size_t pending_batches_ = 0;   // guarded by mutex_
-    size_t in_flight_ = 0;         // guarded by mutex_
-    bool accepting_ = true;        // guarded by mutex_
-    bool paused_ = false;          // guarded by mutex_
-    uint64_t next_ticket_ = 0;     // guarded by mutex_
-    uint64_t serving_ticket_ = 0;  // guarded by mutex_
+    mutable sync::Mutex mutex_{sync::Rank::kServiceState,
+                               "decode_service"};
+    sync::CondVar queue_cv_;
+    sync::CondVar space_cv_;
+    std::map<TenantId, TenantState> tenants_
+        DNASTORE_GUARDED_BY(mutex_);
+    /** WDRR round order. */
+    std::deque<TenantId> active_ DNASTORE_GUARDED_BY(mutex_);
+    size_t pending_batches_ DNASTORE_GUARDED_BY(mutex_) = 0;
+    size_t in_flight_ DNASTORE_GUARDED_BY(mutex_) = 0;
+    bool accepting_ DNASTORE_GUARDED_BY(mutex_) = true;
+    bool paused_ DNASTORE_GUARDED_BY(mutex_) = false;
+    uint64_t next_ticket_ DNASTORE_GUARDED_BY(mutex_) = 0;
+    uint64_t serving_ticket_ DNASTORE_GUARDED_BY(mutex_) = 0;
     std::once_flag joined_;
     std::thread dispatcher_;
 

@@ -65,7 +65,7 @@ defaultReadCountBounds()
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     fatalIf(gauges_.count(name) || histograms_.count(name),
             "metric '", std::string(name),
             "' already registered as another kind");
@@ -82,7 +82,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     fatalIf(counters_.count(name) || histograms_.count(name),
             "metric '", std::string(name),
             "' already registered as another kind");
@@ -99,7 +99,7 @@ Histogram &
 MetricsRegistry::histogram(std::string_view name,
                            std::vector<uint64_t> bounds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     fatalIf(counters_.count(name) || gauges_.count(name), "metric '",
             std::string(name),
             "' already registered as another kind");
@@ -121,7 +121,7 @@ MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     MetricsSnapshot snap;
     for (const auto &[name, counter] : counters_)
         snap.counters.emplace(name, counter->value());

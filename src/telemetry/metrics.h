@@ -15,6 +15,19 @@
  * Prometheus-style text format), so two snapshots of registries with
  * identical recorded values serialize identically — tests pin the
  * export format literally.
+ *
+ * Locking contract (machine-checked, see common/sync.h): the registry
+ * mutex ranks kTelemetryRegistry — the TOP of the rank table — so no
+ * subsystem lock may be held while creating an instrument or taking a
+ * snapshot (the PR 6 inversion took this mutex under the decode
+ * service's, and the rank checker now turns that into an instant
+ * abort). The instruments themselves are deliberately *unguarded*
+ * relaxed atomics, one per field, audited below: record paths must
+ * stay lock-free, per-instrument reads are individually atomic, and
+ * the only cross-field invariant a reader could want (a histogram's
+ * count equalling the sum of its buckets) is explicitly not promised
+ * by snapshot() — a snapshot taken mid-observe may tear *between*
+ * fields, never within one.
  */
 
 #ifndef DNASTORE_TELEMETRY_METRICS_H
@@ -24,10 +37,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dnastore::telemetry {
 
@@ -48,6 +62,10 @@ class Counter
     }
 
   private:
+    /** Intentionally unguarded: increment() is the hottest telemetry
+     *  path (every request, every stream chunk) and a relaxed
+     *  fetch_add is already atomic and monotonic — a mutex would buy
+     *  nothing but contention. Never written under any lock. */
     std::atomic<uint64_t> value_{0};
 };
 
@@ -74,6 +92,14 @@ class Gauge
     }
 
   private:
+    /** Intentionally unguarded: set() is last-writer-wins by design
+     *  (an instantaneous sample has no ordering to protect), add() is
+     *  atomic on its own, and callers — DecodeService setting
+     *  queue_depth under its service mutex, ThreadPool occupancy
+     *  sampled with no lock at all — must not need the registry rank
+     *  to record. NOT mutex-protected in practice: the service-mutex
+     *  writers are incidental (they also write it lock-free in
+     *  runBatch's pool lambda), so GUARDED_BY would be a lie. */
     std::atomic<int64_t> value_{0};
 };
 
@@ -102,7 +128,16 @@ class Histogram
     std::vector<uint64_t> bucketCounts() const;
 
   private:
+    /** Immutable after construction (bounds are fixed at
+     *  registration), so concurrent readers need no guard at all. */
     std::vector<uint64_t> bounds_;
+
+    /** Intentionally unguarded: observe() runs on every decode
+     *  worker; each bucket/count/sum is an independent relaxed
+     *  fetch_add. The cross-field invariant (count_ == Σ buckets_)
+     *  holds only quiescently — bucketCounts()/count()/sum() read
+     *  each atom exactly once and may observe a mid-observe state;
+     *  telemetry_test pins the quiescent accounting instead. */
     std::vector<std::atomic<uint64_t>> buckets_;
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> sum_{0};
@@ -167,12 +202,18 @@ class MetricsRegistry
     std::string exportText() const;
 
   private:
-    mutable std::mutex mutex_;
+    /** Top of the rank table: acquiring this while holding ANY other
+     *  sync::Mutex is a rank violation — callers cache instrument
+     *  pointers at construction instead of looking them up inside
+     *  their own critical sections. */
+    mutable sync::Mutex mutex_{sync::Rank::kTelemetryRegistry,
+                               "metrics_registry"};
     std::map<std::string, std::unique_ptr<Counter>, std::less<>>
-        counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+        counters_ DNASTORE_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+        gauges_ DNASTORE_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-        histograms_;
+        histograms_ DNASTORE_GUARDED_BY(mutex_);
 };
 
 } // namespace dnastore::telemetry

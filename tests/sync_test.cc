@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Lock-rank registry and annotated-wrapper tests (common/sync.h).
+ *
+ * The death tests prove that a rank inversion — the defect class
+ * behind the PR 6 tenant-instrument lock-order bug — aborts
+ * deterministically with a diagnostic naming both mutexes and the
+ * full held stack. They run only where the checker is compiled in
+ * (builds without NDEBUG); the build-type test below makes a debug
+ * build with the checker silently disabled FAIL rather than skip, so
+ * the checker cannot be turned off without tripping CI's Debug legs.
+ */
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/sync.h"
+#include "core/decode_service.h"
+#include "telemetry/metrics.h"
+
+namespace dnastore {
+namespace {
+
+using core::DecodeOutcome;
+using core::DecodeRequest;
+using core::DecodeService;
+using core::DecodeServiceParams;
+
+bool
+checksOn()
+{
+    return sync::rankChecksEnabled();
+}
+
+TEST(SyncTest, RankCheckerMatchesBuildType)
+{
+#ifdef NDEBUG
+    EXPECT_FALSE(sync::rankChecksEnabled());
+#else
+    // A debug build whose rank checker was compiled out would let the
+    // death tests below skip silently; fail the build instead.
+    ASSERT_TRUE(sync::rankChecksEnabled())
+        << "rank checker disabled in a !NDEBUG build — the "
+           "deliberate-inversion death tests would be vacuous";
+#endif
+}
+
+TEST(SyncTest, DescendingRankAcquisitionRunsClean)
+{
+    sync::Mutex registry(sync::Rank::kTelemetryRegistry, "reg");
+    sync::Mutex service(sync::Rank::kServiceState, "svc");
+    sync::Mutex pool(sync::Rank::kPoolJobs, "pool");
+    {
+        sync::MutexLock l1(registry);
+        sync::MutexLock l2(service);
+        sync::MutexLock l3(pool);
+        if (checksOn()) {
+            std::vector<sync::Rank> held = sync::heldRanksForTest();
+            ASSERT_EQ(held.size(), 3u);
+            EXPECT_EQ(held[0], sync::Rank::kTelemetryRegistry);
+            EXPECT_EQ(held[1], sync::Rank::kServiceState);
+            EXPECT_EQ(held[2], sync::Rank::kPoolJobs);
+        }
+    }
+    EXPECT_TRUE(sync::heldRanksForTest().empty());
+}
+
+TEST(SyncTest, UnlockRelockMaintainsHeldStack)
+{
+    sync::Mutex service(sync::Rank::kServiceState, "svc");
+    sync::Mutex registry(sync::Rank::kTelemetryRegistry, "reg");
+    sync::MutexLock lock(service);
+    // The drop/relock idiom from tenantStateLocked: release the
+    // service mutex, take (and release) the higher-ranked registry
+    // legally, reacquire the service mutex.
+    lock.unlock();
+    EXPECT_TRUE(sync::heldRanksForTest().empty());
+    {
+        sync::MutexLock reg_lock(registry);
+    }
+    lock.lock();
+    if (checksOn()) {
+        EXPECT_EQ(sync::heldRanksForTest().size(), 1u);
+    }
+}
+
+TEST(SyncTest, RanksAreIndependentAcrossThreads)
+{
+    // Held ranks are thread-local: another thread may acquire a
+    // higher rank while this thread holds a lower one — only
+    // same-thread nesting is ordered.
+    sync::Mutex pool(sync::Rank::kPoolJobs, "pool");
+    sync::Mutex registry(sync::Rank::kTelemetryRegistry, "reg");
+    sync::MutexLock low(pool);
+    std::thread other([&] {
+        sync::MutexLock high(registry);
+        EXPECT_EQ(sync::heldRanksForTest().size(),
+                  checksOn() ? 1u : 0u);
+    });
+    other.join();
+}
+
+TEST(SyncTest, CondVarWaitWakesAndKeepsMutexHeld)
+{
+    sync::Mutex mutex(sync::Rank::kLeaf, "cv_state");
+    sync::CondVar cv;
+    bool ready = false;
+    std::thread producer([&] {
+        sync::MutexLock lock(mutex);
+        ready = true;
+        cv.notify_one();
+    });
+    {
+        sync::MutexLock lock(mutex);
+        while (!ready)
+            cv.wait(lock);
+        EXPECT_TRUE(ready);
+        if (checksOn()) {
+            EXPECT_EQ(sync::heldRanksForTest().size(), 1u);
+        }
+    }
+    producer.join();
+}
+
+TEST(SyncDeathTest, OutOfOrderAcquireAbortsNamingBothMutexes)
+{
+    if (!checksOn())
+        GTEST_SKIP() << "rank checker compiled out (NDEBUG build)";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    sync::Mutex pool(sync::Rank::kPoolJobs, "pool");
+    sync::Mutex service(sync::Rank::kServiceState, "service");
+    EXPECT_DEATH(
+        {
+            sync::MutexLock l1(pool);
+            sync::MutexLock l2(service);
+        },
+        "lock-rank violation \\(out-of-order acquire\\): acquiring "
+        "'service'.*while holding 'pool'");
+}
+
+TEST(SyncDeathTest, AbortMessageCarriesFullHeldStack)
+{
+    if (!checksOn())
+        GTEST_SKIP() << "rank checker compiled out (NDEBUG build)";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    sync::Mutex registry(sync::Rank::kTelemetryRegistry, "reg");
+    sync::Mutex service(sync::Rank::kServiceState, "svc");
+    sync::Mutex pool(sync::Rank::kPoolJobs, "pool");
+    sync::Mutex stream(sync::Rank::kStreamState, "stream");
+    EXPECT_DEATH(
+        {
+            sync::MutexLock l1(registry);
+            sync::MutexLock l2(service);
+            sync::MutexLock l3(pool);
+            sync::MutexLock l4(stream);  // above pool: inversion
+        },
+        "held stack \\(oldest first\\): \\['reg' "
+        "\\(TelemetryRegistry\\), 'svc' \\(ServiceState\\), 'pool' "
+        "\\(PoolJobs\\)\\]");
+}
+
+TEST(SyncDeathTest, ReentrantAcquireAborts)
+{
+    if (!checksOn())
+        GTEST_SKIP() << "rank checker compiled out (NDEBUG build)";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    sync::Mutex mutex(sync::Rank::kLeaf, "self");
+    EXPECT_DEATH(
+        {
+            sync::MutexLock l1(mutex);
+            sync::MutexLock l2(mutex);
+        },
+        "lock-rank violation \\(reentrant acquire\\): acquiring "
+        "'self'.*while holding 'self'");
+}
+
+TEST(SyncDeathTest, SameRankAcquireAborts)
+{
+    if (!checksOn())
+        GTEST_SKIP() << "rank checker compiled out (NDEBUG build)";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    sync::Mutex first(sync::Rank::kLeaf, "leaf_a");
+    sync::Mutex second(sync::Rank::kLeaf, "leaf_b");
+    EXPECT_DEATH(
+        {
+            sync::MutexLock l1(first);
+            sync::MutexLock l2(second);
+        },
+        "lock-rank violation \\(same-rank acquire\\): acquiring "
+        "'leaf_b'.*while holding 'leaf_a'");
+}
+
+/**
+ * The PR 6 regression, re-derived: tenant-instrument creation used to
+ * reach into the telemetry registry while holding the service mutex.
+ * The registry ranks ABOVE the service, so taking its public API path
+ * (counter() acquires the registry mutex) under a service-ranked lock
+ * must fire the rank checker — reintroducing the inversion can never
+ * again be a silent TSan lottery.
+ */
+TEST(SyncDeathTest, TelemetryRegistryUnderServiceMutexAborts)
+{
+    if (!checksOn())
+        GTEST_SKIP() << "rank checker compiled out (NDEBUG build)";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    telemetry::MetricsRegistry registry;
+    registry.counter("decode_service.requests_submitted");
+    sync::Mutex service_mutex(sync::Rank::kServiceState,
+                              "decode_service");
+    EXPECT_DEATH(
+        {
+            sync::MutexLock service_lock(service_mutex);
+            // The historical call: first sighting of a runtime tenant
+            // creating its instruments with the service lock held.
+            registry.counter(
+                "decode_service.tenant.9.requests_admitted");
+        },
+        "lock-rank violation \\(out-of-order acquire\\): acquiring "
+        "'metrics_registry'.*while holding 'decode_service'");
+}
+
+/**
+ * The fixed path, proven under the live checker: first-sighting
+ * tenant instrument creation (which drops the service lock around
+ * the registry work) runs to completion with a concurrent exporter
+ * hammering the registry — no abort, no deadlock. In a Debug build
+ * this test is the positive half of the PR 6 pin.
+ */
+TEST(SyncTest, RuntimeTenantInstrumentCreationObeysRankOrder)
+{
+    telemetry::MetricsRegistry registry;
+    DecodeServiceParams params;
+    params.threads = 2;
+    params.metrics = &registry;
+    DecodeService service(params);
+
+    std::thread exporter([&] {
+        for (int i = 0; i < 40; ++i)
+            (void)registry.exportText();
+    });
+    // Each first-of-tenant submission walks tenantStateLocked's
+    // drop-create-relock path. The null decoder surfaces as
+    // FatalError through the future; admission is what's under test.
+    for (core::TenantId tenant = 1; tenant <= 8; ++tenant) {
+        std::vector<DecodeRequest> batch(1);
+        batch[0].tenant = tenant;
+        auto futures = service.submitBatch(std::move(batch));
+        EXPECT_THROW(futures[0].get(), FatalError);
+    }
+    exporter.join();
+    service.shutdown();
+    const auto snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.at("decode_service.requests_submitted"),
+              8u);
+    EXPECT_EQ(
+        snap.counters.at(
+            "decode_service.tenant.3.requests_admitted"),
+        1u);
+}
+
+} // namespace
+} // namespace dnastore
