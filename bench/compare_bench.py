@@ -27,11 +27,34 @@ tolerance. Three kinds of checks:
    the scaling curve that engages when the committed baseline came
    from a 1-core container and the CI runner is multi-core.
 
+A second, independent arm gates BENCH_workload.json (the trace-driven
+workload SLO bench) via --workload-baseline/--workload-fresh:
+
+ * the fresh run's `virtual.deterministic` flag must be true — the
+   virtual-clock replay diverging between identical runs is fatal,
+   whatever the hardware;
+ * per-class p99 queue latency may not regress (grow) beyond
+   --p99-tolerance, and per-class goodput may not drop by more than
+   --goodput-tolerance (absolute). Virtual-clock numbers don't depend
+   on machine speed, so this arm engages on every runner;
+ * the scripted-saturation `dispatch_ratio` must stay within
+   --ratio-tolerance of the baseline's, and the saturation goodputs
+   within --goodput-tolerance — a WDRR fairness drift fails the gate
+   even when latency looks fine.
+
+Either arm (decode positionals, workload flags) may be used alone;
+passing neither is an error.
+
 Exit status: 0 = pass (or skipped perf diff), 1 = regression/failure.
 
-Usage: compare_bench.py BASELINE FRESH [--tolerance 0.25]
+Usage: compare_bench.py [BASELINE FRESH] [--tolerance 0.25]
                         [--single-thread-tolerance 0.30]
                         [--min-scaling 1.3]
+                        [--workload-baseline BENCH_workload.json
+                         --workload-fresh BENCH_workload.fresh.json]
+                        [--p99-tolerance 0.25]
+                        [--goodput-tolerance 0.05]
+                        [--ratio-tolerance 0.05]
 """
 
 import argparse
@@ -63,11 +86,104 @@ def metric(row, key):
     return value
 
 
+def compare_workload(baseline, fresh, args, failures):
+    """The BENCH_workload.json SLO arm (see module docstring)."""
+    if not fresh.get("virtual", {}).get("deterministic", False):
+        failures.append(
+            "fresh workload run reports virtual.deterministic = false")
+
+    base_classes = {row.get("name"): row
+                    for row in baseline.get("virtual", {})
+                    .get("classes", [])}
+    fresh_classes = {row.get("name"): row
+                     for row in fresh.get("virtual", {})
+                     .get("classes", [])}
+    for name, base_row in sorted(base_classes.items()):
+        fresh_row = fresh_classes.get(name)
+        if fresh_row is None:
+            failures.append(f"workload class {name!r} missing from "
+                            f"fresh run")
+            continue
+        # p99 queue latency: growth beyond tolerance is a regression;
+        # a null p99 (no admitted requests) on either side skips the
+        # latency check but still gates goodput.
+        base_p99 = base_row.get("p99_us")
+        fresh_p99 = fresh_row.get("p99_us")
+        if isinstance(base_p99, (int, float)) and base_p99 > 0 \
+                and isinstance(fresh_p99, (int, float)):
+            change = fresh_p99 / base_p99 - 1.0
+            regressed = change > args.p99_tolerance
+            status = "REGRESSION" if regressed else "ok"
+            if regressed:
+                failures.append(
+                    f"workload class {name}: p99 {base_p99} -> "
+                    f"{fresh_p99} us ({change:+.1%}, tolerance "
+                    f"{args.p99_tolerance:.0%})")
+            print(f"slo:p99   {name:9s}: {base_p99:10.0f} -> "
+                  f"{fresh_p99:10.0f} us             "
+                  f"{change:+7.1%}  {status}")
+        try:
+            base_goodput = metric(base_row, "goodput")
+            fresh_goodput = metric(fresh_row, "goodput")
+        except ValueError as err:
+            failures.append(f"workload class {name}: bad row ({err})")
+            continue
+        drop = base_goodput - fresh_goodput
+        regressed = drop > args.goodput_tolerance
+        status = "REGRESSION" if regressed else "ok"
+        if regressed:
+            failures.append(
+                f"workload class {name}: goodput {base_goodput:.3f} "
+                f"-> {fresh_goodput:.3f} (drop {drop:.3f} > "
+                f"{args.goodput_tolerance:.3f})")
+        print(f"slo:good  {name:9s}: {base_goodput:10.3f} -> "
+              f"{fresh_goodput:10.3f}                {-drop:+7.3f}"
+              f"  {status}")
+
+    base_sat = baseline.get("saturation") or {}
+    fresh_sat = fresh.get("saturation") or {}
+    if base_sat:
+        try:
+            base_ratio = metric(base_sat, "dispatch_ratio")
+            fresh_ratio = metric(fresh_sat, "dispatch_ratio")
+        except ValueError as err:
+            failures.append(f"saturation: bad dispatch_ratio ({err})")
+        else:
+            drift = abs(fresh_ratio - base_ratio)
+            regressed = drift > args.ratio_tolerance
+            status = "REGRESSION" if regressed else "ok"
+            if regressed:
+                failures.append(
+                    f"saturation dispatch ratio {base_ratio:.3f} -> "
+                    f"{fresh_ratio:.3f} (drift {drift:.3f} > "
+                    f"{args.ratio_tolerance:.3f})")
+            print(f"slo:ratio saturation: {base_ratio:10.3f} -> "
+                  f"{fresh_ratio:10.3f}                         "
+                  f"{status}")
+        for key in ("heavy_goodput", "light_goodput",
+                    "throttled_goodput"):
+            base_value = base_sat.get(key)
+            fresh_value = fresh_sat.get(key)
+            if not isinstance(base_value, (int, float)):
+                continue
+            if not isinstance(fresh_value, (int, float)):
+                failures.append(f"saturation missing {key}")
+                continue
+            drop = base_value - fresh_value
+            if drop > args.goodput_tolerance:
+                failures.append(
+                    f"saturation {key} {base_value:.3f} -> "
+                    f"{fresh_value:.3f} (drop {drop:.3f} > "
+                    f"{args.goodput_tolerance:.3f})")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff BENCH_decode.json runs; fail on regression.")
-    parser.add_argument("baseline", help="committed BENCH_decode.json")
-    parser.add_argument("fresh", help="freshly captured run")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="committed BENCH_decode.json")
+    parser.add_argument("fresh", nargs="?", default=None,
+                        help="freshly captured run")
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed fractional regression (default 0.25 = 25%%)")
@@ -81,11 +197,48 @@ def main():
              "in-core-budget thread count over its threads=1 row; "
              "0 (default) disables the arm. Skipped (with a note) on "
              "runners with fewer than 2 cores.")
+    parser.add_argument(
+        "--workload-baseline", default=None,
+        help="committed BENCH_workload.json (enables the SLO arm)")
+    parser.add_argument(
+        "--workload-fresh", default=None,
+        help="freshly captured BENCH_workload.json")
+    parser.add_argument(
+        "--p99-tolerance", type=float, default=0.25,
+        help="allowed fractional p99 latency growth per class "
+             "(default 0.25 = 25%%)")
+    parser.add_argument(
+        "--goodput-tolerance", type=float, default=0.05,
+        help="allowed absolute goodput drop per class / saturation "
+             "tenant (default 0.05)")
+    parser.add_argument(
+        "--ratio-tolerance", type=float, default=0.05,
+        help="allowed absolute drift of the scripted-saturation "
+             "WDRR dispatch ratio (default 0.05)")
     args = parser.parse_args()
+
+    decode_arm = args.baseline is not None and args.fresh is not None
+    workload_arm = (args.workload_baseline is not None
+                    and args.workload_fresh is not None)
+    if not decode_arm and not workload_arm:
+        parser.error("pass BASELINE FRESH and/or "
+                     "--workload-baseline/--workload-fresh")
+
+    failures = []
+    if workload_arm:
+        compare_workload(load(args.workload_baseline),
+                         load(args.workload_fresh), args, failures)
+    if not decode_arm:
+        if failures:
+            print("\nFAIL:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nPASS")
+        return 0
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
-    failures = []
 
     # Determinism flags: non-negotiable.
     for flag in ("identical_across_threads",

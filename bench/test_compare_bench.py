@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Negative tests for compare_bench.py's workload SLO arm.
+
+Each case clones the committed BENCH_workload.json, injects one
+regression, and asserts the gate actually fails — a gate that passes
+everything is worse than no gate. Run directly or via ctest
+(compare_bench_selftest); stdlib only.
+"""
+
+import copy
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO = BENCH_DIR.parent
+GATE = BENCH_DIR / "compare_bench.py"
+BASELINE = REPO / "BENCH_workload.json"
+
+
+def run_gate(tmp, baseline, fresh, extra=()):
+    base_path = tmp / "base.json"
+    fresh_path = tmp / "fresh.json"
+    base_path.write_text(json.dumps(baseline))
+    fresh_path.write_text(json.dumps(fresh))
+    proc = subprocess.run(
+        [sys.executable, str(GATE),
+         "--workload-baseline", str(base_path),
+         "--workload-fresh", str(fresh_path), *extra],
+        capture_output=True, text=True)
+    return proc
+
+
+def expect(name, proc, want_exit, want_substr=None):
+    ok = proc.returncode == want_exit
+    if ok and want_substr is not None:
+        ok = want_substr in proc.stdout + proc.stderr
+    print(f"{'PASS' if ok else 'FAIL'}: {name}")
+    if not ok:
+        print(f"  exit {proc.returncode} (wanted {want_exit})")
+        print("  stdout:", proc.stdout[-2000:])
+        print("  stderr:", proc.stderr[-2000:])
+    return ok
+
+
+def main():
+    doc = json.loads(BASELINE.read_text())
+    results = []
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = pathlib.Path(tmpdir)
+
+        # Identical runs pass.
+        results.append(expect(
+            "identical runs pass",
+            run_gate(tmp, doc, copy.deepcopy(doc)), 0))
+
+        # A determinism break is fatal.
+        broken = copy.deepcopy(doc)
+        broken["virtual"]["deterministic"] = False
+        results.append(expect(
+            "determinism break fails",
+            run_gate(tmp, doc, broken), 1, "deterministic"))
+
+        # p99 growth beyond tolerance fails; within tolerance passes.
+        slow = copy.deepcopy(doc)
+        for row in slow["virtual"]["classes"]:
+            if isinstance(row.get("p99_us"), int):
+                row["p99_us"] *= 2
+        results.append(expect(
+            "p99 doubling fails",
+            run_gate(tmp, doc, slow), 1, "p99"))
+        results.append(expect(
+            "p99 doubling passes under a loose tolerance",
+            run_gate(tmp, doc, slow, ["--p99-tolerance", "1.5"]), 0))
+
+        # Goodput drop beyond the absolute tolerance fails.
+        shed = copy.deepcopy(doc)
+        shed["virtual"]["classes"][0]["goodput"] -= 0.2
+        results.append(expect(
+            "class goodput drop fails",
+            run_gate(tmp, doc, shed), 1, "goodput"))
+
+        # WDRR dispatch-ratio drift fails (fairness regression).
+        unfair = copy.deepcopy(doc)
+        unfair["saturation"]["dispatch_ratio"] += 0.5
+        results.append(expect(
+            "saturation ratio drift fails",
+            run_gate(tmp, doc, unfair), 1, "dispatch ratio"))
+
+        # Saturation goodput drop fails.
+        starved = copy.deepcopy(doc)
+        starved["saturation"]["light_goodput"] -= 0.3
+        results.append(expect(
+            "saturation goodput drop fails",
+            run_gate(tmp, doc, starved), 1, "light_goodput"))
+
+        # A missing class in the fresh run fails.
+        gone = copy.deepcopy(doc)
+        gone["virtual"]["classes"] = gone["virtual"]["classes"][1:]
+        results.append(expect(
+            "missing class fails",
+            run_gate(tmp, doc, gone), 1, "missing"))
+
+    # No inputs at all is a usage error, not a silent pass.
+    proc = subprocess.run([sys.executable, str(GATE)],
+                          capture_output=True, text=True)
+    ok = proc.returncode != 0
+    print(f"{'PASS' if ok else 'FAIL'}: no inputs is an error")
+    results.append(ok)
+
+    if not all(results):
+        return 1
+    print(f"\nall {len(results)} selftests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

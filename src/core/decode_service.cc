@@ -11,13 +11,14 @@ namespace dnastore::core {
 
 namespace {
 
+/** Saturating microsecond delta: an injected virtual clock may stamp
+ *  an arrival "after" dispatch reads it (the simulator advances time
+ *  between the two), and a negative latency must read as zero, not
+ *  wrap. */
 uint64_t
-elapsedUs(std::chrono::steady_clock::time_point from,
-          std::chrono::steady_clock::time_point to)
+elapsedUs(uint64_t from_us, uint64_t to_us)
 {
-    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-        to - from);
-    return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+    return to_us > from_us ? to_us - from_us : 0;
 }
 
 /** Slack for the double-valued token ledger so an exact refill (1.0
@@ -156,10 +157,16 @@ DecodeService::DecodeService(DecodeServiceParams params)
         pool_threads_ = &registry.gauge("decode_service.pool_threads");
         pool_active_ =
             &registry.gauge("decode_service.pool_active_threads");
+        const std::vector<uint64_t> latency_bounds =
+            params_.latency_bounds_us.empty()
+                ? telemetry::defaultLatencyBoundsUs()
+                : params_.latency_bounds_us;
         queue_latency_us_ =
-            &registry.histogram("decode_service.queue_latency_us");
+            &registry.histogram("decode_service.queue_latency_us",
+                                latency_bounds);
         decode_latency_us_ =
-            &registry.histogram("decode_service.decode_latency_us");
+            &registry.histogram("decode_service.decode_latency_us",
+                                latency_bounds);
         streams_opened_ =
             &registry.counter("decode_service.streams_opened");
         stream_chunks_ =
@@ -271,8 +278,11 @@ DecodeService::makeTenantState(TenantId tenant) const
             &registry.counter(prefix + "requests_throttled");
         state.dispatched =
             &registry.counter(prefix + "batches_dispatched");
-        state.queue_latency =
-            &registry.histogram(prefix + "queue_latency_us");
+        state.queue_latency = &registry.histogram(
+            prefix + "queue_latency_us",
+            params_.latency_bounds_us.empty()
+                ? telemetry::defaultLatencyBoundsUs()
+                : params_.latency_bounds_us);
     }
     return state;
 }
@@ -445,7 +455,7 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
     pending.items.resize(n);
     std::vector<std::future<DecodeOutcome>> futures;
     futures.reserve(n);
-    Clock::time_point now = Clock::now();
+    const uint64_t now_us = nowUs();
     const TenantId tenant = n > 0 ? batch[0].tenant : kDefaultTenant;
     pending.tenant = tenant;
     for (size_t i = 0; i < n; ++i) {
@@ -456,7 +466,7 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
         if (batch[i].decoder)
             pending.items[i].liveness = batch[i].decoder->livenessToken();
         pending.items[i].request = std::move(batch[i]);
-        pending.items[i].enqueued = now;
+        pending.items[i].enqueued_us = now_us;
         futures.push_back(pending.items[i].promise.get_future());
     }
     if (n == 0) {
@@ -561,7 +571,7 @@ DecodeService::submitStreamChunk(
     pending.stream = std::move(stream);
     pending.chunk = std::move(reads);
     pending.stream_finish = finish_marker;
-    pending.enqueued = Clock::now();
+    pending.enqueued_us = nowUs();
     std::future<DecodeOutcome> future =
         pending.stream_promise.get_future();
 
@@ -697,8 +707,8 @@ void
 DecodeService::runStreamChunk(Batch &batch)
 {
     DecodeStream::State &stream = *batch.stream;
-    Clock::time_point start = Clock::now();
-    const uint64_t queued_us = elapsedUs(batch.enqueued, start);
+    const uint64_t start_us = nowUs();
+    const uint64_t queued_us = elapsedUs(batch.enqueued_us, start_us);
     if (queue_latency_us_)
         queue_latency_us_->observe(queued_us);
     if (batch.queue_latency)
@@ -766,8 +776,7 @@ DecodeService::runStreamChunk(Batch &batch)
                     after.reads_consumed);
         }
         if (decode_latency_us_)
-            decode_latency_us_->observe(
-                elapsedUs(start, Clock::now()));
+            decode_latency_us_->observe(elapsedUs(start_us, nowUs()));
     } catch (...) {
         error = std::current_exception();
     }
@@ -807,8 +816,9 @@ DecodeService::runBatch(Batch &batch)
     // abandon its siblings' iterations or poison their promises.
     pool_.parallelFor(n, [&](size_t i) {
         Item &item = batch.items[i];
-        Clock::time_point start = Clock::now();
-        const uint64_t queued_us = elapsedUs(item.enqueued, start);
+        const uint64_t start_us = nowUs();
+        const uint64_t queued_us = elapsedUs(item.enqueued_us,
+                                             start_us);
         if (queue_latency_us_)
             queue_latency_us_->observe(queued_us);
         if (batch.queue_latency)
@@ -826,7 +836,7 @@ DecodeService::runBatch(Batch &batch)
                 item.request.reads, &outcomes[i].stats, pool_);
             if (decode_latency_us_)
                 decode_latency_us_->observe(
-                    elapsedUs(start, Clock::now()));
+                    elapsedUs(start_us, nowUs()));
         } catch (...) {
             errors[i] = std::current_exception();
         }

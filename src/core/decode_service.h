@@ -61,11 +61,13 @@
  * `decode_service.tenant.<id>.*`. See README "Storage frontend &
  * telemetry" for the exact metric names.
  *
- * Determinism hooks (used by tests/support/scheduler_harness):
- * `clock_us` replaces the token buckets' time source with a virtual
- * clock, `on_dispatch` observes the exact dispatch order from the
- * dispatcher thread, and `start_paused` + resumeDispatch() let a test
- * script an entire contended backlog before a single batch runs.
+ * Determinism hooks (used by tests/support/scheduler_harness and
+ * src/workload): `clock_us` replaces the time source — token-bucket
+ * refills AND queue/decode latency stamps — with a virtual clock,
+ * `on_dispatch` observes the exact dispatch order from the dispatcher
+ * thread, and `start_paused` + resumeDispatch() let a test script an
+ * entire contended backlog before a single batch runs. Under an
+ * injected clock the latency histograms are byte-reproducible.
  *
  * Shutdown drains: pending batches are decoded, not dropped, before
  * the dispatcher exits (dispatch resumes if paused), so destroying
@@ -141,9 +143,18 @@ struct DecodeServiceParams
      *  nullptr disables instrumentation. */
     telemetry::MetricsRegistry *metrics = nullptr;
 
-    /** Time source for the token buckets, in microseconds. Leave
-     *  empty for steady_clock; tests inject a virtual clock so
-     *  refill decisions are asserted exactly, not statistically. */
+    /** Bucket bounds for the queue/decode latency histograms
+     *  (service-wide and per-tenant). Empty = defaultLatencyBoundsUs()
+     *  (decade grid). Workload benches pass fineLatencyBoundsUs() so
+     *  p99/p999 extraction has usable resolution. All services
+     *  sharing one registry must agree (bounds are fixed per name). */
+    std::vector<uint64_t> latency_bounds_us;
+
+    /** Time source for the token buckets AND the queue/decode latency
+     *  stamps, in microseconds. Leave empty for steady_clock; tests
+     *  and the workload simulator inject a virtual clock so refill
+     *  decisions — and latency histograms — are asserted exactly,
+     *  not statistically. */
     std::function<uint64_t()> clock_us;
 
     /** Observer invoked from the dispatcher thread, in dispatch
@@ -417,7 +428,7 @@ class DecodeService
         DecodeRequest request;
         std::promise<DecodeOutcome> promise;
         std::weak_ptr<const void> liveness;
-        Clock::time_point enqueued;
+        uint64_t enqueued_us = 0;  ///< nowUs() at submission
     };
 
     struct Batch
@@ -437,7 +448,7 @@ class DecodeService
         std::vector<sim::Read> chunk;
         bool stream_finish = false;
         std::promise<DecodeOutcome> stream_promise;
-        Clock::time_point enqueued;
+        uint64_t enqueued_us = 0;  ///< nowUs() at submission
     };
 
     /** Per-tenant scheduler state; lives in tenants_, so every field

@@ -1,6 +1,7 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/error.h"
@@ -53,6 +54,38 @@ std::vector<uint64_t>
 defaultLatencyBoundsUs()
 {
     return {10, 100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
+}
+
+std::vector<uint64_t>
+fineLatencyBoundsUs()
+{
+    std::vector<uint64_t> bounds;
+    for (uint64_t decade = 10; decade <= 1'000'000; decade *= 10)
+        for (uint64_t step : {1, 2, 5})
+            bounds.push_back(step * decade);
+    bounds.push_back(10'000'000);
+    return bounds;
+}
+
+std::optional<uint64_t>
+HistogramSnapshot::quantile(double q) const
+{
+    fatalIf(q < 0.0 || q > 1.0, "quantile out of [0, 1]: ", q);
+    if (count == 0)
+        return std::nullopt;
+    // Rank of the requested observation, 1-based; q = 0 asks for the
+    // smallest observation, q = 1 for the largest.
+    auto rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size() && i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= rank)
+            return bounds[i];
+    }
+    return std::nullopt;  // rank falls in the overflow bucket
 }
 
 std::vector<uint64_t>

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -146,6 +147,13 @@ class Histogram
 /** Default latency bounds in microseconds: 10us .. 10s, decades. */
 std::vector<uint64_t> defaultLatencyBoundsUs();
 
+/** Fine-grained latency bounds in microseconds: 10us .. 10s in a
+ *  1-2-5 progression (19 buckets + overflow). Use these when quantile
+ *  estimates matter — the bucket-resolution error of quantile() is
+ *  one bucket width, so a decade grid can only say "p99 is somewhere
+ *  under 1 s" while this grid pins it within a 1-2-5 step. */
+std::vector<uint64_t> fineLatencyBoundsUs();
+
 /** Default bounds for read-count distributions (e.g. reads consumed
  *  before a streaming decode completed): 10 .. 300k, 1-3-10 steps. */
 std::vector<uint64_t> defaultReadCountBounds();
@@ -157,6 +165,23 @@ struct HistogramSnapshot
     std::vector<uint64_t> buckets;  ///< overflow bucket last
     uint64_t count = 0;
     uint64_t sum = 0;
+
+    /**
+     * Conservative quantile estimate from the bucket counts: the
+     * upper bound of the bucket holding the observation of rank
+     * ceil(q * count) (rank 1 when q is 0). Because bucket i counts
+     * observations in (bounds[i-1], bounds[i]], the true q-quantile
+     * lies in that same half-open interval — the estimate never
+     * understates it and overstates it by at most one bucket width
+     * (bounds[i] - bounds[i-1], or bounds[0] for the first bucket).
+     * That is the documented resolution error; choose bounds
+     * (e.g. fineLatencyBoundsUs()) to match the precision needed.
+     *
+     * Returns nullopt when the histogram is empty or the rank falls
+     * in the overflow bucket (no finite upper bound exists). Throws
+     * FatalError when q is outside [0, 1].
+     */
+    std::optional<uint64_t> quantile(double q) const;
 
     bool operator==(const HistogramSnapshot &) const = default;
 };

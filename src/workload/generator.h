@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Seeded workload generation: tenant classes, arrival processes,
+ * zipfian object popularity, and read/write/update blends.
+ *
+ * The generator is a pure function of WorkloadParams: each tenant
+ * draws from its own Rng sub-stream (Rng::deriveSeed(seed, tenant)),
+ * so adding a tenant class never perturbs the streams of existing
+ * tenants, and the merged trace is sorted by a total order
+ * (arrival_us, tenant, seq) — same params ⇒ byte-identical Trace on
+ * every platform the integer Rng is deterministic on (all of them).
+ *
+ * Scaling knob: classes carry a `count`, so "hundreds to thousands of
+ * tenants" is a one-line change — tenant ids are assigned 1..N
+ * consecutively across classes in declaration order (id 0, the
+ * default tenant, is never generated: it carries no per-tenant
+ * instruments and would hide in the SLO report).
+ */
+
+#ifndef DNASTORE_WORKLOAD_GENERATOR_H
+#define DNASTORE_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/tenant.h"
+#include "workload/trace.h"
+
+namespace dnastore::workload {
+
+/** Open-loop arrival process of one tenant. */
+struct ArrivalProcess
+{
+    enum class Kind : uint8_t
+    {
+        /** Memoryless arrivals at rate_per_sec (exponential
+         *  inter-arrival times). */
+        Poisson = 0,
+
+        /** Bursty on/off source: exponentially distributed ON and OFF
+         *  periods (means mean_on_us / mean_off_us); arrivals are
+         *  Poisson at rate_per_sec during ON, silent during OFF, so
+         *  the long-run rate is rate_per_sec · on/(on+off). */
+        OnOff = 1,
+    };
+
+    Kind kind = Kind::Poisson;
+    double rate_per_sec = 100.0;
+    uint64_t mean_on_us = 100'000;
+    uint64_t mean_off_us = 400'000;
+};
+
+/** Read/write/update blend; weights need not sum to 1 (normalized). */
+struct OpMix
+{
+    double read = 1.0;
+    double write = 0.0;
+    double update = 0.0;
+};
+
+/** A group of identically-configured tenants. */
+struct TenantClass
+{
+    /** Label used in per-class SLO aggregation and bench output. */
+    std::string name = "default";
+
+    /** Tenants in this class (each gets its own Rng stream and its
+     *  own TenantId). */
+    size_t count = 1;
+
+    ArrivalProcess arrivals;
+    OpMix mix;
+
+    /** Admission contract applied to EACH tenant of the class
+     *  (weight, token bucket, queue cap — see core/tenant.h). */
+    core::TenantParams admission;
+};
+
+/** Everything the generator needs; a pure value. */
+struct WorkloadParams
+{
+    uint64_t seed = 1;
+
+    /** Trace horizon: arrivals are generated in [0, duration_us). */
+    uint64_t duration_us = 1'000'000;
+
+    /** Object id space per tenant; popularity is zipfian over it. */
+    uint64_t objects = 1'000;
+
+    /** Zipf exponent s (0 = uniform; 0.99 ≈ classic YCSB skew). */
+    double zipf_s = 0.99;
+
+    std::vector<TenantClass> classes;
+
+    /** Safety cap on total generated ops (0 = uncapped). The trace is
+     *  truncated after time-sorting, so a cap keeps the earliest ops
+     *  of every tenant rather than whole tenants. */
+    size_t max_ops = 0;
+};
+
+/**
+ * Zipfian sampler over [0, n): P(k) ∝ 1/(k+1)^s, via a precomputed
+ * CDF and binary search. Deterministic given the Rng stream.
+ */
+class ZipfianSampler
+{
+  public:
+    ZipfianSampler(uint64_t n, double s);
+
+    uint64_t sample(Rng &rng) const;
+
+    /** Theoretical probability of rank @p k (tests pin empirical
+     *  frequencies against this within tolerance). */
+    double pmf(uint64_t k) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/** Generate the full merged trace for @p params. */
+Trace generateTrace(const WorkloadParams &params);
+
+/** The DecodeServiceParams::tenants map implied by the classes. */
+std::map<core::TenantId, core::TenantParams> tenantAdmission(
+    const WorkloadParams &params);
+
+/** All generated tenant ids, ascending (1..N across classes). */
+std::vector<core::TenantId> tenantIds(const WorkloadParams &params);
+
+/** The tenant ids of class @p class_index, ascending. */
+std::vector<core::TenantId> classTenantIds(const WorkloadParams &params,
+                                           size_t class_index);
+
+} // namespace dnastore::workload
+
+#endif // DNASTORE_WORKLOAD_GENERATOR_H

@@ -1,0 +1,342 @@
+#include "workload/simulator.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/sync.h"
+
+namespace dnastore::workload {
+
+namespace {
+
+/** Thread-safe dispatch recorder behind the service's on_dispatch
+ *  observer. Its mutex is a leaf: the observer runs on the dispatcher
+ *  thread with no service lock held. */
+class DispatchRecorder
+{
+  public:
+    void
+    record(core::TenantId tenant, size_t requests)
+    {
+        sync::MutexLock lock(m_);
+        records_.push_back(DispatchRecord{tenant, requests});
+    }
+
+    std::vector<DispatchRecord>
+    take()
+    {
+        sync::MutexLock lock(m_);
+        return std::move(records_);
+    }
+
+  private:
+    sync::Mutex m_{sync::Rank::kLeaf, "dispatch_recorder"};
+    std::vector<DispatchRecord> records_ DNASTORE_GUARDED_BY(m_);
+};
+
+core::DecodeServiceParams
+serviceParams(const std::map<core::TenantId, core::TenantParams>
+                  &admission,
+              const SimulatorParams &params,
+              telemetry::MetricsRegistry &registry)
+{
+    core::DecodeServiceParams sp;
+    sp.threads = params.service_threads;
+    sp.max_queue_depth = params.max_queue_depth;
+    sp.overflow = params.overflow;
+    sp.tenants = admission;
+    sp.metrics = &registry;
+    sp.latency_bounds_us = params.latency_bounds_us.empty()
+                               ? telemetry::fineLatencyBoundsUs()
+                               : params.latency_bounds_us;
+    return sp;
+}
+
+std::vector<sim::Read>
+readsFor(const SimulatorParams &params, const TraceOp &op)
+{
+    if (params.reads_for)
+        return params.reads_for(op);
+    return {};
+}
+
+void
+finishResult(SimResult &result, const Trace &trace,
+             telemetry::MetricsRegistry &registry,
+             const std::vector<core::TenantId> &tenants,
+             DispatchRecorder &recorder, bool record_dispatches)
+{
+    result.metrics = registry.snapshot();
+    result.report = buildSloReport(result.metrics, tenants);
+    result.report_fingerprint = result.report.fingerprint();
+    result.trace_fingerprint = traceFingerprint(trace);
+    if (record_dispatches)
+        result.dispatches = recorder.take();
+}
+
+SimResult
+replayVirtual(const Trace &trace,
+              const std::map<core::TenantId, core::TenantParams>
+                  &admission,
+              const std::vector<core::TenantId> &tenants,
+              const SimulatorParams &params)
+{
+    fatalIf(params.decoder == nullptr,
+            "replayTrace: SimulatorParams::decoder is required");
+    fatalIf(params.virtual_service_time_us == 0,
+            "replayTrace: virtual_service_time_us must be > 0 (a "
+            "zero-cost service shapes no queueing at all)");
+    fatalIf(params.epoch_us == 0, "replayTrace: epoch_us must be > 0");
+    if (params.overflow == core::OverflowPolicy::Block) {
+        bool bounded = params.max_queue_depth > 0;
+        for (const auto &[tenant, tp] : admission)
+            bounded = bounded || tp.max_queue_depth > 0;
+        fatalIf(bounded,
+                "replayTrace: OverflowPolicy::Block with a queue-depth "
+                "bound would park submitters against a paused "
+                "dispatcher; use Reject (or drop the bounds)");
+    }
+
+    VirtualClock clock;
+    telemetry::MetricsRegistry registry;
+    DispatchRecorder recorder;
+
+    core::DecodeServiceParams sp =
+        serviceParams(admission, params, registry);
+    sp.clock_us = clock.source();
+    sp.start_paused = true;
+    const uint64_t service_time_us = params.virtual_service_time_us;
+    const bool record = params.record_dispatches;
+    sp.on_dispatch = [&clock, &recorder, service_time_us,
+                      record](core::TenantId tenant, size_t requests) {
+        // Dispatcher thread, serialized with the batch it is about to
+        // run: the advance is observed by that batch's own latency
+        // stamps, so every dispatched request "costs" virtual time.
+        clock.advanceUs(service_time_us * requests);
+        if (record)
+            recorder.record(tenant, requests);
+    };
+
+    SimResult result;
+    {
+        core::DecodeService service(std::move(sp));
+        std::vector<std::future<core::DecodeOutcome>> epoch_futures;
+        size_t next = 0;
+        uint64_t epoch_end_us = params.epoch_us;
+        while (next < trace.size()) {
+            // Script the epoch's arrivals with dispatch held, so the
+            // WDRR dispatcher sees the whole contended backlog at
+            // once — the schedule is a pure function of the trace.
+            while (next < trace.size() &&
+                   trace[next].arrival_us < epoch_end_us) {
+                const TraceOp &op = trace[next];
+                clock.advanceToUs(op.arrival_us);
+                epoch_futures.push_back(service.submit(
+                    *params.decoder, readsFor(params, op), op.tenant));
+                ++result.ops_submitted;
+                ++next;
+            }
+            service.resumeDispatch();
+            for (auto &future : epoch_futures)
+                (void)future.get();
+            epoch_futures.clear();
+            service.pauseDispatch();
+            epoch_end_us += params.epoch_us;
+        }
+        service.shutdown();
+        result.end_clock_us = clock.nowUs();
+    }
+    finishResult(result, trace, registry, tenants, recorder,
+                 params.record_dispatches);
+    return result;
+}
+
+SimResult
+replayReal(const Trace &trace,
+           const std::map<core::TenantId, core::TenantParams>
+               &admission,
+           const std::vector<core::TenantId> &tenants,
+           const SimulatorParams &params)
+{
+    fatalIf(params.decoder == nullptr,
+            "replayTrace: SimulatorParams::decoder is required");
+
+    telemetry::MetricsRegistry registry;
+    DispatchRecorder recorder;
+    core::DecodeServiceParams sp =
+        serviceParams(admission, params, registry);
+    const bool record = params.record_dispatches;
+    if (record) {
+        sp.on_dispatch = [&recorder](core::TenantId tenant,
+                                     size_t requests) {
+            recorder.record(tenant, requests);
+        };
+    }
+
+    SimResult result;
+    {
+        core::DecodeService service(std::move(sp));
+        std::vector<std::future<core::DecodeOutcome>> futures;
+        futures.reserve(trace.size());
+        const auto start = std::chrono::steady_clock::now();
+        for (const TraceOp &op : trace) {
+            std::this_thread::sleep_until(
+                start + std::chrono::microseconds(op.arrival_us));
+            futures.push_back(service.submit(
+                *params.decoder, readsFor(params, op), op.tenant));
+            ++result.ops_submitted;
+        }
+        for (auto &future : futures)
+            (void)future.get();
+        service.shutdown();
+    }
+    finishResult(result, trace, registry, tenants, recorder,
+                 params.record_dispatches);
+    return result;
+}
+
+} // namespace
+
+SimResult
+replayTrace(const Trace &trace,
+            const std::map<core::TenantId, core::TenantParams>
+                &admission,
+            const std::vector<core::TenantId> &tenants,
+            const SimulatorParams &params)
+{
+    if (params.clock == SimulatorParams::Clock::Virtual)
+        return replayVirtual(trace, admission, tenants, params);
+    return replayReal(trace, admission, tenants, params);
+}
+
+SimResult
+runSimulation(const WorkloadParams &workload,
+              const SimulatorParams &params)
+{
+    return replayTrace(generateTrace(workload),
+                       tenantAdmission(workload), tenantIds(workload),
+                       params);
+}
+
+SimResult
+replayOnFleet(const Trace &trace,
+              const std::map<core::TenantId, core::TenantParams>
+                  &admission,
+              const std::vector<core::TenantId> &tenants,
+              const std::map<core::TenantId, FleetDevice> &fleet,
+              const SimulatorParams &params)
+{
+    fatalIf(params.clock != SimulatorParams::Clock::Real,
+            "replayOnFleet: fleet replay is wall-clock only (virtual "
+            "mode measures scheduling, not synchronous frontends)");
+    for (core::TenantId tenant : tenants) {
+        auto it = fleet.find(tenant);
+        fatalIf(it == fleet.end() || it->second.device == nullptr ||
+                    it->second.device->blockCount() == 0,
+                "replayOnFleet: tenant ", tenant,
+                " needs a written FleetDevice");
+    }
+
+    telemetry::MetricsRegistry registry;
+    DispatchRecorder recorder;
+    core::DecodeServiceParams sp =
+        serviceParams(admission, params, registry);
+    const bool record = params.record_dispatches;
+    if (record) {
+        sp.on_dispatch = [&recorder](core::TenantId tenant,
+                                     size_t requests) {
+            recorder.record(tenant, requests);
+        };
+    }
+
+    SimResult result;
+    {
+        core::DecodeService service(std::move(sp));
+
+        // One frontend per tenant (frontends are cheap; the binding
+        // carries the tenant id) and one worker per tenant: devices
+        // are not thread-safe, so a tenant's ops run strictly in
+        // trace order — the closed loop.
+        std::map<core::TenantId,
+                 std::unique_ptr<core::StorageFrontend>>
+            frontends;
+        for (core::TenantId tenant : tenants) {
+            core::StorageFrontendParams fp;
+            fp.metrics = &registry;
+            fp.tenant = tenant;
+            frontends.emplace(tenant,
+                              std::make_unique<core::StorageFrontend>(
+                                  service, fp));
+        }
+
+        std::map<core::TenantId, std::vector<const TraceOp *>> per;
+        for (const TraceOp &op : trace)
+            per[op.tenant].push_back(&op);
+
+        std::atomic<uint64_t> submitted{0};
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> workers;
+        workers.reserve(tenants.size());
+        for (core::TenantId tenant : tenants) {
+            core::StorageFrontend *frontend =
+                frontends.at(tenant).get();
+            core::BlockDevice *device = fleet.at(tenant).device;
+            const std::vector<const TraceOp *> &ops = per[tenant];
+            workers.emplace_back([frontend, device, &ops, start,
+                                  &submitted] {
+                for (const TraceOp *op : ops) {
+                    std::this_thread::sleep_until(
+                        start +
+                        std::chrono::microseconds(op->arrival_us));
+                    const uint64_t block =
+                        op->object % device->blockCount();
+                    try {
+                        switch (op->type) {
+                        case OpType::Read:
+                            (void)frontend->readBlock(*device, block);
+                            break;
+                        case OpType::Write: {
+                            core::Bytes content(
+                                device->partition()
+                                    .config()
+                                    .block_data_bytes,
+                                static_cast<uint8_t>(op->seq));
+                            device->replaceBlock(block, content);
+                            break;
+                        }
+                        case OpType::Update: {
+                            core::UpdateOp edit;
+                            edit.delete_pos = 0;
+                            edit.delete_len = 1;
+                            edit.insert_pos = 0;
+                            edit.insert_bytes = {
+                                static_cast<uint8_t>(op->seq)};
+                            device->updateBlock(block, edit);
+                            break;
+                        }
+                        }
+                    } catch (const core::OverloadedError &) {
+                        // Shed (Overloaded or Throttled): already
+                        // counted by the service's per-tenant
+                        // instruments; the closed loop moves on.
+                    }
+                    submitted.fetch_add(1,
+                                        std::memory_order_relaxed);
+                }
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+        result.ops_submitted =
+            submitted.load(std::memory_order_relaxed);
+        service.shutdown();
+    }
+    finishResult(result, trace, registry, tenants, recorder,
+                 params.record_dispatches);
+    return result;
+}
+
+} // namespace dnastore::workload

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Trace replay against a DecodeService: the measurement substrate for
+ * multi-tenant SLO claims.
+ *
+ * Two drive modes:
+ *
+ *  - **Virtual clock** (default): submissions happen only while the
+ *    dispatcher is paused; the clock jumps to each arrival, and every
+ *    dispatched request advances it by a fixed virtual service time
+ *    (from the dispatcher thread, which is serialized with the batch
+ *    it dispatches — race-free by construction). Queue-latency
+ *    histograms then measure deterministic sojourn times shaped by
+ *    the WDRR scheduler and admission control: the same seed gives a
+ *    byte-identical SLO report on every machine and thread count.
+ *    Requests carry empty read sets (decode instantly) unless
+ *    `reads_for` supplies real ones — admission/scheduling fidelity
+ *    at thousands-of-tenants scale is the point, not decode cost.
+ *
+ *  - **Real clock**: open-loop replay paced by steady_clock —
+ *    arrivals are submitted at their trace times regardless of
+ *    completion, `reads_for` typically supplies pre-sequenced reads,
+ *    and latencies are wall-clock (end-to-end fidelity, statistical
+ *    not reproducible). replayOnFleet() additionally drives a fleet
+ *    of StorageFrontends — one per tenant, each bound to its own
+ *    BlockDevice — through the synchronous read/update paths, for
+ *    moderate fleet sizes (one worker thread per tenant).
+ *
+ * Backpressure semantics under the virtual clock: a backlogged epoch
+ * advances the clock past later arrivals, which then submit "late"
+ * (at the current clock) — exactly how an open-loop client would
+ * observe an overloaded service. OverflowPolicy::Block combined with
+ * any queue-depth bound is refused in virtual mode: a parked
+ * submitter would deadlock against the paused dispatcher.
+ */
+
+#ifndef DNASTORE_WORKLOAD_SIMULATOR_H
+#define DNASTORE_WORKLOAD_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/decode_service.h"
+#include "core/storage_frontend.h"
+#include "telemetry/metrics.h"
+#include "workload/generator.h"
+#include "workload/slo_report.h"
+#include "workload/trace.h"
+#include "workload/virtual_clock.h"
+
+namespace dnastore::workload {
+
+/** One dispatched batch, as seen by the service's observer. */
+struct DispatchRecord
+{
+    core::TenantId tenant = core::kDefaultTenant;
+    size_t requests = 0;
+
+    bool operator==(const DispatchRecord &) const = default;
+};
+
+/** How a replay drives the service. */
+struct SimulatorParams
+{
+    enum class Clock : uint8_t
+    {
+        Virtual = 0,
+        Real = 1,
+    };
+
+    Clock clock = Clock::Virtual;
+
+    /** DecodeService worker threads. Irrelevant to virtual-mode
+     *  results (pinned by test): the report depends only on the
+     *  scripted schedule. */
+    size_t service_threads = 1;
+
+    /** Service-wide queue bound (0 = unbounded). */
+    size_t max_queue_depth = 0;
+
+    /** Reject is the open-loop default; Block with any queue bound is
+     *  refused in virtual mode (would deadlock a paused dispatcher). */
+    core::OverflowPolicy overflow = core::OverflowPolicy::Reject;
+
+    /** Virtual clock: microseconds each dispatched request advances
+     *  the clock by — the modeled per-request service time. */
+    uint64_t virtual_service_time_us = 1'000;
+
+    /** Virtual clock: arrivals are submitted and drained in epochs of
+     *  this length, so backlog inside an epoch shapes queue latency
+     *  while the trace still replays open-loop across epochs. */
+    uint64_t epoch_us = 50'000;
+
+    /** Latency histogram bounds; empty = fineLatencyBoundsUs(). */
+    std::vector<uint64_t> latency_bounds_us;
+
+    /** Decoder every request is submitted against (replayTrace /
+     *  runSimulation; fleet mode uses the devices' own partitions).
+     *  Must outlive the call. */
+    const core::Decoder *decoder = nullptr;
+
+    /** Optional read-set supplier (e.g. device.sequenceRange of the
+     *  op's object); empty reads decode instantly when unset. */
+    std::function<std::vector<sim::Read>(const TraceOp &)> reads_for;
+
+    /** Record the exact dispatch order into SimResult::dispatches
+     *  (off by default: a long run records millions of entries). */
+    bool record_dispatches = false;
+};
+
+/** Everything a replay produced. */
+struct SimResult
+{
+    SloReport report;
+    telemetry::MetricsSnapshot metrics;
+    std::vector<DispatchRecord> dispatches;
+
+    uint64_t trace_fingerprint = 0;
+
+    /** == report.fingerprint(); duplicated so bench JSON needs no
+     *  recomputation. */
+    uint64_t report_fingerprint = 0;
+
+    /** Final simulation clock (virtual mode; 0 in real mode). */
+    uint64_t end_clock_us = 0;
+
+    uint64_t ops_submitted = 0;
+};
+
+/** Replay @p trace against a fresh service configured with
+ *  @p admission; the report covers @p tenants in the given order. */
+SimResult replayTrace(const Trace &trace,
+                      const std::map<core::TenantId, core::TenantParams>
+                          &admission,
+                      const std::vector<core::TenantId> &tenants,
+                      const SimulatorParams &params);
+
+/** generateTrace + replayTrace in one call. */
+SimResult runSimulation(const WorkloadParams &workload,
+                        const SimulatorParams &params);
+
+/** One tenant's storage in a closed-loop fleet replay. */
+struct FleetDevice
+{
+    /** Written (writeFile) device; not thread-safe, so each tenant
+     *  needs its own. Must outlive the call. */
+    core::BlockDevice *device = nullptr;
+};
+
+/**
+ * Closed-loop real-clock replay: one StorageFrontend and one worker
+ * thread per tenant, all sharing one DecodeService. Reads go through
+ * StorageFrontend::readBlock, writes through replaceBlock, updates
+ * through updateBlock; op.object maps onto the device's blocks by
+ * modulo. Arrival times pace each tenant's worker (best effort — a
+ * slow op delays that tenant's later ops, which is what closed-loop
+ * means). Shed requests (OverloadedError/ThrottledError) are counted
+ * by the service's own metrics and the worker moves on.
+ */
+SimResult replayOnFleet(const Trace &trace,
+                        const std::map<core::TenantId,
+                                       core::TenantParams> &admission,
+                        const std::vector<core::TenantId> &tenants,
+                        const std::map<core::TenantId, FleetDevice>
+                            &fleet,
+                        const SimulatorParams &params);
+
+} // namespace dnastore::workload
+
+#endif // DNASTORE_WORKLOAD_SIMULATOR_H

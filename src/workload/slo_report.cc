@@ -1,0 +1,188 @@
+#include "workload/slo_report.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace dnastore::workload {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void
+mix(uint64_t &hash, uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8) {
+        hash ^= (value >> shift) & 0xffU;
+        hash *= kFnvPrime;
+    }
+}
+
+void
+mixOptional(uint64_t &hash, const std::optional<uint64_t> &value)
+{
+    mix(hash, value.has_value() ? 1 : 0);
+    mix(hash, value.value_or(0));
+}
+
+uint64_t
+counterValue(const telemetry::MetricsSnapshot &snapshot,
+             const std::string &name)
+{
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+std::string
+tenantPrefix(core::TenantId tenant)
+{
+    return "decode_service.tenant." + std::to_string(tenant) + ".";
+}
+
+void
+fillQuantiles(TenantSlo &slo, const telemetry::HistogramSnapshot &hist)
+{
+    slo.latency_count = hist.count;
+    slo.p50_us = hist.quantile(0.50);
+    slo.p99_us = hist.quantile(0.99);
+    slo.p999_us = hist.quantile(0.999);
+}
+
+std::string
+formatQuantile(const std::optional<uint64_t> &q)
+{
+    if (!q)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(*q));
+    return buf;
+}
+
+} // namespace
+
+double
+TenantSlo::goodput() const
+{
+    if (offered == 0)
+        return 1.0;
+    return static_cast<double>(admitted) /
+           static_cast<double>(offered);
+}
+
+uint64_t
+SloReport::fingerprint() const
+{
+    uint64_t hash = kFnvOffset;
+    mix(hash, tenants.size());
+    for (const TenantSlo &slo : tenants) {
+        mix(hash, slo.tenant);
+        mix(hash, slo.offered);
+        mix(hash, slo.admitted);
+        mix(hash, slo.throttled);
+        mix(hash, slo.rejected);
+        mix(hash, slo.dispatched);
+        mix(hash, slo.latency_count);
+        mixOptional(hash, slo.p50_us);
+        mixOptional(hash, slo.p99_us);
+        mixOptional(hash, slo.p999_us);
+    }
+    return hash;
+}
+
+std::string
+SloReport::formatTable() const
+{
+    std::string out =
+        "tenant   offered  admitted throttled  rejected   goodput"
+        "    p50_us    p99_us   p999_us\n";
+    for (const TenantSlo &slo : tenants) {
+        char line[160];
+        std::snprintf(
+            line, sizeof line,
+            "%6u %9llu %9llu %9llu %9llu %9.3f %9s %9s %9s\n",
+            slo.tenant,
+            static_cast<unsigned long long>(slo.offered),
+            static_cast<unsigned long long>(slo.admitted),
+            static_cast<unsigned long long>(slo.throttled),
+            static_cast<unsigned long long>(slo.rejected),
+            slo.goodput(), formatQuantile(slo.p50_us).c_str(),
+            formatQuantile(slo.p99_us).c_str(),
+            formatQuantile(slo.p999_us).c_str());
+        out += line;
+    }
+    return out;
+}
+
+TenantSlo
+buildTenantSlo(const telemetry::MetricsSnapshot &snapshot,
+               core::TenantId tenant)
+{
+    const std::string prefix = tenantPrefix(tenant);
+    TenantSlo slo;
+    slo.tenant = tenant;
+    slo.admitted = counterValue(snapshot, prefix + "requests_admitted");
+    slo.throttled =
+        counterValue(snapshot, prefix + "requests_throttled");
+    slo.rejected = counterValue(snapshot, prefix + "requests_rejected");
+    slo.dispatched =
+        counterValue(snapshot, prefix + "batches_dispatched");
+    slo.offered = slo.admitted + slo.throttled + slo.rejected;
+    auto hist = snapshot.histograms.find(prefix + "queue_latency_us");
+    if (hist != snapshot.histograms.end())
+        fillQuantiles(slo, hist->second);
+    return slo;
+}
+
+SloReport
+buildSloReport(const telemetry::MetricsSnapshot &snapshot,
+               const std::vector<core::TenantId> &tenants)
+{
+    SloReport report;
+    report.tenants.reserve(tenants.size());
+    for (core::TenantId tenant : tenants)
+        report.tenants.push_back(buildTenantSlo(snapshot, tenant));
+    return report;
+}
+
+TenantSlo
+aggregateSlo(const telemetry::MetricsSnapshot &snapshot,
+             const std::vector<core::TenantId> &tenants,
+             core::TenantId label)
+{
+    TenantSlo total;
+    total.tenant = label;
+    telemetry::HistogramSnapshot merged;
+    for (core::TenantId tenant : tenants) {
+        TenantSlo slo = buildTenantSlo(snapshot, tenant);
+        total.offered += slo.offered;
+        total.admitted += slo.admitted;
+        total.throttled += slo.throttled;
+        total.rejected += slo.rejected;
+        total.dispatched += slo.dispatched;
+        auto hist = snapshot.histograms.find(
+            tenantPrefix(tenant) + "queue_latency_us");
+        if (hist == snapshot.histograms.end())
+            continue;
+        if (merged.bounds.empty()) {
+            merged = hist->second;
+            continue;
+        }
+        fatalIf(merged.bounds != hist->second.bounds,
+                "aggregateSlo: tenant ", tenant,
+                " has different latency bounds than its class "
+                "(all tenants of one service share one bounds "
+                "vector)");
+        for (size_t i = 0; i < merged.buckets.size(); ++i)
+            merged.buckets[i] += hist->second.buckets[i];
+        merged.count += hist->second.count;
+        merged.sum += hist->second.sum;
+    }
+    if (!merged.bounds.empty())
+        fillQuantiles(total, merged);
+    return total;
+}
+
+} // namespace dnastore::workload

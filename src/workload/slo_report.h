@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-tenant SLO report, assembled from a MetricsSnapshot.
+ *
+ * The report reads exactly the metric names the DecodeService already
+ * exports (`decode_service.tenant.<id>.*`) — it adds no new
+ * instrumentation and works on any snapshot, live or archived. Under
+ * a virtual clock the snapshot is byte-reproducible, so the report's
+ * integer fingerprint pins a whole run's admission/scheduling/latency
+ * behavior as one number.
+ *
+ * Fields per tenant: offered load, admission split (admitted /
+ * throttled / rejected), goodput (admitted ÷ offered), dispatch
+ * count, and queue-latency quantiles (p50/p99/p999, each with the
+ * bucket-resolution error documented on HistogramSnapshot::quantile).
+ */
+
+#ifndef DNASTORE_WORKLOAD_SLO_REPORT_H
+#define DNASTORE_WORKLOAD_SLO_REPORT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tenant.h"
+#include "telemetry/metrics.h"
+
+namespace dnastore::workload {
+
+/** One tenant's (or one aggregated class's) SLO numbers. */
+struct TenantSlo
+{
+    core::TenantId tenant = core::kDefaultTenant;
+
+    /** Requests the tenant presented: admitted + throttled + rejected. */
+    uint64_t offered = 0;
+
+    uint64_t admitted = 0;
+    uint64_t throttled = 0;
+    uint64_t rejected = 0;
+
+    /** Batches the WDRR dispatcher ran for this tenant. */
+    uint64_t dispatched = 0;
+
+    /** Samples in the queue-latency histogram. */
+    uint64_t latency_count = 0;
+
+    /** Queue-latency quantiles; nullopt when the histogram is empty
+     *  or the rank fell in the overflow bucket. */
+    std::optional<uint64_t> p50_us;
+    std::optional<uint64_t> p99_us;
+    std::optional<uint64_t> p999_us;
+
+    /** admitted ÷ offered; 1.0 when the tenant offered nothing. */
+    double goodput() const;
+
+    bool operator==(const TenantSlo &) const = default;
+};
+
+/** The whole run's report, one row per tenant, ascending id. */
+struct SloReport
+{
+    std::vector<TenantSlo> tenants;
+
+    /** FNV over every integer field of every row (goodput is derived
+     *  from integer fields, so it is covered implicitly). Equal
+     *  reports ⇒ equal fingerprints. */
+    uint64_t fingerprint() const;
+
+    /** Human-readable fixed-width table (for examples and bench
+     *  stdout; not part of any pinned format). */
+    std::string formatTable() const;
+};
+
+/** Build one tenant's row from `decode_service.tenant.<id>.*`. */
+TenantSlo buildTenantSlo(const telemetry::MetricsSnapshot &snapshot,
+                         core::TenantId tenant);
+
+/** Build the report for @p tenants (ascending order preserved). */
+SloReport buildSloReport(const telemetry::MetricsSnapshot &snapshot,
+                         const std::vector<core::TenantId> &tenants);
+
+/**
+ * Aggregate many tenants into one row (per-class reporting): counters
+ * sum; latency histograms merge bucket-wise (all tenants of a service
+ * share one bounds vector, so the merge is exact) and the quantiles
+ * are extracted from the merged histogram. @p label names the row —
+ * aggregate rows conventionally reuse the class index.
+ */
+TenantSlo aggregateSlo(const telemetry::MetricsSnapshot &snapshot,
+                       const std::vector<core::TenantId> &tenants,
+                       core::TenantId label);
+
+} // namespace dnastore::workload
+
+#endif // DNASTORE_WORKLOAD_SLO_REPORT_H

@@ -1,0 +1,36 @@
+#include "workload/trace.h"
+
+namespace dnastore::workload {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void
+mix(uint64_t &hash, uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8) {
+        hash ^= (value >> shift) & 0xffU;
+        hash *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+uint64_t
+traceFingerprint(const Trace &trace)
+{
+    uint64_t hash = kFnvOffset;
+    mix(hash, trace.size());
+    for (const TraceOp &op : trace) {
+        mix(hash, op.arrival_us);
+        mix(hash, op.tenant);
+        mix(hash, op.object);
+        mix(hash, static_cast<uint64_t>(op.type));
+        mix(hash, op.seq);
+    }
+    return hash;
+}
+
+} // namespace dnastore::workload

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The workload trace schema: one flat, time-ordered list of operations
+ * that a simulator run replays against a DecodeService.
+ *
+ * A trace is plain data — integer fields only, no pointers, no
+ * floating point — so equality and the FNV fingerprint are exact and
+ * portable: two runs of the seeded generator either produce the same
+ * fingerprint or they diverged, with no tolerance band. Tests and the
+ * bench gate pin fingerprints of in-process runs against each other
+ * (never against literals, which would couple them to libm).
+ */
+
+#ifndef DNASTORE_WORKLOAD_TRACE_H
+#define DNASTORE_WORKLOAD_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tenant.h"
+
+namespace dnastore::workload {
+
+/** What one trace operation asks of the store. */
+enum class OpType : uint8_t
+{
+    Read = 0,    ///< decode one object
+    Write = 1,   ///< replace one object's content
+    Update = 2,  ///< in-place edit of one object
+};
+
+/** One operation of the workload. */
+struct TraceOp
+{
+    /** Arrival time on the simulation clock (open-loop: arrivals do
+     *  not wait for earlier operations to finish). */
+    uint64_t arrival_us = 0;
+
+    core::TenantId tenant = core::kDefaultTenant;
+
+    /** Object the operation targets, in [0, WorkloadParams::objects);
+     *  drawn from the zipfian popularity distribution. */
+    uint64_t object = 0;
+
+    OpType type = OpType::Read;
+
+    /** Per-tenant sequence number; breaks arrival-time ties so the
+     *  merged trace order is total and reproducible. */
+    uint64_t seq = 0;
+
+    bool operator==(const TraceOp &) const = default;
+};
+
+using Trace = std::vector<TraceOp>;
+
+/** FNV-1a over every integer field of every op, in trace order.
+ *  Equal traces ⇒ equal fingerprints; used to pin byte-reproducibility
+ *  without hauling whole traces into bench JSON. */
+uint64_t traceFingerprint(const Trace &trace);
+
+} // namespace dnastore::workload
+
+#endif // DNASTORE_WORKLOAD_TRACE_H

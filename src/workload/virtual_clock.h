@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic microsecond clock shared by the workload simulator
+ * and the scheduler test harness.
+ *
+ * DecodeServiceParams::clock_us reads this instead of steady_clock, so
+ * token-bucket refills and queue/decode latency stamps become pure
+ * functions of the script that advances the clock — a seeded
+ * simulation replays byte-identically on any machine.
+ */
+
+#ifndef DNASTORE_WORKLOAD_VIRTUAL_CLOCK_H
+#define DNASTORE_WORKLOAD_VIRTUAL_CLOCK_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace dnastore::workload {
+
+/** Deterministic microsecond clock; starts at 0, only moves forward. */
+class VirtualClock
+{
+  public:
+    uint64_t
+    nowUs() const
+    {
+        return now_us_.load(std::memory_order_relaxed);
+    }
+
+    void
+    advanceUs(uint64_t us)
+    {
+        now_us_.fetch_add(us, std::memory_order_relaxed);
+    }
+
+    /** Advance to @p target_us if it is ahead; a target already in
+     *  the past is a no-op (the clock never moves backward, so a
+     *  backlogged simulation simply submits late arrivals "now"). */
+    void
+    advanceToUs(uint64_t target_us)
+    {
+        uint64_t current = now_us_.load(std::memory_order_relaxed);
+        while (current < target_us &&
+               !now_us_.compare_exchange_weak(current, target_us,
+                                              std::memory_order_relaxed))
+            ;
+    }
+
+    /** Plug into DecodeServiceParams::clock_us. The clock must
+     *  outlive the service. */
+    std::function<uint64_t()>
+    source()
+    {
+        return [this] { return nowUs(); };
+    }
+
+  private:
+    std::atomic<uint64_t> now_us_{0};
+};
+
+} // namespace dnastore::workload
+
+#endif // DNASTORE_WORKLOAD_VIRTUAL_CLOCK_H

@@ -45,13 +45,18 @@ namespace {
 using test::DispatchRecord;
 using test::SchedulerHarness;
 
-TEST(FairSchedulingTest, EqualWeightsAlternateStrictly)
+/** All suites share the canonical partition + decoder through
+ *  test::SchedulerFixture instead of re-wiring clock_us/on_dispatch
+ *  by hand (see tests/support/scheduler_harness.h). */
+using FairSchedulingTest = test::SchedulerFixture;
+
+TEST_F(FairSchedulingTest, EqualWeightsAlternateStrictly)
 {
     DecodeServiceParams params;
     params.threads = 2;
     params.tenants[1].weight = 1;
     params.tenants[2].weight = 1;
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
 
     constexpr size_t kEach = 6;
     for (size_t i = 0; i < kEach; ++i)
@@ -69,7 +74,7 @@ TEST(FairSchedulingTest, EqualWeightsAlternateStrictly)
             << "position " << i;
 }
 
-TEST(FairSchedulingTest, ThreeToOneWeightsDispatchThreeToOne)
+TEST_F(FairSchedulingTest, ThreeToOneWeightsDispatchThreeToOne)
 {
     // The acceptance pin: saturating 2-tenant load, weights 3:1,
     // dispatch counts 3:1 exact (±1 batch) for pool sizes {1,2,8}.
@@ -78,7 +83,7 @@ TEST(FairSchedulingTest, ThreeToOneWeightsDispatchThreeToOne)
         params.threads = threads;
         params.tenants[1].weight = 3;
         params.tenants[2].weight = 1;
-        SchedulerHarness harness(params);
+        SchedulerHarness &harness = this->harness(params);
 
         constexpr size_t kHeavy = 12;
         constexpr size_t kLight = 4;
@@ -115,14 +120,14 @@ TEST(FairSchedulingTest, ThreeToOneWeightsDispatchThreeToOne)
     }
 }
 
-TEST(FairSchedulingTest, OneTwoFourWeightsDispatchOneTwoFour)
+TEST_F(FairSchedulingTest, OneTwoFourWeightsDispatchOneTwoFour)
 {
     DecodeServiceParams params;
     params.threads = 4;
     params.tenants[1].weight = 1;
     params.tenants[2].weight = 2;
     params.tenants[3].weight = 4;
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
 
     constexpr size_t kRounds = 4;
     for (size_t i = 0; i < 1 * kRounds; ++i)
@@ -144,13 +149,13 @@ TEST(FairSchedulingTest, OneTwoFourWeightsDispatchOneTwoFour)
             << "position " << i;
 }
 
-TEST(FairSchedulingTest, TokenBucketRefillsExactlyOnVirtualClock)
+TEST_F(FairSchedulingTest, TokenBucketRefillsExactlyOnVirtualClock)
 {
     DecodeServiceParams params;
     params.threads = 2;
     params.tenants[7].rate = 1.0;   // one request per second
     params.tenants[7].burst = 2.0;  // starts full with two
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
     // Bucket decisions are made at submit time against the virtual
     // clock; the dispatcher can run freely without perturbing them.
     harness.resume();
@@ -185,7 +190,7 @@ TEST(FairSchedulingTest, TokenBucketRefillsExactlyOnVirtualClock)
     harness.drain();
 }
 
-TEST(FairSchedulingTest, ZeroBurstAdmitsNothing)
+TEST_F(FairSchedulingTest, ZeroBurstAdmitsNothing)
 {
     telemetry::MetricsRegistry registry;
     DecodeServiceParams params;
@@ -193,7 +198,7 @@ TEST(FairSchedulingTest, ZeroBurstAdmitsNothing)
     params.metrics = &registry;
     params.tenants[3].rate = 5.0;
     params.tenants[3].burst = 0.0;  // a rate with nowhere to pool
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
 
     for (int i = 0; i < 3; ++i)
         EXPECT_EQ(harness.statusOf(harness.submitOne(3)),
@@ -220,14 +225,14 @@ TEST(FairSchedulingTest, ZeroBurstAdmitsNothing)
               4u);
 }
 
-TEST(FairSchedulingTest, BurstBeyondQueueDepthShedsAsOverloadedNotThrottled)
+TEST_F(FairSchedulingTest, BurstBeyondQueueDepthShedsAsOverloadedNotThrottled)
 {
     DecodeServiceParams params;
     params.threads = 1;
     params.max_queue_depth = 2;
     params.overflow = OverflowPolicy::Reject;
     params.tenants[4].burst = 8.0;  // more tokens than queue slots
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
 
     // All four pass the bucket (8 tokens); the depth stage admits
     // two and sheds two — as Overloaded, not Throttled. Shed futures
@@ -257,13 +262,13 @@ TEST(FairSchedulingTest, BurstBeyondQueueDepthShedsAsOverloadedNotThrottled)
               DecodeStatus::Throttled);
 }
 
-TEST(FairSchedulingTest, FloodingTenantCannotStarveOthers)
+TEST_F(FairSchedulingTest, FloodingTenantCannotStarveOthers)
 {
     DecodeServiceParams params;
     params.threads = 2;
     params.tenants[1].weight = 4;  // the flood gets MORE weight
     params.tenants[2].weight = 1;
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
 
     constexpr size_t kFlood = 40;
     for (size_t i = 0; i < kFlood; ++i)
@@ -289,7 +294,7 @@ TEST(FairSchedulingTest, FloodingTenantCannotStarveOthers)
     EXPECT_EQ(victim_positions[1], 9u);
 }
 
-TEST(FairSchedulingTest, PerTenantQueueDepthCapRejectsOnlyThatTenant)
+TEST_F(FairSchedulingTest, PerTenantQueueDepthCapRejectsOnlyThatTenant)
 {
     telemetry::MetricsRegistry registry;
     DecodeServiceParams params;
@@ -298,7 +303,7 @@ TEST(FairSchedulingTest, PerTenantQueueDepthCapRejectsOnlyThatTenant)
     params.metrics = &registry;
     params.tenants[5].max_queue_depth = 1;
     params.tenants[6].weight = 1;
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
 
     size_t capped = harness.submitOne(5);
     size_t over = harness.submitOne(5);   // tenant 5 is at its cap
@@ -329,9 +334,9 @@ TEST(FairSchedulingTest, PerTenantQueueDepthCapRejectsOnlyThatTenant)
                  FatalError);
 }
 
-TEST(FairSchedulingTest, MixedTenantBatchThrows)
+TEST_F(FairSchedulingTest, MixedTenantBatchThrows)
 {
-    SchedulerHarness harness({});
+    SchedulerHarness &harness = this->harness({});
     std::vector<DecodeRequest> batch(2);
     batch[0].decoder = &harness.decoder();
     batch[0].tenant = 1;
@@ -342,20 +347,20 @@ TEST(FairSchedulingTest, MixedTenantBatchThrows)
     harness.resume();
 }
 
-TEST(FairSchedulingTest, ZeroWeightTenantIsRejectedAtConstruction)
+TEST_F(FairSchedulingTest, ZeroWeightTenantIsRejectedAtConstruction)
 {
     DecodeServiceParams params;
     params.tenants[1].weight = 0;
     EXPECT_THROW(DecodeService service(params), FatalError);
 }
 
-TEST(FairSchedulingTest, DefaultTenantAloneStaysFifoWithLegacyMetrics)
+TEST_F(FairSchedulingTest, DefaultTenantAloneStaysFifoWithLegacyMetrics)
 {
     telemetry::MetricsRegistry registry;
     DecodeServiceParams params;
     params.threads = 2;
     params.metrics = &registry;
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
 
     constexpr size_t kSubmissions = 6;
     for (size_t i = 0; i < kSubmissions; ++i)
@@ -394,7 +399,7 @@ TEST(FairSchedulingTest, DefaultTenantAloneStaysFifoWithLegacyMetrics)
               0u);
 }
 
-TEST(FairSchedulingTest, PerTenantCountersAndLatencyHistograms)
+TEST_F(FairSchedulingTest, PerTenantCountersAndLatencyHistograms)
 {
     telemetry::MetricsRegistry registry;
     DecodeServiceParams params;
@@ -402,7 +407,7 @@ TEST(FairSchedulingTest, PerTenantCountersAndLatencyHistograms)
     params.metrics = &registry;
     params.tenants[1].weight = 2;
     params.tenants[2].burst = 1.0;
-    SchedulerHarness harness(params);
+    SchedulerHarness &harness = this->harness(params);
 
     for (int i = 0; i < 3; ++i)
         harness.submitOne(1);
@@ -447,7 +452,7 @@ TEST(FairSchedulingTest, PerTenantCountersAndLatencyHistograms)
  *  changes what a decode returns. One small partition, real noisy
  *  reads, outcomes pinned against sequential decodeAll for two
  *  tenants and the default, across pool sizes. */
-TEST(FairSchedulingTest, RealDecodesAreByteIdenticalUnderTenancy)
+TEST_F(FairSchedulingTest, RealDecodesAreByteIdenticalUnderTenancy)
 {
     constexpr size_t kBlocks = 3;
     constexpr size_t kCoverage = 14;
@@ -496,14 +501,9 @@ TEST(FairSchedulingTest, RealDecodesAreByteIdenticalUnderTenancy)
  *  woken and fails with FatalError (never admitted, never hung), the
  *  already-admitted backlog still drains to completion, and the
  *  ticket line ends empty. */
-TEST(FairSchedulingTest, ShutdownWhilePausedReleasesParkedSubmitters)
+TEST_F(FairSchedulingTest, ShutdownWhilePausedReleasesParkedSubmitters)
 {
-    const test::PrimerPair &primers = test::primerPair(0);
-    Partition partition(test::partitionConfig(0), primers.forward,
-                        primers.reverse, 13);
-    DecoderParams decoder_params;
-    decoder_params.threads = 1;
-    Decoder decoder(partition, decoder_params);
+    const Decoder &decoder = this->decoder();
 
     DecodeServiceParams params;
     params.threads = 2;

@@ -2,20 +2,49 @@
 
 #include <utility>
 
+#include "common/error.h"
 #include "support/fixtures.h"
 
 namespace dnastore::test {
 
-SchedulerHarness::SchedulerHarness(core::DecodeServiceParams params)
+namespace {
+
+std::unique_ptr<core::Partition>
+canonicalPartition()
 {
     const PrimerPair &primers = primerPair(0);
-    partition_ = std::make_unique<core::Partition>(
+    return std::make_unique<core::Partition>(
         partitionConfig(0), primers.forward, primers.reverse, 13);
+}
+
+std::unique_ptr<core::Decoder>
+canonicalDecoder(const core::Partition &partition)
+{
     core::DecoderParams decoder_params;
     decoder_params.threads = 1;
-    decoder_ = std::make_unique<core::Decoder>(*partition_,
-                                               decoder_params);
+    return std::make_unique<core::Decoder>(partition, decoder_params);
+}
 
+} // namespace
+
+SchedulerHarness::SchedulerHarness(core::DecodeServiceParams params)
+{
+    partition_ = canonicalPartition();
+    decoder_ = canonicalDecoder(*partition_);
+    decoder_ptr_ = decoder_.get();
+    construct(std::move(params));
+}
+
+SchedulerHarness::SchedulerHarness(core::DecodeServiceParams params,
+                                   const core::Decoder &decoder)
+{
+    decoder_ptr_ = &decoder;
+    construct(std::move(params));
+}
+
+void
+SchedulerHarness::construct(core::DecodeServiceParams params)
+{
     params.clock_us = clock_.source();
     params.on_dispatch = [this](core::TenantId tenant,
                                 size_t requests) {
@@ -29,7 +58,7 @@ SchedulerHarness::SchedulerHarness(core::DecodeServiceParams params)
 size_t
 SchedulerHarness::submitOne(core::TenantId tenant)
 {
-    futures_.push_back(service_->submit(*decoder_, {}, tenant));
+    futures_.push_back(service_->submit(*decoder_ptr_, {}, tenant));
     outcomes_.emplace_back();
     return futures_.size() - 1;
 }
@@ -60,6 +89,31 @@ SchedulerHarness::dispatches() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return records_;
+}
+
+SchedulerFixture::SchedulerFixture()
+{
+    partition_ = canonicalPartition();
+    decoder_ = canonicalDecoder(*partition_);
+}
+
+SchedulerFixture::~SchedulerFixture() = default;
+
+SchedulerHarness &
+SchedulerFixture::harness(core::DecodeServiceParams params)
+{
+    harness_.reset();  // drain/join the old service before reusing
+    harness_ = std::make_unique<SchedulerHarness>(std::move(params),
+                                                  *decoder_);
+    return *harness_;
+}
+
+SchedulerHarness &
+SchedulerFixture::harness()
+{
+    fatalIf(harness_ == nullptr,
+            "SchedulerFixture: harness() before harness(params)");
+    return *harness_;
 }
 
 } // namespace dnastore::test

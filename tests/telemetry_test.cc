@@ -234,5 +234,88 @@ TEST(TelemetryTest, ExportTextFormatIsPinned)
               "svc.lat_sum 444\n");
 }
 
+TEST(TelemetryQuantileTest, EveryBucketBoundaryIsExact)
+{
+    // One sample per bucket: the q-quantile for rank r must return
+    // exactly bucket r's upper bound, for every bucket.
+    MetricsRegistry registry;
+    Histogram &histogram = registry.histogram("q", {10, 20, 50, 100});
+    for (uint64_t v : {5, 15, 30, 70})
+        histogram.observe(v);
+    HistogramSnapshot snap = registry.snapshot().histograms.at("q");
+    ASSERT_EQ(snap.count, 4u);
+    EXPECT_EQ(snap.quantile(0.25), 10u);   // rank 1
+    EXPECT_EQ(snap.quantile(0.50), 20u);   // rank 2
+    EXPECT_EQ(snap.quantile(0.75), 50u);   // rank 3
+    EXPECT_EQ(snap.quantile(1.00), 100u);  // rank 4
+    // Quantiles strictly inside a rank gap round up (conservative
+    // estimate: ceil(q * count)).
+    EXPECT_EQ(snap.quantile(0.26), 20u);
+    EXPECT_EQ(snap.quantile(0.51), 50u);
+    // q = 0 clamps to rank 1 rather than an undefined rank 0.
+    EXPECT_EQ(snap.quantile(0.0), 10u);
+}
+
+TEST(TelemetryQuantileTest, OverflowAndEmptyReturnNullopt)
+{
+    MetricsRegistry registry;
+    Histogram &histogram = registry.histogram("q", {10});
+    EXPECT_EQ(registry.snapshot().histograms.at("q").quantile(0.5),
+              std::nullopt);
+
+    histogram.observe(5);
+    histogram.observe(100);  // overflow bucket
+    HistogramSnapshot snap = registry.snapshot().histograms.at("q");
+    EXPECT_EQ(snap.quantile(0.5), 10u);
+    // The p100 rank lands in the overflow bucket: no finite upper
+    // bound exists, so the estimate is declined, never fabricated.
+    EXPECT_EQ(snap.quantile(1.0), std::nullopt);
+
+    EXPECT_THROW((void)snap.quantile(-0.1), FatalError);
+    EXPECT_THROW((void)snap.quantile(1.1), FatalError);
+}
+
+TEST(TelemetryQuantileTest, GoldenTailTripleOverFineBounds)
+{
+    // 1000 samples spread over the fine 1-2-5 ladder: 900 at 100 us,
+    // 90 at 3 ms (-> le=5000 bucket), 9 at 40 ms (-> le=50000), 1 at
+    // 900 ms (-> le=1000000). Golden p50/p99/p999 by hand:
+    //   p50  rank  500 -> le=100
+    //   p99  rank  990 -> le=5000
+    //   p999 rank  999 -> le=50000
+    //   p100 rank 1000 -> le=1000000 (the single worst sample)
+    MetricsRegistry registry;
+    Histogram &histogram =
+        registry.histogram("q", fineLatencyBoundsUs());
+    for (int i = 0; i < 900; ++i)
+        histogram.observe(100);
+    for (int i = 0; i < 90; ++i)
+        histogram.observe(3'000);
+    for (int i = 0; i < 9; ++i)
+        histogram.observe(40'000);
+    histogram.observe(900'000);
+
+    HistogramSnapshot snap = registry.snapshot().histograms.at("q");
+    ASSERT_EQ(snap.count, 1000u);
+    EXPECT_EQ(snap.quantile(0.50), 100u);
+    EXPECT_EQ(snap.quantile(0.99), 5'000u);
+    EXPECT_EQ(snap.quantile(0.999), 50'000u);
+    EXPECT_EQ(snap.quantile(1.0), 1'000'000u);
+}
+
+TEST(TelemetryQuantileTest, FineBoundsAreTheDocumentedLadder)
+{
+    const std::vector<uint64_t> bounds = fineLatencyBoundsUs();
+    ASSERT_EQ(bounds.size(), 19u);
+    EXPECT_EQ(bounds.front(), 10u);
+    EXPECT_EQ(bounds.back(), 10'000'000u);
+    for (size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+    // Bucket-resolution error bound: one 1-2-5 step, i.e. at most
+    // 2.5x the true value anywhere on the ladder.
+    for (size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LE(bounds[i], bounds[i - 1] * 5 / 2 + 1);
+}
+
 } // namespace
 } // namespace dnastore::telemetry
