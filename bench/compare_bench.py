@@ -25,7 +25,15 @@ tolerance. Three kinds of checks:
    fits the runner's cores must be >= FLOOR x the threads=1 row. This
    arm needs no comparable baseline at all, so it is the one check of
    the scaling curve that engages when the committed baseline came
-   from a 1-core container and the CI runner is multi-core.
+   from a 1-core container and the CI runner is multi-core;
+ * --trace-overhead-gate (off by default) pins the cost of the
+   compiled-in-but-sampling-off tracing hooks: the fresh run must
+   declare `tracing_enabled_in_timed_sections: false` (a run timed
+   with sampling ON would measure the wrong thing), and its threads=1
+   decode row is re-compared against the baseline under
+   --single-thread-tolerance even when the full-curve arm already ran
+   — a hot path that grew beyond that tolerance with sampling off
+   means the one-branch contract broke.
 
 A second, independent arm gates BENCH_workload.json (the trace-driven
 workload SLO bench) via --workload-baseline/--workload-fresh:
@@ -49,7 +57,7 @@ Exit status: 0 = pass (or skipped perf diff), 1 = regression/failure.
 
 Usage: compare_bench.py [BASELINE FRESH] [--tolerance 0.25]
                         [--single-thread-tolerance 0.30]
-                        [--min-scaling 1.3]
+                        [--min-scaling 1.3] [--trace-overhead-gate]
                         [--workload-baseline BENCH_workload.json
                          --workload-fresh BENCH_workload.fresh.json]
                         [--p99-tolerance 0.25]
@@ -198,6 +206,12 @@ def main():
              "0 (default) disables the arm. Skipped (with a note) on "
              "runners with fewer than 2 cores.")
     parser.add_argument(
+        "--trace-overhead-gate", action="store_true",
+        help="require the fresh decode run to have been timed with "
+             "tracing sampling off, and gate its threads=1 decode "
+             "row under --single-thread-tolerance (the cost of the "
+             "compiled-in tracing hooks)")
+    parser.add_argument(
         "--workload-baseline", default=None,
         help="committed BENCH_workload.json (enables the SLO arm)")
     parser.add_argument(
@@ -302,6 +316,24 @@ def main():
     if baseline.get("streaming_results") is not None:
         compare_rows("streaming", "streaming_results", "seconds",
                      True, only, tolerance)
+
+    # Tracing-overhead gate: the decode hot path must cost one branch
+    # with the collector compiled in but sampling off. The fresh run
+    # has to declare its timed sections ran sampling-off, and the
+    # threads=1 decode row must hold within the single-thread
+    # tolerance (it is hardware-independent, so this arm always
+    # engages).
+    if args.trace_overhead_gate:
+        declared = fresh.get("tracing_enabled_in_timed_sections")
+        if declared is not False:
+            failures.append(
+                "--trace-overhead-gate: fresh run does not declare "
+                "tracing_enabled_in_timed_sections = false "
+                f"(got {declared!r}); timed sections must run with "
+                "sampling off")
+        else:
+            compare_rows("trace-ovh", "results", "seconds", True, 1,
+                         args.single_thread_tolerance)
 
     # Self-contained scaling floor: judge the fresh run's own curve,
     # so the arm engages even when the committed baseline came from a

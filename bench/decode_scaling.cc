@@ -18,8 +18,16 @@
  * tracked from PR to PR. CI records this on a multi-core runner and
  * uploads the JSON as an artifact.
  *
+ * Every timed section runs with tracing compiled in but sampling off
+ * (inactive TraceContexts — the documented one-branch hot path), and
+ * the JSON records that as `tracing_enabled_in_timed_sections` so
+ * compare_bench.py's --trace-overhead-gate can pin the overhead via
+ * the threads=1 rows. With --trace-out PATH an extra UNTIMED batch
+ * submission runs with every request traced and exports the spans as
+ * Chrome trace-event JSON (Perfetto / chrome://tracing).
+ *
  * Usage: decode_scaling [--out PATH] [--blocks N] [--coverage N]
- *                       [--parts N] [--tenants B]
+ *                       [--parts N] [--tenants B] [--trace-out PATH]
  *        (B = batches per tenant in the fairness section; 0 skips it)
  */
 
@@ -43,6 +51,7 @@
 #include "core/decoder.h"
 #include "corpus/text.h"
 #include "sim/synthesis.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -82,6 +91,7 @@ int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_decode.json";
+    std::string trace_out;
     size_t blocks = 24;
     size_t coverage = 25;
     size_t parts = 4;
@@ -97,6 +107,8 @@ main(int argc, char **argv)
             parts = std::strtoul(argv[i + 1], nullptr, 10);
         else if (std::strcmp(argv[i], "--tenants") == 0)
             tenant_batches = std::strtoul(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--trace-out") == 0)
+            trace_out = argv[i + 1];
     }
     parts = std::clamp<size_t>(parts, 1, std::size(kPrimerPairs));
 
@@ -432,6 +444,41 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Untimed traced run: every request sampled, spans exported as
+    // Chrome trace-event JSON. Kept out of every timed loop so the
+    // recorded numbers always describe the sampling-off hot path.
+    if (!trace_out.empty()) {
+        telemetry::TraceCollectorConfig trace_config;
+        trace_config.sample_every = 1;
+        telemetry::TraceCollector collector(trace_config);
+        core::DecodeServiceParams service_params;
+        service_params.threads = 4;
+        service_params.tracer = &collector;
+        {
+            core::DecodeService service(service_params);
+            std::vector<core::DecodeRequest> batch(parts);
+            for (size_t p = 0; p < parts; ++p) {
+                batch[p].decoder = decoders[p].get();
+                batch[p].reads = part_reads[p];
+            }
+            std::vector<std::future<core::DecodeOutcome>> futures =
+                service.submitBatch(std::move(batch));
+            for (std::future<core::DecodeOutcome> &future : futures)
+                (void)future.get();
+        }
+        std::FILE *trace_file = std::fopen(trace_out.c_str(), "w");
+        if (!trace_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        const std::string chrome = collector.exportChromeJson();
+        std::fwrite(chrome.data(), 1, chrome.size(), trace_file);
+        std::fclose(trace_file);
+        std::printf("\nwrote %s (%zu traces)\n", trace_out.c_str(),
+                    collector.traceCount());
+    }
+
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -439,6 +486,8 @@ main(int argc, char **argv)
     }
     std::fprintf(out, "{\n");
     std::fprintf(out, "  \"bench\": \"decode_scaling\",\n");
+    std::fprintf(out,
+                 "  \"tracing_enabled_in_timed_sections\": false,\n");
     std::fprintf(out, "  \"corpus_blocks\": %zu,\n", blocks);
     std::fprintf(out, "  \"reads\": %zu,\n", reads.size());
     std::fprintf(out, "  \"units_decoded\": %zu,\n",

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Negative tests for compare_bench.py's workload SLO arm.
+"""Negative tests for compare_bench.py's workload SLO arm and the
+tracing-overhead gate.
 
-Each case clones the committed BENCH_workload.json, injects one
+Each case clones a baseline (the committed BENCH_workload.json, or a
+synthetic decode run for the trace-overhead arm), injects one
 regression, and asserts the gate actually fails — a gate that passes
 everything is worse than no gate. Run directly or via ctest
 (compare_bench_selftest); stdlib only.
@@ -31,6 +33,33 @@ def run_gate(tmp, baseline, fresh, extra=()):
          "--workload-fresh", str(fresh_path), *extra],
         capture_output=True, text=True)
     return proc
+
+
+def run_decode_gate(tmp, baseline, fresh, extra=()):
+    base_path = tmp / "decode_base.json"
+    fresh_path = tmp / "decode_fresh.json"
+    base_path.write_text(json.dumps(baseline))
+    fresh_path.write_text(json.dumps(fresh))
+    proc = subprocess.run(
+        [sys.executable, str(GATE), str(base_path), str(fresh_path),
+         *extra],
+        capture_output=True, text=True)
+    return proc
+
+
+# Synthetic decode run for the trace-overhead arm: hardware-agnostic
+# threads=1 rows only, with tracing declared off in timed sections.
+DECODE_DOC = {
+    "bench": "decode_scaling",
+    "tracing_enabled_in_timed_sections": False,
+    "hardware_concurrency": 4,
+    "identical_across_threads": True,
+    "batch_identical_across_threads": True,
+    "streaming_identical_across_threads": True,
+    "results": [{"threads": 1, "seconds": 1.0}],
+    "batch_results": [{"threads": 1, "blocks_per_sec": 100.0}],
+    "streaming_results": [{"threads": 1, "seconds": 1.0}],
+}
 
 
 def expect(name, proc, want_exit, want_substr=None):
@@ -102,6 +131,43 @@ def main():
         results.append(expect(
             "missing class fails",
             run_gate(tmp, doc, gone), 1, "missing"))
+
+        # --- trace-overhead gate ---------------------------------------
+        gate_flag = ["--trace-overhead-gate"]
+
+        # Identical sampling-off runs pass the overhead gate.
+        results.append(expect(
+            "trace-overhead gate passes on identical runs",
+            run_decode_gate(tmp, DECODE_DOC,
+                            copy.deepcopy(DECODE_DOC), gate_flag), 0,
+            "trace-ovh"))
+
+        # A fresh run that timed its sections with sampling ON (or
+        # never declared) cannot certify the overhead.
+        sampled = copy.deepcopy(DECODE_DOC)
+        sampled["tracing_enabled_in_timed_sections"] = True
+        results.append(expect(
+            "trace-overhead gate rejects sampling-on runs",
+            run_decode_gate(tmp, DECODE_DOC, sampled, gate_flag), 1,
+            "trace-overhead-gate"))
+        undeclared = copy.deepcopy(DECODE_DOC)
+        del undeclared["tracing_enabled_in_timed_sections"]
+        results.append(expect(
+            "trace-overhead gate rejects undeclared runs",
+            run_decode_gate(tmp, DECODE_DOC, undeclared, gate_flag),
+            1, "trace-overhead-gate"))
+
+        # A grown threads=1 decode row fails the overhead gate even
+        # when different core counts keep the full-curve arm out.
+        slow_hot = copy.deepcopy(DECODE_DOC)
+        slow_hot["hardware_concurrency"] = 8
+        slow_hot["results"][0]["seconds"] = 2.0
+        slow_hot["streaming_results"][0]["seconds"] = 2.0
+        slow_hot["batch_results"][0]["blocks_per_sec"] = 50.0
+        results.append(expect(
+            "trace-overhead gate catches a slower hot path",
+            run_decode_gate(tmp, DECODE_DOC, slow_hot, gate_flag), 1,
+            "trace-ovh"))
 
     # No inputs at all is a usage error, not a silent pass.
     proc = subprocess.run([sys.executable, str(GATE)],

@@ -25,7 +25,15 @@
  * arrival-time exponentials can differ across toolchains, which the
  * gate's tolerances absorb.
  *
+ * With --trace-out PATH the replay also samples every request into a
+ * TraceCollector driven by the simulation clock and writes the kept
+ * traces as Chrome trace-event JSON (open in Perfetto or
+ * chrome://tracing); the SLO tables then carry each tenant's slowest
+ * sampled trace. Tracing rides the same virtual clock, so the
+ * deterministic flag is unaffected.
+ *
  * Usage: workload_slo [--out PATH] [--duration-us N] [--seed N]
+ *                     [--trace-out PATH]
  */
 
 #include <cstdio>
@@ -103,6 +111,7 @@ int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_workload.json";
+    std::string trace_out;
     uint64_t duration_us = 1'000'000;
     uint64_t seed = 20260808;
     for (int i = 1; i + 1 < argc; ++i) {
@@ -112,6 +121,8 @@ main(int argc, char **argv)
             duration_us = std::strtoull(argv[i + 1], nullptr, 10);
         else if (std::strcmp(argv[i], "--seed") == 0)
             seed = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--trace-out") == 0)
+            trace_out = argv[i + 1];
     }
 
     // A minimal real decoder: the virtual-mode simulator submits
@@ -130,6 +141,8 @@ main(int argc, char **argv)
     sp.decoder = &decoder;
     sp.virtual_service_time_us = 400;
     sp.record_dispatches = true;
+    if (!trace_out.empty())
+        sp.trace_sample_every = 1;
 
     // --- Part 1: seeded mixed workload, run twice ---------------------
     std::printf("=== workload SLO (virtual clock) ===\n\n");
@@ -194,6 +207,23 @@ main(int argc, char **argv)
                 sat_light.goodput(), sat_throttled.goodput());
     std::printf("%s\n", sat_result.report.formatTable().c_str());
 
+    // --- Chrome trace export ------------------------------------------
+    if (!trace_out.empty()) {
+        std::FILE *trace_file = std::fopen(trace_out.c_str(), "w");
+        if (!trace_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        const std::string chrome =
+            first.traces ? first.traces->exportChromeJson() : "";
+        std::fwrite(chrome.data(), 1, chrome.size(), trace_file);
+        std::fclose(trace_file);
+        std::printf("wrote %s (%zu traces)\n", trace_out.c_str(),
+                    first.traces ? first.traces->traceCount()
+                                 : size_t{0});
+    }
+
     // --- JSON ---------------------------------------------------------
     std::FILE *out = std::fopen(out_path.c_str(), "w");
     if (!out) {
@@ -204,6 +234,8 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"bench\": \"workload_slo\",\n");
     std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
                  std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"tracing_enabled\": %s,\n",
+                 trace_out.empty() ? "false" : "true");
     std::fprintf(out, "  \"virtual\": {\n");
     std::fprintf(out, "    \"seed\": %llu,\n",
                  static_cast<unsigned long long>(wp.seed));

@@ -17,6 +17,10 @@ rankName(Rank rank)
         return "StreamState";
       case Rank::kPoolJobs:
         return "PoolJobs";
+      case Rank::kTraceCollector:
+        return "TraceCollector";
+      case Rank::kTraceBuffer:
+        return "TraceBuffer";
       case Rank::kLeaf:
         return "Leaf";
     }

@@ -126,6 +126,19 @@ enum class Rank : int
      *  higher layer's critical section, never the other way round. */
     kPoolJobs = 200,
 
+    /** TraceCollector::mutex_ — the bounded finished-trace ring and
+     *  sampling counters. A trace deposits into the collector only at
+     *  root-span end, after draining its own span buffer, so the two
+     *  trace mutexes never nest; the collector still outranks
+     *  kTraceBuffer so a future combined walk stays legal. */
+    kTraceCollector = 160,
+
+    /** trace::TraceData::mutex_ — one live trace's span buffer.
+     *  Span begin/end from decode workers may run inside pool jobs,
+     *  so the buffer must rank below kPoolJobs; it never wraps any
+     *  other acquisition. */
+    kTraceBuffer = 150,
+
     /** Ad-hoc leaf mutexes (tests, callbacks, future client state)
      *  that never wrap another acquisition. */
     kLeaf = 100,

@@ -165,12 +165,14 @@ BlockDevice::roundTrip(const std::vector<sim::PcrPrimer> &primers,
 std::map<uint64_t, BlockVersions>
 BlockDevice::decodeReads(std::vector<sim::Read> reads,
                          DecodeStats *stats, DecodeService *service,
-                         TenantId tenant)
+                         TenantId tenant,
+                         const telemetry::TraceContext &trace)
 {
     if (!service)
-        return decoder_.decodeAll(reads, stats);
+        return decoder_.decodeAll(reads, stats, trace);
     DecodeOutcome outcome =
-        service->submit(decoder_, std::move(reads), tenant).get();
+        service->submit(decoder_, std::move(reads), tenant, trace)
+            .get();
     if (outcome.status == DecodeStatus::Throttled)
         throw ThrottledError("BlockDevice read shed by the tenant's "
                              "token bucket");
@@ -185,7 +187,8 @@ BlockDevice::decodeReads(std::vector<sim::Read> reads,
 std::optional<Bytes>
 BlockDevice::resolveBlock(
     uint64_t block, const std::map<uint64_t, BlockVersions> &units,
-    DecodeService *service, TenantId tenant)
+    DecodeService *service, TenantId tenant,
+    const telemetry::TraceContext &trace)
 {
     auto it = units.find(block);
     if (it == units.end())
@@ -212,8 +215,8 @@ BlockDevice::resolveBlock(
                                 1.0}},
                 params_.reads_per_block_access);
             DecodeStats stats;
-            auto fetched =
-                decodeReads(std::move(reads), &stats, service, tenant);
+            auto fetched = decodeReads(std::move(reads), &stats,
+                                       service, tenant, trace);
             for (auto &entry : fetched)
                 extra.insert(entry);
             container_it = extra.find(container);
@@ -247,16 +250,17 @@ BlockDevice::resolveBlock(
 
 std::optional<Bytes>
 BlockDevice::readBlock(uint64_t block, DecodeService *service,
-                       TenantId tenant)
+                       TenantId tenant,
+                       const telemetry::TraceContext &trace)
 {
     fatalIf(block >= data_blocks_, "block ", block, " was never written");
     std::vector<sim::Read> reads = roundTrip(
         {sim::PcrPrimer{partition_.blockPrimer(block), 1.0}},
         params_.reads_per_block_access);
     last_stats_ = DecodeStats();
-    auto units =
-        decodeReads(std::move(reads), &last_stats_, service, tenant);
-    return resolveBlock(block, units, service, tenant);
+    auto units = decodeReads(std::move(reads), &last_stats_, service,
+                             tenant, trace);
+    return resolveBlock(block, units, service, tenant, trace);
 }
 
 std::vector<sim::Read>
@@ -301,35 +305,40 @@ std::vector<std::optional<Bytes>>
 BlockDevice::assembleRange(
     uint64_t lo, uint64_t hi,
     const std::map<uint64_t, BlockVersions> &units,
-    DecodeService *service, TenantId tenant)
+    DecodeService *service, TenantId tenant,
+    const telemetry::TraceContext &trace)
 {
     fatalIf(lo > hi || hi >= data_blocks_, "invalid block range");
     std::vector<std::optional<Bytes>> result;
     result.reserve(hi - lo + 1);
     for (uint64_t block = lo; block <= hi; ++block)
-        result.push_back(resolveBlock(block, units, service, tenant));
+        result.push_back(
+            resolveBlock(block, units, service, tenant, trace));
     return result;
 }
 
 std::vector<std::optional<Bytes>>
 BlockDevice::readRange(uint64_t lo, uint64_t hi,
-                       DecodeService *service, TenantId tenant)
+                       DecodeService *service, TenantId tenant,
+                       const telemetry::TraceContext &trace)
 {
     std::vector<sim::Read> reads = sequenceRange(lo, hi);
     last_stats_ = DecodeStats();
-    auto units =
-        decodeReads(std::move(reads), &last_stats_, service, tenant);
-    return assembleRange(lo, hi, units, service, tenant);
+    auto units = decodeReads(std::move(reads), &last_stats_, service,
+                             tenant, trace);
+    return assembleRange(lo, hi, units, service, tenant, trace);
 }
 
 std::vector<std::optional<Bytes>>
-BlockDevice::readAll(DecodeService *service, TenantId tenant)
+BlockDevice::readAll(DecodeService *service, TenantId tenant,
+                     const telemetry::TraceContext &trace)
 {
     std::vector<sim::Read> reads = sequenceAll();
     last_stats_ = DecodeStats();
-    auto units =
-        decodeReads(std::move(reads), &last_stats_, service, tenant);
-    return assembleRange(0, data_blocks_ - 1, units, service, tenant);
+    auto units = decodeReads(std::move(reads), &last_stats_, service,
+                             tenant, trace);
+    return assembleRange(0, data_blocks_ - 1, units, service, tenant,
+                         trace);
 }
 
 } // namespace dnastore::core

@@ -109,21 +109,26 @@ class BlockDevice
      * as OverloadedError here (in the caller's thread); a tenant
      * token bucket that sheds it surfaces as ThrottledError. The
      * routed requests are billed to @p tenant (StorageFrontend
-     * passes its per-frontend binding).
+     * passes its per-frontend binding). @p trace parents the call's
+     * decode spans — including overflow-hop decodes — under the
+     * caller's root span (inactive by default, one branch).
      */
-    std::optional<Bytes> readBlock(uint64_t block,
-                                   DecodeService *service = nullptr,
-                                   TenantId tenant = kDefaultTenant);
+    std::optional<Bytes> readBlock(
+        uint64_t block, DecodeService *service = nullptr,
+        TenantId tenant = kDefaultTenant,
+        const telemetry::TraceContext &trace = {});
 
     /** Retrieve blocks [lo, hi] via one multiplex PCR. */
     std::vector<std::optional<Bytes>> readRange(
         uint64_t lo, uint64_t hi, DecodeService *service = nullptr,
-        TenantId tenant = kDefaultTenant);
+        TenantId tenant = kDefaultTenant,
+        const telemetry::TraceContext &trace = {});
 
     /** Retrieve the whole partition (baseline random access). */
     std::vector<std::optional<Bytes>> readAll(
         DecodeService *service = nullptr,
-        TenantId tenant = kDefaultTenant);
+        TenantId tenant = kDefaultTenant,
+        const telemetry::TraceContext &trace = {});
 
     /**
      * The wetlab half of readRange(): multiplex PCR over an exact
@@ -145,7 +150,8 @@ class BlockDevice
         uint64_t lo, uint64_t hi,
         const std::map<uint64_t, BlockVersions> &units,
         DecodeService *service = nullptr,
-        TenantId tenant = kDefaultTenant);
+        TenantId tenant = kDefaultTenant,
+        const telemetry::TraceContext &trace = {});
 
     const sim::Pool &pool() const { return pool_; }
     const Partition &partition() const { return partition_; }
@@ -197,12 +203,14 @@ class BlockDevice
      *  ThrottledError if the service sheds it). */
     std::map<uint64_t, BlockVersions> decodeReads(
         std::vector<sim::Read> reads, DecodeStats *stats,
-        DecodeService *service, TenantId tenant);
+        DecodeService *service, TenantId tenant,
+        const telemetry::TraceContext &trace);
 
     /** Apply a block's updates, following overflow hops. */
     std::optional<Bytes> resolveBlock(
         uint64_t block, const std::map<uint64_t, BlockVersions> &units,
-        DecodeService *service, TenantId tenant);
+        DecodeService *service, TenantId tenant,
+        const telemetry::TraceContext &trace);
 };
 
 } // namespace dnastore::core

@@ -62,6 +62,16 @@ struct DecodeStream::State
 
     std::atomic<bool> complete{false};
 
+    /** Session-level "stream" span (root of the session's trace, or
+     *  a child of the caller's context). Written in openStream, read
+     *  by chunk submissions (trace_ctx only), ended by the dispatcher
+     *  when the finish marker completes — those phases are ordered
+     *  through the service queue, so no extra guard is needed. The
+     *  SpanHandle destructor is the safety net for sessions dropped
+     *  without finish(). */
+    telemetry::SpanHandle trace_root;
+    telemetry::TraceContext trace_ctx;
+
     /** StreamingParams::on_unit target: resolves the unit's
      *  completion future the moment it decodes. */
     void
@@ -166,6 +176,9 @@ DecodeService::DecodeService(DecodeServiceParams params)
                                 latency_bounds);
         decode_latency_us_ =
             &registry.histogram("decode_service.decode_latency_us",
+                                latency_bounds);
+        rejected_latency_us_ =
+            &registry.histogram("decode_service.rejected_latency_us",
                                 latency_bounds);
         streams_opened_ =
             &registry.counter("decode_service.streams_opened");
@@ -335,12 +348,14 @@ DecodeService::refillBucketLocked(TenantState &state)
 
 std::future<DecodeOutcome>
 DecodeService::submit(const Decoder &decoder,
-                      std::vector<sim::Read> reads, TenantId tenant)
+                      std::vector<sim::Read> reads, TenantId tenant,
+                      const telemetry::TraceContext &trace)
 {
     std::vector<DecodeRequest> batch(1);
     batch[0].decoder = &decoder;
     batch[0].reads = std::move(reads);
     batch[0].tenant = tenant;
+    batch[0].trace = trace;
     return std::move(submitBatch(std::move(batch))[0]);
 }
 
@@ -365,6 +380,10 @@ DecodeService::admitBatch(Batch &pending, size_t n,
     sync::MutexLock lock(mutex_);
     fatalIf(!accepting_, "DecodeService: submission after shutdown");
     const TenantId tenant = pending.tenant;
+    // Queue depth as the request found it — before this batch adds
+    // its own weight — for the admission span.
+    const uint64_t entry_depth = in_flight_;
+    uint64_t ticket_wait_us = 0;
     TenantState &state = tenantStateLocked(lock, tenant);
     *tenant_rejected = state.rejected;
     *tenant_throttled = state.throttled;
@@ -416,10 +435,12 @@ DecodeService::admitBatch(Batch &pending, size_t n,
             } else {
                 const uint64_t ticket = next_ticket_++;
                 *ticketed = true;
+                const uint64_t wait_start_us = nowUs();
                 while (accepting_ &&
                        !(ticket == serving_ticket_ &&
                          fitsLocked(state, n)))
                     space_cv_.wait(lock);
+                ticket_wait_us = elapsedUs(wait_start_us, nowUs());
                 ++serving_ticket_;
                 if (!accepting_) {
                     // Successors wake via accepting_ and fail too.
@@ -431,6 +452,32 @@ DecodeService::admitBatch(Batch &pending, size_t n,
         }
     }
     if (verdict == Verdict::Admitted) {
+        // Emit the admission spans before the batch is surrendered to
+        // the queue (a dispatcher may take it the moment the lock
+        // drops). Span pushes rank kTraceBuffer, far below mutex_, so
+        // recording here is rank-legal; when tracing is off each
+        // iteration is one branch.
+        const uint64_t admitted_us = nowUs();
+        for (Item &item : pending.items) {
+            item.admitted_us = admitted_us;
+            if (!item.ctx.active())
+                continue;
+            telemetry::SpanHandle span =
+                item.ctx.spanAt("admission", item.enqueued_us);
+            span.attr("outcome", "admitted");
+            span.attrU64("queue_depth_entry", entry_depth);
+            span.attrU64("ticket_wait_us", ticket_wait_us);
+            span.endAt(admitted_us);
+        }
+        pending.admitted_us = admitted_us;
+        if (pending.stream && pending.ctx.active()) {
+            telemetry::SpanHandle span =
+                pending.ctx.spanAt("admission", pending.enqueued_us);
+            span.attr("outcome", "admitted");
+            span.attrU64("queue_depth_entry", entry_depth);
+            span.attrU64("ticket_wait_us", ticket_wait_us);
+            span.endAt(admitted_us);
+        }
         in_flight_ += n;
         state.in_flight += n;
         if (queue_depth_)
@@ -468,6 +515,19 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
         pending.items[i].request = std::move(batch[i]);
         pending.items[i].enqueued_us = now_us;
         futures.push_back(pending.items[i].promise.get_future());
+
+        // Root the request's trace: join the caller's context when it
+        // has one (e.g. a StorageFrontend root span), otherwise start
+        // a fresh head-sampled trace. Both inactive => one branch.
+        Item &item = pending.items[i];
+        if (item.request.trace.active())
+            item.root = item.request.trace.spanAt("request", now_us);
+        else if (params_.tracer)
+            item.root = params_.tracer->startTrace("request", tenant);
+        if (item.root.active()) {
+            item.root.attrU64("tenant", tenant);
+            item.ctx = item.root.context();
+        }
     }
     if (n == 0) {
         sync::MutexLock lock(mutex_);
@@ -494,7 +554,23 @@ DecodeService::submitBatch(std::vector<DecodeRequest> batch)
             global->increment(n);
         if (per_tenant)
             per_tenant->increment(n);
+        const uint64_t shed_us = nowUs();
         for (Item &item : pending.items) {
+            // Shed requests spent real time in admission (token
+            // lookup, possibly a ticket wait) that queue_latency_us
+            // never sees — account for it separately.
+            const uint64_t waited_us =
+                elapsedUs(item.enqueued_us, shed_us);
+            if (rejected_latency_us_)
+                rejected_latency_us_->observe(waited_us,
+                                              item.ctx.traceId());
+            if (item.root.active()) {
+                item.root.attr("outcome", throttled ? "throttled"
+                                                    : "overloaded");
+                item.root.attrU64("rejected_latency_us", waited_us);
+                item.ctx.keep();  // tail trigger: shed = interesting
+                item.root.endAt(shed_us);
+            }
             DecodeOutcome outcome;
             outcome.status = throttled ? DecodeStatus::Throttled
                                        : DecodeStatus::Overloaded;
@@ -525,6 +601,19 @@ DecodeService::openStream(StreamParams params)
     state->service = this;
     state->liveness = params.decoder->livenessToken();
     state->tenant = params.tenant;
+
+    // Root the session's trace; every chunk becomes a child span.
+    if (params.trace.active())
+        state->trace_root = params.trace.span("stream");
+    else if (params_.tracer)
+        state->trace_root =
+            params_.tracer->startTrace("stream", params.tenant);
+    if (state->trace_root.active()) {
+        state->trace_root.attrU64("tenant", params.tenant);
+        state->trace_root.attrU64("expected_units",
+                                  params.expected_units.size());
+        state->trace_ctx = state->trace_root.context();
+    }
 
     StreamingParams streaming;
     streaming.expected_units = params.expected_units;
@@ -572,6 +661,13 @@ DecodeService::submitStreamChunk(
     pending.chunk = std::move(reads);
     pending.stream_finish = finish_marker;
     pending.enqueued_us = nowUs();
+    if (pending.stream->trace_ctx.active()) {
+        pending.root = pending.stream->trace_ctx.spanAt(
+            finish_marker ? "stream.finish" : "stream.chunk",
+            pending.enqueued_us);
+        pending.root.attrU64("reads", pending.chunk.size());
+        pending.ctx = pending.root.context();
+    }
     std::future<DecodeOutcome> future =
         pending.stream_promise.get_future();
 
@@ -591,6 +687,19 @@ DecodeService::submitStreamChunk(
             global->increment();
         if (per_tenant)
             per_tenant->increment();
+        const uint64_t shed_us = nowUs();
+        const uint64_t waited_us =
+            elapsedUs(pending.enqueued_us, shed_us);
+        if (rejected_latency_us_)
+            rejected_latency_us_->observe(waited_us,
+                                          pending.ctx.traceId());
+        if (pending.root.active()) {
+            pending.root.attr("outcome", throttled ? "throttled"
+                                                   : "overloaded");
+            pending.root.attrU64("rejected_latency_us", waited_us);
+            pending.ctx.keep();
+            pending.root.endAt(shed_us);
+        }
         DecodeOutcome outcome;
         outcome.status = throttled ? DecodeStatus::Throttled
                                    : DecodeStatus::Overloaded;
@@ -659,6 +768,10 @@ DecodeService::popNextBatchLocked()
             state.queue.pop_front();
             --pending_batches_;
             state.deficit -= cost;
+            // Credit left for this turn, for the dispatch ("queue")
+            // spans — captured here because the state is gone from
+            // the dispatcher's view once the lock drops.
+            batch.dispatch_deficit = state.deficit;
             if (state.queue.empty()) {
                 state.deficit = 0;
                 state.charged = false;
@@ -710,24 +823,30 @@ DecodeService::runStreamChunk(Batch &batch)
     const uint64_t start_us = nowUs();
     const uint64_t queued_us = elapsedUs(batch.enqueued_us, start_us);
     if (queue_latency_us_)
-        queue_latency_us_->observe(queued_us);
+        queue_latency_us_->observe(queued_us, batch.ctx.traceId());
     if (batch.queue_latency)
-        batch.queue_latency->observe(queued_us);
+        batch.queue_latency->observe(queued_us, batch.ctx.traceId());
+    if (batch.ctx.active()) {
+        telemetry::SpanHandle queue_span =
+            batch.ctx.spanAt("queue", batch.admitted_us);
+        queue_span.attrU64("wdrr_deficit", batch.dispatch_deficit);
+        queue_span.endAt(start_us);
+    }
 
     DecodeOutcome outcome;
     std::exception_ptr error;
+    size_t missing = 0;
     try {
         fatalIf(stream.liveness.expired(),
                 "DecodeService: Decoder destroyed before its stream "
                 "chunk ran");
         const DecodeStats before = stream.session->stats();
         if (batch.stream_finish) {
-            outcome.units =
-                stream.session->finish(&outcome.stats, &pool_);
+            outcome.units = stream.session->finish(&outcome.stats,
+                                                   &pool_, batch.ctx);
             // Expected units the session never recovered resolve
             // with a typed Incomplete result, and the finish
             // outcome reports Partial.
-            size_t missing = 0;
             {
                 sync::MutexLock lock(stream.m);
                 missing = stream.unit_promises.size();
@@ -744,7 +863,7 @@ DecodeService::runStreamChunk(Batch &batch)
                                           : DecodeStatus::Partial;
         } else {
             const size_t consumed =
-                stream.session->feed(batch.chunk, &pool_);
+                stream.session->feed(batch.chunk, &pool_, batch.ctx);
             outcome.stats = stream.session->stats();
             outcome.status = (consumed == 0 && !batch.chunk.empty())
                                  ? DecodeStatus::Skipped
@@ -776,9 +895,42 @@ DecodeService::runStreamChunk(Batch &batch)
                     after.reads_consumed);
         }
         if (decode_latency_us_)
-            decode_latency_us_->observe(elapsedUs(start_us, nowUs()));
+            decode_latency_us_->observe(elapsedUs(start_us, nowUs()),
+                                        batch.ctx.traceId());
     } catch (...) {
         error = std::current_exception();
+    }
+
+    if (batch.root.active()) {
+        if (error) {
+            batch.root.attr("outcome", "error");
+            batch.ctx.keep();
+        } else {
+            batch.root.attr("outcome",
+                            outcome.status == DecodeStatus::Ok
+                                ? "ok"
+                                : outcome.status ==
+                                          DecodeStatus::Partial
+                                      ? "partial"
+                                      : "skipped");
+            batch.root.attrU64("reads_consumed",
+                               outcome.stats.reads_consumed);
+        }
+        batch.root.end();
+    }
+    // The finish marker closes the session's "stream" root — it is
+    // the last chunk by contract, and the trace deposits here so a
+    // caller waking from finish().get() can already retrieve it.
+    if (batch.stream_finish && stream.trace_root.active()) {
+        if (error) {
+            stream.trace_root.attr("outcome", "error");
+            stream.trace_ctx.keep();
+        } else {
+            stream.trace_root.attr("outcome",
+                                   missing == 0 ? "ok" : "partial");
+            stream.trace_root.attrU64("units_missing", missing);
+        }
+        stream.trace_root.end();
     }
 
     // Release queue space before fulfilling the promise: a caller
@@ -820,12 +972,24 @@ DecodeService::runBatch(Batch &batch)
         const uint64_t queued_us = elapsedUs(item.enqueued_us,
                                              start_us);
         if (queue_latency_us_)
-            queue_latency_us_->observe(queued_us);
+            queue_latency_us_->observe(queued_us,
+                                       item.ctx.traceId());
         if (batch.queue_latency)
-            batch.queue_latency->observe(queued_us);
+            batch.queue_latency->observe(queued_us,
+                                         item.ctx.traceId());
         if (pool_active_)
             pool_active_->set(
                 static_cast<int64_t>(pool_.activeThreads()));
+        telemetry::SpanHandle decode_span;
+        if (item.ctx.active()) {
+            telemetry::SpanHandle queue_span =
+                item.ctx.spanAt("queue", item.admitted_us);
+            queue_span.attrU64("wdrr_deficit",
+                               batch.dispatch_deficit);
+            queue_span.endAt(start_us);
+            decode_span = item.ctx.span("decode");
+            decode_span.attrU64("reads", item.request.reads.size());
+        }
         try {
             fatalIf(item.request.decoder == nullptr,
                     "DecodeService: request has no decoder");
@@ -833,13 +997,16 @@ DecodeService::runBatch(Batch &batch)
                     "DecodeService: Decoder destroyed before its "
                     "request ran");
             outcomes[i].units = item.request.decoder->decodeAll(
-                item.request.reads, &outcomes[i].stats, pool_);
+                item.request.reads, &outcomes[i].stats, pool_,
+                decode_span.context());
             if (decode_latency_us_)
                 decode_latency_us_->observe(
-                    elapsedUs(start_us, nowUs()));
+                    elapsedUs(start_us, nowUs()),
+                    item.ctx.traceId());
         } catch (...) {
             errors[i] = std::current_exception();
         }
+        decode_span.end();
     });
     // Re-sample after the batch so an idle service doesn't keep
     // reporting the last mid-decode occupancy forever.
@@ -870,10 +1037,23 @@ DecodeService::runBatch(Batch &batch)
     // Reduce in submission order: promises fire exactly in the order
     // the requests were handed in.
     for (size_t i = 0; i < n; ++i) {
+        Item &item = batch.items[i];
+        if (item.root.active()) {
+            if (errors[i]) {
+                item.root.attr("outcome", "error");
+                item.ctx.keep();  // tail trigger: errors always kept
+            } else {
+                item.root.attr("outcome", "ok");
+            }
+            // End (and possibly deposit) the trace before the caller
+            // wakes, so a future.get() straight into findTrace()
+            // observes it.
+            item.root.end();
+        }
         if (errors[i])
-            batch.items[i].promise.set_exception(errors[i]);
+            item.promise.set_exception(errors[i]);
         else
-            batch.items[i].promise.set_value(std::move(outcomes[i]));
+            item.promise.set_value(std::move(outcomes[i]));
     }
 }
 

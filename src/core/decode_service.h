@@ -97,6 +97,7 @@
 #include "core/decoder.h"
 #include "core/tenant.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace dnastore::core {
 
@@ -143,6 +144,15 @@ struct DecodeServiceParams
      *  nullptr disables instrumentation. */
     telemetry::MetricsRegistry *metrics = nullptr;
 
+    /** Optional trace collector; not owned, must outlive the service.
+     *  When set, every request whose DecodeRequest::trace is inactive
+     *  gets its own "request"-rooted trace (admission, queue, decode
+     *  stage spans); requests that arrive with an active context —
+     *  e.g. under a StorageFrontend root span — join that trace
+     *  instead. nullptr (the default) disables service-rooted
+     *  tracing; span operations then cost one branch each. */
+    telemetry::TraceCollector *tracer = nullptr;
+
     /** Bucket bounds for the queue/decode latency histograms
      *  (service-wide and per-tenant). Empty = defaultLatencyBoundsUs()
      *  (decade grid). Workload benches pass fineLatencyBoundsUs() so
@@ -182,6 +192,11 @@ struct DecodeRequest
     /** Tenant this request is billed to. All requests of one
      *  submitBatch must agree. */
     TenantId tenant = kDefaultTenant;
+
+    /** Trace context this request runs under (e.g. a StorageFrontend
+     *  root span's). Inactive by default — the service then roots a
+     *  fresh trace itself when DecodeServiceParams::tracer is set. */
+    telemetry::TraceContext trace;
 };
 
 /** How a request left the service. */
@@ -291,6 +306,11 @@ struct StreamParams
     /** See StreamingParams::attempt_columns (0 = the margin-derived
      *  default; early accepts always keep reliability margin >= 3). */
     size_t attempt_columns = 0;
+
+    /** Trace context the session's "stream" span joins (same
+     *  contract as DecodeRequest::trace: inactive = the service
+     *  roots its own trace when it has a tracer). */
+    telemetry::TraceContext trace;
 };
 
 class DecodeService;
@@ -367,10 +387,12 @@ class DecodeService
     DecodeService &operator=(const DecodeService &) = delete;
 
     /** Enqueue one read set for @p tenant. Throws FatalError after
-     *  shutdown(). */
-    std::future<DecodeOutcome> submit(const Decoder &decoder,
-                                      std::vector<sim::Read> reads,
-                                      TenantId tenant = kDefaultTenant);
+     *  shutdown(). @p trace parents the request's spans (see
+     *  DecodeRequest::trace). */
+    std::future<DecodeOutcome> submit(
+        const Decoder &decoder, std::vector<sim::Read> reads,
+        TenantId tenant = kDefaultTenant,
+        const telemetry::TraceContext &trace = {});
 
     /**
      * Enqueue a batch (typically one request per partition of a
@@ -429,6 +451,14 @@ class DecodeService
         std::promise<DecodeOutcome> promise;
         std::weak_ptr<const void> liveness;
         uint64_t enqueued_us = 0;  ///< nowUs() at submission
+        uint64_t admitted_us = 0;  ///< nowUs() when admission granted
+
+        // Request trace: root is the "request" span (joined from
+        // request.trace or service-rooted), ctx parents the
+        // admission/queue/decode children. Both inactive when
+        // tracing is off.
+        telemetry::SpanHandle root;
+        telemetry::TraceContext ctx;
     };
 
     struct Batch
@@ -449,6 +479,19 @@ class DecodeService
         bool stream_finish = false;
         std::promise<DecodeOutcome> stream_promise;
         uint64_t enqueued_us = 0;  ///< nowUs() at submission
+        uint64_t admitted_us = 0;  ///< nowUs() when admission granted
+
+        /** WDRR credit left for the tenant's turn right after this
+         *  batch was charged (captured in popNextBatchLocked; only
+         *  read by the dispatch spans). */
+        uint64_t dispatch_deficit = 0;
+
+        // Stream-chunk trace: root is the "stream.chunk" (or
+        // "stream.finish") span under the session's "stream" root,
+        // ctx parents its admission/queue/decode children. Inactive
+        // for item batches and when tracing is off.
+        telemetry::SpanHandle root;
+        telemetry::TraceContext ctx;
     };
 
     /** Per-tenant scheduler state; lives in tenants_, so every field
@@ -568,6 +611,7 @@ class DecodeService
     telemetry::Gauge *pool_active_ = nullptr;
     telemetry::Histogram *queue_latency_us_ = nullptr;
     telemetry::Histogram *decode_latency_us_ = nullptr;
+    telemetry::Histogram *rejected_latency_us_ = nullptr;
 
     // Streaming instruments (null when params_.metrics is null).
     telemetry::Counter *streams_opened_ = nullptr;

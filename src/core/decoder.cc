@@ -121,7 +121,8 @@ Decoder::Decoder(const Partition &partition, DecoderParams params)
 
 std::map<std::tuple<uint64_t, unsigned, unsigned>, RecoveredSlot>
 Decoder::recoverStrands(const std::vector<sim::Read> &reads,
-                        DecodeStats *stats, ThreadPool &pool) const
+                        DecodeStats *stats, ThreadPool &pool,
+                        const telemetry::TraceContext &trace) const
 {
     const PartitionConfig &config = partition_.config();
     const dna::Sequence &stem = partition_.elongation().stem();
@@ -129,6 +130,8 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
     // Step 1: primer filter. The per-read alignments fan out across
     // the pool; the keep/drop decision for a read depends only on
     // that read, and the matches are gathered in input order.
+    telemetry::SpanHandle filter_span =
+        trace.span("decode.primer_filter");
     std::vector<uint8_t> keep(reads.size(), 0);
     pool.parallelFor(reads.size(), [&](size_t i) {
         dna::PrefixAlignment align = dna::alignPrimerToPrefix(
@@ -141,6 +144,9 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
         if (keep[i])
             filtered.push_back(reads[i].seq);
     }
+    filter_span.attrU64("reads_in", reads.size());
+    filter_span.attrU64("matched", filtered.size());
+    filter_span.end();
     if (stats) {
         stats->reads_in = reads.size();
         // The one-shot pipeline ingests everything it is offered.
@@ -154,8 +160,11 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
         return recovered;
 
     // Step 2: cluster (clusters arrive sorted by decreasing size).
+    telemetry::SpanHandle cluster_span = trace.span("decode.cluster");
     std::vector<cluster::Cluster> clusters =
         cluster::clusterReads(filtered, params_.cluster, &pool);
+    cluster_span.attrU64("clusters", clusters.size());
+    cluster_span.end();
     if (stats)
         stats->clusters_total = clusters.size();
 
@@ -169,6 +178,8 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
            clusters[used].size() >= params_.min_cluster_size) {
         ++used;
     }
+    telemetry::SpanHandle consensus_span =
+        trace.span("decode.consensus");
     std::vector<std::vector<size_t>> memberships(used);
     for (size_t i = 0; i < used; ++i)
         memberships[i] = clusters[i].members;
@@ -222,26 +233,30 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
         std::sort(slot.candidates.begin(), slot.candidates.end(),
                   candidateBefore);
     }
+    consensus_span.attrU64("clusters_used", used);
+    consensus_span.end();
     return recovered;
 }
 
 std::map<uint64_t, BlockVersions>
 Decoder::decodeAll(const std::vector<sim::Read> &reads,
-                   DecodeStats *stats) const
+                   DecodeStats *stats,
+                   const telemetry::TraceContext &trace) const
 {
     // Clamp the pool to the workload: a decode of a handful of reads
     // must not spawn hardware_concurrency threads just to join them.
     ThreadPool pool(
         std::min(ThreadPool::resolveThreadCount(params_.threads),
                  std::max<size_t>(1, reads.size())));
-    return decodeAll(reads, stats, pool);
+    return decodeAll(reads, stats, pool, trace);
 }
 
 std::map<uint64_t, BlockVersions>
 Decoder::decodeAll(const std::vector<sim::Read> &reads,
-                   DecodeStats *stats, ThreadPool &pool) const
+                   DecodeStats *stats, ThreadPool &pool,
+                   const telemetry::TraceContext &trace) const
 {
-    auto recovered = recoverStrands(reads, stats, pool);
+    auto recovered = recoverStrands(reads, stats, pool, trace);
 
     // Group addresses by (block, version).
     std::map<UnitKey, std::map<unsigned, const RecoveredSlot *>> units;
@@ -265,8 +280,14 @@ Decoder::decodeAll(const std::vector<sim::Read> &reads,
     std::vector<UnitOutcome> outcomes =
         pool.parallelMap<UnitOutcome>(unit_list.size(), [&](size_t u) {
             const auto &[unit_key, columns] = unit_list[u];
-            return decodeUnitWithFallback(partition_, unit_key.first,
-                                          unit_key.second, *columns);
+            telemetry::SpanHandle span = trace.span("decode.rs_unit");
+            span.attrU64("block", unit_key.first);
+            span.attrU64("version", unit_key.second);
+            UnitOutcome outcome = decodeUnitWithFallback(
+                partition_, unit_key.first, unit_key.second, *columns);
+            span.attrU64("decoded", outcome.ok ? 1 : 0);
+            span.end();
+            return outcome;
         });
 
     std::map<uint64_t, BlockVersions> result;
@@ -378,7 +399,8 @@ StreamingDecoder::resolvePool(ThreadPool *pool)
 
 size_t
 StreamingDecoder::feed(const std::vector<sim::Read> &reads,
-                       ThreadPool *pool)
+                       ThreadPool *pool,
+                       const telemetry::TraceContext &trace)
 {
     fatalIf(finished_, "StreamingDecoder::feed after finish()");
     stats_.reads_in += reads.size();
@@ -396,6 +418,8 @@ StreamingDecoder::feed(const std::vector<sim::Read> &reads,
 
     // Step 1: primer filter — the same per-read decision as the
     // one-shot pipeline, so the surviving stream is identical.
+    telemetry::SpanHandle filter_span =
+        trace.span("decode.primer_filter");
     const dna::Sequence &stem = partition_.elongation().stem();
     std::vector<uint8_t> keep(reads.size(), 0);
     p.parallelFor(reads.size(), [&](size_t i) {
@@ -409,13 +433,19 @@ StreamingDecoder::feed(const std::vector<sim::Read> &reads,
         if (keep[i])
             filtered.push_back(reads[i].seq);
     }
+    filter_span.attrU64("reads_in", reads.size());
+    filter_span.attrU64("matched", filtered.size());
+    filter_span.end();
     stats_.reads_primer_matched += filtered.size();
     if (filtered.empty())
         return reads.size();
 
     // Step 2: online clustering — the chunk joins the running index.
+    telemetry::SpanHandle cluster_span = trace.span("decode.cluster");
     std::vector<size_t> joined = clusterer_.assignBatch(filtered, &p);
     views_.resize(clusterer_.clusters().size());
+    cluster_span.attrU64("clusters", clusterer_.clusters().size());
+    cluster_span.end();
 
     if (!eager_)
         return reads.size();  // deferred: finish() runs steps 3-4
@@ -436,16 +466,25 @@ StreamingDecoder::feed(const std::vector<sim::Read> &reads,
     if (usable.empty())
         return reads.size();
 
-    std::set<UnitKey> changed = refreshClusters(usable, p);
-    attemptUnits(changed, p);
+    std::set<UnitKey> changed = refreshClusters(usable, p, trace);
+    const bool was_complete = complete_;
+    attemptUnits(changed, p, trace);
+    // The chunk that recovers the last expected unit flips the
+    // session complete — the point every later read gets skipped.
+    if (!was_complete && complete_)
+        trace.event("decode.early_termination");
     return reads.size();
 }
 
 std::set<UnitKey>
 StreamingDecoder::refreshClusters(const std::vector<size_t> &cluster_ids,
-                                  ThreadPool &pool)
+                                  ThreadPool &pool,
+                                  const telemetry::TraceContext &trace)
 {
     const PartitionConfig &config = partition_.config();
+    telemetry::SpanHandle consensus_span =
+        trace.span("decode.consensus");
+    consensus_span.attrU64("clusters_used", cluster_ids.size());
 
     // Consensus per cluster depends only on (all reads so far, that
     // cluster's membership) — independent of chunking and of every
@@ -510,12 +549,14 @@ StreamingDecoder::refreshClusters(const std::vector<size_t> &cluster_ids,
             changed.insert(view.unit);
         }
     }
+    consensus_span.end();
     return changed;
 }
 
 void
 StreamingDecoder::attemptUnits(const std::set<UnitKey> &changed,
-                               ThreadPool &pool)
+                               ThreadPool &pool,
+                               const telemetry::TraceContext &trace)
 {
     const PartitionConfig &config = partition_.config();
     // An accepted early decode must keep a reliability margin of at
@@ -598,10 +639,16 @@ StreamingDecoder::attemptUnits(const std::set<UnitKey> &changed,
     }
     std::vector<UnitOutcome> outcomes =
         pool.parallelMap<UnitOutcome>(attempt.size(), [&](size_t u) {
-            return decodeUnitWithFallback(partition_,
-                                          attempt[u].first,
-                                          attempt[u].second,
-                                          column_ptrs[u]);
+            telemetry::SpanHandle span = trace.span("decode.rs_unit");
+            span.attrU64("block", attempt[u].first);
+            span.attrU64("version", attempt[u].second);
+            UnitOutcome outcome =
+                decodeUnitWithFallback(partition_, attempt[u].first,
+                                       attempt[u].second,
+                                       column_ptrs[u]);
+            span.attrU64("decoded", outcome.ok ? 1 : 0);
+            span.end();
+            return outcome;
         });
     for (size_t u = 0; u < attempt.size(); ++u) {
         UnitOutcome &outcome = outcomes[u];
@@ -650,7 +697,8 @@ StreamingDecoder::emitUnit(const UnitKey &unit, Bytes payload,
 }
 
 std::map<uint64_t, BlockVersions>
-StreamingDecoder::finish(DecodeStats *stats, ThreadPool *pool)
+StreamingDecoder::finish(DecodeStats *stats, ThreadPool *pool,
+                         const telemetry::TraceContext &trace)
 {
     fatalIf(finished_, "StreamingDecoder::finish called twice");
     finished_ = true;
@@ -671,7 +719,7 @@ StreamingDecoder::finish(DecodeStats *stats, ThreadPool *pool)
                 stale.push_back(c);
         }
         if (!stale.empty())
-            refreshClusters(stale, p);
+            refreshClusters(stale, p, trace);
     }
 
     // Assemble per-address candidate slots in the exact order the
@@ -745,8 +793,14 @@ StreamingDecoder::finish(DecodeStats *stats, ThreadPool *pool)
     std::vector<UnitOutcome> outcomes =
         p.parallelMap<UnitOutcome>(unit_list.size(), [&](size_t u) {
             const auto &[unit, columns] = unit_list[u];
-            return decodeUnitWithFallback(partition_, unit.first,
-                                          unit.second, *columns);
+            telemetry::SpanHandle span = trace.span("decode.rs_unit");
+            span.attrU64("block", unit.first);
+            span.attrU64("version", unit.second);
+            UnitOutcome outcome = decodeUnitWithFallback(
+                partition_, unit.first, unit.second, *columns);
+            span.attrU64("decoded", outcome.ok ? 1 : 0);
+            span.end();
+            return outcome;
         });
     for (size_t u = 0; u < unit_list.size(); ++u) {
         const UnitKey &unit = unit_list[u].first;

@@ -46,6 +46,7 @@
 #include "core/partition.h"
 #include "core/update.h"
 #include "sim/sequencer.h"
+#include "telemetry/trace.h"
 
 namespace dnastore {
 class ThreadPool;
@@ -159,7 +160,8 @@ class Decoder
      */
     std::map<uint64_t, BlockVersions> decodeAll(
         const std::vector<sim::Read> &reads,
-        DecodeStats *stats = nullptr) const;
+        DecodeStats *stats = nullptr,
+        const telemetry::TraceContext &trace = {}) const;
 
     /**
      * decodeAll through a caller-owned pool. Used by DecodeService to
@@ -167,10 +169,16 @@ class Decoder
      * a pool spawn per call; DecoderParams::threads is ignored in
      * favor of the pool's size. Output is byte-identical to the
      * pool-per-call overload for any pool size.
+     *
+     * @p trace parents per-stage spans (decode.primer_filter,
+     * decode.cluster, decode.consensus, one decode.rs_unit per RS
+     * attempt); the default inactive context records nothing and
+     * costs one branch per stage.
      */
     std::map<uint64_t, BlockVersions> decodeAll(
         const std::vector<sim::Read> &reads, DecodeStats *stats,
-        ThreadPool &pool) const;
+        ThreadPool &pool,
+        const telemetry::TraceContext &trace = {}) const;
 
     /**
      * Decode one block's final contents: version 0 plus the update
@@ -216,7 +224,8 @@ class Decoder
     /** Steps 1-3: reads -> per-address payload candidates. */
     std::map<std::tuple<uint64_t, unsigned, unsigned>, RecoveredSlot>
     recoverStrands(const std::vector<sim::Read> &reads,
-                   DecodeStats *stats, ThreadPool &pool) const;
+                   DecodeStats *stats, ThreadPool &pool,
+                   const telemetry::TraceContext &trace = {}) const;
 };
 
 /** Identifies one RS encoding unit: (block, version slot). */
@@ -309,9 +318,13 @@ class StreamingDecoder
      *
      * @p pool serves the chunk's internal parallel stages; nullptr
      * uses a session-owned pool of DecoderParams::threads workers.
+     * @p trace parents the chunk's stage spans (same taxonomy as
+     * Decoder::decodeAll, plus a decode.early_termination event the
+     * moment the last expected unit decodes).
      */
     size_t feed(const std::vector<sim::Read> &reads,
-                ThreadPool *pool = nullptr);
+                ThreadPool *pool = nullptr,
+                const telemetry::TraceContext &trace = {});
 
     /** True once every expected unit has decoded (eager mode). */
     bool complete() const { return complete_; }
@@ -326,7 +339,8 @@ class StreamingDecoder
      * per-unit status). Single-shot: a second call throws.
      */
     std::map<uint64_t, BlockVersions> finish(
-        DecodeStats *stats = nullptr, ThreadPool *pool = nullptr);
+        DecodeStats *stats = nullptr, ThreadPool *pool = nullptr,
+        const telemetry::TraceContext &trace = {});
 
     bool finished() const { return finished_; }
 
@@ -363,12 +377,14 @@ class StreamingDecoder
      *  their views, and collect the unit keys whose column maps
      *  changed. */
     std::set<UnitKey> refreshClusters(
-        const std::vector<size_t> &cluster_ids, ThreadPool &pool);
+        const std::vector<size_t> &cluster_ids, ThreadPool &pool,
+        const telemetry::TraceContext &trace);
 
     /** Fire RS attempts for changed, coverage-sufficient units in
      *  ascending key order; emit successes. */
     void attemptUnits(const std::set<UnitKey> &changed,
-                      ThreadPool &pool);
+                      ThreadPool &pool,
+                      const telemetry::TraceContext &trace);
 
     /** Record a successful unit decode: emission list, callback,
      *  early-termination bookkeeping (stats fold in the callers). */

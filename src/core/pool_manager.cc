@@ -111,12 +111,14 @@ std::map<uint64_t, BlockVersions>
 PoolManager::decodeReads(const FileState &state,
                          std::vector<sim::Read> reads,
                          DecodeStats *stats, DecodeService *service,
-                         TenantId tenant) const
+                         TenantId tenant,
+                         const telemetry::TraceContext &trace) const
 {
     if (!service)
-        return state.decoder->decodeAll(reads, stats);
+        return state.decoder->decodeAll(reads, stats, trace);
     DecodeOutcome outcome =
-        service->submit(*state.decoder, std::move(reads), tenant)
+        service
+            ->submit(*state.decoder, std::move(reads), tenant, trace)
             .get();
     if (outcome.status == DecodeStatus::Throttled)
         throw ThrottledError("PoolManager read shed by the tenant's "
@@ -226,11 +228,12 @@ PoolManager::assembleFile(
 
 std::optional<Bytes>
 PoolManager::readFile(uint32_t file_id, DecodeService *service,
-                      TenantId tenant)
+                      TenantId tenant,
+                      const telemetry::TraceContext &trace)
 {
     std::vector<sim::Read> reads = sequenceFile(file_id);
     auto units = decodeReads(stateOf(file_id), std::move(reads),
-                             nullptr, service, tenant);
+                             nullptr, service, tenant, trace);
     return assembleFile(file_id, units);
 }
 

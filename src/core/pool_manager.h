@@ -98,10 +98,12 @@ class PoolManager
 
     /** Read a whole file (stage-1 PCR only, full decode). Routes the
      *  decode through @p service when one is given, billed to
-     *  @p tenant. */
-    std::optional<Bytes> readFile(uint32_t file_id,
-                                  DecodeService *service = nullptr,
-                                  TenantId tenant = kDefaultTenant);
+     *  @p tenant; @p trace parents the decode's spans under the
+     *  caller's root span. */
+    std::optional<Bytes> readFile(
+        uint32_t file_id, DecodeService *service = nullptr,
+        TenantId tenant = kDefaultTenant,
+        const telemetry::TraceContext &trace = {});
 
     /**
      * The wetlab half of readFile(): stage-1 PCR isolation plus
@@ -157,8 +159,8 @@ class PoolManager
      *  ThrottledError if the service sheds it). */
     std::map<uint64_t, BlockVersions> decodeReads(
         const FileState &state, std::vector<sim::Read> reads,
-        DecodeStats *stats, DecodeService *service,
-        TenantId tenant) const;
+        DecodeStats *stats, DecodeService *service, TenantId tenant,
+        const telemetry::TraceContext &trace = {}) const;
 
     /** Mix a fresh synthesis order into the shared pool. */
     void synthesizeAndMix(const std::vector<sim::DesignedMolecule> &order);

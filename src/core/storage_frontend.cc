@@ -9,7 +9,8 @@ namespace dnastore::core {
 
 StorageFrontend::StorageFrontend(DecodeService &service,
                                  StorageFrontendParams params)
-    : service_(service), tenant_(params.tenant)
+    : service_(service), tenant_(params.tenant),
+      tracer_(params.tracer)
 {
     if (params.metrics) {
         telemetry::MetricsRegistry &registry = *params.metrics;
@@ -30,12 +31,18 @@ StorageFrontend::StorageFrontend(DecodeService &service,
 
 template <typename Fn>
 auto
-StorageFrontend::instrumented(telemetry::Counter *calls, Fn &&fn)
+StorageFrontend::instrumented(telemetry::Counter *calls,
+                              std::string_view span_name, Fn &&fn)
 {
     using Clock = std::chrono::steady_clock;
     Clock::time_point start = Clock::now();
+    telemetry::SpanHandle root;
+    if (tracer_)
+        root = tracer_->startTrace(span_name, tenant_);
+    root.attrU64("tenant", tenant_);
+    telemetry::TraceContext ctx = root.context();
     try {
-        auto result = fn();
+        auto result = fn(ctx);
         if (calls)
             calls->increment();
         if (read_latency_us_) {
@@ -43,16 +50,38 @@ StorageFrontend::instrumented(telemetry::Counter *calls, Fn &&fn)
                 std::chrono::microseconds>(Clock::now() - start);
             read_latency_us_->observe(
                 us.count() < 0 ? 0
-                               : static_cast<uint64_t>(us.count()));
+                               : static_cast<uint64_t>(us.count()),
+                ctx.traceId());
+        }
+        if (root.active()) {
+            root.attr("outcome", "ok");
+            root.end();
         }
         return result;
     } catch (const ThrottledError &) {
         if (throttled_)
             throttled_->increment();
+        if (root.active()) {
+            root.attr("outcome", "throttled");
+            ctx.keep();
+            root.end();
+        }
         throw;
     } catch (const OverloadedError &) {
         if (overloaded_)
             overloaded_->increment();
+        if (root.active()) {
+            root.attr("outcome", "overloaded");
+            ctx.keep();
+            root.end();
+        }
+        throw;
+    } catch (...) {
+        if (root.active()) {
+            root.attr("outcome", "error");
+            ctx.keep();
+            root.end();
+        }
         throw;
     }
 }
@@ -73,9 +102,10 @@ StorageFrontend::recordBlocks(
 std::optional<Bytes>
 StorageFrontend::readBlock(BlockDevice &device, uint64_t block)
 {
-    return instrumented(block_reads_, [&] {
+    return instrumented(block_reads_, "frontend.read_block",
+                        [&](const telemetry::TraceContext &ctx) {
         std::optional<Bytes> content =
-            device.readBlock(block, &service_, tenant_);
+            device.readBlock(block, &service_, tenant_, ctx);
         if (blocks_returned_) {
             (content ? blocks_returned_ : blocks_missing_)
                 ->increment();
@@ -88,9 +118,10 @@ std::vector<std::optional<Bytes>>
 StorageFrontend::readBlocks(BlockDevice &device, uint64_t lo,
                             uint64_t hi)
 {
-    return instrumented(range_reads_, [&] {
+    return instrumented(range_reads_, "frontend.read_blocks",
+                        [&](const telemetry::TraceContext &ctx) {
         std::vector<std::optional<Bytes>> blocks =
-            device.readRange(lo, hi, &service_, tenant_);
+            device.readRange(lo, hi, &service_, tenant_, ctx);
         recordBlocks(blocks);
         return blocks;
     });
@@ -99,9 +130,10 @@ StorageFrontend::readBlocks(BlockDevice &device, uint64_t lo,
 std::vector<std::optional<Bytes>>
 StorageFrontend::readAll(BlockDevice &device)
 {
-    return instrumented(full_reads_, [&] {
+    return instrumented(full_reads_, "frontend.read_all",
+                        [&](const telemetry::TraceContext &ctx) {
         std::vector<std::optional<Bytes>> blocks =
-            device.readAll(&service_, tenant_);
+            device.readAll(&service_, tenant_, ctx);
         recordBlocks(blocks);
         return blocks;
     });
@@ -110,15 +142,17 @@ StorageFrontend::readAll(BlockDevice &device)
 std::optional<Bytes>
 StorageFrontend::readFile(PoolManager &pool, uint32_t file_id)
 {
-    return instrumented(file_reads_, [&] {
-        return pool.readFile(file_id, &service_, tenant_);
+    return instrumented(file_reads_, "frontend.read_file",
+                        [&](const telemetry::TraceContext &ctx) {
+        return pool.readFile(file_id, &service_, tenant_, ctx);
     });
 }
 
 std::vector<std::vector<std::optional<Bytes>>>
 StorageFrontend::readBlocksBatch(const std::vector<RangeRead> &ranges)
 {
-    return instrumented(batch_reads_, [&] {
+    return instrumented(batch_reads_, "frontend.read_blocks_batch",
+                        [&](const telemetry::TraceContext &ctx) {
         // Wetlab stage stays sequential: each device owns its cost
         // and RNG state, and the sequencing order is part of the
         // byte-identical contract with per-call readBlocks.
@@ -130,6 +164,7 @@ StorageFrontend::readBlocksBatch(const std::vector<RangeRead> &ranges)
             batch[i].reads = ranges[i].device->sequenceRange(
                 ranges[i].lo, ranges[i].hi);
             batch[i].tenant = tenant_;
+            batch[i].trace = ctx;
         }
 
         // One submission: the ranges' decodes shard across the
@@ -150,7 +185,7 @@ StorageFrontend::readBlocksBatch(const std::vector<RangeRead> &ranges)
                     "readBlocksBatch shed by the decode service");
             results.push_back(ranges[i].device->assembleRange(
                 ranges[i].lo, ranges[i].hi, outcome.units,
-                &service_, tenant_));
+                &service_, tenant_, ctx));
             recordBlocks(results.back());
         }
         return results;
@@ -161,12 +196,14 @@ std::vector<std::optional<Bytes>>
 StorageFrontend::readFiles(PoolManager &pool,
                            const std::vector<uint32_t> &file_ids)
 {
-    return instrumented(batch_reads_, [&] {
+    return instrumented(batch_reads_, "frontend.read_files",
+                        [&](const telemetry::TraceContext &ctx) {
         std::vector<DecodeRequest> batch(file_ids.size());
         for (size_t i = 0; i < file_ids.size(); ++i) {
             batch[i].decoder = &pool.decoderOf(file_ids[i]);
             batch[i].reads = pool.sequenceFile(file_ids[i]);
             batch[i].tenant = tenant_;
+            batch[i].trace = ctx;
         }
 
         std::vector<std::future<DecodeOutcome>> futures =

@@ -66,6 +66,15 @@ struct StorageFrontendParams
      *  in the service's DecodeServiceParams::tenants to give this
      *  frontend a rate contract, weight, or queue-depth cap. */
     TenantId tenant = kDefaultTenant;
+
+    /** Optional trace collector; not owned, must outlive the
+     *  frontend. When set, every frontend call roots its own trace
+     *  (a frontend.* span) and the routed decode requests join it as
+     *  children — point it at the service's collector so one trace
+     *  covers frontend call → admission → dispatch → decode stages.
+     *  nullptr (the default) leaves frontend calls untraced; the
+     *  service may still root per-request traces of its own. */
+    telemetry::TraceCollector *tracer = nullptr;
 };
 
 class StorageFrontend
@@ -126,14 +135,19 @@ class StorageFrontend
   private:
     /** Count returned/missing blocks and the end-to-end latency of
      *  one frontend call; rethrows OverloadedError/ThrottledError
-     *  after counting. */
+     *  after counting. Roots a @p span_name trace when the frontend
+     *  has a tracer and hands @p fn the child context to thread into
+     *  the routed requests; the root ends — with an outcome
+     *  attribute — before the call returns or rethrows. */
     template <typename Fn>
-    auto instrumented(telemetry::Counter *calls, Fn &&fn);
+    auto instrumented(telemetry::Counter *calls,
+                      std::string_view span_name, Fn &&fn);
 
     void recordBlocks(const std::vector<std::optional<Bytes>> &blocks);
 
     DecodeService &service_;
     TenantId tenant_ = kDefaultTenant;
+    telemetry::TraceCollector *tracer_ = nullptr;
 
     // Cached instruments (null without a registry).
     telemetry::Counter *block_reads_ = nullptr;

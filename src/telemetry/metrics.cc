@@ -9,7 +9,8 @@
 namespace dnastore::telemetry {
 
 Histogram::Histogram(std::vector<uint64_t> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1),
+      exemplars_(bounds_.size() + 1)
 {
     fatalIf(bounds_.empty(), "histogram needs at least one bound");
     fatalIf(!std::is_sorted(bounds_.begin(), bounds_.end()) ||
@@ -21,12 +22,21 @@ Histogram::Histogram(std::vector<uint64_t> bounds)
 void
 Histogram::observe(uint64_t value)
 {
+    observe(value, 0);
+}
+
+void
+Histogram::observe(uint64_t value, uint64_t exemplar_trace)
+{
     size_t bucket = static_cast<size_t>(
         std::lower_bound(bounds_.begin(), bounds_.end(), value) -
         bounds_.begin());
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    if (exemplar_trace != 0)
+        exemplars_[bucket].store(exemplar_trace,
+                                 std::memory_order_relaxed);
 }
 
 uint64_t
@@ -48,6 +58,15 @@ Histogram::bucketCounts() const
     for (size_t i = 0; i < buckets_.size(); ++i)
         counts[i] = buckets_[i].load(std::memory_order_relaxed);
     return counts;
+}
+
+std::vector<uint64_t>
+Histogram::exemplarTraceIds() const
+{
+    std::vector<uint64_t> ids(exemplars_.size());
+    for (size_t i = 0; i < exemplars_.size(); ++i)
+        ids[i] = exemplars_[i].load(std::memory_order_relaxed);
+    return ids;
 }
 
 std::vector<uint64_t>
@@ -166,6 +185,7 @@ MetricsRegistry::snapshot() const
         h.buckets = histogram->bucketCounts();
         h.count = histogram->count();
         h.sum = histogram->sum();
+        h.exemplars = histogram->exemplarTraceIds();
         snap.histograms.emplace(name, std::move(h));
     }
     return snap;

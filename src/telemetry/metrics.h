@@ -119,6 +119,14 @@ class Histogram
 
     void observe(uint64_t value);
 
+    /** observe() that also stamps the bucket's exemplar: the id of
+     *  the last sampled trace whose request landed here, so a fat
+     *  p999 bucket links straight to a dumpable trace
+     *  (TraceCollector::findTrace). Pass 0 (no trace) to leave the
+     *  exemplar untouched — recording stays one relaxed store even
+     *  on the traced path. */
+    void observe(uint64_t value, uint64_t exemplar_trace);
+
     uint64_t count() const;
     uint64_t sum() const;
 
@@ -127,6 +135,9 @@ class Histogram
     /** Per-bucket counts, overflow bucket last
      *  (size = bounds().size() + 1). */
     std::vector<uint64_t> bucketCounts() const;
+
+    /** Per-bucket exemplar trace ids (0 = none), overflow last. */
+    std::vector<uint64_t> exemplarTraceIds() const;
 
   private:
     /** Immutable after construction (bounds are fixed at
@@ -142,6 +153,12 @@ class Histogram
     std::vector<std::atomic<uint64_t>> buckets_;
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> sum_{0};
+
+    /** Last-writer-wins exemplar per bucket, same audit as buckets_:
+     *  an exemplar is a hint ("some trace that landed here"), so a
+     *  relaxed store losing a race to a concurrent observer is
+     *  correct by definition. */
+    std::vector<std::atomic<uint64_t>> exemplars_;
 };
 
 /** Default latency bounds in microseconds: 10us .. 10s, decades. */
@@ -165,6 +182,12 @@ struct HistogramSnapshot
     std::vector<uint64_t> buckets;  ///< overflow bucket last
     uint64_t count = 0;
     uint64_t sum = 0;
+    /** Per-bucket exemplar trace ids (0 = none), overflow last.
+     *  Deterministic whenever the recording side is (virtual-clock
+     *  replays), all-zero when tracing is off — so the defaulted
+     *  equality below stays usable in determinism pins. Not part of
+     *  exportText(), whose format is pinned literally. */
+    std::vector<uint64_t> exemplars;
 
     /**
      * Conservative quantile estimate from the bucket counts: the

@@ -1,0 +1,428 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace dnastore::telemetry {
+
+using trace_detail::TraceData;
+
+// ---------------------------------------------------------------------
+// SpanHandle
+
+void
+SpanHandle::attr(std::string_view key, std::string_view value)
+{
+    if (!data_)
+        return;
+    span_.attrs.push_back({std::string(key), std::string(value)});
+}
+
+void
+SpanHandle::attrU64(std::string_view key, uint64_t value)
+{
+    if (!data_)
+        return;
+    span_.attrs.push_back({std::string(key), std::to_string(value)});
+}
+
+TraceContext
+SpanHandle::context() const
+{
+    TraceContext ctx;
+    if (data_) {
+        ctx.data_ = data_;
+        ctx.parent_ = span_.id;
+    }
+    return ctx;
+}
+
+void
+SpanHandle::end()
+{
+    if (!data_)
+        return;
+    endAt(data_->collector_->clockUs());
+}
+
+void
+SpanHandle::endAt(uint64_t end_us)
+{
+    if (!data_)
+        return;
+    // Keep durations well-defined even if a caller hands us a stamp
+    // from before the span opened (mixed clock sources).
+    span_.end_us = std::max(end_us, span_.start_us);
+    const bool root = span_.parent == kNoSpan;
+    std::shared_ptr<TraceData> data = std::move(data_);
+    data_.reset();
+    Span finished = std::move(span_);
+    span_ = Span{};
+    {
+        sync::MutexLock lock(data->mutex_);
+        data->spans_.push_back(root ? finished : std::move(finished));
+    }
+    // The root is the last span to end (children end first by
+    // contract), so its end is the whole trace's end: decide
+    // keep/drop and ring the trace in.
+    if (root)
+        data->collector_->deposit(*data, finished);
+}
+
+// ---------------------------------------------------------------------
+// TraceContext
+
+TraceId
+TraceContext::traceId() const
+{
+    return data_ ? data_->id_ : 0;
+}
+
+uint64_t
+TraceContext::nowUs() const
+{
+    return data_ ? data_->collector_->clockUs() : 0;
+}
+
+SpanHandle
+TraceContext::span(std::string_view name) const
+{
+    if (!data_)
+        return {};
+    return spanAt(name, data_->collector_->clockUs());
+}
+
+SpanHandle
+TraceContext::spanAt(std::string_view name, uint64_t start_us) const
+{
+    SpanHandle handle;
+    if (!data_)
+        return handle;
+    handle.data_ = data_;
+    handle.span_.id = data_->next_span_id_.fetch_add(
+        1, std::memory_order_relaxed);
+    handle.span_.parent = parent_;
+    handle.span_.name = std::string(name);
+    handle.span_.start_us = start_us;
+    return handle;
+}
+
+void
+TraceContext::event(std::string_view name) const
+{
+    if (!data_)
+        return;
+    SpanHandle handle = span(name);
+    handle.endAt(handle.span_.start_us);
+}
+
+void
+TraceContext::keep() const
+{
+    if (!data_)
+        return;
+    data_->keep_.store(true, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// TraceCollector
+
+TraceCollector::TraceCollector(TraceCollectorConfig config)
+    : config_(std::move(config))
+{}
+
+uint64_t
+TraceCollector::clockUs() const
+{
+    if (config_.clock_us)
+        return config_.clock_us();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+uint64_t
+TraceCollector::effectiveSampleEvery(uint64_t tenant) const
+{
+    auto it = config_.tenant_sample_every.find(tenant);
+    if (it != config_.tenant_sample_every.end())
+        return it->second;
+    return config_.sample_every;
+}
+
+SpanHandle
+TraceCollector::startTrace(std::string_view root_name, uint64_t tenant)
+{
+    const uint64_t every = effectiveSampleEvery(tenant);
+    const bool tail_armed =
+        config_.keep_errors || config_.slow_threshold_us > 0;
+    if (every == 0 && !tail_armed)
+        return {};
+
+    bool head_sampled = false;
+    if (every > 0) {
+        sync::MutexLock lock(mutex_);
+        // Ordinal counter, not a coin flip: the first trace of each
+        // tenant is always kept and replays keep the same traces.
+        head_sampled = head_counters_[tenant]++ % every == 0;
+    }
+    auto data = std::make_shared<TraceData>(
+        this, next_trace_id_.fetch_add(1, std::memory_order_relaxed),
+        tenant, head_sampled);
+
+    TraceContext root_ctx;
+    root_ctx.data_ = std::move(data);
+    root_ctx.parent_ = kNoSpan;
+    return root_ctx.span(root_name);
+}
+
+void
+TraceCollector::deposit(TraceData &data, const Span &root)
+{
+    bool keep = data.head_sampled_;
+    if (!keep && config_.keep_errors)
+        keep = data.keep_.load(std::memory_order_relaxed);
+    if (!keep && config_.slow_threshold_us > 0)
+        keep = root.end_us - root.start_us >= config_.slow_threshold_us;
+    if (!keep || config_.capacity == 0)
+        return;
+
+    FinishedTrace finished;
+    finished.id = data.id_;
+    finished.tenant = data.tenant_;
+    {
+        // Drain the span buffer before touching the ring so the two
+        // trace mutexes never nest (see sync.h rank table).
+        sync::MutexLock lock(data.mutex_);
+        finished.spans = std::move(data.spans_);
+    }
+    sync::MutexLock lock(mutex_);
+    if (ring_.size() >= config_.capacity)
+        ring_.erase(ring_.begin(),
+                    ring_.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            ring_.size() - config_.capacity + 1));
+    ring_.push_back(std::move(finished));
+}
+
+size_t
+TraceCollector::traceCount() const
+{
+    sync::MutexLock lock(mutex_);
+    return ring_.size();
+}
+
+std::vector<FinishedTrace>
+TraceCollector::traces() const
+{
+    sync::MutexLock lock(mutex_);
+    return ring_;
+}
+
+std::optional<FinishedTrace>
+TraceCollector::findTrace(TraceId id) const
+{
+    sync::MutexLock lock(mutex_);
+    for (const FinishedTrace &trace : ring_)
+        if (trace.id == id)
+            return trace;
+    return std::nullopt;
+}
+
+void
+TraceCollector::clear()
+{
+    sync::MutexLock lock(mutex_);
+    ring_.clear();
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+
+namespace {
+
+/** Attributes as ` k=v k=v`, insertion order (single-writer per span,
+ *  so the order is deterministic). Doubles as the sibling tiebreak in
+ *  sortedChildren — two same-named siblings with the same start stamp
+ *  (e.g. per-block "request" spans under one batch root on a frozen
+ *  virtual clock) order by their distinguishing attributes. */
+std::string
+attrSuffix(const Span &span)
+{
+    std::string out;
+    for (const SpanAttr &attr : span.attrs) {
+        out += ' ';
+        out += attr.key;
+        out += '=';
+        out += attr.value;
+    }
+    return out;
+}
+
+/** Child indices of @p parent, sorted (start, name, attrs) — never by
+ *  span id, which depends on pool-thread scheduling. */
+std::vector<size_t>
+sortedChildren(const std::vector<Span> &spans, SpanId parent,
+               const std::vector<std::string> &attr_cache)
+{
+    std::vector<size_t> kids;
+    for (size_t i = 0; i < spans.size(); ++i)
+        if (spans[i].parent == parent &&
+            (parent != kNoSpan || spans[i].id != kNoSpan))
+            kids.push_back(i);
+    std::sort(kids.begin(), kids.end(), [&](size_t a, size_t b) {
+        const Span &sa = spans[a];
+        const Span &sb = spans[b];
+        if (sa.start_us != sb.start_us)
+            return sa.start_us < sb.start_us;
+        if (sa.name != sb.name)
+            return sa.name < sb.name;
+        return attr_cache[a] < attr_cache[b];
+    });
+    return kids;
+}
+
+void
+writeTextSpan(std::ostringstream &os, const std::vector<Span> &spans,
+              const std::vector<std::string> &attr_cache, size_t index,
+              int depth)
+{
+    const Span &span = spans[index];
+    for (int i = 0; i < depth; ++i)
+        os << "  ";
+    os << span.name << " start=" << span.start_us
+       << " dur=" << span.end_us - span.start_us << attr_cache[index]
+       << '\n';
+    for (size_t kid : sortedChildren(spans, span.id, attr_cache))
+        writeTextSpan(os, spans, attr_cache, kid, depth + 1);
+}
+
+/** Minimal JSON string escaping; span names and attribute values are
+ *  ASCII identifiers in practice, but stay well-formed regardless. */
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeJsonSpan(std::ostringstream &os, const FinishedTrace &trace,
+              size_t index, bool *first)
+{
+    const Span &span = trace.spans[index];
+    if (!*first)
+        os << ",\n";
+    *first = false;
+    os << R"({"name": ")" << jsonEscape(span.name)
+       << R"(", "ph": "X", "ts": )" << span.start_us
+       << R"(, "dur": )" << span.end_us - span.start_us
+       << R"(, "pid": )" << trace.tenant << R"(, "tid": )" << trace.id;
+    if (!span.attrs.empty()) {
+        os << R"(, "args": {)";
+        for (size_t i = 0; i < span.attrs.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << '"' << jsonEscape(span.attrs[i].key) << R"(": ")"
+               << jsonEscape(span.attrs[i].value) << '"';
+        }
+        os << '}';
+    }
+    os << '}';
+}
+
+std::vector<std::string>
+cacheAttrs(const std::vector<Span> &spans)
+{
+    std::vector<std::string> cache;
+    cache.reserve(spans.size());
+    for (const Span &span : spans)
+        cache.push_back(attrSuffix(span));
+    return cache;
+}
+
+std::vector<FinishedTrace>
+sortedById(std::vector<FinishedTrace> traces)
+{
+    std::sort(traces.begin(), traces.end(),
+              [](const FinishedTrace &a, const FinishedTrace &b) {
+                  return a.id < b.id;
+              });
+    return traces;
+}
+
+} // namespace
+
+std::string
+TraceCollector::exportText() const
+{
+    std::ostringstream os;
+    for (const FinishedTrace &trace : sortedById(traces())) {
+        os << "trace " << trace.id << " tenant=" << trace.tenant
+           << " spans=" << trace.spans.size() << '\n';
+        const std::vector<std::string> attr_cache =
+            cacheAttrs(trace.spans);
+        for (size_t root :
+             sortedChildren(trace.spans, kNoSpan, attr_cache))
+            writeTextSpan(os, trace.spans, attr_cache, root, 1);
+    }
+    return os.str();
+}
+
+std::string
+TraceCollector::exportChromeJson() const
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    bool first = true;
+    for (const FinishedTrace &trace : sortedById(traces())) {
+        const std::vector<std::string> attr_cache =
+            cacheAttrs(trace.spans);
+        // Same deterministic DFS order as exportText, so the two
+        // exports describe spans in the same sequence.
+        std::vector<size_t> stack =
+            sortedChildren(trace.spans, kNoSpan, attr_cache);
+        std::reverse(stack.begin(), stack.end());
+        while (!stack.empty()) {
+            size_t index = stack.back();
+            stack.pop_back();
+            writeJsonSpan(os, trace, index, &first);
+            std::vector<size_t> kids = sortedChildren(
+                trace.spans, trace.spans[index].id, attr_cache);
+            std::reverse(kids.begin(), kids.end());
+            stack.insert(stack.end(), kids.begin(), kids.end());
+        }
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+} // namespace dnastore::telemetry

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Request-scoped tracing: spans, trace contexts, and a bounded
+ * collector with head sampling, tail triggers, and two exporters.
+ *
+ * A trace is one request's tree of spans (name, parent, start/end
+ * microseconds, key/value attributes). Span recording is staged in
+ * the caller-owned SpanHandle — attributes and timestamps accumulate
+ * in the handle's own storage, untouched by any lock — and drains
+ * into the trace's span buffer exactly once, at end(). Ending the
+ * root span deposits the finished trace into the TraceCollector's
+ * bounded ring, where the sampling verdict is made:
+ *
+ *  - **head sampling**: a deterministic per-tenant counter keeps
+ *    every Nth trace (`sample_every`, overridable per tenant). A
+ *    counter, not a coin flip, so virtual-clock replays keep the
+ *    same traces every run.
+ *  - **tail triggers**: traces a caller flagged with keep() —
+ *    errors, Throttled/Overloaded outcomes — and traces whose root
+ *    span meets `slow_threshold_us` are kept even when head sampling
+ *    passed them over. Until the verdict, such traces record
+ *    provisionally; that is the documented cost of tail sampling.
+ *
+ * When tracing is off — a default-constructed TraceContext, or a
+ * collector whose config disables both head sampling and tail
+ * triggers — every span operation is a single branch on a null
+ * pointer: no clock read, no allocation, no lock.
+ *
+ * Exporters: exportChromeJson() emits Chrome trace-event JSON
+ * (loadable in Perfetto / chrome://tracing; pid = tenant, tid =
+ * trace id), and exportText() emits a deterministic indented tree —
+ * span ids are omitted and siblings are sorted, so two replays that
+ * produce the same span trees serialize byte-identically even when
+ * pool threads raced the span *insertions* (golden pins rely on
+ * this).
+ *
+ * Clock: all timestamps read the collector's injectable `clock_us`
+ * (steady_clock by default), the same hook DecodeService uses — the
+ * workload simulator points both at its VirtualClock so replayed
+ * traces are byte-reproducible.
+ *
+ * Locking contract (see common/sync.h): the per-trace span buffer
+ * ranks kTraceBuffer and the collector ring kTraceCollector, both
+ * near the bottom of the table, so spans may begin and end inside
+ * any subsystem's critical section (the decode workers end per-unit
+ * spans from inside pool jobs). The collector must outlive every
+ * TraceContext and SpanHandle minted from it.
+ */
+
+#ifndef DNASTORE_TELEMETRY_TRACE_H
+#define DNASTORE_TELEMETRY_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace dnastore::telemetry {
+
+/** Process-unique trace identifier (0 = no trace). */
+using TraceId = uint64_t;
+
+/** Trace-unique span identifier (0 = no parent / root). */
+using SpanId = uint32_t;
+
+inline constexpr SpanId kNoSpan = 0;
+
+/** One key/value attribute; values are preformatted strings so the
+ *  export layers never need type dispatch. */
+struct SpanAttr
+{
+    std::string key;
+    std::string value;
+
+    bool operator==(const SpanAttr &) const = default;
+};
+
+/** One finished span. */
+struct Span
+{
+    SpanId id = kNoSpan;
+    SpanId parent = kNoSpan;
+    std::string name;
+    uint64_t start_us = 0;
+    uint64_t end_us = 0;
+    std::vector<SpanAttr> attrs;  ///< insertion order
+
+    bool operator==(const Span &) const = default;
+};
+
+/** One kept trace, as stored in the collector ring. Spans are in
+ *  buffer-drain order (nondeterministic under pool concurrency);
+ *  exporters sort, callers walking spans directly should too. */
+struct FinishedTrace
+{
+    TraceId id = 0;
+    uint64_t tenant = 0;
+    std::vector<Span> spans;
+};
+
+class TraceCollector;
+class TraceContext;
+class SpanHandle;
+
+namespace trace_detail {
+
+/** Shared state of one live trace: identity, sampling flags, and the
+ *  span buffer the handles drain into. Reference-counted so request
+ *  structs can carry contexts across queues and threads. */
+class TraceData
+{
+  public:
+    TraceData(TraceCollector *collector, TraceId id, uint64_t tenant,
+              bool head_sampled)
+        : collector_(collector), id_(id), tenant_(tenant),
+          head_sampled_(head_sampled)
+    {}
+
+  private:
+    friend class dnastore::telemetry::TraceCollector;
+    friend class dnastore::telemetry::TraceContext;
+    friend class dnastore::telemetry::SpanHandle;
+
+    TraceCollector *const collector_;
+    const TraceId id_;
+    const uint64_t tenant_;
+    const bool head_sampled_;
+
+    /** Next span id; fetched lock-free at span begin so concurrent
+     *  pool workers can open spans without touching the buffer. */
+    std::atomic<uint32_t> next_span_id_{1};
+
+    /** Tail trigger: set by TraceContext::keep() (errors, throttled
+     *  and overloaded outcomes). Read once at deposit. */
+    std::atomic<bool> keep_{false};
+
+    mutable sync::Mutex mutex_{sync::Rank::kTraceBuffer,
+                               "trace_buffer"};
+    std::vector<Span> spans_ DNASTORE_GUARDED_BY(mutex_);
+};
+
+} // namespace trace_detail
+
+/**
+ * A live span, staged locally until end(). Movable, not copyable:
+ * exactly one owner stamps the end and drains it into the trace.
+ * An inactive handle (default-constructed, minted from an inactive
+ * context, or moved-from) ignores every call at the cost of one
+ * branch. Destroying an open active handle ends it at the current
+ * clock — explicit end() is still the norm; the destructor is a
+ * safety net for early-error returns.
+ */
+class SpanHandle
+{
+  public:
+    SpanHandle() = default;
+    ~SpanHandle() { end(); }
+
+    SpanHandle(SpanHandle &&other) noexcept
+        : data_(std::move(other.data_)), span_(std::move(other.span_))
+    {
+        other.data_.reset();
+    }
+
+    SpanHandle &
+    operator=(SpanHandle &&other) noexcept
+    {
+        if (this != &other) {
+            end();
+            data_ = std::move(other.data_);
+            span_ = std::move(other.span_);
+            other.data_.reset();
+        }
+        return *this;
+    }
+
+    SpanHandle(const SpanHandle &) = delete;
+    SpanHandle &operator=(const SpanHandle &) = delete;
+
+    bool active() const { return data_ != nullptr; }
+
+    /** This span's id within its trace (kNoSpan when inactive). */
+    SpanId id() const { return active() ? span_.id : kNoSpan; }
+
+    /** Append a string attribute (no-op when inactive). */
+    void attr(std::string_view key, std::string_view value);
+
+    /** Append an unsigned integer attribute, formatted in decimal. */
+    void attrU64(std::string_view key, uint64_t value);
+
+    /** Context for child spans (parent = this span). */
+    TraceContext context() const;
+
+    /** Stamp end at the collector clock and drain into the trace;
+     *  ending the root span deposits the trace. Idempotent — the
+     *  handle becomes inactive. */
+    void end();
+
+    /** end() with an explicit timestamp (retroactive spans). */
+    void endAt(uint64_t end_us);
+
+  private:
+    friend class TraceContext;
+    friend class TraceCollector;
+
+    std::shared_ptr<trace_detail::TraceData> data_;
+    Span span_;  ///< caller-local staging; drained once, at end
+};
+
+/**
+ * The propagation token: which trace (if any) the current request
+ * belongs to and which span new children hang from. Cheap to copy
+ * (shared_ptr + id); a default-constructed context is inactive and
+ * makes every operation a single branch.
+ */
+class TraceContext
+{
+  public:
+    TraceContext() = default;
+
+    bool active() const { return data_ != nullptr; }
+
+    /** 0 when inactive. */
+    TraceId traceId() const;
+
+    /** Collector clock (0 when inactive) — for callers that stamp
+     *  retroactive spans via spanAt/endAt. */
+    uint64_t nowUs() const;
+
+    /** Begin a child span at the current clock. */
+    SpanHandle span(std::string_view name) const;
+
+    /** Begin a child span with an explicit start timestamp. */
+    SpanHandle spanAt(std::string_view name, uint64_t start_us) const;
+
+    /** Record an instant event (zero-duration child span). */
+    void event(std::string_view name) const;
+
+    /** Tail trigger: keep this trace regardless of head sampling
+     *  (errors, Throttled/Overloaded outcomes). */
+    void keep() const;
+
+  private:
+    friend class SpanHandle;
+    friend class TraceCollector;
+
+    std::shared_ptr<trace_detail::TraceData> data_;
+    SpanId parent_ = kNoSpan;
+};
+
+/** Collector tuning. Fixed at construction; only the ring and the
+ *  sampling counters mutate afterwards. */
+struct TraceCollectorConfig
+{
+    /** Keep every Nth trace per tenant (deterministic counter, first
+     *  trace always kept). 0 disables head sampling. */
+    uint64_t sample_every = 1;
+
+    /** Per-tenant overrides of sample_every (0 = head-off for that
+     *  tenant). */
+    std::map<uint64_t, uint64_t> tenant_sample_every;
+
+    /** Keep traces whose root span lasts at least this long
+     *  (0 = off). */
+    uint64_t slow_threshold_us = 0;
+
+    /** Honor TraceContext::keep() tail flags (errors / Throttled /
+     *  Overloaded). */
+    bool keep_errors = true;
+
+    /** Finished-trace ring capacity; the oldest trace is evicted
+     *  when a new one lands in a full ring. */
+    size_t capacity = 256;
+
+    /** Time source for every span timestamp, microseconds. Leave
+     *  empty for steady_clock — the workload simulator injects its
+     *  VirtualClock source so replayed traces are byte-identical. */
+    std::function<uint64_t()> clock_us;
+};
+
+/**
+ * Owns the bounded ring of kept traces and mints new ones. Thread
+ * safe; must outlive every context and handle it minted.
+ */
+class TraceCollector
+{
+  public:
+    explicit TraceCollector(TraceCollectorConfig config = {});
+
+    TraceCollector(const TraceCollector &) = delete;
+    TraceCollector &operator=(const TraceCollector &) = delete;
+
+    /**
+     * Begin a trace: returns the root span handle (name @p name) and
+     * hands out child contexts via SpanHandle::context(). When the
+     * config disables both head sampling (for this tenant) and every
+     * tail trigger, returns an inactive handle — tracing then costs
+     * the callers one branch per span operation.
+     *
+     * Ending the root deposits the trace; the sampling verdict
+     * (head counter, keep() flag, slow threshold) is made there.
+     */
+    SpanHandle startTrace(std::string_view root_name, uint64_t tenant);
+
+    /** Clock used for every span timestamp. */
+    uint64_t clockUs() const;
+
+    /** Number of traces currently in the ring. */
+    size_t traceCount() const;
+
+    /** Copy of the ring, oldest first. */
+    std::vector<FinishedTrace> traces() const;
+
+    /** The ring entry with the given id, if still resident. */
+    std::optional<FinishedTrace> findTrace(TraceId id) const;
+
+    /** Drop every kept trace (sampling counters keep counting). */
+    void clear();
+
+    /**
+     * Deterministic indented text form, for golden pins:
+     * traces sorted by id, one header line each
+     * (`trace <id> tenant=<t> spans=<n>`), spans as an indented
+     * tree with siblings sorted by (start, name, attrs) — span ids
+     * never appear, so the bytes don't depend on which pool thread
+     * allocated which id.
+     */
+    std::string exportText() const;
+
+    /**
+     * Chrome trace-event JSON ("X" complete events, ts/dur in
+     * microseconds, pid = tenant, tid = trace id, attributes under
+     * "args"), loadable in Perfetto / chrome://tracing. Same sorted
+     * order as exportText().
+     */
+    std::string exportChromeJson() const;
+
+  private:
+    friend class SpanHandle;
+
+    /** Root ended: decide keep/drop and ring the trace in. */
+    void deposit(trace_detail::TraceData &data, const Span &root);
+
+    uint64_t effectiveSampleEvery(uint64_t tenant) const;
+
+    const TraceCollectorConfig config_;
+    std::atomic<uint64_t> next_trace_id_{1};
+
+    mutable sync::Mutex mutex_{sync::Rank::kTraceCollector,
+                               "trace_collector"};
+    /** Per-tenant head-sampling counters (trace ordinal per tenant). */
+    std::map<uint64_t, uint64_t> head_counters_
+        DNASTORE_GUARDED_BY(mutex_);
+    /** Kept traces, oldest first; bounded by config_.capacity. */
+    std::vector<FinishedTrace> ring_ DNASTORE_GUARDED_BY(mutex_);
+};
+
+} // namespace dnastore::telemetry
+
+#endif // DNASTORE_TELEMETRY_TRACE_H

@@ -63,11 +63,31 @@ readsFor(const SimulatorParams &params, const TraceOp &op)
     return {};
 }
 
+/** Build the replay's collector, or null when tracing is off.
+ *  @p clock_us is the simulation clock in virtual mode (empty =
+ *  steady_clock) so kept traces replay byte-identically. */
+std::shared_ptr<telemetry::TraceCollector>
+makeCollector(const SimulatorParams &params,
+              std::function<uint64_t()> clock_us)
+{
+    if (params.trace_sample_every == 0 &&
+        params.trace_slow_threshold_us == 0)
+        return nullptr;
+    telemetry::TraceCollectorConfig config;
+    config.sample_every = params.trace_sample_every;
+    config.slow_threshold_us = params.trace_slow_threshold_us;
+    config.capacity = params.trace_capacity;
+    config.clock_us = std::move(clock_us);
+    return std::make_shared<telemetry::TraceCollector>(
+        std::move(config));
+}
+
 void
 finishResult(SimResult &result, const Trace &trace,
              telemetry::MetricsRegistry &registry,
              const std::vector<core::TenantId> &tenants,
-             DispatchRecorder &recorder, bool record_dispatches)
+             DispatchRecorder &recorder, bool record_dispatches,
+             std::shared_ptr<telemetry::TraceCollector> collector)
 {
     result.metrics = registry.snapshot();
     result.report = buildSloReport(result.metrics, tenants);
@@ -75,6 +95,10 @@ finishResult(SimResult &result, const Trace &trace,
     result.trace_fingerprint = traceFingerprint(trace);
     if (record_dispatches)
         result.dispatches = recorder.take();
+    if (collector) {
+        annotateSlowestTraces(result.report, collector->traces());
+        result.traces = std::move(collector);
+    }
 }
 
 SimResult
@@ -103,11 +127,14 @@ replayVirtual(const Trace &trace,
     VirtualClock clock;
     telemetry::MetricsRegistry registry;
     DispatchRecorder recorder;
+    std::shared_ptr<telemetry::TraceCollector> collector =
+        makeCollector(params, clock.source());
 
     core::DecodeServiceParams sp =
         serviceParams(admission, params, registry);
     sp.clock_us = clock.source();
     sp.start_paused = true;
+    sp.tracer = collector.get();
     const uint64_t service_time_us = params.virtual_service_time_us;
     const bool record = params.record_dispatches;
     sp.on_dispatch = [&clock, &recorder, service_time_us,
@@ -150,7 +177,7 @@ replayVirtual(const Trace &trace,
         result.end_clock_us = clock.nowUs();
     }
     finishResult(result, trace, registry, tenants, recorder,
-                 params.record_dispatches);
+                 params.record_dispatches, std::move(collector));
     return result;
 }
 
@@ -166,8 +193,11 @@ replayReal(const Trace &trace,
 
     telemetry::MetricsRegistry registry;
     DispatchRecorder recorder;
+    std::shared_ptr<telemetry::TraceCollector> collector =
+        makeCollector(params, {});
     core::DecodeServiceParams sp =
         serviceParams(admission, params, registry);
+    sp.tracer = collector.get();
     const bool record = params.record_dispatches;
     if (record) {
         sp.on_dispatch = [&recorder](core::TenantId tenant,
@@ -194,7 +224,7 @@ replayReal(const Trace &trace,
         service.shutdown();
     }
     finishResult(result, trace, registry, tenants, recorder,
-                 params.record_dispatches);
+                 params.record_dispatches, std::move(collector));
     return result;
 }
 
@@ -242,6 +272,8 @@ replayOnFleet(const Trace &trace,
 
     telemetry::MetricsRegistry registry;
     DispatchRecorder recorder;
+    std::shared_ptr<telemetry::TraceCollector> collector =
+        makeCollector(params, {});
     core::DecodeServiceParams sp =
         serviceParams(admission, params, registry);
     const bool record = params.record_dispatches;
@@ -259,7 +291,10 @@ replayOnFleet(const Trace &trace,
         // One frontend per tenant (frontends are cheap; the binding
         // carries the tenant id) and one worker per tenant: devices
         // are not thread-safe, so a tenant's ops run strictly in
-        // trace order — the closed loop.
+        // trace order — the closed loop. Frontends root the traces
+        // (frontend.* spans); the service does not get its own
+        // tracer, so every routed decode joins the frontend trace
+        // instead of rooting a second one.
         std::map<core::TenantId,
                  std::unique_ptr<core::StorageFrontend>>
             frontends;
@@ -267,6 +302,7 @@ replayOnFleet(const Trace &trace,
             core::StorageFrontendParams fp;
             fp.metrics = &registry;
             fp.tenant = tenant;
+            fp.tracer = collector.get();
             frontends.emplace(tenant,
                               std::make_unique<core::StorageFrontend>(
                                   service, fp));
@@ -335,7 +371,7 @@ replayOnFleet(const Trace &trace,
         service.shutdown();
     }
     finishResult(result, trace, registry, tenants, recorder,
-                 params.record_dispatches);
+                 params.record_dispatches, std::move(collector));
     return result;
 }
 

@@ -40,11 +40,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "core/decode_service.h"
 #include "core/storage_frontend.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "workload/generator.h"
 #include "workload/slo_report.h"
 #include "workload/trace.h"
@@ -108,6 +110,22 @@ struct SimulatorParams
     /** Record the exact dispatch order into SimResult::dispatches
      *  (off by default: a long run records millions of entries). */
     bool record_dispatches = false;
+
+    /** Trace sampling: keep every Nth request trace per tenant.
+     *  0 (the default) together with trace_slow_threshold_us == 0
+     *  disables tracing entirely — no collector is created and every
+     *  span hook in the service costs one branch. Virtual-mode
+     *  collectors read the simulation clock, so kept traces export
+     *  byte-identically across runs and thread counts. */
+    uint64_t trace_sample_every = 0;
+
+    /** Tail trigger: keep traces whose request root span lasts at
+     *  least this long (0 = off). Error/Throttled/Overloaded traces
+     *  are always kept once tracing is on. */
+    uint64_t trace_slow_threshold_us = 0;
+
+    /** Trace ring capacity (oldest evicted when full). */
+    size_t trace_capacity = 256;
 };
 
 /** Everything a replay produced. */
@@ -116,6 +134,12 @@ struct SimResult
     SloReport report;
     telemetry::MetricsSnapshot metrics;
     std::vector<DispatchRecord> dispatches;
+
+    /** Kept traces; null when tracing was off. The report's rows are
+     *  annotated with each tenant's slowest kept trace (root-span
+     *  duration + trace id — resolve it here or in an exported
+     *  Chrome trace). */
+    std::shared_ptr<telemetry::TraceCollector> traces;
 
     uint64_t trace_fingerprint = 0;
 

@@ -95,14 +95,20 @@ SloReport::fingerprint() const
 std::string
 SloReport::formatTable() const
 {
+    bool traced = false;
+    for (const TenantSlo &slo : tenants)
+        traced = traced || slo.slowest_trace_id != 0;
     std::string out =
         "tenant   offered  admitted throttled  rejected   goodput"
-        "    p50_us    p99_us   p999_us\n";
+        "    p50_us    p99_us   p999_us";
+    if (traced)
+        out += " slowest_us      trace";
+    out += "\n";
     for (const TenantSlo &slo : tenants) {
-        char line[160];
+        char line[224];
         std::snprintf(
             line, sizeof line,
-            "%6u %9llu %9llu %9llu %9llu %9.3f %9s %9s %9s\n",
+            "%6u %9llu %9llu %9llu %9llu %9.3f %9s %9s %9s",
             slo.tenant,
             static_cast<unsigned long long>(slo.offered),
             static_cast<unsigned long long>(slo.admitted),
@@ -112,6 +118,22 @@ SloReport::formatTable() const
             formatQuantile(slo.p99_us).c_str(),
             formatQuantile(slo.p999_us).c_str());
         out += line;
+        if (traced) {
+            char trace_cols[64];
+            if (slo.slowest_trace_id != 0) {
+                std::snprintf(trace_cols, sizeof trace_cols,
+                              " %10llu %10llu",
+                              static_cast<unsigned long long>(
+                                  slo.slowest_trace_us),
+                              static_cast<unsigned long long>(
+                                  slo.slowest_trace_id));
+            } else {
+                std::snprintf(trace_cols, sizeof trace_cols,
+                              " %10s %10s", "-", "-");
+            }
+            out += trace_cols;
+        }
+        out += "\n";
     }
     return out;
 }
@@ -183,6 +205,39 @@ aggregateSlo(const telemetry::MetricsSnapshot &snapshot,
     if (!merged.bounds.empty())
         fillQuantiles(total, merged);
     return total;
+}
+
+void
+annotateSlowestTraces(SloReport &report,
+                      const std::vector<telemetry::FinishedTrace>
+                          &traces)
+{
+    // tenant -> (root duration, trace id); longest root wins, lower
+    // id on ties so virtual-clock replays annotate the same trace.
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> slowest;
+    for (const telemetry::FinishedTrace &trace : traces) {
+        for (const telemetry::Span &span : trace.spans) {
+            if (span.parent != telemetry::kNoSpan)
+                continue;
+            const uint64_t dur = span.end_us - span.start_us;
+            auto it = slowest.find(trace.tenant);
+            if (it == slowest.end()) {
+                slowest.emplace(trace.tenant,
+                                std::make_pair(dur, trace.id));
+            } else if (dur > it->second.first ||
+                       (dur == it->second.first &&
+                        trace.id < it->second.second)) {
+                it->second = {dur, trace.id};
+            }
+        }
+    }
+    for (TenantSlo &slo : report.tenants) {
+        auto it = slowest.find(slo.tenant);
+        if (it == slowest.end())
+            continue;
+        slo.slowest_trace_us = it->second.first;
+        slo.slowest_trace_id = it->second.second;
+    }
 }
 
 } // namespace dnastore::workload

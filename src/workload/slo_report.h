@@ -25,6 +25,7 @@
 
 #include "core/tenant.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace dnastore::workload {
 
@@ -52,6 +53,15 @@ struct TenantSlo
     std::optional<uint64_t> p99_us;
     std::optional<uint64_t> p999_us;
 
+    /** Slowest kept trace for this tenant (annotateSlowestTraces):
+     *  the root-span duration and the trace id to look up in the
+     *  collector or a Chrome-trace export. 0/0 when no trace was
+     *  kept. Annotations, not SLO behavior — which traces the
+     *  sampler keeps depends on the tracing config, so these fields
+     *  are excluded from SloReport::fingerprint(). */
+    uint64_t slowest_trace_id = 0;
+    uint64_t slowest_trace_us = 0;
+
     /** admitted ÷ offered; 1.0 when the tenant offered nothing. */
     double goodput() const;
 
@@ -63,9 +73,12 @@ struct SloReport
 {
     std::vector<TenantSlo> tenants;
 
-    /** FNV over every integer field of every row (goodput is derived
-     *  from integer fields, so it is covered implicitly). Equal
-     *  reports ⇒ equal fingerprints. */
+    /** FNV over every integer SLO field of every row (goodput is
+     *  derived from integer fields, so it is covered implicitly).
+     *  Equal reports ⇒ equal fingerprints. The slowest-trace
+     *  annotations are excluded: they reflect sampling configuration,
+     *  not admission/scheduling behavior, and tracing on/off must not
+     *  move a pinned fingerprint. */
     uint64_t fingerprint() const;
 
     /** Human-readable fixed-width table (for examples and bench
@@ -91,6 +104,17 @@ SloReport buildSloReport(const telemetry::MetricsSnapshot &snapshot,
 TenantSlo aggregateSlo(const telemetry::MetricsSnapshot &snapshot,
                        const std::vector<core::TenantId> &tenants,
                        core::TenantId label);
+
+/**
+ * Annotate each report row with the tenant's slowest kept trace: the
+ * trace whose root span (parent == kNoSpan) lasted longest, ties
+ * broken toward the lower trace id so virtual-clock replays annotate
+ * deterministically. Rows are matched by tenant id; rows whose
+ * tenant kept no trace stay 0/0.
+ */
+void annotateSlowestTraces(
+    SloReport &report,
+    const std::vector<telemetry::FinishedTrace> &traces);
 
 } // namespace dnastore::workload
 
