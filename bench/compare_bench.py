@@ -254,6 +254,19 @@ def main():
     baseline = load(args.baseline)
     fresh = load(args.fresh)
 
+    # Kernel ISA: timings from different instruction sets measure
+    # different code and are never comparable — refuse outright when
+    # both runs declare an ISA and they differ. Captures predating the
+    # field keep comparing (they were all scalar-equivalent builds).
+    base_isa = baseline.get("isa")
+    fresh_isa = fresh.get("isa")
+    if (isinstance(base_isa, str) and isinstance(fresh_isa, str)
+            and base_isa != fresh_isa):
+        print(f"FAIL: kernel ISA mismatch (baseline {base_isa!r}, "
+              f"fresh {fresh_isa!r}); capture both runs with the same "
+              f"DNASTORE_FORCE_ISA before comparing")
+        return 1
+
     # Determinism flags: non-negotiable.
     for flag in ("identical_across_threads",
                  "batch_identical_across_threads",

@@ -47,6 +47,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/simd.h"
 #include "core/decode_service.h"
 #include "core/decoder.h"
 #include "corpus/text.h"
@@ -112,7 +114,8 @@ main(int argc, char **argv)
     }
     parts = std::clamp<size_t>(parts, 1, std::size(kPrimerPairs));
 
-    std::printf("=== decode pipeline thread scaling ===\n\n");
+    std::printf("=== decode pipeline thread scaling (isa: %s) ===\n\n",
+                simd::isaName(simd::activeIsa()));
     core::PartitionConfig config;
     core::Partition partition(
         config, dna::Sequence("ACTGAGGTCTGCCTGAAGTC"),
@@ -484,8 +487,20 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
         return 1;
     }
+    // Arena high-water marks across the whole process: how much
+    // scratch the per-read kernels ever reserved, and proof the
+    // steady-state loops stopped growing it.
+    const ArenaGlobalStats arena_stats = Arena::globalStats();
     std::fprintf(out, "{\n");
     std::fprintf(out, "  \"bench\": \"decode_scaling\",\n");
+    std::fprintf(out, "  \"isa\": \"%s\",\n",
+                 simd::isaName(simd::activeIsa()));
+    std::fprintf(out, "  \"arena_chunks_allocated\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     arena_stats.chunks_allocated));
+    std::fprintf(out, "  \"arena_bytes_reserved\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     arena_stats.bytes_reserved));
     std::fprintf(out,
                  "  \"tracing_enabled_in_timed_sections\": false,\n");
     std::fprintf(out, "  \"corpus_blocks\": %zu,\n", blocks);

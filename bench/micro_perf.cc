@@ -11,8 +11,11 @@
 #include <benchmark/benchmark.h>
 
 #include "cluster/clusterer.h"
+#include "common/arena.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
+#include "dna/distance.h"
 #include "consensus/bma.h"
 #include "ecc/encoding_unit.h"
 #include "ecc/reed_solomon.h"
@@ -96,6 +99,37 @@ BM_UnitDecodeWithErasures(benchmark::State &state)
         benchmark::DoNotOptimize(codec.decode(received));
 }
 BENCHMARK(BM_UnitDecodeWithErasures);
+
+void
+BM_BandedLevenshtein(benchmark::State &state)
+{
+    // Read-vs-read distance at clustering's operating point: 150-base
+    // reads a few edits apart, band 8 — one edit_row kernel call per
+    // DP row.
+    Rng rng(8);
+    dna::Sequence a = randomSeq(rng, 150);
+    std::string mutated = a.str();
+    mutated[31] = mutated[31] == 'A' ? 'C' : 'A';
+    mutated.erase(77, 1);
+    mutated.insert(120, 1, 'G');
+    dna::Sequence b{std::string(mutated)};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dna::bandedLevenshtein(a, b, 8));
+}
+BENCHMARK(BM_BandedLevenshtein);
+
+void
+BM_AlignPrimerToPrefix(benchmark::State &state)
+{
+    Rng rng(9);
+    dna::Sequence primer = randomSeq(rng, 20);
+    dna::Sequence read = primer + randomSeq(rng, 130);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dna::alignPrimerToPrefix(primer, read, 6));
+    }
+}
+BENCHMARK(BM_AlignPrimerToPrefix);
 
 void
 BM_SparseLeafIndex(benchmark::State &state)
@@ -245,6 +279,10 @@ main(int argc, char **argv)
     }
     argc = kept;
     benchmark::Initialize(&argc, argv);
+    // Stamp the run with the active kernel ISA so captures from
+    // different instruction sets are never silently compared.
+    benchmark::AddCustomContext(
+        "isa", simd::isaName(simd::activeIsa()));
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();

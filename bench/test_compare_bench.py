@@ -132,6 +132,25 @@ def main():
             "missing class fails",
             run_gate(tmp, doc, gone), 1, "missing"))
 
+        # --- ISA comparability -----------------------------------------
+        # Captures from different kernel ISAs are refused outright;
+        # captures predating the field still compare.
+        base_isa = copy.deepcopy(DECODE_DOC)
+        base_isa["isa"] = "scalar"
+        fresh_isa = copy.deepcopy(DECODE_DOC)
+        fresh_isa["isa"] = "avx2"
+        results.append(expect(
+            "mismatched-ISA captures are refused",
+            run_decode_gate(tmp, base_isa, fresh_isa), 1,
+            "ISA mismatch"))
+        results.append(expect(
+            "same-ISA captures compare",
+            run_decode_gate(tmp, fresh_isa,
+                            copy.deepcopy(fresh_isa)), 0))
+        results.append(expect(
+            "captures without the isa field still compare",
+            run_decode_gate(tmp, DECODE_DOC, fresh_isa), 0))
+
         # --- trace-overhead gate ---------------------------------------
         gate_flag = ["--trace-overhead-gate"]
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "dna/distance.h"
 
@@ -10,29 +12,33 @@ namespace dnastore::cluster {
 
 namespace {
 
-/** MinHash signature of a read's q-gram set under one hash salt. */
-uint64_t
-minHashSignature(const dna::Sequence &read, size_t q, uint64_t salt)
+/**
+ * MinHash signatures of a read's q-gram set, one per hash salt. The
+ * rolling 2-bit q-gram packing and splitMix64 mixing run in the
+ * vectorized minhash kernel (all salt lanes advance together); reads
+ * shorter than one q-gram have an empty q-gram set and fall back to
+ * hashing the whole string, exactly as before.
+ */
+void
+minHashSignatures(const dna::Sequence &read, size_t q,
+                  const uint64_t *salts, size_t num_salts,
+                  uint64_t *out)
 {
     const std::string &s = read.str();
-    if (s.size() < q)
-        return fnv1a(s) ^ salt;
-    uint64_t best = UINT64_MAX;
-    // Rolling 2-bit packing of the q-gram, mixed with the salt.
-    uint64_t packed = 0;
+    if (s.size() < q) {
+        for (size_t b = 0; b < num_salts; ++b)
+            out[b] = fnv1a(s) ^ salts[b];
+        return;
+    }
     const uint64_t mask = (q * 2 >= 64) ? ~uint64_t{0}
                                         : ((uint64_t{1} << (q * 2)) - 1);
-    for (size_t i = 0; i < s.size(); ++i) {
-        packed = ((packed << 2) |
-                  static_cast<uint64_t>(dna::charToBase(s[i]))) &
-                 mask;
-        if (i + 1 < q)
-            continue;
-        uint64_t state = packed ^ salt;
-        uint64_t hashed = splitMix64(state);
-        best = std::min(best, hashed);
-    }
-    return best;
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+    uint8_t *bases = arena.allocArray<uint8_t>(s.size());
+    for (size_t i = 0; i < s.size(); ++i)
+        bases[i] = static_cast<uint8_t>(dna::charToBase(s[i]));
+    simd::kernels().minhash(bases, s.size(), q, mask, salts,
+                            num_salts, out);
 }
 
 } // namespace
@@ -52,10 +58,8 @@ OnlineClusterer::OnlineClusterer(ClustererParams params)
 size_t
 OnlineClusterer::assign(const dna::Sequence &read)
 {
-    for (size_t b = 0; b < salts_.size(); ++b) {
-        signature_scratch_[b] =
-            minHashSignature(read, params_.qgram, salts_[b]);
-    }
+    minHashSignatures(read, params_.qgram, salts_.data(),
+                      salts_.size(), signature_scratch_.data());
     return assignWithSignatures(read, signature_scratch_.data());
 }
 
@@ -137,10 +141,8 @@ OnlineClusterer::assignBatch(const std::vector<dna::Sequence> &reads,
     // depend only on (read, salt), never on scheduling.
     std::vector<uint64_t> signatures(reads.size() * bands);
     parallelFor(pool, reads.size(), [&](size_t r) {
-        for (size_t b = 0; b < bands; ++b) {
-            signatures[r * bands + b] =
-                minHashSignature(reads[r], params_.qgram, salts_[b]);
-        }
+        minHashSignatures(reads[r], params_.qgram, salts_.data(),
+                          bands, signatures.data() + r * bands);
     });
 
     // Phase 2: sequential greedy bucket/assign in chunk order. This

@@ -1,0 +1,96 @@
+#include "common/arena.h"
+
+#include <atomic>
+
+#include "common/error.h"
+
+namespace dnastore {
+
+namespace {
+
+std::atomic<uint64_t> g_chunks_allocated{0};
+std::atomic<uint64_t> g_bytes_reserved{0};
+
+size_t
+alignUp(size_t value, size_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+Arena::Arena(size_t initial_chunk_bytes)
+    : next_chunk_bytes_(initial_chunk_bytes == 0 ? 4096
+                                                 : initial_chunk_bytes)
+{
+}
+
+void
+Arena::addChunk(size_t min_bytes)
+{
+    size_t bytes = next_chunk_bytes_;
+    while (bytes < min_bytes)
+        bytes *= 2;
+    // Geometric growth keeps the chunk count logarithmic in the
+    // high-water mark, so a warm arena re-serves any workload that
+    // fits the mark without touching the heap again.
+    next_chunk_bytes_ = bytes * 2;
+    chunks_.push_back(
+        Chunk{std::make_unique<uint8_t[]>(bytes), bytes});
+    reserved_bytes_ += bytes;
+    g_chunks_allocated.fetch_add(1, std::memory_order_relaxed);
+    g_bytes_reserved.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void *
+Arena::alloc(size_t bytes, size_t align)
+{
+    panicIf(align == 0 || (align & (align - 1)) != 0 || align > 64,
+            "Arena::alloc: bad alignment");
+    if (bytes == 0)
+        bytes = 1;
+    while (true) {
+        if (current_ < chunks_.size()) {
+            Chunk &chunk = chunks_[current_];
+            // new[] memory is only max_align_t-aligned; align the
+            // absolute address, not the offset.
+            uintptr_t base =
+                reinterpret_cast<uintptr_t>(chunk.data.get());
+            uintptr_t at = alignUp(base + offset_, align);
+            size_t new_offset = (at - base) + bytes;
+            if (new_offset <= chunk.size) {
+                offset_ = new_offset;
+                return reinterpret_cast<void *>(at);
+            }
+            // Current chunk exhausted: move on (leftover space is
+            // reclaimed by the next rewind below this mark).
+            ++current_;
+            offset_ = 0;
+            continue;
+        }
+        addChunk(bytes + align);
+    }
+}
+
+void
+Arena::rewind(Mark m)
+{
+    current_ = m.chunk;
+    offset_ = m.offset;
+}
+
+ArenaGlobalStats
+Arena::globalStats()
+{
+    return {g_chunks_allocated.load(std::memory_order_relaxed),
+            g_bytes_reserved.load(std::memory_order_relaxed)};
+}
+
+Arena &
+Arena::scratch()
+{
+    thread_local Arena arena;
+    return arena;
+}
+
+} // namespace dnastore

@@ -1,0 +1,171 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/simd_kernels.h"
+
+namespace dnastore::simd {
+
+namespace {
+
+struct Active
+{
+    Isa isa;
+    const Kernels *kernels;
+};
+
+Isa
+detectBest()
+{
+#if defined(__aarch64__)
+    return Isa::Neon;
+#elif defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx2"))
+        return Isa::Avx2;
+    if (__builtin_cpu_supports("sse4.2"))
+        return Isa::Sse42;
+    return Isa::Scalar;
+#else
+    return Isa::Scalar;
+#endif
+}
+
+Isa
+parseIsaName(std::string_view name)
+{
+    if (name == "scalar")
+        return Isa::Scalar;
+    if (name == "sse4.2" || name == "sse42")
+        return Isa::Sse42;
+    if (name == "avx2")
+        return Isa::Avx2;
+    if (name == "neon")
+        return Isa::Neon;
+    fatalIf(true, "DNASTORE_FORCE_ISA: unknown ISA '", name,
+            "' (expected scalar, sse4.2, avx2 or neon)");
+    return Isa::Scalar; // unreachable
+}
+
+Active
+resolveActive()
+{
+    Isa isa = bestSupportedIsa();
+    if (const char *forced = std::getenv("DNASTORE_FORCE_ISA")) {
+        Isa wanted = parseIsaName(forced);
+        fatalIf(!cpuSupports(wanted), "DNASTORE_FORCE_ISA=", forced,
+                " is not runnable on this CPU (best: ",
+                isaName(isa), ")");
+        isa = wanted;
+    }
+    return {isa, kernelsFor(isa)};
+}
+
+/**
+ * The resolved (ISA, kernel table) pair. Initialized once, lazily
+ * and thread-safely, through the function-local static in
+ * activeState(); ScopedForceIsa (test-only, single-threaded by
+ * contract) swaps it temporarily.
+ */
+Active &
+activeState()
+{
+    static Active active = resolveActive();
+    return active;
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return "scalar";
+    case Isa::Sse42:
+        return "sse4.2";
+    case Isa::Avx2:
+        return "avx2";
+    case Isa::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+Isa
+bestSupportedIsa()
+{
+    static const Isa best = detectBest();
+    return best;
+}
+
+bool
+cpuSupports(Isa isa)
+{
+    if (isa == Isa::Scalar)
+        return true;
+#if defined(__aarch64__)
+    return isa == Isa::Neon;
+#elif defined(__x86_64__) || defined(__i386__)
+    if (isa == Isa::Avx2)
+        return __builtin_cpu_supports("avx2");
+    if (isa == Isa::Sse42)
+        return __builtin_cpu_supports("sse4.2");
+    return false;
+#else
+    (void)isa;
+    return false;
+#endif
+}
+
+Isa
+activeIsa()
+{
+    return activeState().isa;
+}
+
+const Kernels &
+kernels()
+{
+    return *activeState().kernels;
+}
+
+const Kernels *
+kernelsFor(Isa isa)
+{
+    if (!cpuSupports(isa))
+        return nullptr;
+    switch (isa) {
+    case Isa::Scalar:
+        return &detail::scalarKernels();
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::Sse42:
+        return &detail::sse42Kernels();
+    case Isa::Avx2:
+        return &detail::avx2Kernels();
+#endif
+#if defined(__aarch64__)
+    case Isa::Neon:
+        return &detail::neonKernels();
+#endif
+    default:
+        return nullptr;
+    }
+}
+
+ScopedForceIsa::ScopedForceIsa(Isa isa)
+    : saved_(activeState().isa)
+{
+    const Kernels *table = kernelsFor(isa);
+    fatalIf(table == nullptr, "ScopedForceIsa: ", isaName(isa),
+            " is not available on this CPU");
+    activeState() = {isa, table};
+}
+
+ScopedForceIsa::~ScopedForceIsa()
+{
+    activeState() = {saved_, kernelsFor(saved_)};
+}
+
+} // namespace dnastore::simd

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the per-read decode hot
+ * loops (banded edit-distance rows, MinHash hashing, GF(16)/GF(256)
+ * Reed-Solomon syndrome and evaluation sweeps).
+ *
+ * Dispatch rules:
+ *  - Every kernel has a portable scalar reference implementation;
+ *    the vector paths (SSE4.2 / AVX2 on x86-64, NEON on aarch64) are
+ *    selected ONCE, at first use, from CPU feature detection.
+ *  - All kernels are exact: for any input they produce bit-identical
+ *    results on every ISA (integer min/add/xor/table-lookup only, no
+ *    floating point, no reassociation of float sums). The decode
+ *    pipeline's determinism contract — byte-identical output for any
+ *    thread count — therefore extends to "for any ISA", and the
+ *    parity suite in tests/simd_kernels_test.cc pins it.
+ *  - `DNASTORE_FORCE_ISA` (values: scalar, sse4.2, avx2, neon)
+ *    overrides detection for testing; forcing an ISA the CPU cannot
+ *    run is a fatal error, as is an unknown value.
+ *
+ * New vectorized kernels must land scalar-reference-first: the
+ * scalar entry in `Kernels` defines the semantics, the vector
+ * implementations must match it bit-for-bit, and a parity test in
+ * tests/simd_kernels_test.cc is required (see CONTRIBUTING.md).
+ */
+
+#ifndef DNASTORE_COMMON_SIMD_H
+#define DNASTORE_COMMON_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dnastore::simd {
+
+/** Instruction sets the dispatcher can select. */
+enum class Isa : uint8_t {
+    Scalar = 0,
+    Sse42 = 1,
+    Avx2 = 2,
+    Neon = 3,
+};
+
+/** Human-readable name ("scalar", "sse4.2", "avx2", "neon"). */
+const char *isaName(Isa isa);
+
+/** Saturation value used as "infinity" by the uint16 DP kernels. */
+inline constexpr uint16_t kInf16 = 0xFFFF;
+
+/**
+ * Lane padding contract for editRow: row buffers must extend at
+ * least kEditRowPad uint16 elements past index `hi`, and the `b`
+ * string buffer at least kEditRowPad bytes past index `hi - 1`.
+ * Vector stores may transiently clobber curr[hi+1 .. hi+kEditRowPad];
+ * the kernel restores that range to kInf16 before returning.
+ */
+inline constexpr size_t kEditRowPad = 16;
+
+/**
+ * The kernel table. One function pointer per hot loop; every ISA
+ * fills all entries (there is no per-entry fallback, which keeps the
+ * parity matrix total).
+ */
+struct Kernels
+{
+    /**
+     * One row of a banded unit-cost edit-distance DP.
+     *
+     * For j in [lo, hi] (1-based columns, lo >= 1):
+     *   t[j]    = min(prev[j-1] + (a_ch == b[j-1] ? 0 : 1),
+     *                 prev[j] + 1)
+     *   curr[j] = min(t[j], curr[j-1] + 1)
+     * where curr[lo-1] is taken from @p carry_in (never from memory).
+     * All arithmetic saturates at kInf16, which the callers treat as
+     * "outside the band". Returns min(curr[lo..hi]).
+     *
+     * Buffer contract: see kEditRowPad. Cells below lo are not
+     * written; cells in (hi, hi+kEditRowPad] are kInf16 on return.
+     */
+    uint16_t (*edit_row)(const uint8_t *b, uint8_t a_ch,
+                         const uint16_t *prev, uint16_t *curr,
+                         size_t lo, size_t hi, uint16_t carry_in);
+
+    /**
+     * MinHash signatures of one read under many salts.
+     *
+     * @p bases holds 2-bit base codes (values 0..3), one per
+     * position. For each salt s, out[s] = min over all q-gram
+     * windows w of splitMix64-mix(packed(w) ^ salts[s]), where the
+     * mix matches dnastore::splitMix64 (state += golden gamma, then
+     * xor-shift-multiply). @p mask is the (2q)-bit window mask.
+     * Requires len >= q; out has num_salts entries.
+     */
+    void (*minhash)(const uint8_t *bases, size_t len, size_t q,
+                    uint64_t mask, const uint64_t *salts,
+                    size_t num_salts, uint64_t *out);
+
+    /**
+     * Batch GF(16) Reed-Solomon syndromes across the rows of an
+     * encoding unit. cols[c] points at `rows` nibble values (0..15)
+     * of column c; the codeword of row r is cols[0][r]..cols[n-1][r]
+     * in descending-power order. For each syndrome index s in
+     * [0, parity):
+     *   acc = 0; for c: acc = mul_tables[s*16 + acc] ^ cols[c][r]
+     *   out[s*rows + r] = acc
+     * where mul_tables[s*16 + v] == GF16::mul(alpha^(s+1), v).
+     */
+    void (*gf16_syndromes)(const uint8_t *const *cols, size_t ncols,
+                           size_t parity, size_t rows,
+                           const uint8_t *mul_tables, uint8_t *out);
+
+    /**
+     * GF(16) table-lookup accumulate: dst[i] ^= table16[src[i]] for
+     * i in [0, len), src values 0..15. With table16 = row c of
+     * GF16::mulTable() this is dst[i] ^= c * src[i], the core of the
+     * Chien/Forney evaluation sweeps.
+     */
+    void (*gf16_table_xor)(const uint8_t *table16, const uint8_t *src,
+                           uint8_t *dst, size_t len);
+
+    /**
+     * GF(256) multiply-by-constant accumulate via split-nibble
+     * tables: dst[i] ^= GF256::mul(c, src[i]) for i in [0, len).
+     * mul_lo/mul_hi are GF256::mulTablesLo()/Hi() (256 rows of 16):
+     * the product is mul_lo[c*16 + (s & 0xF)] ^ mul_hi[c*16 + (s >>
+     * 4)]. The tables are built from the zero-checked scalar
+     * GF256::mul, so no path — scalar or vector — ever consults the
+     * log[0] sentinel.
+     */
+    void (*gf256_mul_const_accum)(uint8_t c, const uint8_t *src,
+                                  uint8_t *dst, size_t len,
+                                  const uint8_t *mul_lo,
+                                  const uint8_t *mul_hi);
+};
+
+/** Best ISA the current CPU supports (ignores the env override). */
+Isa bestSupportedIsa();
+
+/** True if the current CPU can run @p isa. */
+bool cpuSupports(Isa isa);
+
+/**
+ * The active ISA: best supported, unless DNASTORE_FORCE_ISA
+ * overrides it. Resolved once; fatal on an unknown or unsupported
+ * override value.
+ */
+Isa activeIsa();
+
+/** Kernel table for the active ISA. */
+const Kernels &kernels();
+
+/**
+ * Kernel table for a specific ISA, or nullptr when that ISA is not
+ * compiled in or not runnable on this CPU. Parity tests iterate all
+ * non-null tables against the scalar reference.
+ */
+const Kernels *kernelsFor(Isa isa);
+
+/**
+ * Test-only: swap the active kernel table (and reported ISA) for the
+ * lifetime of the scope. Not thread-safe — use only in single-
+ * threaded test setup, before fanning work out to a pool.
+ */
+class ScopedForceIsa
+{
+  public:
+    explicit ScopedForceIsa(Isa isa);
+    ~ScopedForceIsa();
+    ScopedForceIsa(const ScopedForceIsa &) = delete;
+    ScopedForceIsa &operator=(const ScopedForceIsa &) = delete;
+
+  private:
+    Isa saved_;
+};
+
+} // namespace dnastore::simd
+
+#endif // DNASTORE_COMMON_SIMD_H

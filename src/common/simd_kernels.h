@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Internal per-ISA kernel tables backing common/simd.h. Each table
+ * lives in its own translation unit so the vector TUs can be built
+ * with the matching -m flags; nothing outside common/ includes this
+ * header — use simd::kernels() / simd::kernelsFor() instead.
+ */
+
+#ifndef DNASTORE_COMMON_SIMD_KERNELS_H
+#define DNASTORE_COMMON_SIMD_KERNELS_H
+
+#include "common/simd.h"
+
+namespace dnastore::simd::detail {
+
+/** Always present; defines the semantics every other table matches. */
+const Kernels &scalarKernels();
+
+#if defined(__x86_64__) || defined(__i386__)
+const Kernels &sse42Kernels();
+const Kernels &avx2Kernels();
+#endif
+
+#if defined(__aarch64__)
+const Kernels &neonKernels();
+#endif
+
+} // namespace dnastore::simd::detail
+
+#endif // DNASTORE_COMMON_SIMD_KERNELS_H

@@ -2,45 +2,64 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/error.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace dnastore::consensus {
 
 namespace {
 
-/** Reverse a sequence (without complementing). */
-dna::Sequence
-reversed(const dna::Sequence &seq)
-{
-    std::string s = seq.str();
-    std::reverse(s.begin(), s.end());
-    return dna::Sequence(std::move(s));
-}
+using simd::kEditRowPad;
+using simd::kInf16;
 
-} // namespace
-
-dna::Sequence
-bmaForward(const std::vector<dna::Sequence> &reads,
-           size_t expected_length, const BmaParams &params)
+/**
+ * Borrowed view of a member read, optionally traversed 3'->5'. The
+ * backward BMA pass runs on these instead of materializing reversed
+ * copies of every read, so a cluster's reconstruction allocates no
+ * per-read strings.
+ */
+struct ReadView
 {
-    fatalIf(reads.empty(), "bmaForward: no reads");
-    std::vector<size_t> cursor(reads.size(), 0);
+    const char *data;
+    size_t size;
+    bool rev;
+
+    char
+    at(size_t k) const
+    {
+        return rev ? data[size - 1 - k] : data[k];
+    }
+};
+
+/** One-sided BMA over views; writes expected_length chars to out. */
+void
+bmaForwardImpl(const ReadView *reads, size_t count,
+               size_t expected_length, const BmaParams &params,
+               Arena &arena, char *out)
+{
+    fatalIf(count == 0, "bmaForward: no reads");
+    ArenaScope scope(arena);
+    size_t *cursor = arena.allocArray<size_t>(count);
     // A read that disagreed at the previous position without
     // insertion evidence is "pending": the error class (substitution
     // vs deletion in the read) is decided one step later, when the
     // next majority is known.
-    std::vector<bool> pending(reads.size(), false);
-    std::vector<dna::Base> out;
-    out.reserve(expected_length);
+    uint8_t *pending = arena.allocArray<uint8_t>(count);
+    std::fill(cursor, cursor + count, size_t{0});
+    std::fill(pending, pending + count, uint8_t{0});
 
     for (size_t j = 0; j < expected_length; ++j) {
         // Majority vote among live cursors.
         std::array<size_t, 4> votes = {0, 0, 0, 0};
-        for (size_t i = 0; i < reads.size(); ++i) {
-            if (cursor[i] < reads[i].size())
-                ++votes[static_cast<size_t>(reads[i].baseAt(cursor[i]))];
+        for (size_t i = 0; i < count; ++i) {
+            if (cursor[i] < reads[i].size)
+                ++votes[static_cast<size_t>(
+                    dna::charToBase(reads[i].at(cursor[i])))];
         }
         size_t best = 0;
         for (size_t b = 1; b < 4; ++b) {
@@ -48,16 +67,16 @@ bmaForward(const std::vector<dna::Sequence> &reads,
                 best = b;
         }
         dna::Base majority = static_cast<dna::Base>(best);
-        out.push_back(majority);
+        out[j] = dna::baseToChar(majority);
 
         // Re-synchronize cursors.
-        for (size_t i = 0; i < reads.size(); ++i) {
-            if (cursor[i] >= reads[i].size())
+        for (size_t i = 0; i < count; ++i) {
+            if (cursor[i] >= reads[i].size)
                 continue;
-            const dna::Sequence &read = reads[i];
+            const ReadView &read = reads[i];
 
             if (pending[i]) {
-                pending[i] = false;
+                pending[i] = 0;
                 // The read disagreed at the previous position; the
                 // error class is decided now that the next majority
                 // is known:
@@ -68,8 +87,9 @@ bmaForward(const std::vector<dna::Sequence> &reads,
                 //                     and the disputed one).
                 bool resolved = false;
                 for (size_t k = 0; k <= params.lookahead; ++k) {
-                    if (cursor[i] + k < read.size() &&
-                        read.baseAt(cursor[i] + k) == majority) {
+                    if (cursor[i] + k < read.size &&
+                        dna::charToBase(read.at(cursor[i] + k)) ==
+                            majority) {
                         cursor[i] += k + 1;
                         resolved = true;
                         break;
@@ -82,14 +102,225 @@ bmaForward(const std::vector<dna::Sequence> &reads,
                 continue;
             }
 
-            if (read.baseAt(cursor[i]) == majority) {
+            if (dna::charToBase(read.at(cursor[i])) == majority) {
                 ++cursor[i];
                 continue;
             }
-            pending[i] = true;  // classify at the next position
+            pending[i] = 1;  // classify at the next position
         }
     }
-    return dna::Sequence(out);
+}
+
+/**
+ * Scalar reference for one read's refinement votes — also the
+ * fallback for inputs outside the uint16-safe bounds of the SIMD
+ * path. The kernel path below must match it cell for cell.
+ */
+void
+refineVotesGeneric(const char *draft, size_t n, const std::string &read,
+                   size_t band, size_t *votes)
+{
+    const size_t m = read.size();
+    const size_t inf = SIZE_MAX / 2;
+    // Banded global alignment, draft rows x read columns.
+    std::vector<std::vector<size_t>> cost(
+        n + 1, std::vector<size_t>(m + 1, inf));
+    cost[0][0] = 0;
+    for (size_t j = 1; j <= std::min(m, band); ++j)
+        cost[0][j] = j;
+    for (size_t i = 1; i <= n; ++i) {
+        size_t lo = i > band ? i - band : 1;
+        size_t hi = std::min(m, i + band);
+        if (i <= band)
+            cost[i][0] = i;
+        for (size_t j = lo; j <= hi; ++j) {
+            size_t sub = cost[i - 1][j - 1] +
+                         (draft[i - 1] == read[j - 1] ? 0 : 1);
+            size_t del = cost[i - 1][j] + 1;  // draft base unread
+            size_t ins = cost[i][j - 1] + 1;  // extra read base
+            cost[i][j] = std::min({sub, del, ins});
+        }
+    }
+    // Backtrace, voting draft positions matched to read bases.
+    size_t i = n, j = m;
+    if (cost[n][m] >= inf)
+        return;  // read did not fit in the band; skip it
+    while (i > 0 && j > 0) {
+        size_t sub = cost[i - 1][j - 1] +
+                     (draft[i - 1] == read[j - 1] ? 0 : 1);
+        if (cost[i][j] == sub) {
+            ++votes[(i - 1) * 4 +
+                    static_cast<size_t>(dna::charToBase(read[j - 1]))];
+            --i;
+            --j;
+        } else if (cost[i][j] == cost[i - 1][j] + 1) {
+            --i;  // draft base deleted in the read: no vote
+        } else {
+            --j;  // inserted read base: no draft position
+        }
+    }
+}
+
+/**
+ * One refinement pass over the draft: banded-align every read with
+ * the SIMD edit_row kernel into a flat uint16 matrix in the arena,
+ * backtrace for per-position votes, and write the majority draft to
+ * out (n chars). The uint16 saturating matrix is observably identical
+ * to the size_t reference: the backtrace only walks finite cells, and
+ * saturated cells compare "not on the path" exactly like size_t
+ * infinity does.
+ */
+void
+refineDraftImpl(const char *draft, size_t n,
+                const dna::Sequence *const *reads, size_t count,
+                size_t band, Arena &arena, char *out)
+{
+    ArenaScope scope(arena);
+    // votes[j * 4 + b]: aligned votes for base b at draft position j.
+    size_t *votes = arena.allocArray<size_t>(n * 4);
+    std::memset(votes, 0, n * 4 * sizeof(size_t));
+    const simd::Kernels &kernels = simd::kernels();
+
+    for (size_t rd = 0; rd < count; ++rd) {
+        const std::string &read = reads[rd]->str();
+        const size_t m = read.size();
+        if (m == 0)
+            continue;  // empty read never votes (j = 0 backtrace)
+        if (n >= kInf16 / 2 || m >= kInf16 / 2) {
+            refineVotesGeneric(draft, n, read, band, votes);
+            continue;
+        }
+
+        ArenaScope read_scope(arena);
+        // Full (n+1)-row matrix (the backtrace needs every row);
+        // rows are stride-spaced so each kernel call can write its
+        // kEditRowPad infinity tail in bounds. memset 0xFF fills
+        // every untouched cell with kInf16, the uint16 analog of the
+        // reference matrix's infinity fill.
+        const size_t stride = m + 2 + kEditRowPad;
+        uint16_t *cost = arena.allocArray<uint16_t>((n + 1) * stride);
+        std::memset(cost, 0xFF, (n + 1) * stride * sizeof(uint16_t));
+        uint8_t *rb = arena.allocArray<uint8_t>(m + kEditRowPad);
+        std::memcpy(rb, read.data(), m);
+        std::memset(rb + m, 0, kEditRowPad);
+
+        cost[0] = 0;
+        for (size_t j = 1; j <= std::min(m, band); ++j)
+            cost[j] = static_cast<uint16_t>(j);
+        for (size_t i = 1; i <= n; ++i) {
+            size_t lo = i > band ? i - band : 1;
+            size_t hi = std::min(m, i + band);
+            if (lo > hi)
+                break;  // band left the read; later rows stay inf
+            uint16_t *prev = cost + (i - 1) * stride;
+            uint16_t *curr = cost + i * stride;
+            uint16_t edge = (lo == 1 && i <= band)
+                                ? static_cast<uint16_t>(i)
+                                : kInf16;
+            curr[lo - 1] = edge;
+            kernels.edit_row(rb, static_cast<uint8_t>(draft[i - 1]),
+                             prev, curr, lo, hi, edge);
+        }
+
+        // Backtrace, voting draft positions matched to read bases.
+        // uint32 arithmetic: a saturated (kInf16) predecessor plus
+        // its step cost exceeds any finite cell, so it can never
+        // claim the path — matching the size_t reference.
+        size_t i = n, j = m;
+        if (cost[n * stride + m] >= kInf16)
+            continue;  // read did not fit in the band; skip it
+        while (i > 0 && j > 0) {
+            const uint16_t *row = cost + i * stride;
+            const uint16_t *prow = cost + (i - 1) * stride;
+            uint32_t here = row[j];
+            uint32_t sub = uint32_t{prow[j - 1]} +
+                           (draft[i - 1] == read[j - 1] ? 0u : 1u);
+            if (here == sub) {
+                ++votes[(i - 1) * 4 +
+                        static_cast<size_t>(
+                            dna::charToBase(read[j - 1]))];
+                --i;
+                --j;
+            } else if (here == uint32_t{prow[j]} + 1) {
+                --i;  // draft base deleted in the read: no vote
+            } else {
+                --j;  // inserted read base: no draft position
+            }
+        }
+    }
+
+    for (size_t j = 0; j < n; ++j) {
+        size_t best = static_cast<size_t>(dna::charToBase(draft[j]));
+        size_t best_votes = votes[j * 4 + best];
+        for (size_t b = 0; b < 4; ++b) {
+            if (votes[j * 4 + b] > best_votes) {
+                best = b;
+                best_votes = votes[j * 4 + b];
+            }
+        }
+        out[j] = dna::baseToChar(static_cast<dna::Base>(best));
+    }
+}
+
+/** Double-sided BMA + refinement over member pointers, all scratch
+ *  (views, pass outputs, DP matrices) drawn from the arena. */
+dna::Sequence
+bmaDoubleSidedImpl(const dna::Sequence *const *members, size_t count,
+                   size_t expected_length, const BmaParams &params,
+                   Arena &arena)
+{
+    ArenaScope scope(arena);
+    ReadView *fwd = arena.allocArray<ReadView>(count);
+    ReadView *bwd = arena.allocArray<ReadView>(count);
+    for (size_t i = 0; i < count; ++i) {
+        fwd[i] = ReadView{members[i]->str().data(),
+                          members[i]->size(), false};
+        bwd[i] = ReadView{fwd[i].data, fwd[i].size, true};
+    }
+    char *fout = arena.allocArray<char>(expected_length);
+    char *bout = arena.allocArray<char>(expected_length);
+    bmaForwardImpl(fwd, count, expected_length, params, arena, fout);
+    bmaForwardImpl(bwd, count, expected_length, params, arena, bout);
+
+    // Splice: anchored-end halves from each pass (the backward pass
+    // reconstructed the reversed strand, so its half is read from
+    // the far end).
+    size_t half = expected_length / 2 + expected_length % 2;
+    char *spliced = arena.allocArray<char>(expected_length);
+    std::memcpy(spliced, fout, half);
+    for (size_t j = half; j < expected_length; ++j)
+        spliced[j] = bout[expected_length - 1 - j];
+
+    // Alignment-refinement passes repair any position where the BMA
+    // cursors desynchronized.
+    char *refined = arena.allocArray<char>(expected_length);
+    for (size_t pass = 0; pass < params.refine_iterations; ++pass) {
+        refineDraftImpl(spliced, expected_length, members, count,
+                        params.refine_band, arena, refined);
+        if (std::memcmp(refined, spliced, expected_length) == 0)
+            break;
+        std::swap(spliced, refined);
+    }
+    return dna::Sequence(std::string(spliced, expected_length));
+}
+
+} // namespace
+
+dna::Sequence
+bmaForward(const std::vector<dna::Sequence> &reads,
+           size_t expected_length, const BmaParams &params)
+{
+    fatalIf(reads.empty(), "bmaForward: no reads");
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+    ReadView *views = arena.allocArray<ReadView>(reads.size());
+    for (size_t i = 0; i < reads.size(); ++i)
+        views[i] =
+            ReadView{reads[i].str().data(), reads[i].size(), false};
+    char *out = arena.allocArray<char>(expected_length);
+    bmaForwardImpl(views, reads.size(), expected_length, params,
+                   arena, out);
+    return dna::Sequence(std::string(out, expected_length));
 }
 
 dna::Sequence
@@ -99,98 +330,30 @@ refineDraft(const dna::Sequence &draft,
     const size_t n = draft.size();
     if (n == 0)
         return draft;
-    // votes[j][b]: aligned votes for base b at draft position j.
-    std::vector<std::array<size_t, 4>> votes(
-        n, std::array<size_t, 4>{0, 0, 0, 0});
-
-    const size_t inf = SIZE_MAX / 2;
-    for (const dna::Sequence &read : reads) {
-        const size_t m = read.size();
-        // Banded global alignment, draft rows x read columns.
-        // cost[i][j] stored densely in a (n+1) x window layout would
-        // save memory, but n is ~150 so the full matrix is fine.
-        std::vector<std::vector<size_t>> cost(
-            n + 1, std::vector<size_t>(m + 1, inf));
-        cost[0][0] = 0;
-        for (size_t j = 1; j <= std::min(m, band); ++j)
-            cost[0][j] = j;
-        for (size_t i = 1; i <= n; ++i) {
-            size_t lo = i > band ? i - band : 1;
-            size_t hi = std::min(m, i + band);
-            if (i <= band)
-                cost[i][0] = i;
-            for (size_t j = lo; j <= hi; ++j) {
-                size_t sub = cost[i - 1][j - 1] +
-                             (draft[i - 1] == read[j - 1] ? 0 : 1);
-                size_t del = cost[i - 1][j] + 1;  // draft base unread
-                size_t ins = cost[i][j - 1] + 1;  // extra read base
-                cost[i][j] = std::min({sub, del, ins});
-            }
-        }
-        // Backtrace, voting draft positions matched to read bases.
-        size_t i = n, j = m;
-        if (cost[n][m] >= inf)
-            continue;  // read did not fit in the band; skip it
-        while (i > 0 && j > 0) {
-            size_t sub = cost[i - 1][j - 1] +
-                         (draft[i - 1] == read[j - 1] ? 0 : 1);
-            if (cost[i][j] == sub) {
-                ++votes[i - 1][static_cast<size_t>(
-                    read.baseAt(j - 1))];
-                --i;
-                --j;
-            } else if (cost[i][j] == cost[i - 1][j] + 1) {
-                --i;  // draft base deleted in the read: no vote
-            } else {
-                --j;  // inserted read base: no draft position
-            }
-        }
-    }
-
-    std::vector<dna::Base> out;
-    out.reserve(n);
-    for (size_t j = 0; j < n; ++j) {
-        size_t best = static_cast<size_t>(draft.baseAt(j));
-        size_t best_votes = votes[j][best];
-        for (size_t b = 0; b < 4; ++b) {
-            if (votes[j][b] > best_votes) {
-                best = b;
-                best_votes = votes[j][b];
-            }
-        }
-        out.push_back(static_cast<dna::Base>(best));
-    }
-    return dna::Sequence(out);
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+    const dna::Sequence **ptrs =
+        arena.allocArray<const dna::Sequence *>(reads.size());
+    for (size_t i = 0; i < reads.size(); ++i)
+        ptrs[i] = &reads[i];
+    char *out = arena.allocArray<char>(n);
+    refineDraftImpl(draft.str().data(), n, ptrs, reads.size(), band,
+                    arena, out);
+    return dna::Sequence(std::string(out, n));
 }
 
 dna::Sequence
 bmaDoubleSided(const std::vector<dna::Sequence> &reads,
                size_t expected_length, const BmaParams &params)
 {
-    dna::Sequence forward = bmaForward(reads, expected_length, params);
-
-    std::vector<dna::Sequence> reversed_reads;
-    reversed_reads.reserve(reads.size());
-    for (const dna::Sequence &read : reads)
-        reversed_reads.push_back(reversed(read));
-    dna::Sequence backward =
-        reversed(bmaForward(reversed_reads, expected_length, params));
-
-    // Splice: anchored-end halves from each pass.
-    size_t half = expected_length / 2 + expected_length % 2;
-    dna::Sequence result = forward.substr(0, half);
-    result += backward.substr(half);
-
-    // Alignment-refinement passes repair any position where the BMA
-    // cursors desynchronized.
-    for (size_t pass = 0; pass < params.refine_iterations; ++pass) {
-        dna::Sequence refined =
-            refineDraft(result, reads, params.refine_band);
-        if (refined == result)
-            break;
-        result = std::move(refined);
-    }
-    return result;
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+    const dna::Sequence **ptrs =
+        arena.allocArray<const dna::Sequence *>(reads.size());
+    for (size_t i = 0; i < reads.size(); ++i)
+        ptrs[i] = &reads[i];
+    return bmaDoubleSidedImpl(ptrs, reads.size(), expected_length,
+                              params, arena);
 }
 
 std::vector<dna::Sequence>
@@ -203,11 +366,17 @@ bmaDoubleSidedBatch(const std::vector<dna::Sequence> &reads,
     parallelFor(pool, clusters.size(), [&](size_t i) {
         if (clusters[i].empty())
             return;
-        std::vector<dna::Sequence> members;
-        members.reserve(clusters[i].size());
-        for (size_t idx : clusters[i])
-            members.push_back(reads[idx]);
-        out[i] = bmaDoubleSided(members, expected_length, params);
+        // Gather member *pointers* (not copies) into this worker's
+        // arena; the reconstruction reads them in place.
+        Arena &arena = Arena::scratch();
+        ArenaScope scope(arena);
+        const dna::Sequence **members =
+            arena.allocArray<const dna::Sequence *>(
+                clusters[i].size());
+        for (size_t k = 0; k < clusters[i].size(); ++k)
+            members[k] = &reads[clusters[i][k]];
+        out[i] = bmaDoubleSidedImpl(members, clusters[i].size(),
+                                    expected_length, params, arena);
     });
     return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codec/base_codec.h"
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "core/layout.h"
@@ -46,12 +47,15 @@ decodeUnitWithFallback(
     ecc::UnitDecodeResult decoded =
         partition.unitCodec().decode(primary);
     if (!decoded.ok()) {
+        // One reusable trial vector: swap a single column in per
+        // attempt and restore it afterwards, instead of deep-copying
+        // all n columns for every alternate candidate.
+        auto trial = primary;
         for (const auto &[column, slot] : columns) {
             if (decoded.ok())
                 break;
             for (size_t alt = 1; alt < slot->candidates.size();
                  ++alt) {
-                auto trial = primary;
                 trial[column] = slot->candidates[alt].payload;
                 ++outcome.candidate_retries;
                 ecc::UnitDecodeResult attempt =
@@ -61,6 +65,7 @@ decodeUnitWithFallback(
                     break;
                 }
             }
+            trial[column] = primary[column];
         }
     }
     if (!decoded.ok()) {
@@ -132,7 +137,11 @@ Decoder::recoverStrands(const std::vector<sim::Read> &reads,
     // that read, and the matches are gathered in input order.
     telemetry::SpanHandle filter_span =
         trace.span("decode.primer_filter");
-    std::vector<uint8_t> keep(reads.size(), 0);
+    // keep[] lives in the caller's arena for the duration of the
+    // batch; workers only write their own slot.
+    Arena &arena = Arena::scratch();
+    ArenaScope keep_scope(arena);
+    uint8_t *keep = arena.allocArray<uint8_t>(reads.size());
     pool.parallelFor(reads.size(), [&](size_t i) {
         dna::PrefixAlignment align = dna::alignPrimerToPrefix(
             stem, reads[i].seq, params_.primer_match_dist);
@@ -421,7 +430,9 @@ StreamingDecoder::feed(const std::vector<sim::Read> &reads,
     telemetry::SpanHandle filter_span =
         trace.span("decode.primer_filter");
     const dna::Sequence &stem = partition_.elongation().stem();
-    std::vector<uint8_t> keep(reads.size(), 0);
+    Arena &arena = Arena::scratch();
+    ArenaScope keep_scope(arena);
+    uint8_t *keep = arena.allocArray<uint8_t>(reads.size());
     p.parallelFor(reads.size(), [&](size_t i) {
         dna::PrefixAlignment align = dna::alignPrimerToPrefix(
             stem, reads[i].seq, params_.primer_match_dist);

@@ -1,9 +1,54 @@
 #include "dna/distance.h"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/simd.h"
+
 namespace dnastore::dna {
+
+namespace {
+
+using simd::kEditRowPad;
+using simd::kInf16;
+
+/**
+ * The uint16 DP kernels are exact as long as no *finite* value can
+ * reach the kInf16 saturation point: cell values are bounded by
+ * m + n, and the <= max_dist accept test only inspects values that
+ * must stay below kInf16 to pass. Inputs beyond these bounds (never
+ * produced by the decode pipeline) take the original size_t paths.
+ */
+bool
+fitsU16(size_t m, size_t n, size_t max_dist)
+{
+    return max_dist < kInf16 - 1 && m < kInf16 / 2 && n < kInf16 / 2;
+}
+
+/** Copy @p s into arena scratch with kEditRowPad bytes of zero
+ *  padding so full-width vector loads stay in bounds. */
+const uint8_t *
+paddedBytes(Arena &arena, const std::string &s)
+{
+    uint8_t *buf = arena.allocArray<uint8_t>(s.size() + kEditRowPad);
+    std::memcpy(buf, s.data(), s.size());
+    std::memset(buf + s.size(), 0, kEditRowPad);
+    return buf;
+}
+
+/** Allocate one DP row of n + 2 + kEditRowPad lanes, all kInf16. */
+uint16_t *
+infRow(Arena &arena, size_t n)
+{
+    size_t lanes = n + 2 + kEditRowPad;
+    uint16_t *row = arena.allocArray<uint16_t>(lanes);
+    std::memset(row, 0xFF, lanes * sizeof(uint16_t));
+    return row;
+}
+
+} // namespace
 
 size_t
 hammingDistance(const Sequence &a, const Sequence &b)
@@ -25,7 +70,9 @@ levenshteinDistance(const Sequence &a, const Sequence &b)
     const std::string &sa = a.str();
     const std::string &sb = b.str();
     const size_t n = sb.size();
-    std::vector<size_t> row(n + 1);
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+    size_t *row = arena.allocArray<size_t>(n + 1);
     for (size_t j = 0; j <= n; ++j)
         row[j] = j;
     for (size_t i = 1; i <= sa.size(); ++i) {
@@ -52,30 +99,50 @@ bandedLevenshtein(const Sequence &a, const Sequence &b, size_t max_dist)
     size_t len_diff = m > n ? m - n : n - m;
     if (len_diff > max_dist)
         return kDistanceInfinity;
+    if (m == 0 || n == 0) {
+        // One side empty: the distance is the other side's length.
+        // The band loop below cannot represent the n == 0 case (its
+        // columns start at 1), and the seed implementation wrongly
+        // reported infinity for it.
+        return len_diff;
+    }
+    if (!fitsU16(m, n, max_dist)) {
+        // Oversized inputs: the band covers cells the uint16 lanes
+        // could saturate, so compute the exact distance directly.
+        size_t d = levenshteinDistance(a, b);
+        return d <= max_dist ? d : kDistanceInfinity;
+    }
 
-    // Rows over sa, band of half-width max_dist around the diagonal.
-    const size_t inf = kDistanceInfinity / 2;
-    std::vector<size_t> prev(n + 1, inf), curr(n + 1, inf);
+    // Rows over sa, band of half-width max_dist around the diagonal;
+    // each row is one SIMD kernel call over uint16 lanes, with the
+    // kernel's saturating min-reduction feeding the early-exit test.
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+    const uint8_t *bb = paddedBytes(arena, sb);
+    uint16_t *prev = infRow(arena, n);
+    uint16_t *curr = infRow(arena, n);
     for (size_t j = 0; j <= std::min(n, max_dist); ++j)
-        prev[j] = j;
+        prev[j] = static_cast<uint16_t>(j);
+    const simd::Kernels &kernels = simd::kernels();
     for (size_t i = 1; i <= m; ++i) {
         size_t lo = i > max_dist ? i - max_dist : 1;
         size_t hi = std::min(n, i + max_dist);
         if (lo > hi)
             return kDistanceInfinity;
-        std::fill(curr.begin(), curr.end(), inf);
-        if (lo == 1)
-            curr[0] = i <= max_dist ? i : inf;
-        size_t row_min = curr[0];
-        for (size_t j = lo; j <= hi; ++j) {
-            size_t cost = (sa[i - 1] == sb[j - 1]) ? 0 : 1;
-            size_t best = prev[j - 1] + cost;
-            best = std::min(best, prev[j] + 1);
-            best = std::min(best, curr[j - 1] + 1);
-            curr[j] = best;
-            row_min = std::min(row_min, best);
-        }
-        if (row_min > max_dist)
+        // Column lo-1 sits at (or left of) the band edge: when the
+        // band still touches column 0 it holds the leading-deletion
+        // cost i, otherwise it is "infinity". It seeds the row
+        // minimum explicitly — the historical seed-from-curr[0]
+        // behaviour, now spelled out (and pinned by the exhaustive
+        // differential test in distance_test).
+        uint16_t edge = (lo == 1 && i <= max_dist)
+                            ? static_cast<uint16_t>(i)
+                            : kInf16;
+        curr[lo - 1] = edge;
+        uint16_t row_min = kernels.edit_row(
+            bb, static_cast<uint8_t>(sa[i - 1]), prev, curr, lo, hi,
+            edge);
+        if (std::min(row_min, edge) > max_dist)
             return kDistanceInfinity;
         std::swap(prev, curr);
     }
@@ -92,23 +159,25 @@ longestCommonPrefix(const Sequence &a, const Sequence &b)
     return i;
 }
 
+namespace {
+
+/** Original size_t implementation, kept for inputs outside the
+ *  uint16-safe bounds (see fitsU16). */
 PrefixAlignment
-alignPrimerToPrefix(const Sequence &primer, const Sequence &template_seq,
-                    size_t max_dist, size_t three_prime_window)
+alignPrimerToPrefixGeneric(const Sequence &primer,
+                           const Sequence &template_seq,
+                           size_t max_dist, size_t three_prime_window)
 {
     PrefixAlignment result;
     const std::string &p = primer.str();
     const std::string &t = template_seq.str();
     const size_t m = p.size();
-    // The primer must land within max_dist indels of its own length.
     const size_t n = std::min(t.size(), m + max_dist);
     if (m > n + max_dist)
         return result;
 
     const size_t inf = kDistanceInfinity / 2;
     std::vector<size_t> prev(n + 1, inf), curr(n + 1, inf);
-    // Both strings anchored at position 0: row 0 is the cost of
-    // skipping leading template bases (deletions from the template).
     for (size_t j = 0; j <= std::min(n, max_dist); ++j)
         prev[j] = j;
     for (size_t i = 1; i <= m; ++i) {
@@ -129,9 +198,76 @@ alignPrimerToPrefix(const Sequence &primer, const Sequence &template_seq,
         std::swap(prev, curr);
     }
 
-    // Best end position in the template (template suffix is free).
     size_t best_j = 0;
     size_t best_dist = inf;
+    size_t lo = m > max_dist ? m - max_dist : 0;
+    for (size_t j = lo; j <= n; ++j) {
+        if (prev[j] < best_dist) {
+            best_dist = prev[j];
+            best_j = j;
+        }
+    }
+    if (best_dist > max_dist)
+        return result;
+
+    result.distance = best_dist;
+    result.template_consumed = best_j;
+    size_t window = std::min(three_prime_window, std::min(m, best_j));
+    size_t mismatches = 0;
+    for (size_t k = 1; k <= window; ++k) {
+        if (p[m - k] != t[best_j - k])
+            ++mismatches;
+    }
+    result.three_prime_mismatches = mismatches;
+    return result;
+}
+
+} // namespace
+
+PrefixAlignment
+alignPrimerToPrefix(const Sequence &primer, const Sequence &template_seq,
+                    size_t max_dist, size_t three_prime_window)
+{
+    PrefixAlignment result;
+    const std::string &p = primer.str();
+    const std::string &t = template_seq.str();
+    const size_t m = p.size();
+    // The primer must land within max_dist indels of its own length.
+    const size_t n = std::min(t.size(), m + max_dist);
+    if (m > n + max_dist)
+        return result;
+    if (!fitsU16(m, n, max_dist))
+        return alignPrimerToPrefixGeneric(primer, template_seq,
+                                          max_dist,
+                                          three_prime_window);
+
+    // Both strings anchored at position 0: row 0 is the cost of
+    // skipping leading template bases (deletions from the template).
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+    const uint8_t *tb = paddedBytes(arena, t);
+    uint16_t *prev = infRow(arena, n);
+    uint16_t *curr = infRow(arena, n);
+    for (size_t j = 0; j <= std::min(n, max_dist); ++j)
+        prev[j] = static_cast<uint16_t>(j);
+    const simd::Kernels &kernels = simd::kernels();
+    for (size_t i = 1; i <= m; ++i) {
+        size_t lo = i > max_dist ? i - max_dist : 1;
+        size_t hi = std::min(n, i + max_dist);
+        if (lo > hi)
+            return result;
+        uint16_t edge = (lo == 1 && i <= max_dist)
+                            ? static_cast<uint16_t>(i)
+                            : kInf16;
+        curr[lo - 1] = edge;
+        kernels.edit_row(tb, static_cast<uint8_t>(p[i - 1]), prev,
+                         curr, lo, hi, edge);
+        std::swap(prev, curr);
+    }
+
+    // Best end position in the template (template suffix is free).
+    size_t best_j = 0;
+    size_t best_dist = kInf16;
     size_t lo = m > max_dist ? m - max_dist : 0;
     for (size_t j = lo; j <= n; ++j) {
         if (prev[j] < best_dist) {
@@ -176,10 +312,25 @@ alignPrimerWeighted(const Sequence &primer, const Sequence &template_seq,
                    : 1.0;
     };
 
-    std::vector<double> prev(n + 1, kWeightInfinity);
-    std::vector<double> curr(n + 1, kWeightInfinity);
-    // Row 0: leading template bases skipped before the primer's 5'
-    // end; charge the 5'-most gap weight.
+    // Gap-weight convention: every gap is charged at the weight of
+    // the primer position it sits at. A template base consumed
+    // before the primer's 5' end (row 0) or under primer base i-1
+    // (rows i >= 1, the curr[j-1] transition) is an opening/extra
+    // template base at that primer position; a bulged-out primer
+    // base i-1 (the prev[j] transition) likewise charges its own
+    // position. Row 0 therefore uses weight(0) and every row i >= 1
+    // uses weight(i - 1) for both gap kinds — pinned literally by
+    // distance_test's WeightedGapConvention tests.
+    //
+    // This stays scalar double arithmetic: reassociating the float
+    // sums (as a vector prefix-min would) could move accepted
+    // primers by an ulp, breaking the golden outputs.
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+    double *prev = arena.allocArray<double>(n + 1);
+    double *curr = arena.allocArray<double>(n + 1);
+    std::fill(prev, prev + n + 1, kWeightInfinity);
+    std::fill(curr, curr + n + 1, kWeightInfinity);
     for (size_t j = 0; j <= std::min(n, band); ++j)
         prev[j] = static_cast<double>(j) * gap_factor * weight(0);
     for (size_t i = 1; i <= m; ++i) {
@@ -187,7 +338,7 @@ alignPrimerWeighted(const Sequence &primer, const Sequence &template_seq,
         size_t hi = std::min(n, i + band);
         if (lo > hi)
             return result;
-        std::fill(curr.begin(), curr.end(), kWeightInfinity);
+        std::fill(curr, curr + n + 1, kWeightInfinity);
         if (lo == 1 && i <= band) {
             curr[0] = prev[0] == kWeightInfinity
                           ? kWeightInfinity
@@ -200,9 +351,8 @@ alignPrimerWeighted(const Sequence &primer, const Sequence &template_seq,
             // Primer base i-1 bulged out (no template partner).
             best = std::min(best, prev[j] + gap_factor * weight(i - 1));
             // Extra template base under primer position i-1.
-            best = std::min(
-                best,
-                curr[j - 1] + gap_factor * weight(i == 0 ? 0 : i - 1));
+            best = std::min(best,
+                            curr[j - 1] + gap_factor * weight(i - 1));
             curr[j] = best;
         }
         std::swap(prev, curr);

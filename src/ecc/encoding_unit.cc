@@ -1,8 +1,11 @@
 #include "ecc/encoding_unit.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/arena.h"
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace dnastore::ecc {
 
@@ -23,11 +26,11 @@ toNibbles(const Bytes &data)
 
 /** Join nibbles (high first) back into bytes. */
 Bytes
-toBytes(const std::vector<uint8_t> &nibbles)
+toBytes(const uint8_t *nibbles, size_t count)
 {
     Bytes data;
-    data.reserve(nibbles.size() / 2);
-    for (size_t i = 0; i + 1 < nibbles.size(); i += 2) {
+    data.reserve(count / 2);
+    for (size_t i = 0; i + 1 < count; i += 2) {
         data.push_back(static_cast<uint8_t>((nibbles[i] << 4) |
                                             (nibbles[i + 1] & 0xf)));
     }
@@ -75,7 +78,7 @@ EncodingUnitCodec::encode(const Bytes &unit_data) const
     std::vector<Bytes> payloads;
     payloads.reserve(n_);
     for (unsigned c = 0; c < n_; ++c)
-        payloads.push_back(toBytes(columns[c]));
+        payloads.push_back(toBytes(columns[c].data(), columns[c].size()));
     return payloads;
 }
 
@@ -89,26 +92,65 @@ EncodingUnitCodec::decode(
             columns.size());
 
     const size_t row_count = rows();
+    const unsigned parity = n_ - k_;
+    Arena &arena = Arena::scratch();
+    ArenaScope scope(arena);
+
+    // Column nibbles, flat [c * row_count + r]; erased columns are
+    // zeroed so they contribute known values to every row codeword.
+    uint8_t *nibbles = arena.allocArray<uint8_t>(n_ * row_count);
+    const uint8_t **col_ptrs =
+        arena.allocArray<const uint8_t *>(n_);
     std::vector<size_t> erasures;
-    std::vector<std::vector<uint8_t>> column_nibbles(n_);
     for (unsigned c = 0; c < n_; ++c) {
+        uint8_t *col = nibbles + c * row_count;
+        col_ptrs[c] = col;
         if (!columns[c].has_value()) {
             erasures.push_back(c);
-            column_nibbles[c].assign(row_count, 0);
+            std::memset(col, 0, row_count);
             continue;
         }
         fatalIf(columns[c]->size() != column_bytes_,
                 "column ", c, " has ", columns[c]->size(),
                 " bytes, expected ", column_bytes_);
-        column_nibbles[c] = toNibbles(*columns[c]);
+        const Bytes &bytes = *columns[c];
+        for (size_t b = 0; b < bytes.size(); ++b) {
+            col[2 * b] = bytes[b] >> 4;
+            col[2 * b + 1] = bytes[b] & 0xf;
+        }
     }
 
-    std::vector<uint8_t> data_nibbles(k_ * row_count, 0);
+    // One SIMD pass computes every syndrome of every row codeword
+    // (synd[s * row_count + r] = syndrome s of row r), so clean rows
+    // — the overwhelming majority — never materialize a received
+    // word or touch the RS decoder at all.
+    uint8_t *synd = arena.allocArray<uint8_t>(parity * row_count);
+    simd::kernels().gf16_syndromes(col_ptrs, n_, parity, row_count,
+                                   rs_.syndromeMulTables().data(),
+                                   synd);
+
+    uint8_t *data_nibbles = arena.allocArray<uint8_t>(k_ * row_count);
+    std::memset(data_nibbles, 0, k_ * row_count);
     std::vector<uint8_t> received(n_);
     for (size_t r = 0; r < row_count; ++r) {
+        bool clean = true;
+        for (unsigned s = 0; s < parity && clean; ++s)
+            clean = synd[s * row_count + r] == 0;
+        if (clean && erasures.empty()) {
+            // All-zero syndromes and nothing erased: the row already
+            // is a codeword. Same outcome and stats (zero errors,
+            // zero erasures) as the RS decoder's fast path.
+            for (unsigned c = 0; c < k_; ++c)
+                data_nibbles[c * row_count + r] = col_ptrs[c][r];
+            continue;
+        }
         for (unsigned c = 0; c < n_; ++c)
-            received[c] = column_nibbles[c][r];
-        RsDecodeResult row = rs_.decode(received, erasures);
+            received[c] = col_ptrs[c][r];
+        uint8_t row_synd[15];
+        for (unsigned s = 0; s < parity; ++s)
+            row_synd[s] = synd[s * row_count + r];
+        RsDecodeResult row =
+            rs_.decodeWithSyndromes(received, erasures, row_synd);
         if (!row.ok()) {
             result.failed_rows.push_back(r);
             continue;
@@ -124,7 +166,7 @@ EncodingUnitCodec::decode(
 
     if (!result.failed_rows.empty())
         return result;
-    result.data = toBytes(data_nibbles);
+    result.data = toBytes(data_nibbles, k_ * row_count);
     return result;
 }
 

@@ -1,5 +1,7 @@
 #include "ecc/gf16.h"
 
+#include <cstddef>
+
 #include "common/error.h"
 
 namespace dnastore::ecc {
@@ -20,7 +22,11 @@ GF16::Tables::Tables()
     }
     exp[30] = exp[15];
     exp[31] = exp[16];
-    log[0] = 0;  // unused sentinel
+    // Zero has no discrete log; every caller branches or panics
+    // before reading log[0] (see the class contract). The sentinel
+    // is an out-of-range exponent so an accidental read cannot
+    // masquerade as log[1] == 0.
+    log[0] = kZeroLogSentinel;
 }
 
 const GF16::Tables &
@@ -86,6 +92,22 @@ GF16::log(uint8_t a)
 {
     panicIf(a == 0, "GF16 log of zero");
     return tables().log[a];
+}
+
+const uint8_t *
+GF16::mulTable(uint8_t c)
+{
+    // Built through mul(), which handles zero operands before any
+    // table lookup — the log[0] sentinel is never consulted.
+    static const auto rows = [] {
+        std::array<uint8_t, kFieldSize * kFieldSize> t{};
+        for (unsigned a = 0; a < kFieldSize; ++a)
+            for (unsigned v = 0; v < kFieldSize; ++v)
+                t[a * kFieldSize + v] = mul(static_cast<uint8_t>(a),
+                                            static_cast<uint8_t>(v));
+        return t;
+    }();
+    return rows.data() + static_cast<size_t>(c) * kFieldSize;
 }
 
 } // namespace dnastore::ecc

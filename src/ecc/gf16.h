@@ -16,12 +16,26 @@
 
 namespace dnastore::ecc {
 
-/** Arithmetic over GF(2^4), elements are the values 0..15. */
+/**
+ * Arithmetic over GF(2^4), elements are the values 0..15.
+ *
+ * Zero-handling contract: zero has no discrete log, so every
+ * operation that would consult log[0] either branches it away (mul
+ * returns 0 early) or panics (div/inv/log). The log table stores
+ * kZeroLogSentinel at index 0 — an out-of-range exponent chosen so
+ * that any accidental read produces detectably wrong results instead
+ * of silently aliasing log[1] == 0. SIMD helpers must therefore be
+ * built from the zero-checked scalar ops (see mulTable()), never
+ * from raw log/exp lookups.
+ */
 class GF16
 {
   public:
     static constexpr unsigned kFieldSize = 16;
     static constexpr unsigned kMultGroupOrder = 15;
+
+    /** Stored in log[0]; deliberately not a valid exponent. */
+    static constexpr uint8_t kZeroLogSentinel = 15;
 
     /** Addition == subtraction == XOR in characteristic 2. */
     static uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
@@ -44,6 +58,15 @@ class GF16
 
     /** Discrete log base alpha; input must be nonzero. */
     static unsigned log(uint8_t a);
+
+    /**
+     * 16-entry multiply-by-constant row: mulTable(c)[v] == mul(c, v)
+     * for v in 0..15. This is the exact shape the PSHUFB/TBL GF
+     * kernels consume; rows are built once through the zero-checked
+     * mul(), so the SIMD paths never read log[0]
+     * (tests/gf16_test.cc pins both properties).
+     */
+    static const uint8_t *mulTable(uint8_t c);
 
   private:
     struct Tables

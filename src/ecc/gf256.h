@@ -17,12 +17,24 @@
 
 namespace dnastore::ecc {
 
-/** Arithmetic over GF(2^8); elements are the values 0..255. */
+/**
+ * Arithmetic over GF(2^8); elements are the values 0..255.
+ *
+ * Zero-handling contract: zero has no discrete log; mul() branches
+ * zero operands away before any table lookup and div/inv/log panic.
+ * log[0] holds kZeroLogSentinel, an out-of-range exponent, so an
+ * accidental read is detectably wrong rather than aliasing
+ * log[1] == 0. SIMD helpers are derived from the zero-checked ops
+ * (see mulTablesLo/Hi), never from raw log/exp lookups.
+ */
 class GF256
 {
   public:
     static constexpr unsigned kFieldSize = 256;
     static constexpr unsigned kMultGroupOrder = 255;
+
+    /** Stored in log[0]; deliberately not a valid exponent. */
+    static constexpr uint8_t kZeroLogSentinel = 255;
 
     static uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
     static uint8_t sub(uint8_t a, uint8_t b) { return a ^ b; }
@@ -37,6 +49,17 @@ class GF256
 
     /** Discrete log base alpha; input must be nonzero. */
     static unsigned log(uint8_t a);
+
+    /**
+     * Split-nibble multiply tables in the layout the PSHUFB/TBL
+     * kernels consume: mulTablesLo()[c * 16 + v] == mul(c, v) and
+     * mulTablesHi()[c * 16 + v] == mul(c, v << 4), so
+     * mul(c, x) == lo[c * 16 + (x & 0xF)] ^ hi[c * 16 + (x >> 4)].
+     * Built once through the zero-checked mul(); the log[0] sentinel
+     * is never read (tests/gf256_test.cc pins this).
+     */
+    static const uint8_t *mulTablesLo();
+    static const uint8_t *mulTablesHi();
 
   private:
     struct Tables

@@ -1,6 +1,7 @@
 #include "ecc/reed_solomon.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.h"
 #include "ecc/gf16.h"
@@ -62,6 +63,15 @@ ReedSolomon::ReedSolomon(unsigned n, unsigned k)
         Poly factor = {GF16::alphaPow(static_cast<int>(i)), 1};
         generator_ = polyMul(generator_, factor);
     }
+
+    // Per-syndrome Horner multiplier tables for the SIMD batch
+    // syndrome kernel: row s is multiply-by-alpha^(s+1).
+    syndrome_tables_.resize(static_cast<size_t>(n_ - k_) * 16);
+    for (unsigned s = 0; s < n_ - k_; ++s) {
+        const uint8_t *row =
+            GF16::mulTable(GF16::alphaPow(static_cast<int>(s + 1)));
+        std::copy(row, row + 16, syndrome_tables_.begin() + s * 16);
+    }
 }
 
 std::vector<uint8_t>
@@ -115,21 +125,38 @@ ReedSolomon::decode(const std::vector<uint8_t> &received,
     RsDecodeResult result;
     fatalIf(received.size() != n_,
             "RS decode expects ", n_, " symbols, got ", received.size());
-    for (size_t pos : erasures)
-        fatalIf(pos >= n_, "erasure position out of range");
     if (erasures.size() > n_ - k_)
         return result;  // beyond guaranteed correction capability
 
     std::vector<uint8_t> word = received;
     // Zero out erased positions so they contribute known values.
-    for (size_t pos : erasures)
+    for (size_t pos : erasures) {
+        fatalIf(pos >= n_, "erasure position out of range");
         word[pos] = 0;
+    }
 
     std::vector<uint8_t> syndromes = computeSyndromes(word);
-    bool all_zero = std::all_of(syndromes.begin(), syndromes.end(),
+    return decodeWithSyndromes(std::move(word), erasures,
+                               syndromes.data());
+}
+
+RsDecodeResult
+ReedSolomon::decodeWithSyndromes(std::vector<uint8_t> word,
+                                 const std::vector<size_t> &erasures,
+                                 const uint8_t *syndromes) const
+{
+    RsDecodeResult result;
+    fatalIf(word.size() != n_,
+            "RS decode expects ", n_, " symbols, got ", word.size());
+    for (size_t pos : erasures)
+        fatalIf(pos >= n_, "erasure position out of range");
+    if (erasures.size() > n_ - k_)
+        return result;  // beyond guaranteed correction capability
+
+    bool all_zero = std::all_of(syndromes, syndromes + (n_ - k_),
                                 [](uint8_t s) { return s == 0; });
     if (all_zero && erasures.empty()) {
-        result.codeword = word;
+        result.codeword = std::move(word);
         return result;
     }
 
@@ -143,7 +170,7 @@ ReedSolomon::decode(const std::vector<uint8_t> &received,
     }
 
     // Modified syndrome polynomial S(x) * Gamma(x) mod x^(n-k).
-    Poly syndrome_poly(syndromes.begin(), syndromes.end());
+    Poly syndrome_poly(syndromes, syndromes + (n_ - k_));
     Poly modified = polyMul(syndrome_poly, erasure_locator);
     modified.resize(n_ - k_, 0);
 
@@ -247,7 +274,7 @@ ReedSolomon::decode(const std::vector<uint8_t> &received,
         return result;
     }
 
-    result.codeword = word;
+    result.codeword = std::move(word);
     result.errors_corrected = plain_errors;
     result.erasures_filled = erasures.size();
     return result;

@@ -63,6 +63,29 @@ class ReedSolomon
     RsDecodeResult decode(const std::vector<uint8_t> &received,
                           const std::vector<size_t> &erasures = {}) const;
 
+    /**
+     * Decode with syndromes already in hand: @p word must have every
+     * erased position zeroed and @p syndromes must hold the parity()
+     * syndrome values of @p word (as computeSyndromes produces).
+     * This is the back half of decode(); EncodingUnitCodec uses it
+     * after batch-computing the syndromes of all unit rows in one
+     * SIMD pass. Results and stats are identical to decode().
+     */
+    RsDecodeResult decodeWithSyndromes(
+        std::vector<uint8_t> word, const std::vector<size_t> &erasures,
+        const uint8_t *syndromes) const;
+
+    /**
+     * parity() rows of 16 bytes: row s maps v to
+     * mul(alpha^(s+1), v) — the per-syndrome Horner multiplier in
+     * the layout the gf16_syndromes kernel consumes.
+     */
+    const std::vector<uint8_t> &
+    syndromeMulTables() const
+    {
+        return syndrome_tables_;
+    }
+
     /** Extract the k data symbols from a full codeword. */
     std::vector<uint8_t>
     dataOf(const std::vector<uint8_t> &codeword) const
@@ -74,6 +97,7 @@ class ReedSolomon
     unsigned n_;
     unsigned k_;
     std::vector<uint8_t> generator_;
+    std::vector<uint8_t> syndrome_tables_;
 
     std::vector<uint8_t> computeSyndromes(
         const std::vector<uint8_t> &received) const;

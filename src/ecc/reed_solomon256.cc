@@ -1,8 +1,10 @@
 #include "ecc/reed_solomon256.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/error.h"
+#include "common/simd.h"
 #include "ecc/gf256.h"
 
 namespace dnastore::ecc {
@@ -56,6 +58,22 @@ ReedSolomon256::ReedSolomon256(unsigned n, unsigned k) : n_(n), k_(k)
         Poly factor = {GF256::alphaPow(static_cast<int>(i)), 1};
         generator_ = polyMul(generator_, factor);
     }
+
+    const unsigned parity = n_ - k_;
+    syndrome_coeffs_.resize(static_cast<size_t>(n_) * parity);
+    for (unsigned i = 0; i < n_; ++i) {
+        for (unsigned s = 0; s < parity; ++s) {
+            syndrome_coeffs_[i * parity + s] = GF256::alphaPow(
+                static_cast<int>((s + 1) * (n_ - 1 - i)));
+        }
+    }
+    chien_powers_.resize(static_cast<size_t>(parity + 1) * n_);
+    for (unsigned d = 0; d <= parity; ++d) {
+        for (unsigned pos = 0; pos < n_; ++pos) {
+            chien_powers_[d * n_ + pos] = GF256::alphaPow(
+                -static_cast<int>(d * (n_ - 1 - pos)));
+        }
+    }
 }
 
 std::vector<uint8_t>
@@ -84,13 +102,21 @@ std::vector<uint8_t>
 ReedSolomon256::computeSyndromes(
     const std::vector<uint8_t> &received) const
 {
+    // S_s = sum_i received[i] * alpha^((s+1)*(n-1-i)): accumulate one
+    // mul-by-constant row per nonzero symbol across all syndromes at
+    // once. Field-identical to the Horner reference (GF sums are
+    // XORs, so the accumulation order does not matter).
     std::vector<uint8_t> syndromes(n_ - k_, 0);
-    for (unsigned s = 0; s < n_ - k_; ++s) {
-        uint8_t x = GF256::alphaPow(static_cast<int>(s + 1));
-        uint8_t acc = 0;
-        for (unsigned i = 0; i < n_; ++i)
-            acc = GF256::add(GF256::mul(acc, x), received[i]);
-        syndromes[s] = acc;
+    const simd::Kernels &kernels = simd::kernels();
+    const uint8_t *mul_lo = GF256::mulTablesLo();
+    const uint8_t *mul_hi = GF256::mulTablesHi();
+    const unsigned parity = n_ - k_;
+    for (unsigned i = 0; i < n_; ++i) {
+        if (received[i] == 0)
+            continue;
+        kernels.gf256_mul_const_accum(
+            received[i], syndrome_coeffs_.data() + i * parity,
+            syndromes.data(), parity, mul_lo, mul_hi);
     }
     return syndromes;
 }
@@ -177,10 +203,29 @@ ReedSolomon256::decode(const std::vector<uint8_t> &received,
 
     Poly locator = polyMul(sigma, erasure_locator);
 
+    // Chien search, vectorized over candidate positions: evaluate
+    // the locator at every alpha^-(n-1-pos) simultaneously by
+    // accumulating one mul-by-coefficient row per locator degree.
+    std::array<uint8_t, GF256::kMultGroupOrder> chien_eval{};
+    const simd::Kernels &kernels = simd::kernels();
+    const uint8_t *mul_lo = GF256::mulTablesLo();
+    const uint8_t *mul_hi = GF256::mulTablesHi();
+    for (size_t d = 0; d < locator.size(); ++d) {
+        if (locator[d] == 0)
+            continue;
+        // BM keeps deg(sigma) <= errors and deg(erasure locator) =
+        // rho, and errors <= (parity - rho) / 2 was checked above,
+        // so every nonzero coefficient has a precomputed row.
+        panicIf(d >= static_cast<size_t>(n_ - k_) + 1,
+                "RS256 locator degree exceeds parity");
+        kernels.gf256_mul_const_accum(locator[d],
+                                      chien_powers_.data() + d * n_,
+                                      chien_eval.data(), n_, mul_lo,
+                                      mul_hi);
+    }
     std::vector<size_t> error_positions;
     for (unsigned pos = 0; pos < n_; ++pos) {
-        int j = static_cast<int>(n_ - 1 - pos);
-        if (polyEval(locator, GF256::alphaPow(-j)) == 0)
+        if (chien_eval[pos] == 0)
             error_positions.push_back(pos);
     }
     size_t degree = 0;

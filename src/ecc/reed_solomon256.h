@@ -50,6 +50,17 @@ class ReedSolomon256
     unsigned k_;
     std::vector<uint8_t> generator_;
 
+    /** syndrome_coeffs_[i * parity + s] = alpha^((s+1)*(n-1-i)):
+     *  position i's contribution weights, so the syndrome vector is
+     *  an XOR of mul-by-received[i] rows — the exact shape of the
+     *  gf256_mul_const_accum kernel. */
+    std::vector<uint8_t> syndrome_coeffs_;
+
+    /** chien_powers_[d * n + pos] = alpha^(-d*(n-1-pos)): degree d's
+     *  contribution to evaluating the locator at every candidate
+     *  root at once ((parity+1) rows of n). */
+    std::vector<uint8_t> chien_powers_;
+
     std::vector<uint8_t> computeSyndromes(
         const std::vector<uint8_t> &received) const;
 };

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the bump-pointer scratch arenas, plus the
+ * steady-state guarantee the decode hot path relies on: once warm, a
+ * kernel pass performs zero heap allocations — pinned both by the
+ * arena's own chunk counter and by a global operator-new counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#include "common/arena.h"
+#include "dna/distance.h"
+#include "dna/sequence.h"
+
+namespace {
+
+std::atomic<uint64_t> g_heap_allocs{0};
+
+} // namespace
+
+// Count every heap allocation made by this test binary. Only the
+// allocating entry points need replacing; deletes stay paired with
+// std::free.
+void *
+operator new(std::size_t size)
+{
+    ++g_heap_allocs;
+    if (void *p = std::malloc(size == 0 ? 1 : size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace dnastore {
+namespace {
+
+TEST(ArenaTest, AllocRespectsAlignment)
+{
+    Arena arena;
+    for (size_t align : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                         size_t{16}, size_t{32}, size_t{64}}) {
+        // Odd-sized allocations in between force misaligned offsets.
+        arena.alloc(3, 1);
+        void *p = arena.alloc(align * 2, align);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+            << "align " << align;
+    }
+    auto *words = arena.allocArray<uint64_t>(5);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(words) % alignof(uint64_t),
+              0u);
+}
+
+TEST(ArenaTest, RewindReusesMemoryWithoutFreeing)
+{
+    Arena arena(1024);
+    Arena::Mark mark = arena.mark();
+    void *first = arena.alloc(100, 8);
+    const size_t chunks = arena.chunkCount();
+    const size_t reserved = arena.reservedBytes();
+    arena.rewind(mark);
+    void *second = arena.alloc(100, 8);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(arena.chunkCount(), chunks);
+    EXPECT_EQ(arena.reservedBytes(), reserved);
+}
+
+TEST(ArenaTest, GrowsChunksAndKeepsOldAllocationsStable)
+{
+    Arena arena(64);
+    auto *small = arena.allocArray<uint8_t>(32);
+    for (size_t i = 0; i < 32; ++i)
+        small[i] = static_cast<uint8_t>(i);
+    // Far larger than the initial chunk: must land in a new chunk
+    // without moving the first allocation.
+    auto *large = arena.allocArray<uint8_t>(64 * 1024);
+    large[0] = 1;
+    EXPECT_GE(arena.chunkCount(), 2u);
+    EXPECT_GE(arena.reservedBytes(), size_t{64} * 1024 + 32);
+    for (size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(small[i], static_cast<uint8_t>(i));
+}
+
+TEST(ArenaTest, WarmArenaServesScopesAllocationFree)
+{
+    Arena arena(256);
+    // Warm-up pass establishes the high-water mark.
+    {
+        ArenaScope scope(arena);
+        arena.alloc(4000, 8);
+        arena.alloc(4000, 8);
+    }
+    const size_t chunks = arena.chunkCount();
+    const uint64_t heap_before = g_heap_allocs.load();
+    for (int pass = 0; pass < 100; ++pass) {
+        ArenaScope scope(arena);
+        arena.alloc(4000, 8);
+        arena.alloc(4000, 8);
+    }
+    EXPECT_EQ(arena.chunkCount(), chunks);
+    EXPECT_EQ(g_heap_allocs.load(), heap_before);
+}
+
+TEST(ArenaTest, ScratchIsPerThread)
+{
+    Arena *main_arena = &Arena::scratch();
+    EXPECT_EQ(main_arena, &Arena::scratch());
+    Arena *other_arena = nullptr;
+    std::thread t([&] { other_arena = &Arena::scratch(); });
+    t.join();
+    EXPECT_NE(other_arena, nullptr);
+    EXPECT_NE(other_arena, main_arena);
+}
+
+TEST(ArenaTest, GlobalStatsCountChunks)
+{
+    ArenaGlobalStats before = Arena::globalStats();
+    Arena arena(1024);
+    arena.alloc(512, 8);
+    ArenaGlobalStats after = Arena::globalStats();
+    EXPECT_GE(after.chunks_allocated, before.chunks_allocated + 1);
+    EXPECT_GE(after.bytes_reserved, before.bytes_reserved + 512);
+}
+
+/** The per-read kernels draw scratch from the thread's arena: after
+ *  one warm-up call, repeated calls must touch neither the heap nor
+ *  the arena chunk counter. */
+TEST(ArenaSteadyStateTest, DistanceKernelsAreAllocationFree)
+{
+    const dna::Sequence a(
+        "ACGTACGTTGCAACGTACGTTGCAACGTACGTTGCAACGTACGTTGCA");
+    const dna::Sequence b(
+        "ACGTACCTTGCAACGTACGTTGAAACGTACGTTGCAACGAACGTTGCA");
+    const dna::Sequence primer("ACGTACGTTGCA");
+
+    // Warm up every code path under test.
+    size_t sink = 0;
+    for (int i = 0; i < 3; ++i) {
+        sink += dna::bandedLevenshtein(a, b, 8);
+        sink += dna::alignPrimerToPrefix(primer, a, 6).distance;
+        sink += dna::alignPrimerWeighted(primer, a, 6)
+                    .template_consumed;
+    }
+
+    const uint64_t heap_before = g_heap_allocs.load();
+    const ArenaGlobalStats arena_before = Arena::globalStats();
+    for (int i = 0; i < 200; ++i) {
+        sink += dna::bandedLevenshtein(a, b, 8);
+        sink += dna::alignPrimerToPrefix(primer, a, 6).distance;
+        sink += dna::alignPrimerWeighted(primer, a, 6)
+                    .template_consumed;
+    }
+    EXPECT_EQ(g_heap_allocs.load(), heap_before)
+        << "steady-state kernel pass hit the heap";
+    EXPECT_EQ(Arena::globalStats().chunks_allocated,
+              arena_before.chunks_allocated);
+    EXPECT_NE(sink, size_t{0});
+}
+
+} // namespace
+} // namespace dnastore

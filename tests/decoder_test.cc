@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
 #include "core/decoder.h"
 #include "sim/pcr.h"
 #include "sim/synthesis.h"
@@ -168,6 +169,24 @@ TEST_F(DecoderTest, StatsAreCoherent)
     EXPECT_GE(stats.clusters_used, stats.strands_recovered);
     EXPECT_EQ(stats.units_attempted,
               stats.units_decoded + stats.units_failed);
+}
+
+TEST_F(DecoderTest, SteadyStateDecodePerformsNoArenaGrowth)
+{
+    // First decode warms every worker arena to its high-water mark;
+    // after that, a whole decode pass over the same reads must not
+    // allocate a single new arena chunk — the per-read scratch all
+    // comes from rewound arena memory.
+    DecoderParams params;
+    Decoder decoder(*partition_, params);
+    auto reads = sequenceWholePool(20 * 15 * 12);
+    decoder.decodeAll(reads);
+    const ArenaGlobalStats warm = Arena::globalStats();
+    auto units = decoder.decodeAll(reads);
+    const ArenaGlobalStats steady = Arena::globalStats();
+    EXPECT_EQ(steady.chunks_allocated, warm.chunks_allocated);
+    EXPECT_EQ(steady.bytes_reserved, warm.bytes_reserved);
+    EXPECT_EQ(units.size(), 20u);
 }
 
 } // namespace

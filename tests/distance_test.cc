@@ -82,6 +82,67 @@ TEST(BandedLevenshteinTest, LengthGapShortCircuit)
     EXPECT_EQ(bandedLevenshtein(a, b, 3), kDistanceInfinity);
 }
 
+/** All ACGT strings of length 0..max_len, by enumeration. */
+std::vector<Sequence>
+allSeqsUpTo(size_t max_len)
+{
+    const char kBases[] = "ACGT";
+    std::vector<Sequence> all;
+    for (size_t len = 0; len <= max_len; ++len) {
+        size_t count = 1;
+        for (size_t i = 0; i < len; ++i)
+            count *= 4;
+        for (size_t code = 0; code < count; ++code) {
+            std::string s(len, 'A');
+            size_t v = code;
+            for (size_t i = 0; i < len; ++i) {
+                s[i] = kBases[v & 3];
+                v >>= 2;
+            }
+            all.emplace_back(s);
+        }
+    }
+    return all;
+}
+
+// Differential audit of the banded DP's row seeding and early exit:
+// tiny strings maximize the weight of the boundary cells (row 0, the
+// curr[lo-1] edge, bands clipped to a single cell), which is exactly
+// where a seeding bug would hide. Exhaustive over every pair of
+// ACGT strings up to length 5 and every max_dist 0..4.
+TEST(BandedLevenshteinTest, ExhaustiveSmallStringsMatchFull)
+{
+    const std::vector<Sequence> seqs = allSeqsUpTo(5);
+    for (const Sequence &a : seqs) {
+        for (const Sequence &b : seqs) {
+            const size_t full = levenshteinDistance(a, b);
+            for (size_t max_dist = 0; max_dist <= 4; ++max_dist) {
+                const size_t want =
+                    full <= max_dist ? full : kDistanceInfinity;
+                ASSERT_EQ(bandedLevenshtein(a, b, max_dist), want)
+                    << "a=" << a.str() << " b=" << b.str()
+                    << " max_dist=" << max_dist;
+            }
+        }
+    }
+}
+
+TEST(BandedLevenshteinTest, RandomizedDifferentialLongerStrings)
+{
+    Rng rng(97);
+    for (int trial = 0; trial < 20000; ++trial) {
+        Sequence a = randomSeq(rng, rng.nextBelow(13));
+        Sequence b = randomSeq(rng, rng.nextBelow(13));
+        const size_t max_dist = rng.nextBelow(7);
+        const size_t full = levenshteinDistance(a, b);
+        const size_t want =
+            full <= max_dist ? full : kDistanceInfinity;
+        ASSERT_EQ(bandedLevenshtein(a, b, max_dist), want)
+            << "a=" << a.str() << " b=" << b.str()
+            << " max_dist=" << max_dist;
+    }
+}
+
 TEST(LcpTest, Basics)
 {
     EXPECT_EQ(longestCommonPrefix(Sequence("ACGT"), Sequence("ACGA")),
@@ -143,6 +204,91 @@ TEST(PrefixAlignTest, TemplateShorterThanPrimer)
     Sequence templ("ACGTA");
     PrefixAlignment align = alignPrimerToPrefix(primer, templ, 4);
     EXPECT_EQ(align.distance, 3u);  // three primer bases unmatched
+}
+
+// Literal-value pins of the weighted alignment's cost convention
+// with the default knobs (three_prime_window=3, three_prime_factor=3,
+// gap_factor=2.5). Primer "ACGTAC" has weight 1.0 at positions 0-2
+// and 3.0 at positions 3-5 (the 3' window). Every expected cost below
+// is a short sum of exactly-representable doubles, so the
+// comparisons are exact.
+TEST(WeightedAlignTest, ExactMatchIsFree)
+{
+    WeightedAlignment align = alignPrimerWeighted(
+        Sequence("ACGTAC"), Sequence("ACGTAC"), 3);
+    EXPECT_DOUBLE_EQ(align.cost, 0.0);
+    EXPECT_EQ(align.template_consumed, 6u);
+}
+
+TEST(WeightedAlignTest, LeadingTemplateGapsChargeFivePrimeWeight)
+{
+    // Row 0 skips leading template bases at gap_factor * weight(0):
+    // two skipped bases cost 2 * 2.5 * 1.0 = 5.0.
+    WeightedAlignment align = alignPrimerWeighted(
+        Sequence("ACGTAC"), Sequence("GGACGTAC"), 3);
+    EXPECT_DOUBLE_EQ(align.cost, 5.0);
+    EXPECT_EQ(align.template_consumed, 8u);
+}
+
+TEST(WeightedAlignTest, BandLimitsLeadingSkew)
+{
+    // Four leading template bases must be skipped to align cleanly:
+    // 4 * 2.5 * weight(0) = 10.0, ending at skew 4.
+    Sequence primer("AAATTT");
+    Sequence templ("GGGGAAATTT");
+    WeightedAlignment wide = alignPrimerWeighted(primer, templ, 4);
+    EXPECT_DOUBLE_EQ(wide.cost, 10.0);
+    EXPECT_EQ(wide.template_consumed, 10u);
+    // A narrower band cannot reach that skew, so the best alignment
+    // it can offer is strictly worse.
+    WeightedAlignment narrow = alignPrimerWeighted(primer, templ, 3);
+    EXPECT_GT(narrow.cost, wide.cost);
+}
+
+TEST(WeightedAlignTest, PrimerBulgeChargesPositionWeight)
+{
+    // Primer G at position 2 (weight 1.0) has no template partner:
+    // gap_factor * 1.0 = 2.5.
+    WeightedAlignment outside = alignPrimerWeighted(
+        Sequence("ACGTAC"), Sequence("ACTAC"), 3);
+    EXPECT_DOUBLE_EQ(outside.cost, 2.5);
+    EXPECT_EQ(outside.template_consumed, 5u);
+
+    // Primer A at position 4 sits in the 3' window (weight 3.0):
+    // gap_factor * 3.0 = 7.5.
+    WeightedAlignment inside = alignPrimerWeighted(
+        Sequence("ACGTAC"), Sequence("ACGTC"), 3);
+    EXPECT_DOUBLE_EQ(inside.cost, 7.5);
+    EXPECT_EQ(inside.template_consumed, 5u);
+}
+
+TEST(WeightedAlignTest, SubstitutionWeightDependsOnPosition)
+{
+    WeightedAlignment five_prime = alignPrimerWeighted(
+        Sequence("ACGTAC"), Sequence("TCGTAC"), 3);
+    EXPECT_DOUBLE_EQ(five_prime.cost, 1.0);
+
+    WeightedAlignment three_prime = alignPrimerWeighted(
+        Sequence("ACGTAC"), Sequence("ACGTAT"), 3);
+    EXPECT_DOUBLE_EQ(three_prime.cost, 3.0);
+}
+
+TEST(WeightedAlignTest, ExtraTemplateBaseChargesTouchedPosition)
+{
+    // Extra template G between primer positions 2 and 3 is charged
+    // the weight of the position it touches: 2.5 * weight(2) = 2.5.
+    WeightedAlignment align = alignPrimerWeighted(
+        Sequence("ACGTAC"), Sequence("ACGGTAC"), 3);
+    EXPECT_DOUBLE_EQ(align.cost, 2.5);
+    EXPECT_EQ(align.template_consumed, 7u);
+}
+
+TEST(WeightedAlignTest, PrimerFarLongerThanTemplateIsInfinite)
+{
+    WeightedAlignment align = alignPrimerWeighted(
+        Sequence("ACGTACGT"), Sequence("AC"), 3);
+    EXPECT_DOUBLE_EQ(align.cost, kWeightInfinity);
+    EXPECT_EQ(align.template_consumed, 0u);
 }
 
 } // namespace

@@ -106,5 +106,52 @@ TEST(GF16Test, PowMatchesRepeatedMultiplication)
     }
 }
 
+TEST(GF16Test, MulDivRoundTripAllPairs)
+{
+    for (unsigned a = 0; a < 16; ++a) {
+        for (unsigned b = 1; b < 16; ++b) {
+            EXPECT_EQ(GF16::div(GF16::mul(static_cast<uint8_t>(a),
+                                          static_cast<uint8_t>(b)),
+                                static_cast<uint8_t>(b)),
+                      a);
+            EXPECT_EQ(GF16::mul(GF16::div(static_cast<uint8_t>(a),
+                                          static_cast<uint8_t>(b)),
+                                static_cast<uint8_t>(b)),
+                      a);
+        }
+    }
+}
+
+TEST(GF16Test, PowRoundTripsThroughNegativeExponents)
+{
+    for (unsigned a = 1; a < 16; ++a) {
+        for (int n = -20; n <= 20; ++n) {
+            EXPECT_EQ(GF16::mul(GF16::pow(static_cast<uint8_t>(a), n),
+                                GF16::pow(static_cast<uint8_t>(a), -n)),
+                      1)
+                << "a=" << a << " n=" << n;
+        }
+    }
+}
+
+TEST(GF16Test, ZeroLogSentinelIsNotAValidExponent)
+{
+    // log[0] holds kZeroLogSentinel so an accidental read cannot
+    // alias a real discrete log; the accessor itself must panic.
+    EXPECT_GE(GF16::kZeroLogSentinel, GF16::kMultGroupOrder);
+    EXPECT_THROW(GF16::log(0), dnastore::PanicError);
+}
+
+TEST(GF16Test, MulTableRowsMatchCheckedMul)
+{
+    for (unsigned c = 0; c < 16; ++c) {
+        const uint8_t *row = GF16::mulTable(static_cast<uint8_t>(c));
+        for (unsigned v = 0; v < 16; ++v) {
+            EXPECT_EQ(row[v], GF16::mul(static_cast<uint8_t>(c),
+                                        static_cast<uint8_t>(v)));
+        }
+    }
+}
+
 } // namespace
 } // namespace dnastore::ecc

@@ -73,6 +73,63 @@ TEST(GF256Test, LogExpInverse)
     }
 }
 
+TEST(GF256Test, MulDivRoundTripAllPairs)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        for (unsigned b = 1; b < 256; ++b) {
+            EXPECT_EQ(GF256::div(GF256::mul(static_cast<uint8_t>(a),
+                                            static_cast<uint8_t>(b)),
+                                 static_cast<uint8_t>(b)),
+                      a);
+        }
+    }
+    EXPECT_THROW(GF256::div(1, 0), dnastore::PanicError);
+}
+
+TEST(GF256Test, PowRoundTripsThroughNegativeExponents)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        for (int n : {-255, -3, -1, 0, 1, 2, 7, 254, 255, 510}) {
+            EXPECT_EQ(GF256::mul(GF256::pow(static_cast<uint8_t>(a), n),
+                                 GF256::pow(static_cast<uint8_t>(a),
+                                            -n)),
+                      1)
+                << "a=" << a << " n=" << n;
+        }
+    }
+}
+
+TEST(GF256Test, PowMatchesRepeatedMultiplication)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        uint8_t acc = 1;
+        for (int n = 0; n < 16; ++n) {
+            EXPECT_EQ(GF256::pow(static_cast<uint8_t>(a), n), acc);
+            acc = GF256::mul(acc, static_cast<uint8_t>(a));
+        }
+    }
+}
+
+TEST(GF256Test, ZeroLogSentinelIsNotAValidExponent)
+{
+    EXPECT_GE(GF256::kZeroLogSentinel, GF256::kMultGroupOrder);
+    EXPECT_THROW(GF256::log(0), dnastore::PanicError);
+}
+
+TEST(GF256Test, NibbleMulTablesMatchCheckedMul)
+{
+    const uint8_t *lo = GF256::mulTablesLo();
+    const uint8_t *hi = GF256::mulTablesHi();
+    for (unsigned c = 0; c < 256; ++c) {
+        for (unsigned x = 0; x < 256; ++x) {
+            EXPECT_EQ(static_cast<uint8_t>(lo[c * 16 + (x & 0xF)] ^
+                                           hi[c * 16 + (x >> 4)]),
+                      GF256::mul(static_cast<uint8_t>(c),
+                                 static_cast<uint8_t>(x)));
+        }
+    }
+}
+
 std::vector<uint8_t>
 randomData(dnastore::Rng &rng, unsigned k)
 {

@@ -15,7 +15,10 @@
  *     random-sized chunks, produces byte-identical units AND stats to
  *     the one-shot decode (the StreamingDecoder contract);
  *  3. the eager streaming path (all (block, 0) expected) emits every
- *     block with a payload byte-identical to the one-shot unit.
+ *     block with a payload byte-identical to the one-shot unit;
+ *  4. decoding the same reads with the SIMD kernels forced to the
+ *     scalar reference produces byte-identical units AND stats to
+ *     the best-ISA decode (the any-ISA determinism contract).
  *
  * On failure the iteration's replay line is printed
  * (`--fuzz-seed=<seed> --iterations=1`), so a CI hit reproduces
@@ -34,6 +37,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/decoder.h"
 #include "core/partition.h"
 #include "sim/pcr.h"
@@ -172,6 +176,19 @@ runIteration(const FuzzCase &fc)
         Bytes recovered = version->second;
         recovered.resize(ch.partition->config().block_data_bytes);
         EXPECT_TRUE(test::blockMatches(recovered, ch.data, block));
+    }
+
+    // Property 4: forced-scalar kernels == best-ISA kernels, bytes
+    // and stats (trivially true when scalar already is the best ISA).
+    if (simd::activeIsa() != simd::Isa::Scalar) {
+        simd::ScopedForceIsa force(simd::Isa::Scalar);
+        Decoder scalar_decoder(*ch.partition, params);
+        DecodeStats scalar_stats;
+        auto scalar_units =
+            scalar_decoder.decodeAll(ch.reads, &scalar_stats);
+        EXPECT_EQ(scalar_units, one_shot)
+            << "scalar vs " << simd::isaName(simd::bestSupportedIsa());
+        EXPECT_EQ(scalar_stats, one_shot_stats);
     }
 
     const auto chunks = chunked(ch.reads, fc.chunk_reads);
